@@ -1,0 +1,100 @@
+package sinrconn
+
+import "testing"
+
+func TestAggregateSum(t *testing.T) {
+	pts := uniformPoints(30, 36)
+	res, err := BuildBiTreeArbitraryPower(pts, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]int64, len(pts))
+	var want int64
+	for i := range values {
+		values[i] = int64(i + 1)
+		want += values[i]
+	}
+	out, err := res.Aggregate(values, SumAgg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Value != want {
+		t.Fatalf("sum = %d, want %d", out.Value, want)
+	}
+	if out.SlotsUsed != res.Metrics.ScheduleLength+1 {
+		t.Errorf("slots = %d, schedule = %d", out.SlotsUsed, res.Metrics.ScheduleLength)
+	}
+	if out.Energy <= 0 {
+		t.Error("no energy recorded")
+	}
+}
+
+func TestAggregateMax(t *testing.T) {
+	pts := uniformPoints(31, 24)
+	res, err := BuildInitialBiTree(pts, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]int64, len(pts))
+	values[5] = 999
+	out, err := res.Aggregate(values, MaxAgg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Value != 999 {
+		t.Fatalf("max = %d, want 999", out.Value)
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	pts := uniformPoints(32, 12)
+	res, err := BuildInitialBiTree(pts, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Aggregate(nil, SumAgg, Options{}); err == nil {
+		t.Error("short values accepted")
+	}
+	if _, err := res.Aggregate(make([]int64, len(pts)), nil, Options{}); err == nil {
+		t.Error("nil fold accepted")
+	}
+}
+
+func TestBroadcastEpoch(t *testing.T) {
+	pts := uniformPoints(33, 30)
+	res, err := BuildBiTreeArbitraryPower(pts, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := res.Broadcast(123, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Reached != 30 {
+		t.Fatalf("reached %d of 30", out.Reached)
+	}
+	if out.SlotsUsed != res.Metrics.ScheduleLength+1 || out.Energy <= 0 {
+		t.Errorf("outcome: %+v", out)
+	}
+}
+
+func TestSendMessage(t *testing.T) {
+	pts := uniformPoints(34, 28)
+	res, err := BuildBiTreeArbitraryPower(pts, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := res.SendMessage(3, 17, 555, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Delivered {
+		t.Fatal("message not delivered")
+	}
+	if max := 2 * (res.Metrics.ScheduleLength + 1); out.SlotsUsed > max {
+		t.Errorf("latency %d exceeds 2×schedule %d", out.SlotsUsed, max)
+	}
+	if _, err := res.SendMessage(0, 9999, 1, Options{}); err == nil {
+		t.Error("bad destination accepted")
+	}
+}

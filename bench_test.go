@@ -1,0 +1,463 @@
+package sinrconn
+
+// One benchmark per experiment table (E1–E12, see DESIGN.md §4 and
+// EXPERIMENTS.md). Each bench runs the measurement behind its table at a
+// representative size and reports the headline quantity via b.ReportMetric,
+// so `go test -bench=. -benchmem` regenerates the numbers the tables
+// summarize. cmd/experiments prints the full sweeps.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sinrconn/internal/core"
+	"sinrconn/internal/experiments"
+	"sinrconn/internal/geom"
+	"sinrconn/internal/power"
+	"sinrconn/internal/schedule"
+	"sinrconn/internal/sinr"
+	"sinrconn/internal/sparsity"
+	"sinrconn/internal/workload"
+)
+
+const benchN = 96
+
+func benchInstance(seed int64) *sinr.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	return sinr.MustInstance(workload.UniformDensity(rng, benchN, 0.15), sinr.DefaultParams())
+}
+
+// BenchmarkE1InitSlots regenerates Table E1: Init construction time
+// (Theorem 2, O(log Δ·log n) slots).
+func BenchmarkE1InitSlots(b *testing.B) {
+	in := benchInstance(1)
+	total := 0
+	for i := 0; i < b.N; i++ {
+		res, err := core.Init(in, core.InitConfig{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.SlotsUsed
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "slots/op")
+}
+
+// BenchmarkE2BiTreeValidity regenerates Table E2: validator battery on the
+// Init output (correctness half of Theorem 2).
+func BenchmarkE2BiTreeValidity(b *testing.B) {
+	in := benchInstance(2)
+	for i := 0; i < b.N; i++ {
+		res, err := core.Init(in, core.InitConfig{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bt := res.Tree
+		if bt.Validate() != nil || !bt.StronglyConnected() ||
+			bt.ValidateOrdering() != nil || bt.ValidatePerSlotFeasible(in) != nil {
+			b.Fatal("invalid bi-tree")
+		}
+	}
+}
+
+// BenchmarkE3DegreeTail regenerates Table E3: max degree vs log n
+// (Theorem 7).
+func BenchmarkE3DegreeTail(b *testing.B) {
+	in := benchInstance(3)
+	worst := 0
+	for i := 0; i < b.N; i++ {
+		res, err := core.Init(in, core.InitConfig{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d := res.Tree.MaxDegree(); d > worst {
+			worst = d
+		}
+	}
+	b.ReportMetric(float64(worst)/math.Log2(benchN), "maxdeg/log2n")
+}
+
+// BenchmarkE4Sparsity regenerates Table E4: ψ(T) vs log n (Theorem 11).
+func BenchmarkE4Sparsity(b *testing.B) {
+	in := benchInstance(4)
+	res, err := core.Init(in, core.InitConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	links := res.Tree.Links()
+	psi := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		psi = sparsity.MeasureAtScales(in, links)
+	}
+	b.ReportMetric(float64(psi), "psi")
+}
+
+// BenchmarkE5LowDegreeFilter regenerates Table E5: T(M) sparsity and
+// retention (Theorem 13).
+func BenchmarkE5LowDegreeFilter(b *testing.B) {
+	in := benchInstance(5)
+	res, err := core.Init(in, core.InitConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	frac := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sub := core.LowDegreeSubset(res.Tree, 0)
+		frac = float64(len(sub)) / float64(len(res.Tree.Up))
+	}
+	b.ReportMetric(frac, "retention")
+}
+
+// BenchmarkE6MeanReschedule regenerates Table E6: distributed mean-power
+// rescheduling of T (Theorem 3).
+func BenchmarkE6MeanReschedule(b *testing.B) {
+	in := benchInstance(6)
+	res, err := core.Init(in, core.InitConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pa := sinr.NoiseSafeMean(in.Params(), math.Max(1, in.Delta()))
+	slots := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rres, err := core.Reschedule(in, res.Tree, pa, schedule.DistConfig{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		slots = rres.NumSlots
+	}
+	b.ReportMetric(float64(slots), "slots")
+}
+
+// BenchmarkE7Iterations regenerates Table E7: TreeViaCapacity iteration
+// count (Theorem 12).
+func BenchmarkE7Iterations(b *testing.B) {
+	in := benchInstance(7)
+	iters := 0
+	for i := 0; i < b.N; i++ {
+		res, err := core.TreeViaCapacity(in, core.TVCConfig{
+			Variant: core.VariantArbitrary, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters = res.Iterations
+	}
+	b.ReportMetric(float64(iters)/math.Log2(benchN), "iters/log2n")
+}
+
+// BenchmarkE8ArbitraryPower regenerates Table E8: final schedule length of
+// the arbitrary-power bi-tree (Theorem 4a).
+func BenchmarkE8ArbitraryPower(b *testing.B) {
+	in := benchInstance(8)
+	slots := 0
+	for i := 0; i < b.N; i++ {
+		res, err := core.TreeViaCapacity(in, core.TVCConfig{
+			Variant: core.VariantArbitrary, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		slots = res.Tree.NumSlots()
+	}
+	b.ReportMetric(float64(slots)/math.Log2(benchN), "slots/log2n")
+}
+
+// BenchmarkE9MeanPower regenerates Table E9: final schedule length of the
+// mean-power bi-tree (Theorem 4b).
+func BenchmarkE9MeanPower(b *testing.B) {
+	in := benchInstance(9)
+	slots := 0
+	for i := 0; i < b.N; i++ {
+		res, err := core.TreeViaCapacity(in, core.TVCConfig{
+			Variant: core.VariantMean, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		slots = res.Tree.NumSlots()
+	}
+	b.ReportMetric(float64(slots)/(in.Upsilon()*math.Log2(benchN)), "slots/(ups*log2n)")
+}
+
+// BenchmarkE10Crossover regenerates Table E10: uniform vs mean first-fit on
+// the same high-Δ tree.
+func BenchmarkE10Crossover(b *testing.B) {
+	in := sinr.MustInstance(workload.ChainForDelta(benchN/2, 1<<18), sinr.DefaultParams())
+	res, err := core.Init(in, core.InitConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ratio := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := core.UniformScheduleLength(in, res.Tree)
+		m := core.MeanScheduleLength(in, res.Tree)
+		ratio = float64(u) / math.Max(1, float64(m))
+	}
+	b.ReportMetric(ratio, "uniform/mean")
+}
+
+// BenchmarkE11Latency regenerates Table E11: converge-cast latency on the
+// Section-8 bi-tree (Definition 1 / Theorem 4).
+func BenchmarkE11Latency(b *testing.B) {
+	in := benchInstance(11)
+	res, err := core.TreeViaCapacity(in, core.TVCConfig{
+		Variant: core.VariantArbitrary, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lat := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := res.Tree.AggregationLatency()
+		if err != nil {
+			b.Fatal(err)
+		}
+		lat = l
+	}
+	b.ReportMetric(float64(lat), "agg_slots")
+}
+
+// BenchmarkE12CapacityRatio regenerates Table E12: Distr-Cap yield against
+// the centralized Kesselheim selection (Theorem 20).
+func BenchmarkE12CapacityRatio(b *testing.B) {
+	in := benchInstance(12)
+	ires, err := core.Init(in, core.InitConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub := core.LowDegreeSubset(ires.Tree, 0)
+	links := make([]sinr.Link, len(sub))
+	for i, tl := range sub {
+		links[i] = tl.L
+	}
+	central := len(core.CentralCapacity(in, links, 0))
+	ratio := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := core.DistrCap(in, links, core.DistrCapConfig{Seed: int64(i), Repeats: 4})
+		ratio = float64(len(d.Selected)) / math.Max(1, float64(central))
+	}
+	b.ReportMetric(ratio, "distr/central")
+}
+
+// BenchmarkE13Energy regenerates Table E13: per-epoch aggregation energy on
+// the Section-8 tree.
+func BenchmarkE13Energy(b *testing.B) {
+	in := benchInstance(13)
+	res, err := core.TreeViaCapacity(in, core.TVCConfig{Variant: core.VariantArbitrary, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	values := make([]int64, in.Len())
+	for i := range values {
+		values[i] = 1
+	}
+	energy := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := core.RunAggregation(in, res.Tree, values, core.SumAgg, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		energy = out.Energy
+	}
+	b.ReportMetric(energy, "epoch_energy")
+}
+
+// BenchmarkE14PhysicalEpoch regenerates Table E14: a full physical
+// converge-cast epoch on the Init tree.
+func BenchmarkE14PhysicalEpoch(b *testing.B) {
+	in := benchInstance(14)
+	res, err := core.Init(in, core.InitConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	values := make([]int64, in.Len())
+	for i := range values {
+		values[i] = int64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunAggregation(in, res.Tree, values, core.SumAgg, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQuickSuite runs the full quick experiment suite end to end — the
+// one-stop regression check that every table still passes its shape check.
+func BenchmarkQuickSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, rep := range experiments.All(experiments.Quick()) {
+			if !rep.Pass {
+				b.Fatalf("%s failed shape check", rep.ID)
+			}
+		}
+	}
+}
+
+// --- ablation benches (tables A1–A5, design-choice sweeps) ---
+
+// BenchmarkA1BroadcastProb regenerates Table A1 at the default p,
+// reporting slots so alternative p values can be compared with -benchtime.
+func BenchmarkA1BroadcastProb(b *testing.B) {
+	for _, p := range []float64{0.1, 0.25, 0.45} {
+		b.Run(fmt.Sprintf("p=%.2f", p), func(b *testing.B) {
+			in := benchInstance(31)
+			slots := 0
+			for i := 0; i < b.N; i++ {
+				res, err := core.Init(in, core.InitConfig{BroadcastProb: p, Seed: int64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				slots = res.SlotsUsed
+			}
+			b.ReportMetric(float64(slots), "slots")
+		})
+	}
+}
+
+// BenchmarkA3DistrCapTau regenerates Table A3's yield column.
+func BenchmarkA3DistrCapTau(b *testing.B) {
+	in := benchInstance(33)
+	ires, err := core.Init(in, core.InitConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub := core.LowDegreeSubset(ires.Tree, 0)
+	links := make([]sinr.Link, len(sub))
+	for i, tl := range sub {
+		links[i] = tl.L
+	}
+	for _, tau := range []float64{0.4, 1.5, 3.0} {
+		b.Run(fmt.Sprintf("tau=%.1f", tau), func(b *testing.B) {
+			yield := 0
+			for i := 0; i < b.N; i++ {
+				d := core.DistrCap(in, links, core.DistrCapConfig{Tau: tau, Seed: int64(i)})
+				yield = len(d.Selected)
+			}
+			b.ReportMetric(float64(yield), "selected")
+		})
+	}
+}
+
+// BenchmarkA5DropRobustness regenerates Table A5: Init under fading.
+func BenchmarkA5DropRobustness(b *testing.B) {
+	for _, drop := range []float64{0, 0.3} {
+		b.Run(fmt.Sprintf("drop=%.1f", drop), func(b *testing.B) {
+			in := benchInstance(35)
+			slots := 0
+			for i := 0; i < b.N; i++ {
+				res, err := core.Init(in, core.InitConfig{Seed: int64(i), DropProb: drop})
+				if err != nil {
+					b.Fatal(err)
+				}
+				slots = res.SlotsUsed
+			}
+			b.ReportMetric(float64(slots), "slots")
+		})
+	}
+}
+
+// BenchmarkJoin measures attaching 4 late nodes to an existing tree.
+func BenchmarkJoin(b *testing.B) {
+	in := benchInstance(36)
+	base := make([]int, benchN-4)
+	joiners := make([]int, 4)
+	for i := range base {
+		base[i] = i
+	}
+	for i := range joiners {
+		joiners[i] = benchN - 4 + i
+	}
+	ires, err := core.Init(in, core.InitConfig{Seed: 1, Participants: base})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Join(in, ires.Tree, joiners, core.InitConfig{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRepair measures recovering from one interior-node failure.
+func BenchmarkRepair(b *testing.B) {
+	in := benchInstance(37)
+	ires, err := core.Init(in, core.InitConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	victim := -1
+	for v, ch := range ires.Tree.Children() {
+		if v != ires.Tree.Root && len(ch) > 0 {
+			victim = v
+			break
+		}
+	}
+	if victim < 0 {
+		b.Skip("no interior node")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Repair(in, ires.Tree, []int{victim}, core.InitConfig{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks of the substrates ---
+
+// BenchmarkChannelSlot measures the raw physics cost of one simulator slot
+// at n=benchN with a quarter of the nodes transmitting.
+func BenchmarkChannelSlot(b *testing.B) {
+	in := benchInstance(20)
+	txs := make([]sinr.Tx, 0, benchN/4)
+	for i := 0; i < benchN/4; i++ {
+		txs = append(txs, sinr.Tx{Sender: i, Power: in.Params().SafePower(4)})
+	}
+	l := sinr.Link{From: benchN - 2, To: benchN - 1}
+	pu := in.Params().SafePower(in.Length(l))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.SetAffectance(txs, l, pu)
+	}
+}
+
+// BenchmarkPowerSolve measures the Foschini–Miljanic solver on a selected
+// feasible set.
+func BenchmarkPowerSolve(b *testing.B) {
+	in := benchInstance(21)
+	ires, err := core.Init(in, core.InitConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub := core.LowDegreeSubset(ires.Tree, 0)
+	links := make([]sinr.Link, len(sub))
+	for i, tl := range sub {
+		links[i] = tl.L
+	}
+	sel := core.CentralCapacity(in, links, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := power.Solve(in, sel, power.Options{Slack: 1.01}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMSTBaseline measures the centralized MST baseline construction.
+func BenchmarkMSTBaseline(b *testing.B) {
+	in := benchInstance(22)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		geom.MST(in.Points())
+	}
+}

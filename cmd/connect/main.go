@@ -1,0 +1,124 @@
+// Command connect builds a connectivity structure for a generated wireless
+// instance and prints the tree, its schedule, and the construction metrics.
+//
+// Usage:
+//
+//	connect -n 64 -workload uniform -pipeline arbitrary -seed 1 [-v]
+//
+// Pipelines: init (Section 6), reschedule (Section 7), mean (Section 8,
+// mean power), arbitrary (Section 8, power control).
+// Workloads: uniform, clusters, grid, chain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+
+	"sinrconn"
+
+	"sinrconn/internal/geom"
+	"sinrconn/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "connect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("connect", flag.ContinueOnError)
+	n := fs.Int("n", 64, "number of nodes")
+	wl := fs.String("workload", "uniform", "workload: uniform|clusters|grid|chain")
+	pipeline := fs.String("pipeline", "arbitrary", "pipeline: init|reschedule|mean|arbitrary")
+	seed := fs.Int64("seed", 1, "random seed")
+	drop := fs.Float64("drop", 0, "reception drop probability in [0,1)")
+	verbose := fs.Bool("v", false, "print every scheduled link")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	pts, err := generate(*wl, *n, *seed)
+	if err != nil {
+		return err
+	}
+	opt := sinrconn.Options{Seed: *seed, DropProb: *drop, AutoNormalize: true}
+
+	var res *sinrconn.Result
+	switch *pipeline {
+	case "init":
+		res, err = sinrconn.BuildInitialBiTree(pts, opt)
+	case "reschedule":
+		res, err = sinrconn.RescheduleMeanPower(pts, opt)
+	case "mean":
+		res, err = sinrconn.BuildBiTreeMeanPower(pts, opt)
+	case "arbitrary":
+		res, err = sinrconn.BuildBiTreeArbitraryPower(pts, opt)
+	default:
+		return fmt.Errorf("unknown pipeline %q", *pipeline)
+	}
+	if err != nil {
+		return err
+	}
+
+	m := res.Metrics
+	fmt.Fprintf(out, "workload=%s n=%d Δ=%.1f Υ=%.1f pipeline=%s seed=%d\n",
+		*wl, *n, m.Delta, m.Upsilon, *pipeline, *seed)
+	fmt.Fprintf(out, "root=%d  links=%d  schedule=%d slots  construction=%d slots\n",
+		res.Tree.Root, len(res.Tree.Up), m.ScheduleLength, m.SlotsUsed)
+	if m.AggregationLatency > 0 {
+		fmt.Fprintf(out, "aggregation latency=%d  broadcast latency=%d\n",
+			m.AggregationLatency, m.BroadcastLatency)
+	}
+	fmt.Fprintf(out, "max degree=%d  depth=%d\n", res.Tree.MaxDegree(), res.Tree.Depth())
+	if *pipeline != "reschedule" {
+		if err := res.Tree.Verify(); err != nil {
+			return fmt.Errorf("verification failed: %w", err)
+		}
+		fmt.Fprintln(out, "verification: tree + ordering + per-slot feasibility OK")
+	}
+	if *verbose {
+		links := append([]sinrconn.ScheduledLink(nil), res.Tree.Up...)
+		sort.Slice(links, func(i, j int) bool {
+			if links[i].Slot != links[j].Slot {
+				return links[i].Slot < links[j].Slot
+			}
+			return links[i].From < links[j].From
+		})
+		for _, l := range links {
+			fmt.Fprintf(out, "  slot %3d: %4d -> %-4d power %.3g\n", l.Slot, l.From, l.To, l.Power)
+		}
+	}
+	return nil
+}
+
+func generate(name string, n int, seed int64) ([]sinrconn.Point, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var g []geom.Point
+	switch name {
+	case "uniform":
+		g = workload.UniformDensity(rng, n, 0.15)
+	case "clusters":
+		g = workload.Clusters(rng, n, 1+n/32, 6, 100)
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		g = workload.GridPoints(side, side, 2)[:n]
+	case "chain":
+		g = workload.ChainForDelta(n, 1<<16)
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+	pts := make([]sinrconn.Point, len(g))
+	for i, p := range g {
+		pts[i] = sinrconn.Point{X: p.X, Y: p.Y}
+	}
+	return pts, nil
+}

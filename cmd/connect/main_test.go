@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunPipelines(t *testing.T) {
+	for _, pipeline := range []string{"init", "reschedule", "mean", "arbitrary"} {
+		t.Run(pipeline, func(t *testing.T) {
+			var b strings.Builder
+			err := run([]string{"-n", "24", "-pipeline", pipeline, "-seed", "2"}, &b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := b.String()
+			if !strings.Contains(out, "schedule=") || !strings.Contains(out, "root=") {
+				t.Errorf("missing summary in output:\n%s", out)
+			}
+			if pipeline != "reschedule" && !strings.Contains(out, "verification") {
+				t.Errorf("missing verification line:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestRunWorkloads(t *testing.T) {
+	for _, wl := range []string{"uniform", "clusters", "grid", "chain"} {
+		t.Run(wl, func(t *testing.T) {
+			var b strings.Builder
+			if err := run([]string{"-n", "20", "-workload", wl, "-pipeline", "init"}, &b); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunVerbose(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "16", "-pipeline", "init", "-v"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "slot ") {
+		t.Errorf("verbose output missing link lines:\n%s", b.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-pipeline", "bogus"}, &b); err == nil {
+		t.Error("bogus pipeline accepted")
+	}
+	if err := run([]string{"-workload", "bogus"}, &b); err == nil {
+		t.Error("bogus workload accepted")
+	}
+	if err := run([]string{"-badflag"}, &b); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	for _, wl := range []string{"uniform", "clusters", "grid", "chain"} {
+		pts, err := generate(wl, 25, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pts) != 25 {
+			t.Errorf("%s: %d points", wl, len(pts))
+		}
+	}
+	if _, err := generate("bogus", 10, 1); err == nil {
+		t.Error("bogus workload accepted")
+	}
+}

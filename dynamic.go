@@ -1,0 +1,132 @@
+package sinrconn
+
+// Dynamic-membership operations: the extensions the paper's conclusion
+// calls for ("asynchronous node wakeup, node and link failures"). Both
+// operate on an existing Result and return a fresh one; the original is
+// never mutated.
+
+import (
+	"errors"
+	"fmt"
+
+	"sinrconn/internal/core"
+	"sinrconn/internal/geom"
+	"sinrconn/internal/sinr"
+)
+
+// JoinPoints attaches newly awakened nodes at newPts to the existing
+// bi-tree, distributedly (members acknowledge, joiners ladder through
+// distance classes — see core.Join). The new nodes receive indices
+// starting at the current node count, in input order. The combined point
+// set must keep minimum pairwise distance ≥ 1; joins never renormalize,
+// since that would silently move the existing nodes.
+func (r *Result) JoinPoints(newPts []Point, opt Options) (*Result, error) {
+	if len(newPts) == 0 {
+		return nil, errors.New("sinrconn: no points to join")
+	}
+	oldTree := r.Tree.inner
+	oldInst := r.Tree.inst
+
+	pts := append([]geom.Point(nil), oldInst.Points()...)
+	joiners := make([]int, 0, len(newPts))
+	for _, p := range newPts {
+		joiners = append(joiners, len(pts))
+		pts = append(pts, geom.Point{X: p.X, Y: p.Y})
+	}
+	if md := geom.MinDist(pts); md < 1-1e-9 {
+		return nil, fmt.Errorf("%w: min distance %v after join", ErrNotNormalized, md)
+	}
+	in, err := sinr.NewInstance(pts, oldInst.Params())
+	if err != nil {
+		return nil, err
+	}
+	jres, err := core.Join(in, oldTree, joiners, core.InitConfig{
+		BroadcastProb: opt.BroadcastProb,
+		Seed:          opt.Seed,
+		Workers:       opt.Workers,
+		DropProb:      opt.DropProb,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bt := jres.Tree
+	m := Metrics{
+		SlotsUsed:      jres.SlotsUsed,
+		ScheduleLength: bt.NumSlots(),
+		Rounds:         jres.Rounds,
+		Upsilon:        in.Upsilon(),
+		Delta:          in.Delta(),
+		Energy:         jres.Stats.Energy,
+	}
+	if err := fillLatencies(&m, bt); err != nil {
+		return nil, err
+	}
+	return &Result{Tree: publicTree(in, bt), Metrics: m}, nil
+}
+
+// RepairFailures removes the given (failed) node indices from the tree and
+// reconnects the surviving nodes: orphaned subtrees re-attach as units via
+// the join protocol and the schedule is recomputed (see core.Repair). If
+// the root failed, the largest orphan subtree is promoted.
+func (r *Result) RepairFailures(failed []int, opt Options) (*Result, error) {
+	if len(failed) == 0 {
+		return nil, errors.New("sinrconn: no failed nodes given")
+	}
+	in := r.Tree.inst
+	rres, err := core.Repair(in, r.Tree.inner, failed, core.InitConfig{
+		BroadcastProb: opt.BroadcastProb,
+		Seed:          opt.Seed,
+		Workers:       opt.Workers,
+		DropProb:      opt.DropProb,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bt := rres.Tree
+	m := Metrics{
+		SlotsUsed:      rres.SlotsUsed,
+		ScheduleLength: rres.ScheduleLength,
+		Upsilon:        in.Upsilon(),
+		Delta:          in.Delta(),
+	}
+	if err := fillLatencies(&m, bt); err != nil {
+		return nil, err
+	}
+	return &Result{Tree: publicTree(in, bt), Metrics: m}, nil
+}
+
+// RepairLinkFailures handles permanent link failures: the given tree links
+// have become unusable (an obstacle the path-loss model cannot see) while
+// both endpoints remain alive. The orphaned subtrees re-attach via the
+// join protocol — explicitly forbidden from re-forming the failed links —
+// and the schedule is recomputed.
+func (r *Result) RepairLinkFailures(links []Link, opt Options) (*Result, error) {
+	if len(links) == 0 {
+		return nil, errors.New("sinrconn: no failed links given")
+	}
+	in := r.Tree.inst
+	failed := make([]sinr.Link, len(links))
+	for i, l := range links {
+		failed[i] = sinr.Link{From: l.From, To: l.To}
+	}
+	rres, err := core.RepairLinks(in, r.Tree.inner, failed, core.InitConfig{
+		BroadcastProb: opt.BroadcastProb,
+		Seed:          opt.Seed,
+		Workers:       opt.Workers,
+		DropProb:      opt.DropProb,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bt := rres.Tree
+	m := Metrics{
+		SlotsUsed:      rres.SlotsUsed,
+		ScheduleLength: rres.ScheduleLength,
+		Upsilon:        in.Upsilon(),
+		Delta:          in.Delta(),
+	}
+	if err := fillLatencies(&m, bt); err != nil {
+		return nil, err
+	}
+	return &Result{Tree: publicTree(in, bt), Metrics: m}, nil
+}

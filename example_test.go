@@ -1,0 +1,84 @@
+package sinrconn_test
+
+import (
+	"fmt"
+	"log"
+
+	"sinrconn"
+)
+
+// Build a bi-tree for a small fixed deployment and verify every property
+// the theorems promise. Results are deterministic for a fixed seed.
+func ExampleBuildInitialBiTree() {
+	pts := []sinrconn.Point{
+		{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 4, Y: 1},
+		{X: 1, Y: 3}, {X: 3, Y: 4}, {X: 6, Y: 3},
+	}
+	res, err := sinrconn.BuildInitialBiTree(pts, sinrconn.Options{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Tree.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("nodes:", res.Tree.NumNodes)
+	fmt.Println("links:", len(res.Tree.Up))
+	fmt.Println("spanning:", res.Tree.NumNodes == len(res.Tree.Up)+1)
+	// Output:
+	// nodes: 6
+	// links: 5
+	// spanning: true
+}
+
+// Aggregate a sum over the whole network in one physical converge-cast
+// epoch.
+func ExampleResult_Aggregate() {
+	pts := []sinrconn.Point{
+		{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 0, Y: 2}, {X: 2, Y: 2},
+	}
+	res, err := sinrconn.BuildInitialBiTree(pts, sinrconn.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := res.Aggregate([]int64{10, 20, 30, 40}, sinrconn.SumAgg, sinrconn.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("root collected:", out.Value)
+	// Output:
+	// root collected: 100
+}
+
+// Disseminate a value from the root to every node.
+func ExampleResult_Broadcast() {
+	pts := []sinrconn.Point{
+		{X: 0, Y: 0}, {X: 3, Y: 0}, {X: 0, Y: 3}, {X: 3, Y: 3}, {X: 6, Y: 1},
+	}
+	res, err := sinrconn.BuildInitialBiTree(pts, sinrconn.Options{Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := res.Broadcast(77, sinrconn.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reached:", out.Reached, "of", res.Tree.NumNodes)
+	// Output:
+	// reached: 5 of 5
+}
+
+// Attach newly awakened nodes to a live network.
+func ExampleResult_JoinPoints() {
+	pts := []sinrconn.Point{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 4, Y: 0}}
+	res, err := sinrconn.BuildInitialBiTree(pts, sinrconn.Options{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	grown, err := res.JoinPoints([]sinrconn.Point{{X: 6, Y: 0}, {X: 8, Y: 1}}, sinrconn.Options{Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("now spanning:", grown.Tree.NumNodes)
+	// Output:
+	// now spanning: 5
+}

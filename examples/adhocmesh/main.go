@@ -1,0 +1,94 @@
+// Adhocmesh: an ad-hoc multi-hop network scenario. After the bi-tree is
+// built, any node can message any other node by going up the aggregation
+// schedule to the root and down the dissemination schedule — within twice
+// the schedule length, whatever pair you pick. We measure the worst pair
+// empirically and compare the Section-6 tree against the Section-8 tree.
+//
+//	go run ./examples/adhocmesh
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"sinrconn"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+	pts := scatter(rng, 72, 22)
+	opt := sinrconn.Options{Seed: 9}
+
+	initial, err := sinrconn.BuildInitialBiTree(pts, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	refined, err := sinrconn.BuildBiTreeArbitraryPower(pts, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("mesh: n=%d  Δ=%.1f\n\n", len(pts), initial.Metrics.Delta)
+	fmt.Printf("%-22s %-14s %-14s %-10s\n", "structure", "schedule", "worst pair", "bound 2×len")
+	for _, row := range []struct {
+		name string
+		res  *sinrconn.Result
+	}{
+		{"Init (Sec. 6)", initial},
+		{"TreeViaCapacity (Sec. 8)", refined},
+	} {
+		worst := 0
+		for trial := 0; trial < 200; trial++ {
+			src, dst := rng.Intn(len(pts)), rng.Intn(len(pts))
+			lat, err := row.res.Tree.PairLatency(src, dst)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if lat > worst {
+				worst = lat
+			}
+		}
+		k := row.res.Metrics.ScheduleLength
+		if worst > 2*k {
+			log.Fatalf("%s: pair latency %d exceeds 2×schedule %d", row.name, worst, 2*k)
+		}
+		fmt.Printf("%-22s %-14d %-14d %-10d\n", row.name, k, worst, 2*k)
+	}
+	// Physically deliver one message over the refined structure: up one
+	// converge-cast epoch, down one dissemination epoch, on the actual
+	// channel.
+	src, dst := 0, len(pts)-1
+	msg, err := refined.SendMessage(src, dst, 31337, sinrconn.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nphysical delivery %d→%d: %v in %d channel slots (energy %.3g)\n",
+		src, dst, msg.Delivered, msg.SlotsUsed, msg.Energy)
+
+	fmt.Printf("\nPer-message latency is bounded by twice the schedule length on either\n")
+	fmt.Printf("structure. The Section-6 stamps scale with log Δ·log n while the\n")
+	fmt.Printf("Section-8 schedule scales with log n alone — on this instance\n")
+	fmt.Printf("(Δ=%.0f, so log Δ is small) they land at %d and %d slots; crank Δ up\n",
+		initial.Metrics.Delta, initial.Metrics.ScheduleLength, refined.Metrics.ScheduleLength)
+	fmt.Printf("(see examples/powercompare) and the ordering flips decisively.\n")
+}
+
+func scatter(rng *rand.Rand, n int, span float64) []sinrconn.Point {
+	var pts []sinrconn.Point
+	for len(pts) < n {
+		cand := sinrconn.Point{X: rng.Float64() * span, Y: rng.Float64() * span}
+		ok := true
+		for _, p := range pts {
+			if math.Hypot(p.X-cand.X, p.Y-cand.Y) < 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pts = append(pts, cand)
+		}
+	}
+	return pts
+}

@@ -1,0 +1,107 @@
+// Dynamicmesh: the lifecycle the paper's conclusion asks for — nodes wake
+// up asynchronously after the network is formed, and nodes fail and must
+// be routed around. Build a bi-tree, attach a batch of late joiners
+// distributedly, then kill an interior node (and later the root) and
+// repair. Every intermediate structure is re-verified.
+//
+//	go run ./examples/dynamicmesh
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"sinrconn"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+	pts := scatter(rng, 48, 18)
+
+	res, err := sinrconn.BuildInitialBiTree(pts, sinrconn.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("initial network", res)
+
+	// A remote cluster of three nodes powers on.
+	late := []sinrconn.Point{{X: 60, Y: 5}, {X: 62.5, Y: 3}, {X: 64, Y: 6}}
+	res, err = res.JoinPoints(late, sinrconn.Options{Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("after 3 late joiners", res)
+
+	// An interior node dies; its subtrees must re-attach.
+	par := res.Tree.Parent()
+	counts := map[int]int{}
+	for _, p := range par {
+		counts[p]++
+	}
+	victim := -1
+	for v, c := range counts {
+		if v != res.Tree.Root && c >= 2 {
+			victim = v
+			break
+		}
+	}
+	if victim < 0 {
+		log.Fatal("no interior node with 2+ children")
+	}
+	res, err = res.RepairFailures([]int{victim}, sinrconn.Options{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(fmt.Sprintf("after interior node %d failed", victim), res)
+
+	// The root itself dies; a new root is promoted.
+	old := res.Tree.Root
+	res, err = res.RepairFailures([]int{old}, sinrconn.Options{Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(fmt.Sprintf("after root %d failed (new root %d)", old, res.Tree.Root), res)
+
+	// A link is blocked by an obstacle (both endpoints alive); the orphaned
+	// subtree must re-attach without re-forming that link.
+	blocked := res.Tree.Up[0].Link
+	res, err = res.RepairLinkFailures([]sinrconn.Link{blocked}, sinrconn.Options{Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, l := range res.Tree.Up {
+		if l.Link == blocked {
+			log.Fatal("blocked link re-formed")
+		}
+	}
+	report(fmt.Sprintf("after link %d->%d was blocked", blocked.From, blocked.To), res)
+}
+
+func report(stage string, res *sinrconn.Result) {
+	if err := res.Tree.Verify(); err != nil {
+		log.Fatalf("%s: verification failed: %v", stage, err)
+	}
+	m := res.Metrics
+	fmt.Printf("%-36s nodes=%-3d schedule=%-3d channel slots=%-5d agg latency=%d\n",
+		stage, res.Tree.NumNodes, m.ScheduleLength, m.SlotsUsed, m.AggregationLatency)
+}
+
+func scatter(rng *rand.Rand, n int, span float64) []sinrconn.Point {
+	var pts []sinrconn.Point
+	for len(pts) < n {
+		cand := sinrconn.Point{X: rng.Float64() * span, Y: rng.Float64() * span}
+		ok := true
+		for _, p := range pts {
+			if math.Hypot(p.X-cand.X, p.Y-cand.Y) < 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pts = append(pts, cand)
+		}
+	}
+	return pts
+}

@@ -1,0 +1,104 @@
+// Package core implements the paper's distributed connectivity algorithms:
+//
+//   - Init (Section 6): the from-scratch bi-tree construction over ⌈log Δ⌉
+//     doubling rounds of randomized broadcast/acknowledge slot-pairs
+//     (Theorem 2).
+//   - Reschedule (Section 7): re-scheduling the Init tree under mean power
+//     with the distributed contention-resolution scheduler (Theorem 3).
+//   - LowDegreeSubset (Theorem 13): the O(1)-sparse low-degree core T(M).
+//   - MeanSample (Section 8.1): the 1/(4γ₁Υ) sampling selection of a large
+//     feasible subset under mean power.
+//   - DistrCap (Section 8.2): the two-slot linear-power measurement
+//     protocol selecting a Kesselheim-feasible subset for arbitrary power.
+//   - TreeViaCapacity (Algorithm 1): the iterated construction matching the
+//     centralized bounds (Theorem 4), in mean-power and arbitrary-power
+//     variants.
+//
+// The theory constants of the proofs (p ≤ 1/64(1+6β2^α/(α−2)), λ₁ = 80/p²)
+// are tuned for union bounds, not practice; every constant here is a Config
+// knob with an empirically sensible default, and the construction includes
+// a deterministic safety loop (extra rounds at the top length class) that
+// guarantees termination with a connected tree regardless of how the coins
+// fall. DESIGN.md discusses the substitution.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"sinrconn/internal/sinr"
+)
+
+// InitConfig tunes the Section 6 construction.
+type InitConfig struct {
+	// BroadcastProb is the paper's p: the probability an active node elects
+	// to broadcast in a slot-pair. Default 0.25.
+	BroadcastProb float64
+	// AckProb is the probability a listener that decoded an in-class
+	// broadcast answers (the paper uses p here too; acking near-certainly
+	// is faster in practice and only helps). Default 0.9.
+	AckProb float64
+	// Lambda scales slot-pairs per round: pairs = max(MinPairs,
+	// ⌈Lambda·log₂ n⌉), the practical stand-in for the paper's λ₁·log n.
+	// Default 4.
+	Lambda float64
+	// MinPairs floors the slot-pairs per round. Default 8.
+	MinPairs int
+	// ExtraRounds caps the safety rounds run at the top length class after
+	// the ⌈log Δ⌉ ladder if more than one node is still active. Default 64.
+	ExtraRounds int
+	// StrictGate keeps the paper's distance gate [2^(r-1), 2^r) during the
+	// ladder. When false, the gate is [0, 2^r) — more permissive, slightly
+	// off-model. Safety rounds always use [0, 2^R). Default true.
+	StrictGate bool
+	// Seed derives all node randomness. Runs are reproducible.
+	Seed int64
+	// Workers is the sim engine worker count (0 = NumCPU).
+	Workers int
+	// DropProb injects reception failures in the engine.
+	DropProb float64
+	// Participants restricts the protocol to a subset of node indices
+	// (TreeViaCapacity shrinks this set each iteration). nil means all.
+	Participants []int
+	// Forbidden lists directed links that must not form (Join/RepairLinks
+	// only): it models permanently failed links — an obstacle the SINR
+	// mean-path-loss channel cannot express. Joiners ignore acknowledgments
+	// that would re-create a forbidden link, and members do not answer
+	// broadcasts across one.
+	Forbidden []sinr.Link
+}
+
+func (c *InitConfig) defaults() {
+	if c.BroadcastProb <= 0 || c.BroadcastProb > 0.5 {
+		c.BroadcastProb = 0.25
+	}
+	if c.AckProb <= 0 || c.AckProb > 1 {
+		c.AckProb = 0.9
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 4
+	}
+	if c.MinPairs <= 0 {
+		c.MinPairs = 8
+	}
+	if c.ExtraRounds <= 0 {
+		c.ExtraRounds = 64
+	}
+}
+
+// pairsPerRound returns the slot-pairs per round for n participants.
+func (c *InitConfig) pairsPerRound(n int) int {
+	pairs := int(math.Ceil(c.Lambda * math.Log2(math.Max(2, float64(n)))))
+	if pairs < c.MinPairs {
+		pairs = c.MinPairs
+	}
+	return pairs
+}
+
+// validate rejects nonsensical configs beyond what defaults() repairs.
+func (c *InitConfig) validate() error {
+	if c.DropProb < 0 || c.DropProb >= 1 {
+		return fmt.Errorf("core: drop probability %v outside [0,1)", c.DropProb)
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sinrconn/internal/geom"
+	"sinrconn/internal/sim"
+	"sinrconn/internal/sinr"
+	"sinrconn/internal/tree"
+)
+
+// ErrNotConverged reports that Init's ladder plus safety rounds ended with
+// more than one active node (possible only under extreme drop injection or
+// absurd configs).
+var ErrNotConverged = errors.New("core: init did not converge to a single active node")
+
+// InitResult is the outcome of the Section 6 construction.
+type InitResult struct {
+	// Tree is the constructed bi-tree over the participants.
+	Tree *tree.BiTree
+	// SlotsUsed is the number of channel slots consumed (Theorem 2 measures
+	// this as O(log Δ · log n)).
+	SlotsUsed int
+	// Rounds is the number of rounds executed, including safety rounds.
+	Rounds int
+	// LadderRounds is ⌈log Δ⌉, the planned doubling ladder length.
+	LadderRounds int
+	// StrayLinks counts receiver-side tentative links whose acknowledgment
+	// was never confirmed by the sender — the links the paper notes are
+	// "easy to clean up" (we clean them by keeping sender-confirmed links
+	// only).
+	StrayLinks int
+	// Stats carries the engine counters.
+	Stats sim.Stats
+}
+
+// Init runs the Section 6 distributed construction on the instance (or on
+// cfg.Participants if set) and returns the resulting bi-tree. The slot
+// stamps on the tree links are slot-pair indices: links sharing a stamp
+// succeeded concurrently and are SINR-feasible together at the round powers.
+func Init(in *sinr.Instance, cfg InitConfig) (*InitResult, error) {
+	cfg.defaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	parts := cfg.Participants
+	if parts == nil {
+		parts = make([]int, in.Len())
+		for i := range parts {
+			parts[i] = i
+		}
+	}
+	if len(parts) == 0 {
+		return nil, errors.New("core: no participants")
+	}
+	isPart := make([]bool, in.Len())
+	var partPts []geom.Point
+	for _, v := range parts {
+		if v < 0 || v >= in.Len() {
+			return nil, fmt.Errorf("core: participant %d out of range", v)
+		}
+		if isPart[v] {
+			return nil, fmt.Errorf("core: duplicate participant %d", v)
+		}
+		isPart[v] = true
+		partPts = append(partPts, in.Point(v))
+	}
+	if len(parts) == 1 {
+		return &InitResult{
+			Tree: &tree.BiTree{Root: parts[0], Nodes: parts},
+		}, nil
+	}
+
+	// Ladder geometry: length classes must cover the longest possible link
+	// among participants. With the paper's normalization (min distance 1)
+	// this is exactly ⌈log₂ Δ⌉; for participant subsets whose min distance
+	// exceeds 1 the max *distance* is what matters, not the ratio.
+	ladder := geom.NumLengthClasses(geom.MaxDist(partPts))
+	pairs := cfg.pairsPerRound(len(parts))
+	p := in.Params()
+
+	// Build per-node protocols with derived seeds.
+	master := rand.New(rand.NewSource(cfg.Seed))
+	seeds := make([]int64, in.Len())
+	for i := range seeds {
+		seeds[i] = master.Int63()
+	}
+	nodes := make([]*initNode, in.Len())
+	procs := make([]sim.Protocol, in.Len())
+	for i := 0; i < in.Len(); i++ {
+		nodes[i] = &initNode{
+			id:            i,
+			cfg:           &cfg,
+			rng:           rand.New(rand.NewSource(seeds[i])),
+			participating: isPart[i],
+			active:        isPart[i],
+			parent:        -1,
+			broadcastPair: -1,
+		}
+		procs[i] = nodes[i]
+	}
+	eng, err := sim.NewEngine(in, procs, sim.Config{
+		Workers:  cfg.Workers,
+		DropProb: cfg.DropProb,
+		Seed:     cfg.Seed ^ 0x5DEECE66D,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	activeCount := func() int {
+		c := 0
+		for _, v := range parts {
+			if nodes[v].active {
+				c++
+			}
+		}
+		return c
+	}
+
+	res := &InitResult{LadderRounds: ladder}
+	runRound := func(spec roundSpec) bool {
+		res.Rounds++
+		for k := 0; k < pairs; k++ {
+			for i := range nodes {
+				nodes[i].spec = spec
+			}
+			eng.Step() // data slot
+			eng.Step() // ack slot
+			if activeCount() <= 1 {
+				// One more pair so a just-acknowledged broadcaster can
+				// consume its ack — harmless when none is pending.
+				for i := range nodes {
+					nodes[i].spec = spec
+				}
+				eng.Step()
+				eng.Step()
+				return true
+			}
+		}
+		return activeCount() <= 1
+	}
+
+	converged := false
+	for r := 1; r <= ladder && !converged; r++ {
+		hi := math.Exp2(float64(r))
+		lo := math.Exp2(float64(r - 1))
+		if !cfg.StrictGate {
+			lo = 0
+		}
+		converged = runRound(roundSpec{lo: lo, hi: hi, power: p.SafePower(hi)})
+	}
+	// Safety rounds: top length class, permissive gate.
+	topHi := math.Exp2(float64(ladder))
+	for x := 0; x < cfg.ExtraRounds && !converged; x++ {
+		converged = runRound(roundSpec{lo: 0, hi: topHi, power: p.SafePower(topHi)})
+	}
+
+	res.SlotsUsed = eng.Stats().Slots
+	res.Stats = eng.Stats()
+	if !converged {
+		return res, fmt.Errorf("%w: %d active after %d rounds",
+			ErrNotConverged, activeCount(), res.Rounds)
+	}
+
+	// Assemble the tree from sender-confirmed records (stray cleanup).
+	bt := &tree.BiTree{Nodes: append([]int(nil), parts...)}
+	root := -1
+	confirmedChild := make(map[sinr.Link]bool)
+	for _, v := range parts {
+		nd := nodes[v]
+		if nd.active {
+			root = v
+			continue
+		}
+		if nd.outLink == nil {
+			return res, fmt.Errorf("core: inactive node %d has no out-link", v)
+		}
+		bt.Up = append(bt.Up, *nd.outLink)
+		confirmedChild[sinr.Link{From: nd.outLink.L.To, To: nd.outLink.L.From}] = true
+	}
+	for _, v := range parts {
+		for _, cl := range nodes[v].tentative {
+			if !confirmedChild[sinr.Link{From: v, To: cl}] {
+				res.StrayLinks++
+			}
+		}
+	}
+	if root < 0 {
+		return res, errors.New("core: no active root found")
+	}
+	bt.Root = root
+	res.Tree = bt
+	return res, nil
+}
+
+// roundSpec is the per-round physical configuration: the distance gate
+// [lo, hi) and the broadcast power 2βN·hi^α.
+type roundSpec struct {
+	lo, hi float64
+	power  float64
+}
+
+// initNode is the per-node state machine of the Section 6 protocol.
+type initNode struct {
+	id            int
+	cfg           *InitConfig
+	rng           *rand.Rand
+	participating bool
+	active        bool
+	parent        int
+	outLink       *tree.TimedLink
+	// tentative lists receiver-side child records (including strays whose
+	// ack was lost).
+	tentative []int
+	// broadcastPair is the pair index of an outstanding broadcast awaiting
+	// acknowledgment, or -1.
+	broadcastPair int
+	pendingPower  float64
+	// spec is the current round configuration, set by the driver before
+	// each pair. Reads happen inside Step, writes between engine steps, so
+	// there is no race.
+	spec roundSpec
+}
+
+var _ sim.Protocol = (*initNode)(nil)
+
+// Step implements sim.Protocol. Even slots are broadcast slots, odd slots
+// are acknowledgment slots.
+func (nd *initNode) Step(slot int, inbox []sim.Delivery) sim.Action {
+	if !nd.participating {
+		return sim.Idle()
+	}
+	if slot%2 == 0 {
+		return nd.broadcastSlot(slot, inbox)
+	}
+	return nd.ackSlot(inbox)
+}
+
+func (nd *initNode) broadcastSlot(slot int, inbox []sim.Delivery) sim.Action {
+	// Consume an acknowledgment from the previous pair: on success this
+	// node connects to its new parent and leaves the protocol.
+	if nd.broadcastPair >= 0 {
+		for _, d := range inbox {
+			if d.Msg.Kind == sim.KindAck && d.Msg.To == nd.id {
+				nd.active = false
+				nd.parent = d.Msg.From
+				nd.outLink = &tree.TimedLink{
+					L:     sinr.Link{From: nd.id, To: nd.parent},
+					Slot:  nd.broadcastPair,
+					Power: nd.pendingPower,
+				}
+				break
+			}
+		}
+		nd.broadcastPair = -1
+	}
+	if !nd.active {
+		return sim.Idle()
+	}
+	if nd.rng.Float64() < nd.cfg.BroadcastProb {
+		nd.broadcastPair = slot / 2
+		nd.pendingPower = nd.spec.power
+		return sim.Transmit(nd.spec.power, sim.Message{
+			Kind: sim.KindBroadcast,
+			From: nd.id,
+		})
+	}
+	return sim.Listen()
+}
+
+func (nd *initNode) ackSlot(inbox []sim.Delivery) sim.Action {
+	if !nd.active {
+		return sim.Idle()
+	}
+	if nd.broadcastPair >= 0 {
+		return sim.Listen() // we broadcast; await the acknowledgment
+	}
+	for _, d := range inbox {
+		if d.Msg.Kind != sim.KindBroadcast {
+			continue
+		}
+		if d.Dist < nd.spec.lo || d.Dist >= nd.spec.hi {
+			continue // out of this round's length class
+		}
+		if nd.rng.Float64() >= nd.cfg.AckProb {
+			continue
+		}
+		// Tentative child record; confirmed only if the sender hears this
+		// acknowledgment (stray otherwise — cleaned up by the driver).
+		nd.tentative = append(nd.tentative, d.Msg.From)
+		return sim.Transmit(nd.spec.power, sim.Message{
+			Kind: sim.KindAck,
+			From: nd.id,
+			To:   d.Msg.From,
+		})
+	}
+	return sim.Listen()
+}

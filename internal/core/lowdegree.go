@@ -1,0 +1,37 @@
+package core
+
+import (
+	"sinrconn/internal/tree"
+)
+
+// DefaultRho is the practical stand-in for the paper's degree cap
+// ρ = 160/p² in Theorem 13. A tree has average degree < 2, so capping at 8
+// retains the overwhelming majority of nodes while forcing O(1)-sparsity of
+// the induced link set.
+const DefaultRho = 8
+
+// LowDegreeSubset returns T(M): the links of the tree both of whose
+// endpoints have degree at most rho (Theorem 13). The result is
+// O(1)-sparse and, in expectation, a constant fraction of the tree.
+func LowDegreeSubset(bt *tree.BiTree, rho int) []tree.TimedLink {
+	if rho <= 0 {
+		rho = DefaultRho
+	}
+	deg := bt.Degrees()
+	var out []tree.TimedLink
+	for _, tl := range bt.Up {
+		if deg[tl.L.From] <= rho && deg[tl.L.To] <= rho {
+			out = append(out, tl)
+		}
+	}
+	return out
+}
+
+// RetentionFraction returns |T(M)| / |T| for reporting against Theorem 13's
+// Ω(1) claim. It returns 1 for an empty tree.
+func RetentionFraction(bt *tree.BiTree, rho int) float64 {
+	if len(bt.Up) == 0 {
+		return 1
+	}
+	return float64(len(LowDegreeSubset(bt, rho))) / float64(len(bt.Up))
+}

@@ -1,0 +1,238 @@
+package core
+
+// White-box state-machine tests: drive the per-node protocols through
+// hand-crafted slot/inbox sequences and verify each transition branch.
+
+import (
+	"math/rand"
+	"testing"
+
+	"sinrconn/internal/sim"
+	"sinrconn/internal/tree"
+)
+
+func newTestInitNode(id int) *initNode {
+	cfg := &InitConfig{}
+	cfg.defaults()
+	cfg.BroadcastProb = 1 // deterministic: always broadcast when active
+	return &initNode{
+		id:            id,
+		cfg:           cfg,
+		rng:           rand.New(rand.NewSource(1)),
+		participating: true,
+		active:        true,
+		parent:        -1,
+		broadcastPair: -1,
+		spec:          roundSpec{lo: 1, hi: 4, power: 100},
+	}
+}
+
+func TestInitNodeNonParticipantIdles(t *testing.T) {
+	nd := newTestInitNode(0)
+	nd.participating = false
+	for slot := 0; slot < 4; slot++ {
+		if a := nd.Step(slot, nil); a.Kind != sim.ActionIdle {
+			t.Fatalf("slot %d: non-participant acted: %v", slot, a.Kind)
+		}
+	}
+}
+
+func TestInitNodeBroadcastsWhenForced(t *testing.T) {
+	nd := newTestInitNode(3)
+	a := nd.Step(0, nil)
+	if a.Kind != sim.ActionTransmit || a.Msg.Kind != sim.KindBroadcast || a.Msg.From != 3 {
+		t.Fatalf("expected broadcast, got %+v", a)
+	}
+	if a.Power != 100 {
+		t.Errorf("power = %v", a.Power)
+	}
+	if nd.broadcastPair != 0 {
+		t.Errorf("broadcastPair = %d", nd.broadcastPair)
+	}
+	// During the ack slot the broadcaster listens.
+	if a := nd.Step(1, nil); a.Kind != sim.ActionListen {
+		t.Fatalf("broadcaster should listen for acks, got %v", a.Kind)
+	}
+}
+
+func TestInitNodeConsumesAckAndDeactivates(t *testing.T) {
+	nd := newTestInitNode(3)
+	nd.Step(0, nil) // broadcast at pair 0
+	nd.Step(1, nil) // listen
+	ack := sim.Delivery{Msg: sim.Message{Kind: sim.KindAck, From: 9, To: 3}}
+	a := nd.Step(2, []sim.Delivery{ack})
+	if nd.active {
+		t.Fatal("node still active after ack")
+	}
+	if nd.parent != 9 {
+		t.Errorf("parent = %d", nd.parent)
+	}
+	if nd.outLink == nil || nd.outLink.L.To != 9 || nd.outLink.Slot != 0 {
+		t.Errorf("outLink = %+v", nd.outLink)
+	}
+	if a.Kind != sim.ActionIdle {
+		t.Errorf("deactivated node acted: %v", a.Kind)
+	}
+}
+
+func TestInitNodeIgnoresAckForOthers(t *testing.T) {
+	nd := newTestInitNode(3)
+	nd.Step(0, nil)
+	nd.Step(1, nil)
+	ack := sim.Delivery{Msg: sim.Message{Kind: sim.KindAck, From: 9, To: 7}}
+	nd.Step(2, []sim.Delivery{ack})
+	if !nd.active {
+		t.Fatal("node deactivated by someone else's ack")
+	}
+}
+
+func TestInitNodeAcksInGateBroadcast(t *testing.T) {
+	nd := newTestInitNode(5)
+	nd.cfg.BroadcastProb = 0 // always a listener
+	nd.cfg.AckProb = 1
+	nd.Step(0, nil) // listener in data slot
+	bc := sim.Delivery{
+		Msg:  sim.Message{Kind: sim.KindBroadcast, From: 2},
+		Dist: 2.5, // inside gate [1, 4)
+	}
+	a := nd.Step(1, []sim.Delivery{bc})
+	if a.Kind != sim.ActionTransmit || a.Msg.Kind != sim.KindAck || a.Msg.To != 2 {
+		t.Fatalf("expected ack to 2, got %+v", a)
+	}
+	if len(nd.tentative) != 1 || nd.tentative[0] != 2 {
+		t.Errorf("tentative children = %v", nd.tentative)
+	}
+}
+
+func TestInitNodeRejectsOutOfGateBroadcast(t *testing.T) {
+	nd := newTestInitNode(5)
+	nd.cfg.BroadcastProb = 0
+	nd.cfg.AckProb = 1
+	nd.Step(0, nil)
+	for _, dist := range []float64{0.5, 4.0, 9.9} { // below lo / at-above hi
+		bc := sim.Delivery{Msg: sim.Message{Kind: sim.KindBroadcast, From: 2}, Dist: dist}
+		if a := nd.Step(1, []sim.Delivery{bc}); a.Kind != sim.ActionListen {
+			t.Fatalf("dist %v: out-of-gate broadcast acknowledged", dist)
+		}
+		nd.Step(0, nil) // back to a data slot
+	}
+}
+
+func TestInitNodeIgnoresNonBroadcastInAckSlot(t *testing.T) {
+	nd := newTestInitNode(5)
+	nd.cfg.BroadcastProb = 0
+	nd.Step(0, nil)
+	data := sim.Delivery{Msg: sim.Message{Kind: sim.KindData, From: 2}, Dist: 2}
+	if a := nd.Step(1, []sim.Delivery{data}); a.Kind != sim.ActionListen {
+		t.Fatalf("acked a non-broadcast: %+v", a)
+	}
+}
+
+func newTestJoinNode(id int, role joinRole) *joinNode {
+	cfg := &InitConfig{}
+	cfg.defaults()
+	cfg.BroadcastProb = 1
+	cfg.AckProb = 1
+	return &joinNode{
+		id:            id,
+		cfg:           cfg,
+		rng:           rand.New(rand.NewSource(2)),
+		role:          role,
+		broadcastPair: -1,
+		decayLevels:   0, // level 0 always → ack probability 1
+		spec:          roundSpec{lo: 0, hi: 100, power: 50},
+	}
+}
+
+func TestJoinNodeIdleRole(t *testing.T) {
+	nd := newTestJoinNode(1, joinIdle)
+	for slot := 0; slot < 4; slot++ {
+		if a := nd.Step(slot, nil); a.Kind != sim.ActionIdle {
+			t.Fatalf("idle-role node acted at slot %d", slot)
+		}
+	}
+}
+
+func TestJoinNodeJoinerAttaches(t *testing.T) {
+	nd := newTestJoinNode(7, joinJoiner)
+	a := nd.Step(0, nil)
+	if a.Kind != sim.ActionTransmit || a.Msg.Kind != sim.KindBroadcast {
+		t.Fatalf("joiner did not broadcast: %+v", a)
+	}
+	nd.Step(1, nil) // waiting for ack
+	ack := sim.Delivery{Msg: sim.Message{Kind: sim.KindAck, From: 4, To: 7}}
+	nd.Step(2, []sim.Delivery{ack})
+	if nd.role != joinMember {
+		t.Fatal("joiner did not become member")
+	}
+	if nd.outLink == nil || nd.outLink.L != (outLinkOf(7, 4)) || nd.outLink.Power != 50 {
+		t.Errorf("outLink = %+v", nd.outLink)
+	}
+}
+
+func outLinkOf(from, to int) (l struct{ From, To int }) {
+	l.From = from
+	l.To = to
+	return l
+}
+
+func TestJoinNodeMemberAcks(t *testing.T) {
+	nd := newTestJoinNode(2, joinMember)
+	if a := nd.Step(0, nil); a.Kind != sim.ActionListen {
+		t.Fatalf("member should listen in data slot: %v", a.Kind)
+	}
+	bc := sim.Delivery{Msg: sim.Message{Kind: sim.KindBroadcast, From: 9}, Dist: 10, Slot: 0}
+	a := nd.Step(1, []sim.Delivery{bc})
+	if a.Kind != sim.ActionTransmit || a.Msg.Kind != sim.KindAck || a.Msg.To != 9 {
+		t.Fatalf("member did not ack: %+v", a)
+	}
+}
+
+func TestJoinNodeMemberRespectsGate(t *testing.T) {
+	nd := newTestJoinNode(2, joinMember)
+	nd.spec = roundSpec{lo: 4, hi: 8, power: 50}
+	nd.Step(0, nil)
+	bc := sim.Delivery{Msg: sim.Message{Kind: sim.KindBroadcast, From: 9}, Dist: 2, Slot: 0}
+	if a := nd.Step(1, []sim.Delivery{bc}); a.Kind != sim.ActionListen {
+		t.Fatal("member acked an out-of-gate broadcast")
+	}
+}
+
+func TestAggNodeFoldsAndTransmits(t *testing.T) {
+	nd := &aggNode{id: 1, member: true, parent: 0, txSlot: 1, power: 10, value: 5, fold: SumAgg}
+	if a := nd.Step(0, nil); a.Kind != sim.ActionListen {
+		t.Fatalf("slot 0 should listen: %v", a.Kind)
+	}
+	in := []sim.Delivery{
+		{Msg: sim.Message{Kind: sim.KindData, To: 1, From: 3, Payload: 7}},
+		{Msg: sim.Message{Kind: sim.KindData, To: 2, From: 4, Payload: 100}}, // not ours
+	}
+	a := nd.Step(1, in)
+	if nd.value != 12 {
+		t.Errorf("folded value = %d, want 12", nd.value)
+	}
+	if a.Kind != sim.ActionTransmit || a.Msg.Payload != 12 || a.Msg.To != 0 {
+		t.Fatalf("transmit action = %+v", a)
+	}
+	// Non-member idles.
+	out := &aggNode{id: 9, member: false}
+	if a := out.Step(0, nil); a.Kind != sim.ActionIdle {
+		t.Fatal("non-member acted")
+	}
+}
+
+func TestRoundSpecPowerStampedOnLink(t *testing.T) {
+	// Regression guard: the power recorded on a formed link is the power
+	// of the round in which the broadcast happened, not a later round's.
+	nd := newTestInitNode(3)
+	nd.spec = roundSpec{lo: 1, hi: 4, power: 111}
+	nd.Step(0, nil)
+	nd.spec = roundSpec{lo: 4, hi: 8, power: 999} // round advances mid-wait
+	nd.Step(1, nil)
+	ack := sim.Delivery{Msg: sim.Message{Kind: sim.KindAck, From: 9, To: 3}}
+	nd.Step(2, []sim.Delivery{ack})
+	if nd.outLink.Power != 111 {
+		t.Errorf("stamped power = %v, want the broadcast round's 111", nd.outLink.Power)
+	}
+	var _ tree.TimedLink = *nd.outLink
+}

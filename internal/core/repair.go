@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sinrconn/internal/sinr"
+	"sinrconn/internal/tree"
+)
+
+// RepairLinks handles permanent *link* failures (the other half of the
+// paper's "node and link failures"): the given tree links have become
+// unusable (obstacle, persistent fade) while both endpoints are alive.
+// Each failed link orphans exactly the subtree of its sender; the orphan
+// roots re-attach via the join protocol against the main component and the
+// schedule is restamped.
+func RepairLinks(in *sinr.Instance, bt *tree.BiTree, failedLinks []sinr.Link, cfg InitConfig) (*RepairResult, error) {
+	failedSet := make(map[sinr.Link]bool, len(failedLinks))
+	present := make(map[sinr.Link]bool, len(bt.Up))
+	for _, tl := range bt.Up {
+		present[tl.L] = true
+	}
+	for _, l := range failedLinks {
+		if !present[l] {
+			return nil, fmt.Errorf("core: link %v not in tree", l)
+		}
+		if failedSet[l] {
+			return nil, fmt.Errorf("core: duplicate failed link %v", l)
+		}
+		failedSet[l] = true
+	}
+
+	var keep []tree.TimedLink
+	var orphans []int
+	for _, tl := range bt.Up {
+		if failedSet[tl.L] {
+			orphans = append(orphans, tl.L.From)
+		} else {
+			keep = append(keep, tl)
+		}
+	}
+	sort.Ints(orphans)
+	res := &RepairResult{NewRoot: bt.Root, OrphanRoots: len(orphans)}
+	repaired := &tree.BiTree{Root: bt.Root, Nodes: append([]int(nil), bt.Nodes...), Up: keep}
+	if len(orphans) > 0 {
+		// Main component = everything still reaching the root.
+		children := make(map[int][]int)
+		for _, tl := range keep {
+			children[tl.L.To] = append(children[tl.L.To], tl.L.From)
+		}
+		var mainNodes []int
+		stack := []int{bt.Root}
+		seen := map[int]bool{}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			mainNodes = append(mainNodes, v)
+			stack = append(stack, children[v]...)
+		}
+		joinBase := &tree.BiTree{Root: bt.Root, Nodes: mainNodes}
+		jcfg := cfg
+		jcfg.Forbidden = append(append([]sinr.Link(nil), cfg.Forbidden...), failedLinks...)
+		jres, err := Join(in, joinBase, orphans, jcfg)
+		if err != nil {
+			return res, fmt.Errorf("core: link-repair re-attachment: %w", err)
+		}
+		res.SlotsUsed = jres.SlotsUsed
+		newOut := make(map[int]tree.TimedLink, len(orphans))
+		for _, tl := range jres.Tree.Up {
+			newOut[tl.L.From] = tl
+		}
+		for _, o := range orphans {
+			tl, ok := newOut[o]
+			if !ok {
+				return res, fmt.Errorf("core: orphan %d did not re-attach", o)
+			}
+			// A replacement along the failed link itself is useless; the
+			// join physics can still pick the same parent via a different
+			// channel opportunity, which is fine — the link object is the
+			// same but its new slot/power come from the join run.
+			repaired.Up = append(repaired.Up, tl)
+		}
+	}
+	k, err := repaired.Restamp(in)
+	if err != nil {
+		return res, fmt.Errorf("core: restamp: %w", err)
+	}
+	res.ScheduleLength = k
+	res.Tree = repaired
+	return res, nil
+}
+
+// RepairResult is the outcome of a failure-recovery run.
+type RepairResult struct {
+	// Tree is the repaired bi-tree over the surviving nodes, with a fresh
+	// ordered, per-slot-feasible schedule (Restamp).
+	Tree *tree.BiTree
+	// NewRoot reports the root of the repaired tree (it changes only when
+	// the old root failed).
+	NewRoot int
+	// OrphanRoots is the number of detached subtree roots that had to
+	// re-attach.
+	OrphanRoots int
+	// SlotsUsed is the channel time the re-attachment protocol consumed.
+	SlotsUsed int
+	// ScheduleLength is the restamped schedule length.
+	ScheduleLength int
+}
+
+// Repair implements the paper's "node failures" extension (Conclusions,
+// Section 9): given a bi-tree and a set of failed nodes, reconnect the
+// surviving nodes distributedly.
+//
+// Failure surgery is local: removing a failed node orphans the subtrees
+// rooted at its children. Each orphan subtree keeps its internal links and
+// re-attaches as a unit — only its root runs the join protocol (the
+// subtree's traffic is unaffected while it does). If the tree root itself
+// failed, the largest orphan subtree is promoted and the rest attach to
+// it. Because re-attachment stamps cannot in general be interleaved with
+// the surviving stamps without breaking the aggregation ordering, the
+// repaired tree's schedule is recomputed with Restamp, which restores
+// ordering and per-slot feasibility in one pass.
+func Repair(in *sinr.Instance, bt *tree.BiTree, failed []int, cfg InitConfig) (*RepairResult, error) {
+	failedSet := make(map[int]bool, len(failed))
+	inTree := make(map[int]bool, len(bt.Nodes))
+	for _, v := range bt.Nodes {
+		inTree[v] = true
+	}
+	for _, f := range failed {
+		if !inTree[f] {
+			return nil, fmt.Errorf("core: failed node %d not in tree", f)
+		}
+		if failedSet[f] {
+			return nil, fmt.Errorf("core: duplicate failed node %d", f)
+		}
+		failedSet[f] = true
+	}
+	survivors := make([]int, 0, len(bt.Nodes)-len(failed))
+	for _, v := range bt.Nodes {
+		if !failedSet[v] {
+			survivors = append(survivors, v)
+		}
+	}
+	if len(survivors) == 0 {
+		return nil, fmt.Errorf("core: all nodes failed")
+	}
+
+	// Surviving links: both endpoints alive.
+	var keep []tree.TimedLink
+	for _, tl := range bt.Up {
+		if !failedSet[tl.L.From] && !failedSet[tl.L.To] {
+			keep = append(keep, tl)
+		}
+	}
+	// Component roots: survivors with no surviving out-link.
+	hasOut := make(map[int]bool, len(keep))
+	for _, tl := range keep {
+		hasOut[tl.L.From] = true
+	}
+	var roots []int
+	for _, v := range survivors {
+		if !hasOut[v] {
+			roots = append(roots, v)
+		}
+	}
+	// Component membership by following surviving links.
+	children := make(map[int][]int)
+	for _, tl := range keep {
+		children[tl.L.To] = append(children[tl.L.To], tl.L.From)
+	}
+	compSize := func(root int) int {
+		size := 0
+		stack := []int{root}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			size++
+			stack = append(stack, children[v]...)
+		}
+		return size
+	}
+
+	// Main component: the old root's if it survived, else the largest
+	// (ties: smallest root index, for determinism).
+	mainRoot := -1
+	if !failedSet[bt.Root] {
+		mainRoot = bt.Root
+	} else {
+		sort.Ints(roots)
+		best := -1
+		for _, r := range roots {
+			if s := compSize(r); s > best {
+				best = s
+				mainRoot = r
+			}
+		}
+	}
+	var orphans []int
+	for _, r := range roots {
+		if r != mainRoot {
+			orphans = append(orphans, r)
+		}
+	}
+
+	res := &RepairResult{NewRoot: mainRoot, OrphanRoots: len(orphans)}
+	repaired := &tree.BiTree{Root: mainRoot, Nodes: survivors, Up: keep}
+	if len(orphans) > 0 {
+		// The join tree during re-attachment is the main component only;
+		// orphan roots join it (and each other, transitively).
+		mainNodes := []int{}
+		seen := map[int]bool{}
+		stack := []int{mainRoot}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			mainNodes = append(mainNodes, v)
+			stack = append(stack, children[v]...)
+		}
+		joinBase := &tree.BiTree{Root: mainRoot, Nodes: mainNodes}
+		jres, err := Join(in, joinBase, orphans, cfg)
+		if err != nil {
+			return res, fmt.Errorf("core: re-attachment: %w", err)
+		}
+		res.SlotsUsed = jres.SlotsUsed
+		// Adopt the new out-links of the orphan roots.
+		newOut := make(map[int]tree.TimedLink, len(orphans))
+		for _, tl := range jres.Tree.Up {
+			newOut[tl.L.From] = tl
+		}
+		for _, o := range orphans {
+			tl, ok := newOut[o]
+			if !ok {
+				return res, fmt.Errorf("core: orphan %d did not re-attach", o)
+			}
+			repaired.Up = append(repaired.Up, tl)
+		}
+	}
+
+	// The merged stamps are stale; rebuild an ordered feasible schedule.
+	k, err := repaired.Restamp(in)
+	if err != nil {
+		return res, fmt.Errorf("core: restamp: %w", err)
+	}
+	res.ScheduleLength = k
+	res.Tree = repaired
+	return res, nil
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"sinrconn/internal/tree"
+)
+
+func TestRunBroadcastOnInitTree(t *testing.T) {
+	in := uniformInstance(t, 86, 48)
+	res, err := Init(in, InitConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunBroadcast(in, res.Tree, 4242, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Reached != 48 {
+		t.Fatalf("reached %d of 48", out.Reached)
+	}
+	if out.SlotsUsed != res.Tree.NumSlots()+1 {
+		t.Errorf("slots = %d, schedule = %d", out.SlotsUsed, res.Tree.NumSlots())
+	}
+	if out.Energy <= 0 {
+		t.Error("no energy recorded")
+	}
+}
+
+func TestRunBroadcastOnTVCTree(t *testing.T) {
+	in := uniformInstance(t, 87, 36)
+	res, err := TreeViaCapacity(in, TVCConfig{Variant: VariantArbitrary, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunBroadcast(in, res.Tree, -7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Reached != 36 {
+		t.Fatalf("reached %d of 36", out.Reached)
+	}
+}
+
+func TestRunBroadcastDetectsBadSchedule(t *testing.T) {
+	in := uniformInstance(t, 88, 24)
+	res, err := Init(in, InitConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the ordering: identical slots force parents to forward
+	// before they have the value (and collide).
+	bad := &tree.BiTree{Root: res.Tree.Root, Nodes: res.Tree.Nodes,
+		Up: append([]tree.TimedLink(nil), res.Tree.Up...)}
+	for i := range bad.Up {
+		bad.Up[i].Slot = 1
+	}
+	if _, err := RunBroadcast(in, bad, 1, 0); err == nil {
+		t.Fatal("sabotaged broadcast schedule not detected")
+	}
+}
+
+func TestRunBroadcastSingleNode(t *testing.T) {
+	in := uniformInstance(t, 89, 4)
+	res, err := Init(in, InitConfig{Seed: 1, Participants: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunBroadcast(in, res.Tree, 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Reached != 1 {
+		t.Errorf("reached = %d", out.Reached)
+	}
+}

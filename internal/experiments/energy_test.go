@@ -1,0 +1,11 @@
+package experiments
+
+import "testing"
+
+func TestE13Energy(t *testing.T) {
+	runAndCheck(t, E13Energy(Quick()), 2)
+}
+
+func TestE14PhysicalEpoch(t *testing.T) {
+	runAndCheck(t, E14PhysicalEpoch(Quick()), 2)
+}

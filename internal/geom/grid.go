@@ -1,0 +1,139 @@
+package geom
+
+import "math"
+
+// Grid is a uniform spatial hash over a fixed point set. It answers "indices
+// of points within distance r of a query point" without scanning all points,
+// and is used by the channel simulator to prune negligible interferers and
+// by the sparsity measurement to enumerate ball memberships.
+//
+// The zero value is not usable; construct with NewGrid.
+type Grid struct {
+	pts   []Point
+	cell  float64
+	cells map[cellKey][]int32
+	min   Point
+}
+
+type cellKey struct {
+	cx, cy int32
+}
+
+// NewGrid indexes pts with the given cell size. Cell size must be positive;
+// a non-positive value is replaced by 1.
+func NewGrid(pts []Point, cell float64) *Grid {
+	if cell <= 0 {
+		cell = 1
+	}
+	min, _ := BoundingBox(pts)
+	g := &Grid{
+		pts:   pts,
+		cell:  cell,
+		cells: make(map[cellKey][]int32, len(pts)),
+		min:   min,
+	}
+	for i, p := range pts {
+		k := g.key(p)
+		g.cells[k] = append(g.cells[k], int32(i))
+	}
+	return g
+}
+
+func (g *Grid) key(p Point) cellKey {
+	return cellKey{
+		cx: int32(math.Floor((p.X - g.min.X) / g.cell)),
+		cy: int32(math.Floor((p.Y - g.min.Y) / g.cell)),
+	}
+}
+
+// Len returns the number of indexed points.
+func (g *Grid) Len() int { return len(g.pts) }
+
+// ForEachWithin calls fn with the index of every point within distance r of
+// q (inclusive). Iteration order is deterministic: cells are visited in row-
+// major order and points within a cell in insertion order.
+func (g *Grid) ForEachWithin(q Point, r float64, fn func(i int)) {
+	if r < 0 {
+		return
+	}
+	r2 := r * r
+	lo := g.key(Point{X: q.X - r, Y: q.Y - r})
+	hi := g.key(Point{X: q.X + r, Y: q.Y + r})
+	for cy := lo.cy; cy <= hi.cy; cy++ {
+		for cx := lo.cx; cx <= hi.cx; cx++ {
+			for _, i := range g.cells[cellKey{cx: cx, cy: cy}] {
+				if g.pts[i].DistSq(q) <= r2+1e-12 {
+					fn(int(i))
+				}
+			}
+		}
+	}
+}
+
+// Within returns the indices of all points within distance r of q, in the
+// deterministic order of ForEachWithin.
+func (g *Grid) Within(q Point, r float64) []int {
+	var out []int
+	g.ForEachWithin(q, r, func(i int) { out = append(out, i) })
+	return out
+}
+
+// CountWithin returns the number of indexed points within distance r of q.
+func (g *Grid) CountWithin(q Point, r float64) int {
+	n := 0
+	g.ForEachWithin(q, r, func(int) { n++ })
+	return n
+}
+
+// NearestOther returns the index of the nearest indexed point to q that is
+// not the point with index self, and its distance. It returns (-1, +Inf) if
+// no such point exists. The search expands ring by ring from q's cell.
+func (g *Grid) NearestOther(q Point, self int) (int, float64) {
+	best := -1
+	bestD2 := math.Inf(1)
+	n := len(g.pts)
+	if n == 0 || (n == 1 && self == 0) {
+		return -1, math.Inf(1)
+	}
+	// Expand the search radius geometrically until a hit is found, then do
+	// one final pass at the confirmed radius to guarantee exactness.
+	r := g.cell
+	for {
+		found := false
+		g.ForEachWithin(q, r, func(i int) {
+			if i == self {
+				return
+			}
+			found = true
+			if d2 := g.pts[i].DistSq(q); d2 < bestD2 {
+				bestD2 = d2
+				best = i
+			}
+		})
+		if found {
+			break
+		}
+		r *= 2
+		if r > 4*maxSpan(g)+4*g.cell {
+			return -1, math.Inf(1)
+		}
+	}
+	// A closer point could sit just outside the square of cells scanned;
+	// rescan at the exact best distance.
+	exact := math.Sqrt(bestD2)
+	g.ForEachWithin(q, exact, func(i int) {
+		if i == self {
+			return
+		}
+		if d2 := g.pts[i].DistSq(q); d2 < bestD2 {
+			bestD2 = d2
+			best = i
+		}
+	})
+	return best, math.Sqrt(bestD2)
+}
+
+func maxSpan(g *Grid) float64 {
+	min, max := BoundingBox(g.pts)
+	return math.Max(max.X-min.X, max.Y-min.Y)
+}

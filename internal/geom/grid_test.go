@@ -1,0 +1,110 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestGridWithinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		pts := randomPoints(rng, 200, 50)
+		cell := 1 + rng.Float64()*10
+		g := NewGrid(pts, cell)
+		q := Point{X: rng.Float64() * 50, Y: rng.Float64() * 50}
+		r := rng.Float64() * 30
+
+		got := g.Within(q, r)
+		sort.Ints(got)
+		var want []int
+		for i, p := range pts {
+			if p.Dist(q) <= r+1e-12 {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: Within returned %d points, brute force %d (cell=%v r=%v)",
+				trial, len(got), len(want), cell, r)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: index mismatch at %d: %d vs %d", trial, i, got[i], want[i])
+			}
+		}
+		if c := g.CountWithin(q, r); c != len(want) {
+			t.Fatalf("trial %d: CountWithin = %d, want %d", trial, c, len(want))
+		}
+	}
+}
+
+func TestGridNegativeRadius(t *testing.T) {
+	g := NewGrid([]Point{{0, 0}}, 1)
+	if got := g.Within(Point{0, 0}, -1); got != nil {
+		t.Errorf("Within negative radius = %v, want nil", got)
+	}
+}
+
+func TestGridNonPositiveCell(t *testing.T) {
+	g := NewGrid([]Point{{0, 0}, {3, 0}}, 0)
+	if got := g.CountWithin(Point{0, 0}, 5); got != 2 {
+		t.Errorf("CountWithin = %d, want 2", got)
+	}
+}
+
+func TestGridLen(t *testing.T) {
+	g := NewGrid(make([]Point, 17), 2)
+	if g.Len() != 17 {
+		t.Errorf("Len = %d", g.Len())
+	}
+}
+
+func TestNearestOtherMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		pts := randomPoints(rng, 100, 40)
+		g := NewGrid(pts, 2.5)
+		self := rng.Intn(len(pts))
+		gotIdx, gotD := g.NearestOther(pts[self], self)
+
+		wantIdx, wantD := -1, math.Inf(1)
+		for i, p := range pts {
+			if i == self {
+				continue
+			}
+			if d := p.Dist(pts[self]); d < wantD {
+				wantD = d
+				wantIdx = i
+			}
+		}
+		if math.Abs(gotD-wantD) > 1e-9 {
+			t.Fatalf("trial %d: NearestOther dist = %v (idx %d), want %v (idx %d)",
+				trial, gotD, gotIdx, wantD, wantIdx)
+		}
+	}
+}
+
+func TestNearestOtherSinglePoint(t *testing.T) {
+	g := NewGrid([]Point{{1, 1}}, 1)
+	idx, d := g.NearestOther(Point{1, 1}, 0)
+	if idx != -1 || !math.IsInf(d, 1) {
+		t.Errorf("NearestOther on single point = %d, %v", idx, d)
+	}
+}
+
+func TestGridDeterministicOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randomPoints(rng, 150, 30)
+	g := NewGrid(pts, 3)
+	a := g.Within(Point{15, 15}, 12)
+	b := g.Within(Point{15, 15}, 12)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic result size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic result order")
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package power implements the power-assignment "black box" the paper
+// invokes in Section 8.2.3: given a set of links known (or hoped) to be
+// feasible under *some* power assignment, compute one. We use the classic
+// Foschini–Miljanic fixed-point dynamics, the same family as the paper's
+// references [17] (Lotker et al., Infocom 2011) and [2] (Dams et al., ICALP
+// 2011):
+//
+//	P_ℓ ← β·d(ℓ)^α · (N + I_ℓ(P))           for every link ℓ in parallel,
+//
+// where I_ℓ(P) is the interference at ℓ's receiver under the current power
+// vector. The iteration converges (geometrically) to the minimal feasible
+// power vector iff the link set is feasible under power control with the
+// required slack; otherwise powers diverge, which the solver detects and
+// reports.
+package power
+
+import (
+	"errors"
+	"math"
+
+	"sinrconn/internal/sinr"
+)
+
+// ErrInfeasible reports that the Foschini–Miljanic dynamics diverged: no
+// power assignment can make the link set SINR-feasible.
+var ErrInfeasible = errors.New("power: link set infeasible under any power assignment")
+
+// Options tunes the solver.
+type Options struct {
+	// MaxIter caps the number of synchronous iterations (default 200).
+	MaxIter int
+	// Slack multiplies the SINR target β during solving (default 1.0). A
+	// slack slightly above 1 produces powers with margin.
+	Slack float64
+	// Tol is the relative-change convergence threshold (default 1e-9).
+	Tol float64
+	// PowerCap aborts with ErrInfeasible when any power exceeds it
+	// (default: 1e18 × the largest noise-only requirement).
+	PowerCap float64
+}
+
+func (o *Options) defaults(in *sinr.Instance, links []sinr.Link) {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 200
+	}
+	if o.Slack <= 0 {
+		o.Slack = 1
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	if o.PowerCap <= 0 {
+		maxReq := 0.0
+		for _, l := range links {
+			if r := in.Params().MinPower(in.Length(l)); r > maxReq {
+				maxReq = r
+			}
+		}
+		if maxReq == 0 {
+			maxReq = 1
+		}
+		o.PowerCap = maxReq * 1e18
+	}
+}
+
+// Solve computes a feasible power vector for links, or ErrInfeasible. The
+// returned powers satisfy SINR ≥ Slack·β for every link when all links
+// transmit simultaneously. Iterations is the number of rounds used.
+func Solve(in *sinr.Instance, links []sinr.Link, opts Options) (powers []float64, iterations int, err error) {
+	n := len(links)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	opts.defaults(in, links)
+	p := in.Params()
+	target := p.Beta * opts.Slack
+
+	// Precompute gains g[i][j]: path gain from sender of link j to receiver
+	// of link i (d^-α), and the direct gain of each link.
+	gain := make([][]float64, n)
+	direct := make([]float64, n)
+	for i, li := range links {
+		gain[i] = make([]float64, n)
+		for j, lj := range links {
+			if i == j {
+				continue
+			}
+			d := in.Dist(lj.From, li.To)
+			if d <= 0 {
+				// Co-located interferer sender on this receiver: hopeless.
+				return nil, 0, ErrInfeasible
+			}
+			gain[i][j] = math.Pow(d, -p.Alpha)
+		}
+		direct[i] = math.Pow(in.Length(li), -p.Alpha)
+	}
+
+	powers = make([]float64, n)
+	for i := range powers {
+		powers[i] = target * p.Noise / direct[i] // noise-only requirement
+	}
+	next := make([]float64, n)
+	for it := 1; it <= opts.MaxIter; it++ {
+		maxRel := 0.0
+		for i := range links {
+			interf := 0.0
+			for j := range links {
+				interf += gain[i][j] * powers[j]
+			}
+			req := target * (p.Noise + interf) / direct[i]
+			next[i] = req
+			if powers[i] > 0 {
+				if rel := math.Abs(req-powers[i]) / powers[i]; rel > maxRel {
+					maxRel = rel
+				}
+			}
+			if req > opts.PowerCap || math.IsInf(req, 1) || math.IsNaN(req) {
+				return nil, it, ErrInfeasible
+			}
+		}
+		copy(powers, next)
+		iterations = it
+		if maxRel < opts.Tol {
+			return powers, iterations, nil
+		}
+	}
+	// No convergence within budget: verify the final vector directly; the
+	// dynamics are monotone, so a feasible final vector is a valid answer.
+	ok, ferr := in.SINRFeasible(links, powers)
+	if ferr != nil {
+		return nil, iterations, ferr
+	}
+	if !ok {
+		return nil, iterations, ErrInfeasible
+	}
+	return powers, iterations, nil
+}
+
+// SolveTable is Solve returning a sinr.PerLink assignment for convenience.
+func SolveTable(in *sinr.Instance, links []sinr.Link, opts Options) (sinr.PerLink, int, error) {
+	powers, it, err := Solve(in, links, opts)
+	if err != nil {
+		return sinr.PerLink{}, it, err
+	}
+	pl := sinr.NewPerLink(nil)
+	for i, l := range links {
+		pl.Table[l] = powers[i]
+	}
+	return pl, it, nil
+}

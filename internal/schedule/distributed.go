@@ -1,0 +1,272 @@
+package schedule
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"sinrconn/internal/sim"
+	"sinrconn/internal/sinr"
+)
+
+// DistConfig tunes the distributed scheduler.
+type DistConfig struct {
+	// Q0 is the initial per-link transmission probability (default 0.35).
+	Q0 float64
+	// Decay multiplies a link's probability after an unsuccessful slot-pair
+	// (default 0.92). Values in (0,1].
+	Decay float64
+	// QMin floors the probability so progress never stalls (default 0.02).
+	QMin float64
+	// MaxSlotPairs caps the run; exceeded means ErrIncomplete
+	// (default 400·(len(links)+1)).
+	MaxSlotPairs int
+	// Seed derives all per-node randomness.
+	Seed int64
+	// Workers is passed to the sim engine.
+	Workers int
+}
+
+func (c *DistConfig) defaults(nLinks int) {
+	if c.Q0 <= 0 || c.Q0 > 1 {
+		c.Q0 = 0.35
+	}
+	if c.Decay <= 0 || c.Decay > 1 {
+		c.Decay = 0.92
+	}
+	if c.QMin <= 0 {
+		c.QMin = 0.02
+	}
+	if c.MaxSlotPairs <= 0 {
+		c.MaxSlotPairs = 400 * (nLinks + 1)
+	}
+}
+
+// ErrIncomplete reports that the distributed scheduler hit its slot budget
+// with links still unscheduled.
+var ErrIncomplete = errors.New("schedule: distributed scheduler did not finish within budget")
+
+// Result is the outcome of the distributed scheduler.
+type Result struct {
+	// Slot maps each link to the 1-based compacted slot it was scheduled
+	// in. Links that share a slot succeeded in the same slot-pair and are
+	// therefore SINR-feasible together under the assignment used.
+	Slot map[sinr.Link]int
+	// NumSlots is the compacted schedule length (number of distinct slots).
+	NumSlots int
+	// SlotPairs is the makespan: slot-pairs of channel time consumed.
+	SlotPairs int
+	// Stats carries the engine counters.
+	Stats sim.Stats
+}
+
+// Distributed schedules links under assignment pa using contention
+// resolution with acknowledgment (the link transmits, its receiver answers
+// on the dual; only doubly-confirmed links count, per Appendix C). Each
+// pending link transmits with an adaptive probability that decays on
+// failure. Multiple pending links sharing a sender are multiplexed
+// randomly; half-duplex conflicts are resolved by the physics itself.
+func Distributed(in *sinr.Instance, links []sinr.Link, pa sinr.Assignment, cfg DistConfig) (*Result, error) {
+	cfg.defaults(len(links))
+	if len(links) == 0 {
+		return &Result{Slot: map[sinr.Link]int{}}, nil
+	}
+	for _, l := range links {
+		if l.From == l.To {
+			return nil, fmt.Errorf("schedule: self-loop link %v", l)
+		}
+	}
+
+	n := in.Len()
+	nodes := make([]*schedNode, n)
+	master := rand.New(rand.NewSource(cfg.Seed))
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = master.Int63()
+	}
+	for i := 0; i < n; i++ {
+		nodes[i] = &schedNode{
+			id:  i,
+			in:  in,
+			pa:  pa,
+			cfg: cfg,
+			rng: rand.New(rand.NewSource(seeds[i])),
+		}
+	}
+	for _, l := range links {
+		nodes[l.From].pending = append(nodes[l.From].pending, pendingLink{l: l, q: cfg.Q0})
+	}
+
+	procs := make([]sim.Protocol, n)
+	for i := range nodes {
+		procs[i] = nodes[i]
+	}
+	eng, err := sim.NewEngine(in, procs, sim.Config{Workers: cfg.Workers, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+
+	done := func() bool {
+		for _, nd := range nodes {
+			if len(nd.pending) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	// Two engine slots per slot-pair; stop as soon as every pending queue
+	// drains (checked at pair boundaries).
+	pairs := 0
+	for pairs < cfg.MaxSlotPairs {
+		eng.Step()
+		eng.Step()
+		pairs++
+		if done() {
+			break
+		}
+	}
+	// One more pair lets senders consume the final ack inbox.
+	eng.Step()
+	eng.Step()
+
+	res := &Result{Slot: make(map[sinr.Link]int, len(links)), SlotPairs: pairs, Stats: eng.Stats()}
+	if !done() {
+		return nil, fmt.Errorf("%w: %d pairs", ErrIncomplete, pairs)
+	}
+	raw := make(map[sinr.Link]int, len(links))
+	for _, nd := range nodes {
+		for l, pair := range nd.scheduled {
+			raw[l] = pair
+		}
+	}
+	if len(raw) != len(links) {
+		return nil, fmt.Errorf("schedule: %d of %d links recorded", len(raw), len(links))
+	}
+	// Compact distinct slot-pair stamps to 1..k.
+	distinct := map[int]struct{}{}
+	for _, s := range raw {
+		distinct[s] = struct{}{}
+	}
+	stamps := make([]int, 0, len(distinct))
+	for s := range distinct {
+		stamps = append(stamps, s)
+	}
+	sortInts(stamps)
+	remap := make(map[int]int, len(stamps))
+	for i, s := range stamps {
+		remap[s] = i + 1
+	}
+	for l, s := range raw {
+		res.Slot[l] = remap[s]
+	}
+	res.NumSlots = len(stamps)
+	return res, nil
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+type pendingLink struct {
+	l sinr.Link
+	q float64
+}
+
+// schedNode multiplexes a node's pending out-links and its ack duties.
+type schedNode struct {
+	id        int
+	in        *sinr.Instance
+	pa        sinr.Assignment
+	cfg       DistConfig
+	rng       *rand.Rand
+	pending   []pendingLink
+	scheduled map[sinr.Link]int // link → slot-pair index
+	// lastTx is the index into pending of the link transmitted in the
+	// current data slot, or -1.
+	lastTx int
+	// ackTo, when ≥ 0, is the node to acknowledge in the current ack slot.
+	ackTo int
+}
+
+var _ sim.Protocol = (*schedNode)(nil)
+
+// Step implements sim.Protocol. Even engine slots are data slots, odd are
+// ack slots.
+func (nd *schedNode) Step(slot int, inbox []sim.Delivery) sim.Action {
+	if slot%2 == 0 {
+		return nd.dataSlot(slot, inbox)
+	}
+	return nd.ackSlot(inbox)
+}
+
+func (nd *schedNode) dataSlot(slot int, inbox []sim.Delivery) sim.Action {
+	// Resolve the previous pair: did our transmission get acknowledged?
+	if nd.lastTx >= 0 && nd.lastTx < len(nd.pending) {
+		p := nd.pending[nd.lastTx]
+		acked := false
+		for _, d := range inbox {
+			if d.Msg.Kind == sim.KindAck && d.Msg.To == nd.id && d.Msg.From == p.l.To {
+				acked = true
+				break
+			}
+		}
+		if acked {
+			if nd.scheduled == nil {
+				nd.scheduled = make(map[sinr.Link]int)
+			}
+			nd.scheduled[p.l] = slot/2 - 1
+			nd.pending = append(nd.pending[:nd.lastTx], nd.pending[nd.lastTx+1:]...)
+		} else {
+			nd.pending[nd.lastTx].q = maxf(p.q*nd.cfg.Decay, nd.cfg.QMin)
+		}
+	}
+	nd.lastTx = -1
+	nd.ackTo = -1
+	if len(nd.pending) == 0 {
+		// Stay listening: we may still need to ack other links' data.
+		return sim.Listen()
+	}
+	pick := nd.rng.Intn(len(nd.pending))
+	p := nd.pending[pick]
+	if nd.rng.Float64() < p.q {
+		nd.lastTx = pick
+		return sim.Transmit(nd.pa.Power(nd.in, p.l), sim.Message{
+			Kind: sim.KindData,
+			From: nd.id,
+			To:   p.l.To,
+			Tag:  slot / 2,
+		})
+	}
+	return sim.Listen()
+}
+
+func (nd *schedNode) ackSlot(inbox []sim.Delivery) sim.Action {
+	// If we decoded a data message addressed to us, acknowledge it on the
+	// dual link with the same assignment's power.
+	for _, d := range inbox {
+		if d.Msg.Kind == sim.KindData && d.Msg.To == nd.id {
+			dual := sinr.Link{From: nd.id, To: d.Msg.From}
+			nd.ackTo = d.Msg.From
+			return sim.Transmit(nd.pa.Power(nd.in, dual), sim.Message{
+				Kind: sim.KindAck,
+				From: nd.id,
+				To:   d.Msg.From,
+			})
+		}
+	}
+	if nd.lastTx >= 0 {
+		return sim.Listen() // waiting for our ack
+	}
+	return sim.Listen()
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

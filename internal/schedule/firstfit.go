@@ -1,0 +1,90 @@
+// Package schedule partitions link sets into SINR-feasible slots. It
+// provides the two schedulers the paper leans on:
+//
+//   - Distributed: the contention-resolution scheduler in the style of
+//     Kesselheim & Vöcking (DISC 2010) that the paper invokes for Theorem 3,
+//     with explicit acknowledgments on dual links (Appendix C) and adaptive
+//     transmission probabilities. It runs on the sim engine, so its success
+//     notion is the exact SINR physics.
+//
+//   - FirstFit: the classic centralized greedy that assigns each link to
+//     the first slot that stays feasible — the comparator used to calibrate
+//     the distributed scheduler's approximation factor.
+package schedule
+
+import (
+	"sort"
+
+	"sinrconn/internal/sinr"
+)
+
+// Order selects the processing order of FirstFit.
+type Order uint8
+
+// FirstFit processing orders.
+const (
+	// ByLengthDesc processes longest links first (default; long links are
+	// the hardest to place).
+	ByLengthDesc Order = iota + 1
+	// ByLengthAsc processes shortest links first (the order of Kesselheim's
+	// capacity algorithm).
+	ByLengthAsc
+)
+
+// FirstFit partitions links into SINR-feasible groups under assignment pa:
+// each link lands in the first existing group that remains feasible with it
+// added, or opens a new group. It returns the groups in slot order.
+// Infeasible-alone links (which cannot be scheduled under pa at all) are
+// returned separately rather than looping forever.
+func FirstFit(in *sinr.Instance, links []sinr.Link, pa sinr.Assignment, order Order) (slots [][]sinr.Link, unschedulable []sinr.Link) {
+	idx := make([]int, len(links))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		la, lb := in.Length(links[idx[a]]), in.Length(links[idx[b]])
+		if order == ByLengthAsc {
+			return la < lb
+		}
+		return la > lb
+	})
+
+	for _, i := range idx {
+		l := links[i]
+		// A link that cannot stand alone under pa can never be placed.
+		if !in.Feasible([]sinr.Link{l}, pa) {
+			unschedulable = append(unschedulable, l)
+			continue
+		}
+		placed := false
+		for s := range slots {
+			cand := append(append([]sinr.Link(nil), slots[s]...), l)
+			if feasibleWith(in, cand, pa) {
+				slots[s] = cand
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			slots = append(slots, []sinr.Link{l})
+		}
+	}
+	return slots, unschedulable
+}
+
+// feasibleWith checks feasibility, additionally rejecting node conflicts: a
+// node cannot send and receive (or participate twice) in one slot.
+func feasibleWith(in *sinr.Instance, links []sinr.Link, pa sinr.Assignment) bool {
+	busy := make(map[int]bool, 2*len(links))
+	for _, l := range links {
+		if busy[l.From] || busy[l.To] {
+			return false
+		}
+		busy[l.From] = true
+		busy[l.To] = true
+	}
+	return in.Feasible(links, pa)
+}
+
+// Length returns the number of slots in a FirstFit result.
+func Length(slots [][]sinr.Link) int { return len(slots) }

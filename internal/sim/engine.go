@@ -1,0 +1,365 @@
+// Package sim provides the synchronous slotted-time execution substrate of
+// the paper's model (Section 3): nodes have synchronized clocks, run their
+// protocols in lockstep, and the only communication primitive is
+// transmission on the single shared wireless channel, resolved exactly by
+// the SINR condition (Eqn 1) each slot.
+//
+// A slot proceeds in three stages: every node's protocol emits an action
+// (transmit with a power and message, listen, or idle); the channel computes
+// the SINR at every listener from the full set of concurrent senders; and
+// decodable messages are delivered into inboxes the protocols see at the
+// next slot. Node stepping and listener decoding are parallelized with a
+// worker pool — safe because protocols only touch their own state — and all
+// randomness is derived deterministically from the engine seed, so results
+// are reproducible regardless of worker count.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"sinrconn/internal/sinr"
+)
+
+// MsgKind distinguishes protocol message types. The paper uses two:
+// exploratory broadcasts (ID + location) and addressed acknowledgments.
+type MsgKind uint8
+
+// Message kinds.
+const (
+	KindBroadcast MsgKind = iota + 1
+	KindAck
+	KindData
+)
+
+// NoAddressee marks a message sent to no node in particular (a broadcast).
+const NoAddressee = -1
+
+// Message is the content of one transmission. A single message is large
+// enough to contain the ID and the location of a node (Section 3); the
+// location is implied by From, since every node knows the point set index
+// it occupies and receivers learn distances from the physics (Delivery.Dist).
+type Message struct {
+	Kind MsgKind
+	// From is the sender's node index (its globally unique ID).
+	From int
+	// To is the addressee for acknowledgments, or NoAddressee.
+	To int
+	// Tag carries protocol-defined context (e.g. the Init round number or a
+	// Distr-Cap phase index).
+	Tag int
+	// Payload carries small protocol data (e.g. an aggregate value).
+	Payload int64
+}
+
+// ActionKind enumerates what a node does in a slot.
+type ActionKind uint8
+
+// Actions a protocol can take in a slot.
+const (
+	// ActionIdle: the node neither transmits nor listens (it has left the
+	// protocol). Idle nodes cost nothing in the physics computation.
+	ActionIdle ActionKind = iota + 1
+	// ActionListen: the node listens and may receive one message.
+	ActionListen
+	// ActionTransmit: the node transmits Msg with power Power. Transmitting
+	// nodes cannot receive in the same slot (half-duplex).
+	ActionTransmit
+)
+
+// Action is a protocol's decision for one slot.
+type Action struct {
+	Kind  ActionKind
+	Power float64
+	Msg   Message
+}
+
+// Idle returns the idle action.
+func Idle() Action { return Action{Kind: ActionIdle} }
+
+// Listen returns the listen action.
+func Listen() Action { return Action{Kind: ActionListen} }
+
+// Transmit returns a transmit action.
+func Transmit(power float64, msg Message) Action {
+	return Action{Kind: ActionTransmit, Power: power, Msg: msg}
+}
+
+// Delivery is a successfully decoded message as seen by a receiver.
+type Delivery struct {
+	Msg Message
+	// Dist is the distance to the sender. The receiver can always compute
+	// it because messages carry the sender's location (Section 3).
+	Dist float64
+	// SINR is the measured signal-to-interference-and-noise ratio of the
+	// reception. Section 8.2 explicitly assumes receivers can measure it.
+	SINR float64
+	// Slot is the slot in which the message was transmitted.
+	Slot int
+}
+
+// Protocol is a per-node state machine. Step is called once per slot with
+// the deliveries received in the previous slot (at most one under β ≥ 1,
+// but the API permits more for β < 1 configurations) and returns the node's
+// action for this slot. Implementations must confine themselves to their
+// own state: Step is invoked concurrently across nodes.
+type Protocol interface {
+	Step(slot int, inbox []Delivery) Action
+}
+
+// Config tunes the engine.
+type Config struct {
+	// Workers is the number of goroutines stepping nodes and decoding
+	// listeners. Zero means runtime.NumCPU().
+	Workers int
+	// DropProb injects reception failures: each otherwise-successful
+	// delivery is independently dropped with this probability (modeling
+	// fading the SINR mean-path-loss model misses). Drops are derived
+	// deterministically from Seed, slot, and receiver.
+	DropProb float64
+	// Seed drives the drop-injection randomness.
+	Seed int64
+	// Observer, if non-nil, is invoked after every slot with a summary of
+	// channel activity (for tracing and live experiment dashboards).
+	Observer Observer
+}
+
+// Stats counts engine activity for experiment reporting.
+type Stats struct {
+	Slots         int     // slots executed
+	Transmissions int     // transmit actions observed
+	Deliveries    int     // messages successfully delivered
+	Collisions    int     // listener slots with audible signal but no decode
+	Dropped       int     // deliveries removed by failure injection
+	Energy        float64 // total transmission energy (sum of powers × slots)
+}
+
+// SlotEvent is handed to an Observer after each slot.
+type SlotEvent struct {
+	// Slot is the slot index that just executed.
+	Slot int
+	// Senders is the number of concurrent transmitters.
+	Senders int
+	// Deliveries is the number of successful decodes.
+	Deliveries int
+}
+
+// Observer receives a SlotEvent after every slot. Observers run on the
+// engine goroutine; they must not call back into the engine.
+type Observer func(SlotEvent)
+
+// Engine drives a set of per-node protocols over a shared SINR channel.
+type Engine struct {
+	inst    *sinr.Instance
+	procs   []Protocol
+	cfg     Config
+	stats   Stats
+	slot    int
+	inboxes [][]Delivery
+	next    [][]Delivery
+	actions []Action
+	txs     []sinr.Tx
+}
+
+// NewEngine creates an engine over instance inst with one protocol per node.
+// len(procs) must equal inst.Len().
+func NewEngine(inst *sinr.Instance, procs []Protocol, cfg Config) (*Engine, error) {
+	if len(procs) != inst.Len() {
+		return nil, fmt.Errorf("sim: %d protocols for %d nodes", len(procs), inst.Len())
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.DropProb < 0 || cfg.DropProb >= 1 {
+		if cfg.DropProb != 0 {
+			return nil, fmt.Errorf("sim: drop probability %v outside [0,1)", cfg.DropProb)
+		}
+	}
+	n := inst.Len()
+	return &Engine{
+		inst:    inst,
+		procs:   procs,
+		cfg:     cfg,
+		inboxes: make([][]Delivery, n),
+		next:    make([][]Delivery, n),
+		actions: make([]Action, n),
+	}, nil
+}
+
+// Slot returns the index of the next slot to execute.
+func (e *Engine) Slot() int { return e.slot }
+
+// Stats returns a copy of the engine's counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Instance returns the underlying SINR instance.
+func (e *Engine) Instance() *sinr.Instance { return e.inst }
+
+// Step executes one slot: gather actions, resolve the channel, deliver.
+func (e *Engine) Step() {
+	n := len(e.procs)
+	slot := e.slot
+
+	// Stage 1: step every protocol with its inbox (parallel).
+	e.parallel(n, func(i int) {
+		e.actions[i] = e.procs[i].Step(slot, e.inboxes[i])
+		e.next[i] = e.next[i][:0]
+	})
+
+	// Stage 2: collect the sender set.
+	e.txs = e.txs[:0]
+	for i, a := range e.actions {
+		if a.Kind == ActionTransmit {
+			e.txs = append(e.txs, sinr.Tx{Sender: i, Power: a.Power})
+			e.stats.Energy += a.Power
+		}
+	}
+	e.stats.Transmissions += len(e.txs)
+
+	// Stage 3: decode at every listener (parallel). Each listener decodes
+	// the strongest sender if its SINR clears β.
+	var delivered, collided, dropped int64
+	var mu sync.Mutex
+	e.parallel(n, func(i int) {
+		if e.actions[i].Kind != ActionListen || len(e.txs) == 0 {
+			return
+		}
+		d, ok, audible := e.decodeAt(i, slot)
+		if !ok {
+			if audible {
+				mu.Lock()
+				collided++
+				mu.Unlock()
+			}
+			return
+		}
+		if e.cfg.DropProb > 0 && dropCoin(e.cfg.Seed, slot, i) < e.cfg.DropProb {
+			mu.Lock()
+			dropped++
+			mu.Unlock()
+			return
+		}
+		e.next[i] = append(e.next[i], d)
+		mu.Lock()
+		delivered++
+		mu.Unlock()
+	})
+	e.stats.Deliveries += int(delivered)
+	e.stats.Collisions += int(collided)
+	e.stats.Dropped += int(dropped)
+
+	// Stage 4: swap inboxes and notify.
+	e.inboxes, e.next = e.next, e.inboxes
+	e.slot++
+	e.stats.Slots++
+	if e.cfg.Observer != nil {
+		e.cfg.Observer(SlotEvent{
+			Slot:       slot,
+			Senders:    len(e.txs),
+			Deliveries: int(delivered),
+		})
+	}
+}
+
+// decodeAt resolves reception at listener i in slot: the strongest sender is
+// decoded iff its SINR ≥ β. audible reports whether any signal was received
+// at all (for collision accounting).
+func (e *Engine) decodeAt(i, slot int) (d Delivery, ok, audible bool) {
+	p := e.inst.Params()
+	pt := e.inst.Point(i)
+	var total float64
+	best := -1
+	bestRP := 0.0
+	for k, t := range e.txs {
+		dist := e.inst.Point(t.Sender).Dist(pt)
+		if dist == 0 {
+			// A co-located sender (only possible with duplicate points)
+			// saturates the channel; nothing is decodable.
+			return Delivery{}, false, true
+		}
+		rp := t.Power / math.Pow(dist, p.Alpha)
+		total += rp
+		if rp > bestRP {
+			bestRP = rp
+			best = k
+		}
+	}
+	if best < 0 {
+		return Delivery{}, false, false
+	}
+	sinrVal := bestRP / (p.Noise + (total - bestRP))
+	if sinrVal < p.Beta {
+		return Delivery{}, false, true
+	}
+	tx := e.txs[best]
+	return Delivery{
+		Msg:  e.actions[tx.Sender].Msg,
+		Dist: e.inst.Point(tx.Sender).Dist(pt),
+		SINR: sinrVal,
+		Slot: slot,
+	}, true, true
+}
+
+// Run executes exactly n slots.
+func (e *Engine) Run(n int) {
+	for i := 0; i < n; i++ {
+		e.Step()
+	}
+}
+
+// RunUntil executes slots until stop() returns true (checked after every
+// slot) or maxSlots have run, returning the number of slots executed.
+func (e *Engine) RunUntil(maxSlots int, stop func() bool) int {
+	ran := 0
+	for ran < maxSlots {
+		e.Step()
+		ran++
+		if stop() {
+			break
+		}
+	}
+	return ran
+}
+
+// parallel runs fn(i) for i in [0,n) across the configured worker count,
+// waiting for completion. For a single worker it degrades to a plain loop.
+func (e *Engine) parallel(n int, fn func(i int)) {
+	w := e.cfg.Workers
+	if w <= 1 || n < 2*w {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// dropCoin returns a deterministic pseudo-uniform value in [0,1) derived
+// from (seed, slot, node) with a splitmix64 finalizer, so drop injection is
+// reproducible and independent of worker scheduling.
+func dropCoin(seed int64, slot, node int) float64 {
+	x := uint64(seed) ^ (uint64(slot)+1)*0x9E3779B97F4A7C15 ^ (uint64(node)+1)*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

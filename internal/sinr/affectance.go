@@ -1,0 +1,217 @@
+package sinr
+
+import "math"
+
+// Tx is one concurrent transmission: node Sender transmitting with the given
+// power. Slices of Tx describe the sender set S of Eqn 1.
+type Tx struct {
+	Sender int
+	Power  float64
+}
+
+// C returns the paper's c(u,v) = β/(1 − βN·d(u,v)^α/P_u), the noise-derating
+// constant of a link of the given length whose sender uses power pu. It
+// returns +Inf when the link cannot meet SINR β even without interference
+// (P_u ≤ βN·d^α). Section 5 requires protocols to pick powers keeping
+// c(u,v) ≤ 2β; SafePower does exactly that.
+func (in *Instance) C(length, pu float64) float64 {
+	p := in.params
+	denom := 1 - p.Beta*p.Noise*math.Pow(length, p.Alpha)/pu
+	if denom <= 0 {
+		return math.Inf(1)
+	}
+	return p.Beta / denom
+}
+
+// Affectance returns the thresholded affectance a_w(ℓ) of a sender w
+// transmitting with power pw on link l whose sender uses power pu
+// (Section 5):
+//
+//	a_w(ℓ) = min{ 1+ε,  c(u,v) · (P_w/P_u) · (d(u,v)/d(w,v))^α }
+//
+// Conventions: the link's own sender contributes 0; a sender co-located with
+// the receiver contributes the cap 1+ε; a link that cannot overcome noise
+// at all (c = +Inf) receives the cap from every interferer.
+func (in *Instance) Affectance(w int, pw float64, l Link, pu float64) float64 {
+	if w == l.From {
+		return 0
+	}
+	p := in.params
+	cap_ := 1 + p.Epsilon
+	dwv := in.Dist(w, l.To)
+	if dwv <= 0 {
+		return cap_
+	}
+	duv := in.Length(l)
+	c := in.C(duv, pu)
+	if math.IsInf(c, 1) {
+		return cap_
+	}
+	a := c * (pw / pu) * math.Pow(duv/dwv, p.Alpha)
+	if a > cap_ {
+		return cap_
+	}
+	return a
+}
+
+// SetAffectance returns a_S(ℓ) = Σ_{w∈S} a_w(ℓ) for the sender set txs.
+func (in *Instance) SetAffectance(txs []Tx, l Link, pu float64) float64 {
+	sum := 0.0
+	for _, t := range txs {
+		sum += in.Affectance(t.Sender, t.Power, l, pu)
+	}
+	return sum
+}
+
+// LinkAffectance returns a_ℓ'(ℓ): the affectance of link other's sender
+// (under assignment pa) on link l (under the same assignment).
+func (in *Instance) LinkAffectance(other, l Link, pa Assignment) float64 {
+	return in.Affectance(other.From, pa.Power(in, other), l, pa.Power(in, l))
+}
+
+// SetLinkAffectance returns a_L(ℓ) = Σ_{ℓ'∈L} a_ℓ'(ℓ) under assignment pa.
+func (in *Instance) SetLinkAffectance(set []Link, l Link, pa Assignment) float64 {
+	sum := 0.0
+	for _, o := range set {
+		sum += in.LinkAffectance(o, l, pa)
+	}
+	return sum
+}
+
+// OutAffectance returns a_ℓ(L) = Σ_{ℓ'∈L} a_ℓ(ℓ') — the total affectance
+// link l's sender exerts on the links in set, under assignment pa.
+func (in *Instance) OutAffectance(l Link, set []Link, pa Assignment) float64 {
+	pl := pa.Power(in, l)
+	sum := 0.0
+	for _, o := range set {
+		sum += in.Affectance(l.From, pl, o, pa.Power(in, o))
+	}
+	return sum
+}
+
+// SINR returns the signal-to-interference-and-noise ratio observed at the
+// receiver of link l when the senders in txs transmit concurrently. The
+// link's own sender must appear in txs with its power; other entries are
+// interference. It returns 0 if the sender is absent.
+func (in *Instance) SINR(txs []Tx, l Link) float64 {
+	p := in.params
+	signal := 0.0
+	interference := 0.0
+	for _, t := range txs {
+		rp := t.Power / math.Pow(in.Dist(t.Sender, l.To), p.Alpha)
+		if t.Sender == l.From {
+			signal += rp
+		} else {
+			interference += rp
+		}
+	}
+	if signal == 0 {
+		return 0
+	}
+	return signal / (p.Noise + interference)
+}
+
+// MeasuredAffectance returns the affectance a receiver can actually measure
+// during a reception: c(u,v) · I/S, where S is the received signal power
+// and I the total interference power at the receiver. This is the
+// *uncapped* aggregate (individual terms cannot be separated at a radio),
+// the quantity Distr-Cap's selection rule thresholds against τ/4
+// (Section 8.2 assumes receivers can measure the SINR of a reception;
+// measured affectance is a deterministic function of it). Returns +Inf when
+// the link cannot overcome noise.
+func (in *Instance) MeasuredAffectance(txs []Tx, l Link, pu float64) float64 {
+	p := in.params
+	c := in.C(in.Length(l), pu)
+	if math.IsInf(c, 1) {
+		return math.Inf(1)
+	}
+	signal := pu / math.Pow(in.Length(l), p.Alpha)
+	interference := 0.0
+	for _, t := range txs {
+		if t.Sender == l.From {
+			continue
+		}
+		d := in.Dist(t.Sender, l.To)
+		if d <= 0 {
+			return math.Inf(1)
+		}
+		interference += t.Power / math.Pow(d, p.Alpha)
+	}
+	return c * interference / signal
+}
+
+// SINRFeasible reports whether every link in links, transmitting
+// concurrently with the given per-link powers, meets the SINR threshold β
+// (Eqn 1). Links and powers must have equal length.
+func (in *Instance) SINRFeasible(links []Link, powers []float64) (bool, error) {
+	if len(links) != len(powers) {
+		return false, ErrMismatchedLengths
+	}
+	txs := make([]Tx, len(links))
+	for i, l := range links {
+		txs[i] = Tx{Sender: l.From, Power: powers[i]}
+	}
+	for _, l := range links {
+		if in.SINR(txs, l) < in.params.Beta-1e-9 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Feasible reports whether the link set is feasible under assignment pa in
+// the affectance formulation a_L(ℓ) ≤ 1 for every ℓ ∈ L, which Section 5
+// adopts as equivalent to Eqn 1. Each link must additionally overcome
+// ambient noise on its own (finite c(u,v)); the affectance sum alone cannot
+// express that for interference-free links. A small tolerance absorbs
+// floating error.
+func (in *Instance) Feasible(links []Link, pa Assignment) bool {
+	for _, l := range links {
+		if math.IsInf(in.C(in.Length(l), pa.Power(in, l)), 1) {
+			return false
+		}
+		if in.SetLinkAffectance(links, l, pa) > 1+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// AvgAffectance returns the average in-affectance of the set:
+// (1/|L|)·Σ_{ℓ∈L} a_L(ℓ). Lemma 14 bounds this by O(Υ) for the low-degree
+// tree subset under mean power.
+func (in *Instance) AvgAffectance(links []Link, pa Assignment) float64 {
+	if len(links) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, l := range links {
+		sum += in.SetLinkAffectance(links, l, pa)
+	}
+	return sum / float64(len(links))
+}
+
+// AmenabilityF returns the paper's f_ℓ(ℓ′) functional (Section 8.2.2):
+//
+//	f_ℓ(ℓ′) = a^U_{ℓ′}(ℓ) + a^L_ℓ(ℓ′)   if len(ℓ) ≤ len(ℓ′),  else 0
+//
+// where U is uniform power and L is linear power. Feasible sets R satisfy
+// f_ℓ(R) = O(1) for every link ℓ (Thm 1 of Kesselheim, SODA 2011), which is
+// the engine behind the largeness proof of Distr-Cap.
+func (in *Instance) AmenabilityF(l, other Link, uni Uniform, lin Linear) float64 {
+	if in.Length(l) > in.Length(other) {
+		return 0
+	}
+	aU := in.Affectance(other.From, uni.Power(in, other), l, uni.Power(in, l))
+	aL := in.Affectance(l.From, lin.Power(in, l), other, lin.Power(in, other))
+	return aU + aL
+}
+
+// AmenabilityFSet returns f_X(ℓ′) = Σ_{ℓ∈X} f_ℓ(ℓ′).
+func (in *Instance) AmenabilityFSet(set []Link, other Link, uni Uniform, lin Linear) float64 {
+	sum := 0.0
+	for _, l := range set {
+		sum += in.AmenabilityF(l, other, uni, lin)
+	}
+	return sum
+}

@@ -1,0 +1,158 @@
+// Package sinr implements the physical (SINR) interference model of
+// Halldórsson & Mitra (PODC 2012), Section 3: reception condition (Eqn 1),
+// thresholded affectance, power assignments (uniform, linear, mean,
+// arbitrary), feasibility of link sets, and the duality bounds of
+// Claim 8.3. It is the physics substrate every protocol in this repository
+// runs on.
+package sinr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sinrconn/internal/geom"
+)
+
+// Params holds the physical-layer constants of the SINR model.
+//
+//	Reception (Eqn 1):  P_u/d(u,v)^α  ≥  β·(N + Σ_w P_w/d(w,v)^α)
+type Params struct {
+	// Alpha is the path-loss exponent α > 2.
+	Alpha float64
+	// Beta is the required SINR threshold β. Values ≥ 1 guarantee that at
+	// most one sender is decodable at any receiver in any slot.
+	Beta float64
+	// Noise is the ambient noise N > 0.
+	Noise float64
+	// Epsilon is the affectance cap constant ε of Section 5 ("some
+	// arbitrary fixed constant, say 0.1").
+	Epsilon float64
+}
+
+// DefaultParams returns the physical constants used throughout the
+// experiments: α = 3 (typical outdoor path loss), β = 1.5, N = 1, ε = 0.1.
+func DefaultParams() Params {
+	return Params{Alpha: 3, Beta: 1.5, Noise: 1, Epsilon: 0.1}
+}
+
+// Validate reports whether the parameters define a sane SINR model.
+func (p Params) Validate() error {
+	switch {
+	case !(p.Alpha > 2):
+		return fmt.Errorf("sinr: alpha must be > 2, got %v", p.Alpha)
+	case !(p.Beta > 0):
+		return fmt.Errorf("sinr: beta must be > 0, got %v", p.Beta)
+	case !(p.Noise > 0):
+		return fmt.Errorf("sinr: noise must be > 0, got %v", p.Noise)
+	case !(p.Epsilon > 0):
+		return fmt.Errorf("sinr: epsilon must be > 0, got %v", p.Epsilon)
+	}
+	return nil
+}
+
+// MinPower returns the minimum transmission power that lets a link of the
+// given length meet SINR β against noise alone (with zero slack).
+func (p Params) MinPower(length float64) float64 {
+	return p.Beta * p.Noise * math.Pow(length, p.Alpha)
+}
+
+// SafePower returns the power 2βN·ℓ^α that guarantees c(u,v) ≤ 2β for a link
+// of length ℓ (Section 5's requirement that links comfortably overcome
+// noise). The Init protocol uses SafePower(2^r) in round r.
+func (p Params) SafePower(length float64) float64 {
+	return 2 * p.MinPower(length)
+}
+
+// ErrMismatchedLengths reports a links/powers length mismatch in a bulk API.
+var ErrMismatchedLengths = errors.New("sinr: links and powers have different lengths")
+
+// Link is a directed communication request from node From (the sender) to
+// node To (the receiver), identified by point indices into an Instance.
+type Link struct {
+	From, To int
+}
+
+// Dual returns the link in the opposite direction, following the
+// terminology of Kesselheim & Vöcking (DISC 2010) adopted by the paper.
+func (l Link) Dual() Link { return Link{From: l.To, To: l.From} }
+
+// String renders the link as "u->v".
+func (l Link) String() string { return fmt.Sprintf("%d->%d", l.From, l.To) }
+
+// Instance binds a point set to physical parameters. All SINR computations
+// are methods on Instance so that distances are computed in one place.
+type Instance struct {
+	pts    []geom.Point
+	params Params
+	delta  float64
+}
+
+// NewInstance creates an instance over pts. The points are not copied; the
+// caller must not mutate them afterwards. Delta (the max/min distance ratio)
+// is computed lazily on first use.
+func NewInstance(pts []geom.Point, params Params) (*Instance, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Instance{pts: pts, params: params, delta: -1}, nil
+}
+
+// MustInstance is NewInstance for static inputs known to be valid.
+func MustInstance(pts []geom.Point, params Params) *Instance {
+	in, err := NewInstance(pts, params)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// Len returns the number of nodes.
+func (in *Instance) Len() int { return len(in.pts) }
+
+// Params returns the physical parameters.
+func (in *Instance) Params() Params { return in.params }
+
+// Point returns the location of node i.
+func (in *Instance) Point(i int) geom.Point { return in.pts[i] }
+
+// Points returns the underlying point slice (not a copy; read-only by
+// convention).
+func (in *Instance) Points() []geom.Point { return in.pts }
+
+// Dist returns the distance between nodes u and v.
+func (in *Instance) Dist(u, v int) float64 { return in.pts[u].Dist(in.pts[v]) }
+
+// Length returns the length d(From, To) of link l.
+func (in *Instance) Length(l Link) float64 { return in.Dist(l.From, l.To) }
+
+// Delta returns the max/min pairwise distance ratio Δ of the instance,
+// computed once and cached.
+func (in *Instance) Delta() float64 {
+	if in.delta < 0 {
+		in.delta = geom.Delta(in.pts)
+	}
+	return in.delta
+}
+
+// Upsilon returns the paper's Υ = O(log log Δ + log n) measured concretely as
+// max(1, log₂log₂Δ) + log₂n. It governs the cost of oblivious (mean) power
+// relative to arbitrary power.
+func (in *Instance) Upsilon() float64 {
+	return Upsilon(in.Len(), in.Delta())
+}
+
+// Upsilon computes log₂log₂(Δ) + log₂(n), clamped below at 1. It is exposed
+// as a function so experiment code can normalize against it without an
+// Instance.
+func Upsilon(n int, delta float64) float64 {
+	loglogD := 0.0
+	if delta > 2 {
+		loglogD = math.Log2(math.Log2(delta))
+	}
+	u := loglogD + math.Log2(math.Max(2, float64(n)))
+	if u < 1 {
+		return 1
+	}
+	return u
+}

@@ -1,0 +1,152 @@
+package sinr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sinrconn/internal/geom"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Params
+	}{
+		{"alpha too small", Params{Alpha: 2, Beta: 1, Noise: 1, Epsilon: 0.1}},
+		{"zero beta", Params{Alpha: 3, Beta: 0, Noise: 1, Epsilon: 0.1}},
+		{"zero noise", Params{Alpha: 3, Beta: 1, Noise: 0, Epsilon: 0.1}},
+		{"zero epsilon", Params{Alpha: 3, Beta: 1, Noise: 1, Epsilon: 0}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.p.Validate(); err == nil {
+				t.Errorf("Validate(%+v) = nil, want error", tc.p)
+			}
+		})
+	}
+}
+
+func TestNewInstanceRejectsBadParams(t *testing.T) {
+	if _, err := NewInstance(nil, Params{}); err == nil {
+		t.Fatal("NewInstance with zero params should fail")
+	}
+}
+
+func TestMustInstancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustInstance did not panic on invalid params")
+		}
+	}()
+	MustInstance(nil, Params{})
+}
+
+func TestMinAndSafePower(t *testing.T) {
+	p := DefaultParams()
+	length := 4.0
+	// At MinPower the SNR against pure noise is exactly β.
+	pw := p.MinPower(length)
+	snr := pw / math.Pow(length, p.Alpha) / p.Noise
+	if math.Abs(snr-p.Beta) > 1e-9 {
+		t.Errorf("SNR at MinPower = %v, want %v", snr, p.Beta)
+	}
+	// At SafePower it is exactly 2β.
+	pw = p.SafePower(length)
+	snr = pw / math.Pow(length, p.Alpha) / p.Noise
+	if math.Abs(snr-2*p.Beta) > 1e-9 {
+		t.Errorf("SNR at SafePower = %v, want %v", snr, 2*p.Beta)
+	}
+}
+
+func TestLinkDual(t *testing.T) {
+	l := Link{From: 3, To: 9}
+	d := l.Dual()
+	if d != (Link{From: 9, To: 3}) {
+		t.Errorf("Dual = %v", d)
+	}
+	if d.Dual() != l {
+		t.Error("Dual is not an involution")
+	}
+}
+
+func TestInstanceAccessors(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 3, Y: 4}, {X: 10, Y: 0}}
+	in := MustInstance(pts, DefaultParams())
+	if in.Len() != 3 {
+		t.Errorf("Len = %d", in.Len())
+	}
+	if got := in.Dist(0, 1); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Dist(0,1) = %v", got)
+	}
+	if got := in.Length(Link{From: 0, To: 2}); math.Abs(got-10) > 1e-12 {
+		t.Errorf("Length = %v", got)
+	}
+	if in.Point(1) != pts[1] {
+		t.Errorf("Point(1) = %v", in.Point(1))
+	}
+	if len(in.Points()) != 3 {
+		t.Errorf("Points len = %d", len(in.Points()))
+	}
+}
+
+func TestDeltaCached(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 9, Y: 0}}
+	in := MustInstance(pts, DefaultParams())
+	want := 9.0
+	if got := in.Delta(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Delta = %v, want %v", got, want)
+	}
+	// Second call must hit the cache and return the same value.
+	if got := in.Delta(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("cached Delta = %v, want %v", got, want)
+	}
+}
+
+func TestUpsilon(t *testing.T) {
+	tests := []struct {
+		n     int
+		delta float64
+		min   float64
+		max   float64
+	}{
+		{2, 1, 1, 1.01},                 // log₂2 = 1, loglog term 0
+		{1024, 2, 10, 10.01},            // log₂1024 = 10
+		{1024, 65536, 14, 14.01},        // + log₂log₂65536 = 4
+		{1, 1, 1, 1.01},                 // clamped
+		{16, 1 << 20, 4 + 4.3, 4 + 4.4}, // log₂20 ≈ 4.32
+	}
+	for _, tc := range tests {
+		got := Upsilon(tc.n, tc.delta)
+		if got < tc.min || got > tc.max {
+			t.Errorf("Upsilon(%d, %v) = %v, want in [%v,%v]", tc.n, tc.delta, got, tc.min, tc.max)
+		}
+	}
+}
+
+// randomInstance builds n random points with minimum distance ≥ 1 by
+// rejection sampling on a span×span square.
+func randomInstance(t testing.TB, rng *rand.Rand, n int, span float64) *Instance {
+	t.Helper()
+	pts := make([]geom.Point, 0, n)
+	for len(pts) < n {
+		cand := geom.Point{X: rng.Float64() * span, Y: rng.Float64() * span}
+		ok := true
+		for _, p := range pts {
+			if p.Dist(cand) < 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pts = append(pts, cand)
+		}
+	}
+	return MustInstance(pts, DefaultParams())
+}

@@ -1,0 +1,207 @@
+package sinr
+
+// Property-based tests (testing/quick) on the physics invariants the
+// algorithms lean on. Each property encodes a fact the paper's analysis
+// uses implicitly; a regression in any of them would silently invalidate
+// the higher layers.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sinrconn/internal/geom"
+)
+
+// genScenario deterministically derives a small random scenario from quick's
+// integer seed.
+func genScenario(seed int64, n int, span float64) ([]geom.Point, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, 0, n)
+	for len(pts) < n {
+		cand := geom.Point{X: rng.Float64() * span, Y: rng.Float64() * span}
+		ok := true
+		for _, p := range pts {
+			if p.Dist(cand) < 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pts = append(pts, cand)
+		}
+	}
+	return pts, rng
+}
+
+// Property: affectance is always in [0, 1+ε].
+func TestQuickAffectanceRange(t *testing.T) {
+	f := func(seed int64) bool {
+		pts, rng := genScenario(seed, 6, 40)
+		in := MustInstance(pts, DefaultParams())
+		l := Link{From: 0, To: 1}
+		pu := in.Params().SafePower(in.Length(l))
+		w := 2 + rng.Intn(4)
+		pw := math.Exp(rng.Float64()*20 - 5)
+		a := in.Affectance(w, pw, l, pu)
+		return a >= 0 && a <= 1+in.Params().Epsilon+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SetAffectance is additive — the sum over singletons equals the
+// set value.
+func TestQuickAffectanceAdditive(t *testing.T) {
+	f := func(seed int64) bool {
+		pts, rng := genScenario(seed, 8, 50)
+		in := MustInstance(pts, DefaultParams())
+		l := Link{From: 0, To: 1}
+		pu := in.Params().SafePower(in.Length(l))
+		var txs []Tx
+		for w := 2; w < 8; w++ {
+			txs = append(txs, Tx{Sender: w, Power: 1 + rng.Float64()*1000})
+		}
+		sum := 0.0
+		for _, tx := range txs {
+			sum += in.SetAffectance([]Tx{tx}, l, pu)
+		}
+		return math.Abs(sum-in.SetAffectance(txs, l, pu)) < 1e-9*math.Max(1, sum)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: geometric similarity — scaling all coordinates by s and link
+// powers by s^α leaves affectance unchanged (the scale-invariance that
+// justifies the paper's "min distance = 1" normalization).
+func TestQuickAffectanceScaleInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		pts, rng := genScenario(seed, 5, 30)
+		in := MustInstance(pts, DefaultParams())
+		s := 1 + rng.Float64()*7
+		scaled := make([]geom.Point, len(pts))
+		for i, p := range pts {
+			scaled[i] = p.Scale(s)
+		}
+		inS := MustInstance(scaled, DefaultParams())
+
+		l := Link{From: 0, To: 1}
+		alpha := in.Params().Alpha
+		pu := in.Params().SafePower(in.Length(l))
+		pw := pu * (0.5 + rng.Float64())
+		a1 := in.Affectance(2, pw, l, pu)
+		a2 := inS.Affectance(2, pw*math.Pow(s, alpha), l, pu*math.Pow(s, alpha))
+		// Noise does not scale, so c(u,v) changes slightly; compare with
+		// noise-free tolerance: both powers are ≥ 2× the noise floor, so
+		// c ∈ [β, 2β] on both sides.
+		if a1 == 0 && a2 == 0 {
+			return true
+		}
+		if a1 >= 1+in.Params().Epsilon-1e-9 || a2 >= 1+in.Params().Epsilon-1e-9 {
+			return true // capped values may differ
+		}
+		ratio := a1 / a2
+		return ratio > 0.45 && ratio < 2.2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: feasibility is monotone in power scaling for singleton links —
+// more power never hurts a lone link.
+func TestQuickSingletonMorePowerNeverHurts(t *testing.T) {
+	f := func(seed int64) bool {
+		pts, rng := genScenario(seed, 2, 20)
+		in := MustInstance(pts, DefaultParams())
+		l := Link{From: 0, To: 1}
+		base := in.Params().MinPower(in.Length(l)) * (0.5 + rng.Float64()*2)
+		okLow, _ := in.SINRFeasible([]Link{l}, []float64{base})
+		okHigh, _ := in.SINRFeasible([]Link{l}, []float64{base * 4})
+		// If feasible at low power, it must be feasible at high power.
+		return !okLow || okHigh
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the dual of the dual is the identity, and dual links have equal
+// length.
+func TestQuickDualInvolution(t *testing.T) {
+	f := func(a, b uint8) bool {
+		if a == b {
+			return true
+		}
+		l := Link{From: int(a), To: int(b)}
+		return l.Dual().Dual() == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Upsilon is monotone in both arguments.
+func TestQuickUpsilonMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(1000)
+		d := 1 + rng.Float64()*1e6
+		u := Upsilon(n, d)
+		return Upsilon(n+100, d) >= u-1e-12 && Upsilon(n, d*16) >= u-1e-12 && u >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MeasuredAffectance never underestimates reality by more than
+// the threshold cap: the capped analytical sum is ≤ the measured (uncapped)
+// value plus the caps.
+func TestQuickMeasuredVsAnalyticalAffectance(t *testing.T) {
+	f := func(seed int64) bool {
+		pts, rng := genScenario(seed, 6, 40)
+		in := MustInstance(pts, DefaultParams())
+		l := Link{From: 0, To: 1}
+		pu := in.Params().SafePower(in.Length(l))
+		var txs []Tx
+		for w := 2; w < 6; w++ {
+			txs = append(txs, Tx{Sender: w, Power: pu * (0.1 + rng.Float64())})
+		}
+		measured := in.MeasuredAffectance(txs, l, pu)
+		capped := in.SetAffectance(txs, l, pu)
+		// Capping only reduces: capped ≤ measured (within float noise).
+		return capped <= measured+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SINR decreases (weakly) as interferers are added.
+func TestQuickSINRMonotoneInInterference(t *testing.T) {
+	f := func(seed int64) bool {
+		pts, rng := genScenario(seed, 6, 40)
+		in := MustInstance(pts, DefaultParams())
+		l := Link{From: 0, To: 1}
+		pu := in.Params().SafePower(in.Length(l))
+		txs := []Tx{{Sender: 0, Power: pu}}
+		prev := in.SINR(txs, l)
+		for w := 2; w < 6; w++ {
+			txs = append(txs, Tx{Sender: w, Power: pu * rng.Float64()})
+			cur := in.SINR(txs, l)
+			if cur > prev+1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,214 @@
+package sparsity
+
+import (
+	"math/rand"
+	"testing"
+
+	"sinrconn/internal/geom"
+	"sinrconn/internal/sinr"
+)
+
+func lineInstance(t testing.TB, xs ...float64) *sinr.Instance {
+	t.Helper()
+	pts := make([]geom.Point, len(xs))
+	for i, x := range xs {
+		pts[i] = geom.Point{X: x}
+	}
+	return sinr.MustInstance(pts, sinr.DefaultParams())
+}
+
+func TestMeasureEmpty(t *testing.T) {
+	in := lineInstance(t, 0, 1)
+	if got := Measure(in, nil); got != 0 {
+		t.Errorf("Measure(empty) = %d", got)
+	}
+	if got := MeasureAtScales(in, nil); got != 0 {
+		t.Errorf("MeasureAtScales(empty) = %d", got)
+	}
+}
+
+func TestMeasureSingleLink(t *testing.T) {
+	in := lineInstance(t, 0, 16)
+	links := []sinr.Link{{From: 0, To: 1}}
+	if got := Measure(in, links); got != 1 {
+		t.Errorf("Measure(single) = %d, want 1", got)
+	}
+}
+
+func TestMeasureParallelCluster(t *testing.T) {
+	// Five long parallel links whose left endpoints are packed within a
+	// small ball: ψ must count all five.
+	var pts []geom.Point
+	var links []sinr.Link
+	for i := 0; i < 5; i++ {
+		y := float64(i) * 1.0
+		pts = append(pts, geom.Point{X: 0, Y: y}, geom.Point{X: 100, Y: y})
+		links = append(links, sinr.Link{From: 2 * i, To: 2*i + 1})
+	}
+	in := sinr.MustInstance(pts, sinr.DefaultParams())
+	got := Measure(in, links)
+	if got != 5 {
+		t.Errorf("Measure(packed cluster) = %d, want 5", got)
+	}
+}
+
+func TestMeasureSpreadLinks(t *testing.T) {
+	// Unit links spread very far apart: no ball of radius len/8 = 1/8
+	// catches endpoints of two different links, so ψ = 1.
+	var pts []geom.Point
+	var links []sinr.Link
+	for i := 0; i < 6; i++ {
+		x := float64(i) * 1000
+		pts = append(pts, geom.Point{X: x}, geom.Point{X: x + 1})
+		links = append(links, sinr.Link{From: 2 * i, To: 2*i + 1})
+	}
+	in := sinr.MustInstance(pts, sinr.DefaultParams())
+	if got := Measure(in, links); got != 1 {
+		t.Errorf("Measure(spread) = %d, want 1", got)
+	}
+}
+
+func TestMeasureAtScalesAgreesRoughly(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := 24
+		pts := make([]geom.Point, 0, n)
+		for len(pts) < n {
+			cand := geom.Point{X: rng.Float64() * 60, Y: rng.Float64() * 60}
+			ok := true
+			for _, p := range pts {
+				if p.Dist(cand) < 1 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				pts = append(pts, cand)
+			}
+		}
+		in := sinr.MustInstance(pts, sinr.DefaultParams())
+		var links []sinr.Link
+		for i := 0; i+1 < n; i += 2 {
+			links = append(links, sinr.Link{From: i, To: i + 1})
+		}
+		exact := Measure(in, links)
+		scaled := MeasureAtScales(in, links)
+		if exact < 1 || scaled < 1 {
+			t.Fatalf("trial %d: ψ below 1: exact %d scaled %d", trial, exact, scaled)
+		}
+		// The power-of-two grid can over- or under-shoot by a doubling in
+		// radius; allow a generous envelope around the exact value.
+		if scaled > 4*exact || exact > 8*scaled {
+			t.Fatalf("trial %d: exact %d vs scaled %d diverge", trial, exact, scaled)
+		}
+	}
+}
+
+func TestIsIndependent(t *testing.T) {
+	in := lineInstance(t, 0, 1, 1000, 1001)
+	a := sinr.Link{From: 0, To: 1}
+	b := sinr.Link{From: 2, To: 3}
+	if !IsIndependent(in, a, b, 3) {
+		t.Error("far unit links should be 3-independent")
+	}
+	// A link is never q-independent of itself for q > 1.
+	if IsIndependent(in, a, a, 2) {
+		t.Error("link independent of itself")
+	}
+	// Adjacent links of similar length are not independent for large q.
+	in2 := lineInstance(t, 0, 4, 5, 9)
+	c := sinr.Link{From: 0, To: 1}
+	d := sinr.Link{From: 2, To: 3}
+	if IsIndependent(in2, c, d, 10) {
+		t.Error("adjacent links should not be 10-independent")
+	}
+}
+
+func TestIndependentPartitionCoversAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := make([]geom.Point, 0, 30)
+	for len(pts) < 30 {
+		cand := geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		ok := true
+		for _, p := range pts {
+			if p.Dist(cand) < 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pts = append(pts, cand)
+		}
+	}
+	in := sinr.MustInstance(pts, sinr.DefaultParams())
+	var links []sinr.Link
+	for i := 0; i+1 < 30; i += 2 {
+		links = append(links, sinr.Link{From: i, To: i + 1})
+	}
+	classes := IndependentPartition(in, links, 2)
+	total := 0
+	for _, cl := range classes {
+		total += len(cl)
+		// Every pair within a class must be pairwise independent.
+		for i := 0; i < len(cl); i++ {
+			for j := i + 1; j < len(cl); j++ {
+				if !IsIndependent(in, cl[i], cl[j], 2) && !IsIndependent(in, cl[j], cl[i], 2) {
+					t.Fatalf("class contains dependent pair %v %v", cl[i], cl[j])
+				}
+			}
+		}
+	}
+	if total != len(links) {
+		t.Fatalf("partition covers %d of %d links", total, len(links))
+	}
+}
+
+func TestIndependentPartitionFarLinksOneClass(t *testing.T) {
+	in := lineInstance(t, 0, 1, 5000, 5001, 10000, 10001)
+	links := []sinr.Link{{From: 0, To: 1}, {From: 2, To: 3}, {From: 4, To: 5}}
+	classes := IndependentPartition(in, links, 2)
+	if len(classes) != 1 {
+		t.Errorf("far links split into %d classes, want 1", len(classes))
+	}
+}
+
+func TestLengthClasses(t *testing.T) {
+	in := lineInstance(t, 0, 1.5, 10, 13, 100, 164)
+	links := []sinr.Link{
+		{From: 0, To: 1}, // len 1.5  → class 1
+		{From: 2, To: 3}, // len 3    → class 2
+		{From: 4, To: 5}, // len 64   → class 7
+	}
+	classes := LengthClasses(in, links)
+	if len(classes[1]) != 1 || len(classes[2]) != 1 || len(classes[7]) != 1 {
+		t.Errorf("LengthClasses = %v", classes)
+	}
+}
+
+func TestSparsityScalesWithStacking(t *testing.T) {
+	// k co-located long-link endpoints produce ψ = k; verify monotone
+	// growth as we stack more.
+	build := func(k int) (psi int) {
+		var pts []geom.Point
+		var links []sinr.Link
+		for i := 0; i < k; i++ {
+			pts = append(pts,
+				geom.Point{X: 0, Y: float64(i)},
+				geom.Point{X: 200, Y: float64(i)})
+			links = append(links, sinr.Link{From: 2 * i, To: 2*i + 1})
+		}
+		in := sinr.MustInstance(pts, sinr.DefaultParams())
+		return Measure(in, links)
+	}
+	prev := 0
+	for _, k := range []int{1, 3, 6} {
+		got := build(k)
+		if got < prev {
+			t.Fatalf("sparsity not monotone: ψ(%d) = %d after %d", k, got, prev)
+		}
+		if got != k {
+			t.Errorf("ψ(%d stacked links) = %d, want %d", k, got, k)
+		}
+		prev = got
+	}
+}

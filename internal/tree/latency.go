@@ -1,0 +1,161 @@
+package tree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AggregationLatency replays the converge-cast: links fire in slot order,
+// each link forwarding its sender's accumulated token set to its receiver.
+// It returns the number of distinct slots needed for the root to hold every
+// node's token, and an error if the replay never completes (which means the
+// ordering property is violated or the tree is broken).
+//
+// With a valid bi-tree this equals the schedule length — the paper's claim
+// that aggregation completes in optimal O(log n) time for the Section 8
+// trees.
+func (t *BiTree) AggregationLatency() (int, error) {
+	have := make(map[int]map[int]bool, len(t.Nodes))
+	for _, v := range t.Nodes {
+		have[v] = map[int]bool{v: true}
+	}
+	links := append([]TimedLink(nil), t.Up...)
+	sort.SliceStable(links, func(i, j int) bool { return links[i].Slot < links[j].Slot })
+
+	slots := 0
+	lastSlot := -1 << 62
+	for _, tl := range links {
+		if tl.Slot != lastSlot {
+			slots++
+			lastSlot = tl.Slot
+		}
+		src, dst := tl.L.From, tl.L.To
+		for tok := range have[src] {
+			have[dst][tok] = true
+		}
+	}
+	root := have[t.Root]
+	for _, v := range t.Nodes {
+		if !root[v] {
+			return 0, fmt.Errorf("tree: aggregation incomplete: root missing token of node %d", v)
+		}
+	}
+	return slots, nil
+}
+
+// BroadcastLatency replays the dissemination tree (dual links, reversed
+// schedule): the root's token must reach every node. It returns the number
+// of distinct slots used.
+func (t *BiTree) BroadcastLatency() (int, error) {
+	reached := make(map[int]bool, len(t.Nodes))
+	reached[t.Root] = true
+	links := t.Down()
+	sort.SliceStable(links, func(i, j int) bool { return links[i].Slot < links[j].Slot })
+
+	slots := 0
+	lastSlot := -1 << 62
+	for _, tl := range links {
+		if tl.Slot != lastSlot {
+			slots++
+			lastSlot = tl.Slot
+		}
+		if reached[tl.L.From] {
+			reached[tl.L.To] = true
+		}
+	}
+	for _, v := range t.Nodes {
+		if !reached[v] {
+			return 0, fmt.Errorf("tree: broadcast incomplete: node %d unreached", v)
+		}
+	}
+	return slots, nil
+}
+
+// PairLatency replays a node-to-node message from src to dst: up the
+// aggregation schedule to the root, then down the dissemination schedule.
+// It returns the total number of distinct slots consumed by the two phases.
+// With a bi-tree this is at most twice the schedule length, which is the
+// paper's "any pairwise communication in optimal O(log n) time".
+func (t *BiTree) PairLatency(src, dst int) (int, error) {
+	parent := t.Parent()
+	onUpPath := map[int]bool{src: true}
+	v := src
+	for v != t.Root {
+		p, ok := parent[v]
+		if !ok {
+			return 0, fmt.Errorf("tree: node %d has no path to root", v)
+		}
+		v = p
+		onUpPath[v] = true
+	}
+
+	// Phase 1: follow the aggregation schedule; the message moves along its
+	// up-path when its current holder's out-link fires.
+	links := append([]TimedLink(nil), t.Up...)
+	sort.SliceStable(links, func(i, j int) bool { return links[i].Slot < links[j].Slot })
+	at := src
+	upSlots := 0
+	lastSlot := -1 << 62
+	for _, tl := range links {
+		if at == t.Root {
+			break
+		}
+		if tl.Slot != lastSlot {
+			upSlots++
+			lastSlot = tl.Slot
+		}
+		if tl.L.From == at && onUpPath[tl.L.To] {
+			at = tl.L.To
+		}
+	}
+	if at != t.Root {
+		return 0, fmt.Errorf("tree: message from %d never reached root", src)
+	}
+
+	// Phase 2: follow the dissemination schedule down to dst.
+	down := t.Down()
+	sort.SliceStable(down, func(i, j int) bool { return down[i].Slot < down[j].Slot })
+	// Down-path of dst: root → ... → dst.
+	onDownPath := map[int]bool{dst: true}
+	v = dst
+	for v != t.Root {
+		v = parent[v]
+		onDownPath[v] = true
+	}
+	at = t.Root
+	downSlots := 0
+	lastSlot = -1 << 62
+	for _, tl := range down {
+		if at == dst {
+			break
+		}
+		if tl.Slot != lastSlot {
+			downSlots++
+			lastSlot = tl.Slot
+		}
+		if tl.L.From == at && onDownPath[tl.L.To] {
+			at = tl.L.To
+		}
+	}
+	if at != dst {
+		return 0, fmt.Errorf("tree: message never reached destination %d", dst)
+	}
+	return upSlots + downSlots, nil
+}
+
+// Depth returns the maximum number of hops from any node to the root.
+func (t *BiTree) Depth() int {
+	parent := t.Parent()
+	max := 0
+	for _, v := range t.Nodes {
+		d := 0
+		for v != t.Root {
+			v = parent[v]
+			d++
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

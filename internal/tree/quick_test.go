@@ -1,0 +1,157 @@
+package tree
+
+// Property-based tests on the bi-tree invariants.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sinrconn/internal/sinr"
+)
+
+// genTree derives a random recursive tree with valid leaf-first slots from
+// a seed.
+func genTree(seed int64) *BiTree {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(30)
+	tr := &BiTree{Root: 0}
+	for i := 0; i < n; i++ {
+		tr.Nodes = append(tr.Nodes, i)
+	}
+	for i := 1; i < n; i++ {
+		p := rng.Intn(i)
+		tr.Up = append(tr.Up, TimedLink{
+			L:     sinr.Link{From: i, To: p},
+			Slot:  n - i,
+			Power: 1 + rng.Float64()*100,
+		})
+	}
+	return tr
+}
+
+// Property: Compact preserves relative slot order and yields NumSlots = k.
+func TestQuickCompactPreservesOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := genTree(seed)
+		rng := rand.New(rand.NewSource(seed ^ 7))
+		// Randomize stamps (possibly with collisions and gaps).
+		for i := range tr.Up {
+			tr.Up[i].Slot = rng.Intn(10) * 7
+		}
+		before := append([]TimedLink(nil), tr.Up...)
+		k := tr.Compact()
+		if k != tr.NumSlots() {
+			return false
+		}
+		for i := range tr.Up {
+			for j := range tr.Up {
+				bi, bj := before[i].Slot, before[j].Slot
+				ai, aj := tr.Up[i].Slot, tr.Up[j].Slot
+				if (bi < bj) != (ai < aj) && bi != bj {
+					return false
+				}
+				if bi == bj && ai != aj {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: random recursive trees with leaf-first slots always validate,
+// and their latency replays succeed with latency ≤ NumSlots.
+func TestQuickRandomTreesValid(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := genTree(seed)
+		if tr.Validate() != nil || tr.ValidateOrdering() != nil || !tr.StronglyConnected() {
+			return false
+		}
+		agg, err := tr.AggregationLatency()
+		if err != nil || agg > tr.NumSlots() {
+			return false
+		}
+		bc, err := tr.BroadcastLatency()
+		if err != nil || bc > tr.NumSlots() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Down() is an involution up to schedule reversal — applying the
+// dual transform twice returns the original links and slots.
+func TestQuickDownTwiceIsIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := genTree(seed)
+		down := tr.Down()
+		tmp := &BiTree{Root: tr.Root, Nodes: tr.Nodes, Up: down}
+		downdown := tmp.Down()
+		if len(downdown) != len(tr.Up) {
+			return false
+		}
+		orig := make(map[sinr.Link]int, len(tr.Up))
+		for _, tl := range tr.Up {
+			orig[tl.L] = tl.Slot
+		}
+		for _, tl := range downdown {
+			s, ok := orig[tl.L]
+			if !ok || s != tl.Slot {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PairLatency between any two nodes succeeds on a valid tree and
+// is bounded by 2× the schedule length.
+func TestQuickPairLatencyBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := genTree(seed)
+		rng := rand.New(rand.NewSource(seed ^ 99))
+		n := len(tr.Nodes)
+		for trial := 0; trial < 4; trial++ {
+			src, dst := rng.Intn(n), rng.Intn(n)
+			lat, err := tr.PairLatency(src, dst)
+			if err != nil || lat > 2*tr.NumSlots() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Degrees sums to exactly 2·|links| and MaxDegree bounds every
+// entry.
+func TestQuickDegreeAccounting(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := genTree(seed)
+		deg := tr.Degrees()
+		sum := 0
+		max := tr.MaxDegree()
+		for _, d := range deg {
+			sum += d
+			if d > max {
+				return false
+			}
+		}
+		return sum == 2*len(tr.Up)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,112 @@
+package tree
+
+import (
+	"fmt"
+	"sort"
+
+	"sinrconn/internal/sinr"
+)
+
+// Restamp recomputes the slot stamps of the aggregation links from scratch,
+// producing a schedule that (a) satisfies the aggregation ordering (every
+// link after all links of its sender's subtree), (b) keeps every slot group
+// SINR-feasible under the powers already stamped on the links, and (c) is
+// greedily short. It is the repair tool used after tree surgery (node
+// joins, failure recovery) invalidates the construction-time stamps.
+//
+// The algorithm processes links in topological order (subtree height
+// ascending) and first-fits each into the earliest slot that is strictly
+// after every child link's slot and whose group stays feasible with the
+// link added. Node-reuse within a slot is rejected (a node cannot
+// participate in two links of one feasible slot).
+func (t *BiTree) Restamp(in *sinr.Instance) (int, error) {
+	if len(t.Up) == 0 {
+		return 0, nil
+	}
+	children := t.Children()
+	// Subtree height of each node (leaves = 0), iteratively.
+	height := make(map[int]int, len(t.Nodes))
+	var calc func(v int) int
+	calc = func(v int) int {
+		if h, ok := height[v]; ok {
+			return h
+		}
+		h := 0
+		for _, c := range children[v] {
+			if ch := calc(c) + 1; ch > h {
+				h = ch
+			}
+		}
+		height[v] = h
+		return h
+	}
+	for _, v := range t.Nodes {
+		calc(v)
+	}
+
+	// Order links by the height of their sender's subtree; ties by length
+	// (shorter first — easier to pack).
+	idx := make([]int, len(t.Up))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ha, hb := height[t.Up[idx[a]].L.From], height[t.Up[idx[b]].L.From]
+		if ha != hb {
+			return ha < hb
+		}
+		return in.Length(t.Up[idx[a]].L) < in.Length(t.Up[idx[b]].L)
+	})
+
+	type slotGroup struct {
+		links  []sinr.Link
+		powers []float64
+		busy   map[int]bool
+	}
+	var slots []slotGroup
+	outSlot := make(map[int]int, len(t.Up)) // sender → assigned slot (1-based)
+
+	for _, i := range idx {
+		tl := t.Up[i]
+		// Earliest admissible slot: strictly after every child link.
+		floor := 0
+		for _, c := range children[tl.L.From] {
+			if s, ok := outSlot[c]; ok && s > floor {
+				floor = s
+			}
+		}
+		placed := false
+		for s := floor; s < len(slots); s++ {
+			g := &slots[s]
+			if g.busy[tl.L.From] || g.busy[tl.L.To] {
+				continue
+			}
+			candLinks := append(append([]sinr.Link(nil), g.links...), tl.L)
+			candPowers := append(append([]float64(nil), g.powers...), tl.Power)
+			if ok, err := in.SINRFeasible(candLinks, candPowers); err == nil && ok {
+				g.links = candLinks
+				g.powers = candPowers
+				g.busy[tl.L.From] = true
+				g.busy[tl.L.To] = true
+				t.Up[i].Slot = s + 1
+				outSlot[tl.L.From] = s + 1
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			// The link must at least be feasible alone at its power.
+			if ok, err := in.SINRFeasible([]sinr.Link{tl.L}, []float64{tl.Power}); err != nil || !ok {
+				return 0, fmt.Errorf("tree: link %v infeasible alone at power %v", tl.L, tl.Power)
+			}
+			slots = append(slots, slotGroup{
+				links:  []sinr.Link{tl.L},
+				powers: []float64{tl.Power},
+				busy:   map[int]bool{tl.L.From: true, tl.L.To: true},
+			})
+			t.Up[i].Slot = len(slots)
+			outSlot[tl.L.From] = len(slots)
+		}
+	}
+	return len(slots), nil
+}

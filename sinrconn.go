@@ -1,0 +1,349 @@
+// Package sinrconn is a Go implementation of "Distributed Connectivity of
+// Wireless Networks" (Halldórsson & Mitra, PODC 2012): distributed
+// algorithms that, starting from identical wireless nodes with no
+// infrastructure, build a strongly connected communication structure (a
+// bi-tree: converge-cast plus dissemination tree) and schedule it
+// efficiently under the SINR physical interference model.
+//
+// Three pipelines are exposed, mirroring the paper's three main theorems:
+//
+//   - BuildInitialBiTree — the Section 6 construction (Theorem 2): a
+//     bi-tree in O(log Δ · log n) channel slots using per-round uniform
+//     power.
+//   - RescheduleMeanPower — Section 7 (Theorem 3): the same tree
+//     re-scheduled under mean power with distributed contention
+//     resolution, removing the log Δ factor from the schedule.
+//   - BuildBiTreeMeanPower / BuildBiTreeArbitraryPower — Section 8
+//     (Theorem 4): the interleaved TreeViaCapacity constructions whose
+//     final schedules match the best centralized bounds — O(Υ·log n) slots
+//     with oblivious mean power and O(log n) slots with computed powers.
+//
+// All pipelines run on an exact slotted SINR channel simulator; results are
+// deterministic for a fixed Seed. See DESIGN.md for the system inventory
+// and EXPERIMENTS.md for the reproduction of the paper's claims.
+package sinrconn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sinrconn/internal/core"
+	"sinrconn/internal/geom"
+	"sinrconn/internal/schedule"
+	"sinrconn/internal/sinr"
+	"sinrconn/internal/tree"
+)
+
+// Point is a node location in the plane. The paper's normalization (minimum
+// pairwise distance 1) is required; Validate in Options enforces it unless
+// AutoNormalize is set.
+type Point struct {
+	X, Y float64
+}
+
+// Link is a directed transmission request between node indices.
+type Link struct {
+	From, To int
+}
+
+// ScheduledLink is a link with its schedule slot and transmission power.
+type ScheduledLink struct {
+	Link
+	// Slot is the 1-based schedule slot.
+	Slot int
+	// Power is the sender's transmission power in that slot.
+	Power float64
+}
+
+// PhysParams are the SINR physical constants.
+type PhysParams struct {
+	// Alpha is the path-loss exponent (> 2).
+	Alpha float64
+	// Beta is the SINR decoding threshold.
+	Beta float64
+	// Noise is the ambient noise floor.
+	Noise float64
+}
+
+// DefaultPhysParams returns α = 3, β = 1.5, N = 1.
+func DefaultPhysParams() PhysParams {
+	p := sinr.DefaultParams()
+	return PhysParams{Alpha: p.Alpha, Beta: p.Beta, Noise: p.Noise}
+}
+
+// Options configures a pipeline run.
+type Options struct {
+	// Params are the physical constants; zero value means defaults.
+	Params PhysParams
+	// Seed makes runs reproducible.
+	Seed int64
+	// Workers bounds simulator parallelism (0 = NumCPU).
+	Workers int
+	// DropProb injects reception failures (fading) in [0, 1).
+	DropProb float64
+	// AutoNormalize rescales the input so the minimum pairwise distance is
+	// 1 instead of rejecting un-normalized input.
+	AutoNormalize bool
+	// BroadcastProb overrides the Section 6 broadcast probability p.
+	BroadcastProb float64
+	// Rho overrides the low-degree cap for TreeViaCapacity.
+	Rho int
+}
+
+func (o Options) params() sinr.Params {
+	p := sinr.DefaultParams()
+	if o.Params.Alpha != 0 {
+		p.Alpha = o.Params.Alpha
+	}
+	if o.Params.Beta != 0 {
+		p.Beta = o.Params.Beta
+	}
+	if o.Params.Noise != 0 {
+		p.Noise = o.Params.Noise
+	}
+	return p
+}
+
+// Metrics reports the cost of a pipeline run.
+type Metrics struct {
+	// SlotsUsed is the total channel time (simulator slots) the distributed
+	// construction consumed.
+	SlotsUsed int
+	// ScheduleLength is the number of slots in the final link schedule.
+	ScheduleLength int
+	// Rounds is Init's round count (initial construction only).
+	Rounds int
+	// Iterations is TreeViaCapacity's iteration count (Section 8 only).
+	Iterations int
+	// Upsilon is the instance's Υ = log log Δ + log n.
+	Upsilon float64
+	// Delta is the instance's max/min distance ratio.
+	Delta float64
+	// AggregationLatency and BroadcastLatency are replay-verified slot
+	// counts for converge-cast and broadcast on the bi-tree.
+	AggregationLatency int
+	BroadcastLatency   int
+	// Energy is the total transmission energy (sum of powers over all
+	// transmissions) the construction spent on the channel.
+	Energy float64
+}
+
+// BiTree is the public view of a constructed bi-tree.
+type BiTree struct {
+	// Root is the converge-cast destination.
+	Root int
+	// Up lists the aggregation links (node → parent), scheduled leaf-first.
+	Up []ScheduledLink
+	// NumNodes is the number of nodes spanned.
+	NumNodes int
+
+	inner *tree.BiTree
+	inst  *sinr.Instance
+}
+
+// Parent returns each non-root node's parent.
+func (b *BiTree) Parent() map[int]int { return b.inner.Parent() }
+
+// MaxDegree returns the maximum node degree in the tree.
+func (b *BiTree) MaxDegree() int { return b.inner.MaxDegree() }
+
+// Depth returns the maximum hop distance to the root.
+func (b *BiTree) Depth() int { return b.inner.Depth() }
+
+// PairLatency replays a node-to-node message (up the aggregation schedule,
+// down the dissemination schedule) and returns the slots consumed.
+func (b *BiTree) PairLatency(src, dst int) (int, error) {
+	return b.inner.PairLatency(src, dst)
+}
+
+// Verify re-checks every structural property: spanning tree shape, strong
+// connectivity, aggregation ordering, and per-slot SINR feasibility of the
+// schedule. It is cheap insurance for downstream users.
+func (b *BiTree) Verify() error {
+	if err := b.inner.Validate(); err != nil {
+		return err
+	}
+	if !b.inner.StronglyConnected() {
+		return errors.New("sinrconn: tree not strongly connected")
+	}
+	if err := b.inner.ValidateOrdering(); err != nil {
+		return err
+	}
+	return b.inner.ValidatePerSlotFeasible(b.inst)
+}
+
+// Result bundles a constructed tree with its metrics.
+type Result struct {
+	Tree    *BiTree
+	Metrics Metrics
+}
+
+// ErrNotNormalized reports input whose minimum pairwise distance is below 1
+// when AutoNormalize is off.
+var ErrNotNormalized = errors.New("sinrconn: minimum pairwise distance below 1 (set AutoNormalize)")
+
+func buildInstance(pts []Point, opt Options) (*sinr.Instance, error) {
+	if len(pts) == 0 {
+		return nil, errors.New("sinrconn: no points")
+	}
+	g := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		g[i] = geom.Point{X: p.X, Y: p.Y}
+	}
+	if len(g) > 1 {
+		if md := geom.MinDist(g); md < 1-1e-9 {
+			if !opt.AutoNormalize {
+				return nil, fmt.Errorf("%w: min distance %v", ErrNotNormalized, md)
+			}
+			if md <= 0 {
+				return nil, errors.New("sinrconn: duplicate points")
+			}
+			g, _ = geom.Normalize(g)
+		}
+	}
+	return sinr.NewInstance(g, opt.params())
+}
+
+func publicTree(in *sinr.Instance, bt *tree.BiTree) *BiTree {
+	out := &BiTree{
+		Root:     bt.Root,
+		NumNodes: len(bt.Nodes),
+		inner:    bt,
+		inst:     in,
+	}
+	for _, tl := range bt.Up {
+		out.Up = append(out.Up, ScheduledLink{
+			Link:  Link{From: tl.L.From, To: tl.L.To},
+			Slot:  tl.Slot,
+			Power: tl.Power,
+		})
+	}
+	return out
+}
+
+func fillLatencies(m *Metrics, bt *tree.BiTree) error {
+	agg, err := bt.AggregationLatency()
+	if err != nil {
+		return err
+	}
+	bc, err := bt.BroadcastLatency()
+	if err != nil {
+		return err
+	}
+	m.AggregationLatency = agg
+	m.BroadcastLatency = bc
+	return nil
+}
+
+// BuildInitialBiTree runs the Section 6 construction (Theorem 2).
+func BuildInitialBiTree(pts []Point, opt Options) (*Result, error) {
+	in, err := buildInstance(pts, opt)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Init(in, core.InitConfig{
+		BroadcastProb: opt.BroadcastProb,
+		Seed:          opt.Seed,
+		Workers:       opt.Workers,
+		DropProb:      opt.DropProb,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bt := res.Tree
+	bt.Compact()
+	m := Metrics{
+		SlotsUsed:      res.SlotsUsed,
+		ScheduleLength: bt.NumSlots(),
+		Rounds:         res.Rounds,
+		Upsilon:        in.Upsilon(),
+		Delta:          in.Delta(),
+		Energy:         res.Stats.Energy,
+	}
+	if err := fillLatencies(&m, bt); err != nil {
+		return nil, err
+	}
+	return &Result{Tree: publicTree(in, bt), Metrics: m}, nil
+}
+
+// RescheduleMeanPower runs Section 6 then re-schedules the tree under mean
+// power with the distributed scheduler (Theorem 3). The returned schedule
+// does not necessarily satisfy the bi-tree ordering property, matching the
+// paper's caveat; aggregation/broadcast latencies are therefore not filled.
+func RescheduleMeanPower(pts []Point, opt Options) (*Result, error) {
+	in, err := buildInstance(pts, opt)
+	if err != nil {
+		return nil, err
+	}
+	ires, err := core.Init(in, core.InitConfig{
+		BroadcastProb: opt.BroadcastProb,
+		Seed:          opt.Seed,
+		Workers:       opt.Workers,
+		DropProb:      opt.DropProb,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pa := sinr.NoiseSafeMean(in.Params(), math.Max(1, in.Delta()))
+	rres, err := core.Reschedule(in, ires.Tree, pa, schedule.DistConfig{
+		Seed:    opt.Seed + 1,
+		Workers: opt.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := Metrics{
+		SlotsUsed:      ires.SlotsUsed + 2*rres.SlotPairs,
+		ScheduleLength: rres.NumSlots,
+		Rounds:         ires.Rounds,
+		Upsilon:        in.Upsilon(),
+		Delta:          in.Delta(),
+	}
+	return &Result{Tree: publicTree(in, rres.Tree), Metrics: m}, nil
+}
+
+// BuildBiTreeMeanPower runs TreeViaCapacity with Υ-sampled mean-power
+// selection (Theorem 4, second half: O(Υ·log n) schedule slots).
+func BuildBiTreeMeanPower(pts []Point, opt Options) (*Result, error) {
+	return buildTVC(pts, opt, core.VariantMean)
+}
+
+// BuildBiTreeArbitraryPower runs TreeViaCapacity with Distr-Cap selection
+// and computed per-link powers (Theorem 4, first half: O(log n) schedule
+// slots).
+func BuildBiTreeArbitraryPower(pts []Point, opt Options) (*Result, error) {
+	return buildTVC(pts, opt, core.VariantArbitrary)
+}
+
+func buildTVC(pts []Point, opt Options, v core.Variant) (*Result, error) {
+	in, err := buildInstance(pts, opt)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.TreeViaCapacity(in, core.TVCConfig{
+		Variant: v,
+		Seed:    opt.Seed,
+		Rho:     opt.Rho,
+		Init: core.InitConfig{
+			BroadcastProb: opt.BroadcastProb,
+			Workers:       opt.Workers,
+			DropProb:      opt.DropProb,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	bt := res.Tree
+	m := Metrics{
+		SlotsUsed:      res.ConstructionSlots,
+		ScheduleLength: bt.NumSlots(),
+		Iterations:     res.Iterations,
+		Upsilon:        in.Upsilon(),
+		Delta:          in.Delta(),
+	}
+	if err := fillLatencies(&m, bt); err != nil {
+		return nil, err
+	}
+	return &Result{Tree: publicTree(in, bt), Metrics: m}, nil
+}

@@ -1,0 +1,210 @@
+package sinrconn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// uniformPoints generates n facade points with min distance ≥ 1.
+func uniformPoints(seed int64, n int) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	span := 2.6 * math.Sqrt(float64(n))
+	var pts []Point
+	for len(pts) < n {
+		cand := Point{X: rng.Float64() * span, Y: rng.Float64() * span}
+		ok := true
+		for _, p := range pts {
+			if math.Hypot(p.X-cand.X, p.Y-cand.Y) < 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pts = append(pts, cand)
+		}
+	}
+	return pts
+}
+
+func TestBuildInitialBiTree(t *testing.T) {
+	pts := uniformPoints(1, 48)
+	res, err := BuildInitialBiTree(pts, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tree.NumNodes != 48 || len(res.Tree.Up) != 47 {
+		t.Fatalf("tree shape: %d nodes, %d links", res.Tree.NumNodes, len(res.Tree.Up))
+	}
+	if err := res.Tree.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.SlotsUsed <= 0 || m.ScheduleLength <= 0 || m.Rounds <= 0 {
+		t.Errorf("metrics: %+v", m)
+	}
+	if m.AggregationLatency <= 0 || m.BroadcastLatency <= 0 {
+		t.Errorf("latencies not filled: %+v", m)
+	}
+	if m.Delta <= 1 || m.Upsilon < 1 {
+		t.Errorf("instance metrics: %+v", m)
+	}
+}
+
+func TestRescheduleMeanPower(t *testing.T) {
+	pts := uniformPoints(2, 40)
+	res, err := RescheduleMeanPower(pts, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.ScheduleLength <= 0 {
+		t.Error("no schedule length")
+	}
+	if len(res.Tree.Up) != 39 {
+		t.Errorf("links = %d", len(res.Tree.Up))
+	}
+	// Rescheduled trees keep structure but may violate ordering; Verify is
+	// intentionally NOT called here. Parent map must still be total.
+	if got := len(res.Tree.Parent()); got != 39 {
+		t.Errorf("parents = %d", got)
+	}
+}
+
+func TestBuildBiTreeMeanPower(t *testing.T) {
+	pts := uniformPoints(3, 40)
+	res, err := BuildBiTreeMeanPower(pts, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Tree.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Iterations <= 0 {
+		t.Error("iterations not recorded")
+	}
+}
+
+func TestBuildBiTreeArbitraryPower(t *testing.T) {
+	pts := uniformPoints(4, 40)
+	res, err := BuildBiTreeArbitraryPower(pts, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Tree.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Theorem 4 shape: schedule length stays far below n.
+	if res.Metrics.ScheduleLength >= len(pts) {
+		t.Errorf("schedule length %d not sublinear", res.Metrics.ScheduleLength)
+	}
+}
+
+func TestTreeAccessors(t *testing.T) {
+	pts := uniformPoints(5, 24)
+	res, err := BuildInitialBiTree(pts, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Tree
+	if tr.MaxDegree() < 1 {
+		t.Error("MaxDegree < 1")
+	}
+	if tr.Depth() < 1 {
+		t.Error("Depth < 1")
+	}
+	par := tr.Parent()
+	if len(par) != 23 {
+		t.Errorf("Parent size = %d", len(par))
+	}
+	if _, hasRoot := par[tr.Root]; hasRoot {
+		t.Error("root has a parent")
+	}
+	lat, err := tr.PairLatency(0, tr.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat < 0 {
+		t.Errorf("PairLatency = %d", lat)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	if _, err := BuildInitialBiTree(nil, Options{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Min distance below 1 without AutoNormalize.
+	tooClose := []Point{{0, 0}, {0.5, 0}, {10, 0}}
+	if _, err := BuildInitialBiTree(tooClose, Options{}); !errors.Is(err, ErrNotNormalized) {
+		t.Errorf("err = %v, want ErrNotNormalized", err)
+	}
+	// With AutoNormalize it succeeds.
+	res, err := BuildInitialBiTree(tooClose, Options{AutoNormalize: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Tree.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate points can never be normalized.
+	if _, err := BuildInitialBiTree([]Point{{1, 1}, {1, 1}}, Options{AutoNormalize: true}); err == nil {
+		t.Error("duplicate points accepted")
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	res, err := BuildInitialBiTree([]Point{{3, 4}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tree.Root != 0 || len(res.Tree.Up) != 0 {
+		t.Errorf("single-node tree: %+v", res.Tree)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	pts := uniformPoints(6, 32)
+	a, err := BuildBiTreeArbitraryPower(pts, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildBiTreeArbitraryPower(pts, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Tree.Root != b.Tree.Root || a.Metrics != b.Metrics {
+		t.Fatal("pipeline not deterministic")
+	}
+}
+
+func TestCustomParams(t *testing.T) {
+	pts := uniformPoints(7, 24)
+	res, err := BuildInitialBiTree(pts, Options{
+		Seed:   1,
+		Params: PhysParams{Alpha: 4, Beta: 2, Noise: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Tree.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultPhysParams(t *testing.T) {
+	p := DefaultPhysParams()
+	if p.Alpha <= 2 || p.Beta <= 0 || p.Noise <= 0 {
+		t.Errorf("defaults: %+v", p)
+	}
+}
+
+func TestDropInjectionPipeline(t *testing.T) {
+	pts := uniformPoints(8, 24)
+	res, err := BuildInitialBiTree(pts, Options{Seed: 2, DropProb: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Tree.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
