@@ -24,24 +24,38 @@ import (
 
 const benchN = 96
 
+// benchSizes is the scale sweep the physics kernel makes affordable (the
+// pre-kernel suite was capped at n=96). Tables that sweep sizes use it;
+// single-size tables stay at benchN so their metrics remain comparable with
+// the original E1–E12 numbers.
+var benchSizes = []int{benchN, 256, 1024}
+
 func benchInstance(seed int64) *sinr.Instance {
+	return benchInstanceN(seed, benchN)
+}
+
+func benchInstanceN(seed int64, n int) *sinr.Instance {
 	rng := rand.New(rand.NewSource(seed))
-	return sinr.MustInstance(workload.UniformDensity(rng, benchN, 0.15), sinr.DefaultParams())
+	return sinr.MustInstance(workload.UniformDensity(rng, n, 0.15), sinr.DefaultParams())
 }
 
 // BenchmarkE1InitSlots regenerates Table E1: Init construction time
-// (Theorem 2, O(log Δ·log n) slots).
+// (Theorem 2, O(log Δ·log n) slots), swept over benchSizes.
 func BenchmarkE1InitSlots(b *testing.B) {
-	in := benchInstance(1)
-	total := 0
-	for i := 0; i < b.N; i++ {
-		res, err := core.Init(in, core.InitConfig{Seed: int64(i)})
-		if err != nil {
-			b.Fatal(err)
-		}
-		total += res.SlotsUsed
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			in := benchInstanceN(1, n)
+			total := 0
+			for i := 0; i < b.N; i++ {
+				res, err := core.Init(in, core.InitConfig{Seed: int64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += res.SlotsUsed
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "slots/op")
+		})
 	}
-	b.ReportMetric(float64(total)/float64(b.N), "slots/op")
 }
 
 // BenchmarkE2BiTreeValidity regenerates Table E2: validator battery on the
@@ -415,19 +429,23 @@ func BenchmarkRepair(b *testing.B) {
 
 // --- micro-benchmarks of the substrates ---
 
-// BenchmarkChannelSlot measures the raw physics cost of one simulator slot
-// at n=benchN with a quarter of the nodes transmitting.
+// BenchmarkChannelSlot measures the raw physics cost of one affectance sum
+// with a quarter of the nodes transmitting, swept over benchSizes.
 func BenchmarkChannelSlot(b *testing.B) {
-	in := benchInstance(20)
-	txs := make([]sinr.Tx, 0, benchN/4)
-	for i := 0; i < benchN/4; i++ {
-		txs = append(txs, sinr.Tx{Sender: i, Power: in.Params().SafePower(4)})
-	}
-	l := sinr.Link{From: benchN - 2, To: benchN - 1}
-	pu := in.Params().SafePower(in.Length(l))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		in.SetAffectance(txs, l, pu)
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			in := benchInstanceN(20, n)
+			txs := make([]sinr.Tx, 0, n/4)
+			for i := 0; i < n/4; i++ {
+				txs = append(txs, sinr.Tx{Sender: i, Power: in.Params().SafePower(4)})
+			}
+			l := sinr.Link{From: n - 2, To: n - 1}
+			pu := in.Params().SafePower(in.Length(l))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				in.SetAffectance(txs, l, pu)
+			}
+		})
 	}
 }
 

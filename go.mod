@@ -1,0 +1,3 @@
+module sinrconn
+
+go 1.24.0

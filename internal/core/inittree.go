@@ -110,6 +110,7 @@ func Init(in *sinr.Instance, cfg InitConfig) (*InitResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer eng.Close()
 
 	activeCount := func() int {
 		c := 0

@@ -121,6 +121,7 @@ func Join(in *sinr.Instance, bt *tree.BiTree, joiners []int, cfg InitConfig) (*J
 	if err != nil {
 		return nil, err
 	}
+	defer eng.Close()
 
 	remaining := func() int {
 		c := 0

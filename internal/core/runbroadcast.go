@@ -107,6 +107,7 @@ func RunBroadcast(in *sinr.Instance, bt *tree.BiTree, value int64, workers int) 
 	if err != nil {
 		return nil, err
 	}
+	defer eng.Close()
 	eng.Run(len(stamps) + 1)
 
 	out := &BroadcastOutcome{

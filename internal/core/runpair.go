@@ -58,6 +58,7 @@ func RunPairMessage(in *sinr.Instance, bt *tree.BiTree, src, dst int, payload in
 	if err != nil {
 		return nil, err
 	}
+	defer eng.Close()
 	eng.Run(len(upStamps) + 1)
 	upStats := eng.Stats()
 	out := &PairOutcome{SlotsUsed: upStats.Slots, Energy: upStats.Energy}

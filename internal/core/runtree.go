@@ -99,6 +99,7 @@ func RunAggregation(in *sinr.Instance, bt *tree.BiTree, values []int64, f AggFun
 	if err != nil {
 		return nil, err
 	}
+	defer eng.Close()
 	// One extra slot drains the final deliveries into the root's fold.
 	eng.Run(len(stamps) + 1)
 

@@ -85,14 +85,14 @@ func Solve(in *sinr.Instance, links []sinr.Link, opts Options) (powers []float64
 			if i == j {
 				continue
 			}
-			d := in.Dist(lj.From, li.To)
-			if d <= 0 {
+			g := in.Gain(lj.From, li.To)
+			if math.IsInf(g, 1) {
 				// Co-located interferer sender on this receiver: hopeless.
 				return nil, 0, ErrInfeasible
 			}
-			gain[i][j] = math.Pow(d, -p.Alpha)
+			gain[i][j] = g
 		}
-		direct[i] = math.Pow(in.Length(li), -p.Alpha)
+		direct[i] = in.Gain(li.From, li.To)
 	}
 
 	powers = make([]float64, n)

@@ -105,6 +105,7 @@ func Distributed(in *sinr.Instance, links []sinr.Link, pa sinr.Assignment, cfg D
 	if err != nil {
 		return nil, err
 	}
+	defer eng.Close()
 
 	done := func() bool {
 		for _, nd := range nodes {

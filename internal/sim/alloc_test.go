@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"sinrconn/internal/geom"
+	"sinrconn/internal/sinr"
+)
+
+// fixedProto transmits every slot (transmitters) or listens (everyone else)
+// without allocating, so engine-side allocations are directly observable.
+type fixedProto struct {
+	id       int
+	transmit bool
+	power    float64
+}
+
+func (p *fixedProto) Step(slot int, inbox []Delivery) Action {
+	if p.transmit {
+		return Transmit(p.power, Message{Kind: KindBroadcast, From: p.id, To: NoAddressee})
+	}
+	return Listen()
+}
+
+func allocTestEngine(t *testing.T, n, workers int, drop float64) *Engine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{
+			X: float64(i%16)*2 + rng.Float64(),
+			Y: float64(i/16)*2 + rng.Float64(),
+		}
+	}
+	in := sinr.MustInstance(pts, sinr.DefaultParams())
+	power := in.Params().SafePower(4)
+	procs := make([]Protocol, n)
+	for i := 0; i < n; i++ {
+		procs[i] = &fixedProto{id: i, transmit: i%4 == 0, power: power}
+	}
+	e, err := NewEngine(in, procs, Config{Workers: workers, DropProb: drop, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestSlotLoopZeroAlloc asserts the steady-state slot loop performs zero
+// allocations per Step, in both the serial path and the worker-pool path
+// (and with drop injection active, which exercises dropCoin).
+func TestSlotLoopZeroAlloc(t *testing.T) {
+	cases := []struct {
+		name    string
+		workers int
+		drop    float64
+	}{
+		{"serial", 1, 0},
+		{"pool", 4, 0},
+		{"serial_drop", 1, 0.2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := allocTestEngine(t, 128, tc.workers, tc.drop)
+			defer e.Close()
+			// Warm to steady state: inbox buffers reach capacity, the pool
+			// (if any) finishes spinning up.
+			e.Run(8)
+			allocs := testing.AllocsPerRun(50, func() { e.Step() })
+			if allocs != 0 {
+				t.Fatalf("steady-state Step allocates %.1f times/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestPoolMatchesSerial asserts worker-pool execution is bit-identical to
+// serial execution — the determinism-for-a-fixed-Seed contract.
+func TestPoolMatchesSerial(t *testing.T) {
+	run := func(workers int) Stats {
+		e := allocTestEngine(t, 128, workers, 0.15)
+		defer e.Close()
+		e.Run(40)
+		return e.Stats()
+	}
+	serial, pooled := run(1), run(4)
+	if serial != pooled {
+		t.Fatalf("worker count changed results: serial %+v pooled %+v", serial, pooled)
+	}
+}

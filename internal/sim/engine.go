@@ -9,9 +9,14 @@
 // the SINR at every listener from the full set of concurrent senders; and
 // decodable messages are delivered into inboxes the protocols see at the
 // next slot. Node stepping and listener decoding are parallelized with a
-// worker pool — safe because protocols only touch their own state — and all
-// randomness is derived deterministically from the engine seed, so results
-// are reproducible regardless of worker count.
+// persistent worker pool — safe because protocols only touch their own
+// state — and all randomness is derived deterministically from the engine
+// seed, so results are reproducible regardless of worker count.
+//
+// The slot loop is zero-allocation in steady state: workers are spawned once
+// (not per slot), per-worker shard counters replace mutex-guarded stats, and
+// channel resolution reads the sinr physics kernel's cached gain table
+// instead of recomputing path loss per (sender, listener) pair.
 package sim
 
 import (
@@ -150,6 +155,80 @@ type SlotEvent struct {
 // engine goroutine; they must not call back into the engine.
 type Observer func(SlotEvent)
 
+// shard holds one worker's slot counters, padded to a cache line so
+// concurrent workers never contend on the same line. The shards are summed
+// (in worker order, all integers) after the parallel section, so totals are
+// identical to the old mutex-guarded counters.
+type shard struct {
+	delivered int
+	collided  int
+	dropped   int
+	_         [40]byte
+}
+
+// stage identifies the work a dispatched worker round performs.
+type stage uint8
+
+const (
+	stageStep stage = iota + 1
+	stageDecode
+)
+
+// workerPool is a persistent pool of goroutines executing engine stages over
+// static index shards. Workers live for the engine's lifetime (see
+// Engine.Close); dispatching a stage costs one buffered channel send per
+// worker and one WaitGroup wait — no per-slot goroutine spawning and no
+// per-slot allocation.
+type workerPool struct {
+	e   *Engine
+	cmd []chan stage
+	wg  sync.WaitGroup
+}
+
+func newWorkerPool(e *Engine, workers int) *workerPool {
+	p := &workerPool{e: e, cmd: make([]chan stage, workers)}
+	for k := range p.cmd {
+		p.cmd[k] = make(chan stage, 1)
+		go p.work(k)
+	}
+	return p
+}
+
+// work is one worker's loop: receive a stage, process this worker's static
+// shard of the node range, signal completion. Terminates when the command
+// channel closes.
+func (p *workerPool) work(k int) {
+	w := len(p.cmd)
+	for st := range p.cmd[k] {
+		n := len(p.e.procs)
+		chunk := (n + w - 1) / w
+		lo := k * chunk
+		hi := lo + chunk
+		if lo > n {
+			lo = n
+		}
+		if hi > n {
+			hi = n
+		}
+		switch st {
+		case stageStep:
+			p.e.stepRange(lo, hi)
+		case stageDecode:
+			p.e.decodeRange(lo, hi, &p.e.shards[k])
+		}
+		p.wg.Done()
+	}
+}
+
+// dispatch runs one stage across all workers and waits for completion.
+func (p *workerPool) dispatch(st stage) {
+	p.wg.Add(len(p.cmd))
+	for _, c := range p.cmd {
+		c <- st
+	}
+	p.wg.Wait()
+}
+
 // Engine drives a set of per-node protocols over a shared SINR channel.
 type Engine struct {
 	inst    *sinr.Instance
@@ -161,10 +240,20 @@ type Engine struct {
 	next    [][]Delivery
 	actions []Action
 	txs     []sinr.Tx
+
+	// Physics-kernel state hoisted out of the slot loop.
+	beta  float64
+	noise float64
+	gains []float64 // row-major n×n gain table; nil if over memory budget
+
+	shards []shard
+	pool   *workerPool // nil when the engine runs serially
 }
 
 // NewEngine creates an engine over instance inst with one protocol per node.
-// len(procs) must equal inst.Len().
+// len(procs) must equal inst.Len(). Engines whose instance is large enough
+// to parallelize own a persistent worker pool; call Close when done with
+// such an engine to release its goroutines (Close is always safe to call).
 func NewEngine(inst *sinr.Instance, procs []Protocol, cfg Config) (*Engine, error) {
 	if len(procs) != inst.Len() {
 		return nil, fmt.Errorf("sim: %d protocols for %d nodes", len(procs), inst.Len())
@@ -178,14 +267,36 @@ func NewEngine(inst *sinr.Instance, procs []Protocol, cfg Config) (*Engine, erro
 		}
 	}
 	n := inst.Len()
-	return &Engine{
+	p := inst.Params()
+	e := &Engine{
 		inst:    inst,
 		procs:   procs,
 		cfg:     cfg,
 		inboxes: make([][]Delivery, n),
 		next:    make([][]Delivery, n),
 		actions: make([]Action, n),
-	}, nil
+		beta:    p.Beta,
+		noise:   p.Noise,
+		gains:   inst.GainTable(),
+	}
+	if cfg.Workers > 1 && n >= 2*cfg.Workers {
+		e.shards = make([]shard, cfg.Workers)
+		e.pool = newWorkerPool(e, cfg.Workers)
+	} else {
+		e.shards = make([]shard, 1)
+	}
+	return e, nil
+}
+
+// Close releases the engine's worker pool, if any. The engine must not be
+// stepped afterwards. Close is idempotent.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		for _, c := range e.pool.cmd {
+			close(c)
+		}
+		e.pool = nil
+	}
 }
 
 // Slot returns the index of the next slot to execute.
@@ -200,86 +311,105 @@ func (e *Engine) Instance() *sinr.Instance { return e.inst }
 // Step executes one slot: gather actions, resolve the channel, deliver.
 func (e *Engine) Step() {
 	n := len(e.procs)
-	slot := e.slot
 
 	// Stage 1: step every protocol with its inbox (parallel).
-	e.parallel(n, func(i int) {
-		e.actions[i] = e.procs[i].Step(slot, e.inboxes[i])
-		e.next[i] = e.next[i][:0]
-	})
+	if e.pool != nil {
+		e.pool.dispatch(stageStep)
+	} else {
+		e.stepRange(0, n)
+	}
 
 	// Stage 2: collect the sender set.
 	e.txs = e.txs[:0]
-	for i, a := range e.actions {
-		if a.Kind == ActionTransmit {
-			e.txs = append(e.txs, sinr.Tx{Sender: i, Power: a.Power})
-			e.stats.Energy += a.Power
+	for i := range e.actions {
+		if e.actions[i].Kind == ActionTransmit {
+			e.txs = append(e.txs, sinr.Tx{Sender: i, Power: e.actions[i].Power})
+			e.stats.Energy += e.actions[i].Power
 		}
 	}
 	e.stats.Transmissions += len(e.txs)
 
 	// Stage 3: decode at every listener (parallel). Each listener decodes
-	// the strongest sender if its SINR clears β.
-	var delivered, collided, dropped int64
-	var mu sync.Mutex
-	e.parallel(n, func(i int) {
-		if e.actions[i].Kind != ActionListen || len(e.txs) == 0 {
-			return
+	// the strongest sender if its SINR clears β. Counters land in per-worker
+	// shards; no lock is taken.
+	if len(e.txs) > 0 {
+		if e.pool != nil {
+			e.pool.dispatch(stageDecode)
+		} else {
+			e.decodeRange(0, n, &e.shards[0])
 		}
-		d, ok, audible := e.decodeAt(i, slot)
-		if !ok {
-			if audible {
-				mu.Lock()
-				collided++
-				mu.Unlock()
-			}
-			return
-		}
-		if e.cfg.DropProb > 0 && dropCoin(e.cfg.Seed, slot, i) < e.cfg.DropProb {
-			mu.Lock()
-			dropped++
-			mu.Unlock()
-			return
-		}
-		e.next[i] = append(e.next[i], d)
-		mu.Lock()
-		delivered++
-		mu.Unlock()
-	})
-	e.stats.Deliveries += int(delivered)
-	e.stats.Collisions += int(collided)
-	e.stats.Dropped += int(dropped)
+	}
+	var delivered int
+	for k := range e.shards {
+		sh := &e.shards[k]
+		delivered += sh.delivered
+		e.stats.Collisions += sh.collided
+		e.stats.Dropped += sh.dropped
+		sh.delivered, sh.collided, sh.dropped = 0, 0, 0
+	}
+	e.stats.Deliveries += delivered
 
 	// Stage 4: swap inboxes and notify.
 	e.inboxes, e.next = e.next, e.inboxes
+	slot := e.slot
 	e.slot++
 	e.stats.Slots++
 	if e.cfg.Observer != nil {
 		e.cfg.Observer(SlotEvent{
 			Slot:       slot,
 			Senders:    len(e.txs),
-			Deliveries: int(delivered),
+			Deliveries: delivered,
 		})
 	}
 }
 
-// decodeAt resolves reception at listener i in slot: the strongest sender is
-// decoded iff its SINR ≥ β. audible reports whether any signal was received
-// at all (for collision accounting).
-func (e *Engine) decodeAt(i, slot int) (d Delivery, ok, audible bool) {
-	p := e.inst.Params()
-	pt := e.inst.Point(i)
-	var total float64
+// stepRange runs stage 1 for nodes [lo, hi).
+func (e *Engine) stepRange(lo, hi int) {
+	slot := e.slot
+	for i := lo; i < hi; i++ {
+		e.actions[i] = e.procs[i].Step(slot, e.inboxes[i])
+		e.next[i] = e.next[i][:0]
+	}
+}
+
+// decodeRange runs stage 3 for listeners [lo, hi), accumulating counters
+// into sh.
+func (e *Engine) decodeRange(lo, hi int, sh *shard) {
+	for i := lo; i < hi; i++ {
+		if e.actions[i].Kind == ActionListen {
+			e.decodeListener(i, sh)
+		}
+	}
+}
+
+// decodeListener resolves reception at listener i: a single pass over the
+// sender set accumulates total received power and tracks the strongest
+// sender via the cached gain table; the strongest sender is decoded iff its
+// SINR ≥ β. The sender's distance (for Delivery.Dist) is computed once,
+// only for an actual delivery.
+func (e *Engine) decodeListener(i int, sh *shard) {
+	n := len(e.procs)
+	var row []float64
+	if e.gains != nil {
+		row = e.gains[i*n : (i+1)*n]
+	}
+	var total, bestRP float64
 	best := -1
-	bestRP := 0.0
-	for k, t := range e.txs {
-		dist := e.inst.Point(t.Sender).Dist(pt)
-		if dist == 0 {
+	for k := range e.txs {
+		t := &e.txs[k]
+		var g float64
+		if row != nil {
+			g = row[t.Sender]
+		} else {
+			g = e.inst.Gain(t.Sender, i)
+		}
+		if math.IsInf(g, 1) {
 			// A co-located sender (only possible with duplicate points)
 			// saturates the channel; nothing is decodable.
-			return Delivery{}, false, true
+			sh.collided++
+			return
 		}
-		rp := t.Power / math.Pow(dist, p.Alpha)
+		rp := t.Power * g
 		total += rp
 		if rp > bestRP {
 			bestRP = rp
@@ -287,19 +417,26 @@ func (e *Engine) decodeAt(i, slot int) (d Delivery, ok, audible bool) {
 		}
 	}
 	if best < 0 {
-		return Delivery{}, false, false
+		// No audible signal (all senders at zero power).
+		return
 	}
-	sinrVal := bestRP / (p.Noise + (total - bestRP))
-	if sinrVal < p.Beta {
-		return Delivery{}, false, true
+	sinrVal := bestRP / (e.noise + (total - bestRP))
+	if sinrVal < e.beta {
+		sh.collided++
+		return
+	}
+	if e.cfg.DropProb > 0 && dropCoin(e.cfg.Seed, e.slot, i) < e.cfg.DropProb {
+		sh.dropped++
+		return
 	}
 	tx := e.txs[best]
-	return Delivery{
+	e.next[i] = append(e.next[i], Delivery{
 		Msg:  e.actions[tx.Sender].Msg,
-		Dist: e.inst.Point(tx.Sender).Dist(pt),
+		Dist: e.inst.Dist(tx.Sender, i),
 		SINR: sinrVal,
-		Slot: slot,
-	}, true, true
+		Slot: e.slot,
+	})
+	sh.delivered++
 }
 
 // Run executes exactly n slots.
@@ -321,34 +458,6 @@ func (e *Engine) RunUntil(maxSlots int, stop func() bool) int {
 		}
 	}
 	return ran
-}
-
-// parallel runs fn(i) for i in [0,n) across the configured worker count,
-// waiting for completion. For a single worker it degrades to a plain loop.
-func (e *Engine) parallel(n int, fn func(i int)) {
-	w := e.cfg.Workers
-	if w <= 1 || n < 2*w {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + w - 1) / w
-	for start := 0; start < n; start += chunk {
-		end := start + chunk
-		if end > n {
-			end = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(i)
-			}
-		}(start, end)
-	}
-	wg.Wait()
 }
 
 // dropCoin returns a deterministic pseudo-uniform value in [0,1) derived

@@ -15,12 +15,39 @@ type Tx struct {
 // (P_u ≤ βN·d^α). Section 5 requires protocols to pick powers keeping
 // c(u,v) ≤ 2β; SafePower does exactly that.
 func (in *Instance) C(length, pu float64) float64 {
+	return in.cFromLenAlpha(PowAlpha(length, in.params.Alpha), pu)
+}
+
+// cFromLenAlpha is C with the link's path loss ℓ^α already computed — the
+// memoized form the kernel hands around so c(u,v) costs one divide inside
+// affectance loops.
+func (in *Instance) cFromLenAlpha(lenAlpha, pu float64) float64 {
 	p := in.params
-	denom := 1 - p.Beta*p.Noise*math.Pow(length, p.Alpha)/pu
+	denom := 1 - p.Beta*p.Noise*lenAlpha/pu
 	if denom <= 0 {
 		return math.Inf(1)
 	}
 	return p.Beta / denom
+}
+
+// affectanceTerm returns one interferer's thresholded affectance on a link
+// whose per-link constants are hoisted: v is the link's receiver, pu the
+// link sender's power, lenAlpha = d(u,v)^α, c = c(u,v), and cap_ = 1+ε.
+// The caller has already excluded the link's own sender.
+func (in *Instance) affectanceTerm(w int, pw float64, v int, pu, lenAlpha, c, cap_ float64) float64 {
+	gwv := in.Gain(w, v) // d(w,v)^{-α}
+	if math.IsInf(gwv, 1) {
+		// Interferer co-located with the receiver.
+		return cap_
+	}
+	if math.IsInf(c, 1) {
+		return cap_
+	}
+	a := c * (pw / pu) * lenAlpha * gwv
+	if a > cap_ {
+		return cap_
+	}
+	return a
 }
 
 // Affectance returns the thresholded affectance a_w(ℓ) of a sender w
@@ -36,29 +63,23 @@ func (in *Instance) Affectance(w int, pw float64, l Link, pu float64) float64 {
 	if w == l.From {
 		return 0
 	}
-	p := in.params
-	cap_ := 1 + p.Epsilon
-	dwv := in.Dist(w, l.To)
-	if dwv <= 0 {
-		return cap_
-	}
-	duv := in.Length(l)
-	c := in.C(duv, pu)
-	if math.IsInf(c, 1) {
-		return cap_
-	}
-	a := c * (pw / pu) * math.Pow(duv/dwv, p.Alpha)
-	if a > cap_ {
-		return cap_
-	}
-	return a
+	lenAlpha := in.LengthAlpha(l)
+	c := in.cFromLenAlpha(lenAlpha, pu)
+	return in.affectanceTerm(w, pw, l.To, pu, lenAlpha, c, 1+in.params.Epsilon)
 }
 
-// SetAffectance returns a_S(ℓ) = Σ_{w∈S} a_w(ℓ) for the sender set txs.
+// SetAffectance returns a_S(ℓ) = Σ_{w∈S} a_w(ℓ) for the sender set txs. The
+// link constants c(u,v) and d(u,v)^α are computed once for the whole sum.
 func (in *Instance) SetAffectance(txs []Tx, l Link, pu float64) float64 {
+	cap_ := 1 + in.params.Epsilon
+	lenAlpha := in.LengthAlpha(l)
+	c := in.cFromLenAlpha(lenAlpha, pu)
 	sum := 0.0
 	for _, t := range txs {
-		sum += in.Affectance(t.Sender, t.Power, l, pu)
+		if t.Sender == l.From {
+			continue
+		}
+		sum += in.affectanceTerm(t.Sender, t.Power, l.To, pu, lenAlpha, c, cap_)
 	}
 	return sum
 }
@@ -69,11 +90,19 @@ func (in *Instance) LinkAffectance(other, l Link, pa Assignment) float64 {
 	return in.Affectance(other.From, pa.Power(in, other), l, pa.Power(in, l))
 }
 
-// SetLinkAffectance returns a_L(ℓ) = Σ_{ℓ'∈L} a_ℓ'(ℓ) under assignment pa.
+// SetLinkAffectance returns a_L(ℓ) = Σ_{ℓ'∈L} a_ℓ'(ℓ) under assignment pa,
+// with link l's constants hoisted out of the loop.
 func (in *Instance) SetLinkAffectance(set []Link, l Link, pa Assignment) float64 {
+	pu := pa.Power(in, l)
+	cap_ := 1 + in.params.Epsilon
+	lenAlpha := in.LengthAlpha(l)
+	c := in.cFromLenAlpha(lenAlpha, pu)
 	sum := 0.0
 	for _, o := range set {
-		sum += in.LinkAffectance(o, l, pa)
+		if o.From == l.From {
+			continue
+		}
+		sum += in.affectanceTerm(o.From, pa.Power(in, o), l.To, pu, lenAlpha, c, cap_)
 	}
 	return sum
 }
@@ -95,10 +124,17 @@ func (in *Instance) OutAffectance(l Link, set []Link, pa Assignment) float64 {
 // interference. It returns 0 if the sender is absent.
 func (in *Instance) SINR(txs []Tx, l Link) float64 {
 	p := in.params
+	row := in.GainRow(l.To)
 	signal := 0.0
 	interference := 0.0
 	for _, t := range txs {
-		rp := t.Power / math.Pow(in.Dist(t.Sender, l.To), p.Alpha)
+		var g float64
+		if row != nil {
+			g = row[t.Sender]
+		} else {
+			g = in.Gain(t.Sender, l.To)
+		}
+		rp := t.Power * g
 		if t.Sender == l.From {
 			signal += rp
 		} else {
@@ -120,22 +156,29 @@ func (in *Instance) SINR(txs []Tx, l Link) float64 {
 // measured affectance is a deterministic function of it). Returns +Inf when
 // the link cannot overcome noise.
 func (in *Instance) MeasuredAffectance(txs []Tx, l Link, pu float64) float64 {
-	p := in.params
-	c := in.C(in.Length(l), pu)
+	lenAlpha := in.LengthAlpha(l)
+	c := in.cFromLenAlpha(lenAlpha, pu)
 	if math.IsInf(c, 1) {
 		return math.Inf(1)
 	}
-	signal := pu / math.Pow(in.Length(l), p.Alpha)
+	signal := pu / lenAlpha
+	row := in.GainRow(l.To)
 	interference := 0.0
 	for _, t := range txs {
 		if t.Sender == l.From {
 			continue
 		}
-		d := in.Dist(t.Sender, l.To)
-		if d <= 0 {
+		var g float64
+		if row != nil {
+			g = row[t.Sender]
+		} else {
+			g = in.Gain(t.Sender, l.To)
+		}
+		if math.IsInf(g, 1) {
+			// Zero distance to the receiver.
 			return math.Inf(1)
 		}
-		interference += t.Power / math.Pow(d, p.Alpha)
+		interference += t.Power * g
 	}
 	return c * interference / signal
 }
@@ -144,12 +187,21 @@ func (in *Instance) MeasuredAffectance(txs []Tx, l Link, pu float64) float64 {
 // concurrently with the given per-link powers, meets the SINR threshold β
 // (Eqn 1). Links and powers must have equal length.
 func (in *Instance) SINRFeasible(links []Link, powers []float64) (bool, error) {
+	return in.SINRFeasibleBuf(links, powers, nil)
+}
+
+// SINRFeasibleBuf is SINRFeasible with a caller-provided Tx scratch buffer,
+// reused when its capacity suffices, so hot validators allocate nothing.
+func (in *Instance) SINRFeasibleBuf(links []Link, powers []float64, scratch []Tx) (bool, error) {
 	if len(links) != len(powers) {
 		return false, ErrMismatchedLengths
 	}
-	txs := make([]Tx, len(links))
+	txs := scratch[:0]
+	if cap(txs) < len(links) {
+		txs = make([]Tx, 0, len(links))
+	}
 	for i, l := range links {
-		txs[i] = Tx{Sender: l.From, Power: powers[i]}
+		txs = append(txs, Tx{Sender: l.From, Power: powers[i]})
 	}
 	for _, l := range links {
 		if in.SINR(txs, l) < in.params.Beta-1e-9 {
@@ -167,7 +219,7 @@ func (in *Instance) SINRFeasible(links []Link, powers []float64) (bool, error) {
 // floating error.
 func (in *Instance) Feasible(links []Link, pa Assignment) bool {
 	for _, l := range links {
-		if math.IsInf(in.C(in.Length(l), pa.Power(in, l)), 1) {
+		if math.IsInf(in.cFromLenAlpha(in.LengthAlpha(l), pa.Power(in, l)), 1) {
 			return false
 		}
 		if in.SetLinkAffectance(links, l, pa) > 1+1e-9 {

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"sinrconn/internal/geom"
 )
@@ -54,7 +55,7 @@ func (p Params) Validate() error {
 // MinPower returns the minimum transmission power that lets a link of the
 // given length meet SINR β against noise alone (with zero slack).
 func (p Params) MinPower(length float64) float64 {
-	return p.Beta * p.Noise * math.Pow(length, p.Alpha)
+	return p.Beta * p.Noise * PowAlpha(length, p.Alpha)
 }
 
 // SafePower returns the power 2βN·ℓ^α that guarantees c(u,v) ≤ 2β for a link
@@ -81,11 +82,17 @@ func (l Link) Dual() Link { return Link{From: l.To, To: l.From} }
 func (l Link) String() string { return fmt.Sprintf("%d->%d", l.From, l.To) }
 
 // Instance binds a point set to physical parameters. All SINR computations
-// are methods on Instance so that distances are computed in one place.
+// are methods on Instance so that distances are computed in one place. The
+// physics kernel (kernel.go) hangs off the instance: a lazily built gain
+// table caching d(u,v)^{-α} for every pair, shared by every layer that
+// computes interference.
 type Instance struct {
 	pts    []geom.Point
 	params Params
 	delta  float64
+
+	gainOnce sync.Once
+	gain     []float64 // row-major n×n, entry v·n+u = d(u,v)^{-α}; nil if over budget
 }
 
 // NewInstance creates an instance over pts. The points are not copied; the

@@ -1,9 +1,6 @@
 package sinr
 
-import (
-	"fmt"
-	"math"
-)
+import "fmt"
 
 // Assignment maps each link to the transmission power its sender uses. The
 // paper studies oblivious assignments (power depends only on link length) —
@@ -49,7 +46,7 @@ var _ Assignment = Linear{}
 
 // Power implements Assignment.
 func (a Linear) Power(in *Instance, l Link) float64 {
-	return a.Scale * math.Pow(in.Length(l), in.params.Alpha)
+	return a.Scale * in.LengthAlpha(l)
 }
 
 // Name implements Assignment.
@@ -72,7 +69,8 @@ var _ Assignment = Mean{}
 
 // Power implements Assignment.
 func (a Mean) Power(in *Instance, l Link) float64 {
-	return a.Scale * math.Pow(in.Length(l), in.params.Alpha/2)
+	// α/2 hits PowAlphaSq's half-integer path for integer α: one sqrt, no Pow.
+	return a.Scale * PowAlphaSq(in.DistSq(l.From, l.To), in.params.Alpha/2)
 }
 
 // Name implements Assignment.
@@ -88,7 +86,7 @@ func NoiseSafeMean(p Params, maxLen float64) Mean {
 	if maxLen < 1 {
 		maxLen = 1
 	}
-	return Mean{Scale: 2 * p.Beta * p.Noise * math.Pow(maxLen, p.Alpha/2)}
+	return Mean{Scale: 2 * p.Beta * p.Noise * PowAlpha(maxLen, p.Alpha/2)}
 }
 
 // PerLink is an arbitrary per-link power table, the output of power-control

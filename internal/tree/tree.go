@@ -247,8 +247,74 @@ func (t *BiTree) ValidateOrdering() error {
 
 // ValidatePerSlotFeasible groups the aggregation links by slot and checks
 // that each group is SINR-feasible under the stamped powers — the property
-// that makes the slot stamps an actual schedule.
+// that makes the slot stamps an actual schedule. Links are bucketed with a
+// counting sort over the slot range and one set of scratch buffers is reused
+// across groups, so validation of large trees stays allocation-light and
+// rides the sinr gain table for the physics.
 func (t *BiTree) ValidatePerSlotFeasible(in *sinr.Instance) error {
+	if len(t.Up) == 0 {
+		return nil
+	}
+	minSlot, maxSlot := t.Up[0].Slot, t.Up[0].Slot
+	for _, tl := range t.Up {
+		if tl.Slot < minSlot {
+			minSlot = tl.Slot
+		}
+		if tl.Slot > maxSlot {
+			maxSlot = tl.Slot
+		}
+	}
+	// Counting sort by slot: offsets[s] is the start of slot s's group.
+	span := maxSlot - minSlot + 1
+	if span > 16*len(t.Up)+1024 {
+		// Degenerate sparse stamps; bucket through a map instead.
+		return t.validatePerSlotFeasibleSparse(in)
+	}
+	counts := make([]int, span+1)
+	for _, tl := range t.Up {
+		counts[tl.Slot-minSlot+1]++
+	}
+	maxGroup := 0
+	for s := 0; s < span; s++ {
+		if counts[s+1] > maxGroup {
+			maxGroup = counts[s+1]
+		}
+		counts[s+1] += counts[s]
+	}
+	ordered := make([]TimedLink, len(t.Up))
+	fill := make([]int, span)
+	copy(fill, counts[:span])
+	for _, tl := range t.Up {
+		s := tl.Slot - minSlot
+		ordered[fill[s]] = tl
+		fill[s]++
+	}
+	links := make([]sinr.Link, maxGroup)
+	powers := make([]float64, maxGroup)
+	txs := make([]sinr.Tx, maxGroup)
+	for s := 0; s < span; s++ {
+		group := ordered[counts[s]:counts[s+1]]
+		if len(group) == 0 {
+			continue
+		}
+		for i, tl := range group {
+			links[i] = tl.L
+			powers[i] = tl.Power
+		}
+		ok, err := in.SINRFeasibleBuf(links[:len(group)], powers[:len(group)], txs)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("tree: slot %d is not SINR-feasible (%d links)", s+minSlot, len(group))
+		}
+	}
+	return nil
+}
+
+// validatePerSlotFeasibleSparse is the map-bucketed fallback for trees whose
+// slot stamps are far sparser than the link count.
+func (t *BiTree) validatePerSlotFeasibleSparse(in *sinr.Instance) error {
 	bySlot := make(map[int][]TimedLink)
 	for _, tl := range t.Up {
 		bySlot[tl.Slot] = append(bySlot[tl.Slot], tl)
