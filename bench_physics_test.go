@@ -57,6 +57,7 @@ func BenchmarkSlotPhysics(b *testing.B) {
 	for _, n := range []int{256, 1024, 4096} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			eng := physEngine(b, n, 0)
+			defer eng.Close()
 			// Warm to steady state: inbox buffers reach final capacity and
 			// the worker pool (if any) is spun up before measurement.
 			eng.Run(3)
@@ -78,6 +79,7 @@ func BenchmarkSlotPhysicsSerial(b *testing.B) {
 	for _, n := range []int{256, 1024} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			eng := physEngine(b, n, 1)
+			defer eng.Close()
 			eng.Run(3)
 			b.ReportAllocs()
 			b.ResetTimer()

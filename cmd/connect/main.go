@@ -7,7 +7,8 @@
 //
 // Pipelines: init (Section 6), reschedule (Section 7), mean (Section 8,
 // mean power), arbitrary (Section 8, power control).
-// Workloads: uniform, clusters, grid, chain.
+// Workloads: every generator of the scenario matrix (workload.Matrix) —
+// uniform, clusters, grid, chain, gaussians, annulus, powerlaw, city.
 package main
 
 import (
@@ -20,7 +21,6 @@ import (
 
 	"sinrconn"
 
-	"sinrconn/internal/geom"
 	"sinrconn/internal/workload"
 )
 
@@ -34,7 +34,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("connect", flag.ContinueOnError)
 	n := fs.Int("n", 64, "number of nodes")
-	wl := fs.String("workload", "uniform", "workload: uniform|clusters|grid|chain")
+	wl := fs.String("workload", "uniform", "workload: uniform|clusters|grid|chain|gaussians|annulus|powerlaw|city")
 	pipeline := fs.String("pipeline", "arbitrary", "pipeline: init|reschedule|mean|arbitrary")
 	seed := fs.Int64("seed", 1, "random seed")
 	drop := fs.Float64("drop", 0, "reception drop probability in [0,1)")
@@ -98,27 +98,17 @@ func run(args []string, out io.Writer) error {
 }
 
 func generate(name string, n int, seed int64) ([]sinrconn.Point, error) {
-	rng := rand.New(rand.NewSource(seed))
-	var g []geom.Point
-	switch name {
-	case "uniform":
-		g = workload.UniformDensity(rng, n, 0.15)
-	case "clusters":
-		g = workload.Clusters(rng, n, 1+n/32, 6, 100)
-	case "grid":
-		side := 1
-		for side*side < n {
-			side++
+	for _, spec := range workload.Matrix() {
+		if spec.Name != name {
+			continue
 		}
-		g = workload.GridPoints(side, side, 2)[:n]
-	case "chain":
-		g = workload.ChainForDelta(n, 1<<16)
-	default:
-		return nil, fmt.Errorf("unknown workload %q", name)
+		rng := rand.New(rand.NewSource(seed))
+		g := spec.Gen(rng, n)
+		pts := make([]sinrconn.Point, len(g))
+		for i, p := range g {
+			pts[i] = sinrconn.Point{X: p.X, Y: p.Y}
+		}
+		return pts, nil
 	}
-	pts := make([]sinrconn.Point, len(g))
-	for i, p := range g {
-		pts[i] = sinrconn.Point{X: p.X, Y: p.Y}
-	}
-	return pts, nil
+	return nil, fmt.Errorf("unknown workload %q", name)
 }

@@ -25,7 +25,7 @@ func TestRunPipelines(t *testing.T) {
 }
 
 func TestRunWorkloads(t *testing.T) {
-	for _, wl := range []string{"uniform", "clusters", "grid", "chain"} {
+	for _, wl := range []string{"uniform", "clusters", "grid", "chain", "gaussians", "annulus", "powerlaw", "city"} {
 		t.Run(wl, func(t *testing.T) {
 			var b strings.Builder
 			if err := run([]string{"-n", "20", "-workload", wl, "-pipeline", "init"}, &b); err != nil {
@@ -59,7 +59,7 @@ func TestRunErrors(t *testing.T) {
 }
 
 func TestGenerateShapes(t *testing.T) {
-	for _, wl := range []string{"uniform", "clusters", "grid", "chain"} {
+	for _, wl := range []string{"uniform", "clusters", "grid", "chain", "gaussians", "annulus", "powerlaw", "city"} {
 		pts, err := generate(wl, 25, 1)
 		if err != nil {
 			t.Fatal(err)

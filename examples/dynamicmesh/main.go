@@ -9,83 +9,110 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"math/rand"
+	"os"
 
 	"sinrconn"
 )
 
 func main() {
+	if err := run(os.Stdout, 48, 18, 1); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run walks the full lifecycle on n nodes scattered on a span×span square.
+// seed drives the protocol randomness only; the topology seed is fixed so
+// the example's mesh (and narrative output) stays stable across seeds.
+func run(out io.Writer, n int, span float64, seed int64) error {
 	rng := rand.New(rand.NewSource(99))
-	pts := scatter(rng, 48, 18)
+	pts := scatter(rng, n, span)
 
-	res, err := sinrconn.BuildInitialBiTree(pts, sinrconn.Options{Seed: 1})
+	res, err := sinrconn.BuildInitialBiTree(pts, sinrconn.Options{Seed: seed})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	report("initial network", res)
+	if err := report(out, "initial network", res); err != nil {
+		return err
+	}
 
-	// A remote cluster of three nodes powers on.
-	late := []sinrconn.Point{{X: 60, Y: 5}, {X: 62.5, Y: 3}, {X: 64, Y: 6}}
-	res, err = res.JoinPoints(late, sinrconn.Options{Seed: 2})
+	// A remote cluster of three nodes powers on, clear of the square.
+	off := span + 42
+	late := []sinrconn.Point{{X: off, Y: 5}, {X: off + 2.5, Y: 3}, {X: off + 4, Y: 6}}
+	res, err = res.JoinPoints(late, sinrconn.Options{Seed: seed + 1})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	report("after 3 late joiners", res)
+	if err := report(out, "after 3 late joiners", res); err != nil {
+		return err
+	}
 
-	// An interior node dies; its subtrees must re-attach.
+	// An interior node dies; its subtrees must re-attach. Scan node ids in
+	// order (not map order) so the chosen victim — and the rest of the
+	// narrative — is deterministic. (Fall back to the first non-root node
+	// if the tree happens to have no 2-child interior node.)
 	par := res.Tree.Parent()
 	counts := map[int]int{}
 	for _, p := range par {
 		counts[p]++
 	}
 	victim := -1
-	for v, c := range counts {
-		if v != res.Tree.Root && c >= 2 {
+	for v := 0; v < res.Tree.NumNodes && victim < 0; v++ {
+		if v != res.Tree.Root && counts[v] >= 2 {
 			victim = v
-			break
 		}
 	}
-	if victim < 0 {
-		log.Fatal("no interior node with 2+ children")
+	for v := 0; v < res.Tree.NumNodes && victim < 0; v++ {
+		if v != res.Tree.Root {
+			if _, ok := par[v]; ok {
+				victim = v
+			}
+		}
 	}
-	res, err = res.RepairFailures([]int{victim}, sinrconn.Options{Seed: 3})
+	res, err = res.RepairFailures([]int{victim}, sinrconn.Options{Seed: seed + 2})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	report(fmt.Sprintf("after interior node %d failed", victim), res)
+	if err := report(out, fmt.Sprintf("after interior node %d failed", victim), res); err != nil {
+		return err
+	}
 
 	// The root itself dies; a new root is promoted.
 	old := res.Tree.Root
-	res, err = res.RepairFailures([]int{old}, sinrconn.Options{Seed: 4})
+	res, err = res.RepairFailures([]int{old}, sinrconn.Options{Seed: seed + 3})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	report(fmt.Sprintf("after root %d failed (new root %d)", old, res.Tree.Root), res)
+	if err := report(out, fmt.Sprintf("after root %d failed (new root %d)", old, res.Tree.Root), res); err != nil {
+		return err
+	}
 
 	// A link is blocked by an obstacle (both endpoints alive); the orphaned
 	// subtree must re-attach without re-forming that link.
 	blocked := res.Tree.Up[0].Link
-	res, err = res.RepairLinkFailures([]sinrconn.Link{blocked}, sinrconn.Options{Seed: 5})
+	res, err = res.RepairLinkFailures([]sinrconn.Link{blocked}, sinrconn.Options{Seed: seed + 4})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for _, l := range res.Tree.Up {
 		if l.Link == blocked {
-			log.Fatal("blocked link re-formed")
+			return fmt.Errorf("blocked link re-formed")
 		}
 	}
-	report(fmt.Sprintf("after link %d->%d was blocked", blocked.From, blocked.To), res)
+	return report(out, fmt.Sprintf("after link %d->%d was blocked", blocked.From, blocked.To), res)
 }
 
-func report(stage string, res *sinrconn.Result) {
+func report(out io.Writer, stage string, res *sinrconn.Result) error {
 	if err := res.Tree.Verify(); err != nil {
-		log.Fatalf("%s: verification failed: %v", stage, err)
+		return fmt.Errorf("%s: verification failed: %w", stage, err)
 	}
 	m := res.Metrics
-	fmt.Printf("%-36s nodes=%-3d schedule=%-3d channel slots=%-5d agg latency=%d\n",
+	fmt.Fprintf(out, "%-36s nodes=%-3d schedule=%-3d channel slots=%-5d agg latency=%d\n",
 		stage, res.Tree.NumNodes, m.ScheduleLength, m.SlotsUsed, m.AggregationLatency)
+	return nil
 }
 
 func scatter(rng *rand.Rand, n int, span float64) []sinrconn.Point {

@@ -1,0 +1,14 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// TestRunSmoke compiles and runs the full lifecycle on a tiny mesh
+// ("exit 0" = run returns nil).
+func TestRunSmoke(t *testing.T) {
+	if err := run(io.Discard, 20, 12, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,16 +10,26 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"os"
 
 	"sinrconn"
 )
 
 func main() {
-	pts := expChain(40, 1.35)
+	if err := run(os.Stdout, 40, 1.35, 13); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	opt := sinrconn.Options{Seed: 13}
+// run compares all four pipelines on an n-point exponential chain with the
+// given growth factor.
+func run(out io.Writer, n int, base float64, seed int64) error {
+	pts := expChain(n, base)
+
+	opt := sinrconn.Options{Seed: seed}
 	type row struct {
 		name    string
 		builder func([]sinrconn.Point, sinrconn.Options) (*sinrconn.Result, error)
@@ -32,21 +42,22 @@ func main() {
 	}
 
 	var delta, upsilon float64
-	fmt.Printf("%-38s %10s %14s\n", "pipeline", "schedule", "build slots")
+	fmt.Fprintf(out, "%-38s %10s %14s\n", "pipeline", "schedule", "build slots")
 	for _, r := range rows {
 		res, err := r.builder(pts, opt)
 		if err != nil {
-			log.Fatalf("%s: %v", r.name, err)
+			return fmt.Errorf("%s: %w", r.name, err)
 		}
 		delta, upsilon = res.Metrics.Delta, res.Metrics.Upsilon
-		fmt.Printf("%-38s %10d %14d\n", r.name, res.Metrics.ScheduleLength, res.Metrics.SlotsUsed)
+		fmt.Fprintf(out, "%-38s %10d %14d\n", r.name, res.Metrics.ScheduleLength, res.Metrics.SlotsUsed)
 	}
-	fmt.Printf("\ninstance: n=%d exponential chain, Δ=%.0f (log₂Δ=%.1f), Υ=%.1f, log₂n=%.1f\n",
-		len(pts), delta, math.Log2(delta), upsilon, math.Log2(float64(len(pts))))
-	fmt.Println("\nreading the table:")
-	fmt.Println(" - Section 6 stamps carry the log Δ·log n construction cost into the schedule;")
-	fmt.Println(" - Section 7 keeps the same tree but re-schedules it with mean power;")
-	fmt.Println(" - Section 8 rebuilds the tree so the final schedule matches centralized bounds.")
+	fmt.Fprintf(out, "\ninstance: n=%d exponential chain, Δ=%.0f (log₂Δ=%.1f), Υ=%.1f, log₂n=%.1f\n",
+		n, delta, math.Log2(delta), upsilon, math.Log2(float64(n)))
+	fmt.Fprintln(out, "\nreading the table:")
+	fmt.Fprintln(out, " - Section 6 stamps carry the log Δ·log n construction cost into the schedule;")
+	fmt.Fprintln(out, " - Section 7 keeps the same tree but re-schedules it with mean power;")
+	fmt.Fprintln(out, " - Section 8 rebuilds the tree so the final schedule matches centralized bounds.")
+	return nil
 }
 
 // expChain builds an n-point exponential chain with growth factor base.

@@ -1,0 +1,14 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// TestRunSmoke compiles and runs all four pipelines on a tiny chain
+// ("exit 0" = run returns nil).
+func TestRunSmoke(t *testing.T) {
+	if err := run(io.Discard, 12, 1.3, 13); err != nil {
+		t.Fatal(err)
+	}
+}

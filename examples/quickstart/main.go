@@ -6,43 +6,56 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"math/rand"
+	"os"
 
 	"sinrconn"
 )
 
 func main() {
-	// Scatter 64 nodes on a square with minimum pairwise distance 1 (the
+	if err := run(os.Stdout, 64, 21, 7); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run builds and verifies the structure for n nodes scattered on a
+// span×span square, writing the report to out. seed drives the protocol
+// randomness only; the topology seed is fixed so the example's instance
+// (and narrative output) stays stable across seeds.
+func run(out io.Writer, n int, span float64, seed int64) error {
+	// Scatter nodes on a square with minimum pairwise distance 1 (the
 	// SINR model's normalization).
 	rng := rand.New(rand.NewSource(42))
-	pts := scatter(rng, 64, 21)
+	pts := scatter(rng, n, span)
 
 	// Build the Section-8 bi-tree: O(log n) schedule slots with computed
 	// per-link powers. All protocol work happens over a simulated SINR
 	// channel — the nodes have no other way to talk.
-	res, err := sinrconn.BuildBiTreeArbitraryPower(pts, sinrconn.Options{Seed: 7})
+	res, err := sinrconn.BuildBiTreeArbitraryPower(pts, sinrconn.Options{Seed: seed})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	m := res.Metrics
-	fmt.Printf("instance: n=%d  Δ=%.1f  Υ=%.1f\n", len(pts), m.Delta, m.Upsilon)
-	fmt.Printf("bi-tree:  root=%d  depth=%d  max degree=%d\n",
+	fmt.Fprintf(out, "instance: n=%d  Δ=%.1f  Υ=%.1f\n", len(pts), m.Delta, m.Upsilon)
+	fmt.Fprintf(out, "bi-tree:  root=%d  depth=%d  max degree=%d\n",
 		res.Tree.Root, res.Tree.Depth(), res.Tree.MaxDegree())
-	fmt.Printf("schedule: %d slots (log₂ n = %.1f)\n",
+	fmt.Fprintf(out, "schedule: %d slots (log₂ n = %.1f)\n",
 		m.ScheduleLength, math.Log2(float64(len(pts))))
-	fmt.Printf("latency:  converge-cast %d slots, broadcast %d slots\n",
+	fmt.Fprintf(out, "latency:  converge-cast %d slots, broadcast %d slots\n",
 		m.AggregationLatency, m.BroadcastLatency)
-	fmt.Printf("cost:     %d channel slots to build, distributedly\n", m.SlotsUsed)
+	fmt.Fprintf(out, "cost:     %d channel slots to build, distributedly\n", m.SlotsUsed)
 
 	// Re-verify everything the theorems promise: spanning bi-tree, strong
 	// connectivity, aggregation ordering, per-slot SINR feasibility.
 	if err := res.Tree.Verify(); err != nil {
-		log.Fatal("verification failed: ", err)
+		return fmt.Errorf("verification failed: %w", err)
 	}
-	fmt.Println("verify:   tree, ordering, and schedule feasibility all OK")
+	fmt.Fprintln(out, "verify:   tree, ordering, and schedule feasibility all OK")
+	return nil
 }
 
 func scatter(rng *rand.Rand, n int, span float64) []sinrconn.Point {

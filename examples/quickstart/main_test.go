@@ -1,0 +1,14 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// TestRunSmoke compiles and runs the example end to end on a tiny instance
+// ("exit 0" = run returns nil).
+func TestRunSmoke(t *testing.T) {
+	if err := run(io.Discard, 14, 10, 7); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,27 +10,39 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"math/rand"
+	"os"
 
 	"sinrconn"
 )
 
 func main() {
-	rng := rand.New(rand.NewSource(11))
-	pts := clusteredField(rng, 80, 5, 7, 60)
-
-	res, err := sinrconn.BuildBiTreeMeanPower(pts, sinrconn.Options{Seed: 3})
-	if err != nil {
+	if err := run(os.Stdout, 80, 5, 7, 60, 3); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// run deploys n sensors in k pockets of the given radius on a span×span
+// field, builds the aggregation tree, and executes one physical epoch.
+// seed drives the protocol randomness only; the deployment seed is fixed
+// so the example's field (and narrative output) stays stable across seeds.
+func run(out io.Writer, n, k int, radius, span float64, seed int64) error {
+	rng := rand.New(rand.NewSource(11))
+	pts := clusteredField(rng, n, k, radius, span)
+
+	res, err := sinrconn.BuildBiTreeMeanPower(pts, sinrconn.Options{Seed: seed})
+	if err != nil {
+		return err
 	}
 	if err := res.Tree.Verify(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	m := res.Metrics
-	fmt.Printf("sensor field: %d sensors in 5 pockets, Δ=%.1f\n", len(pts), m.Delta)
-	fmt.Printf("aggregation tree: root (sink) = node %d, %d slots/epoch, built in %d channel slots\n",
+	fmt.Fprintf(out, "sensor field: %d sensors in %d pockets, Δ=%.1f\n", len(pts), k, m.Delta)
+	fmt.Fprintf(out, "aggregation tree: root (sink) = node %d, %d slots/epoch, built in %d channel slots\n",
 		res.Tree.Root, m.ScheduleLength, m.SlotsUsed)
 
 	// Synthetic readings: a hotspot near the first pocket.
@@ -50,18 +62,19 @@ func main() {
 	for i, r := range readings {
 		values[i] = int64(math.Round(r * 100))
 	}
-	out, err := res.Aggregate(values, sinrconn.MaxAgg, sinrconn.Options{})
+	outcome, err := res.Aggregate(values, sinrconn.MaxAgg, sinrconn.Options{})
 	if err != nil {
-		log.Fatal("epoch failed on the channel: ", err)
+		return fmt.Errorf("epoch failed on the channel: %w", err)
 	}
-	sinkMax := float64(out.Value) / 100
-	fmt.Printf("physical epoch: sink read max=%.2f°C (true max %.2f°C) in %d channel slots\n",
-		sinkMax, trueMax, out.SlotsUsed)
-	fmt.Printf("energy spent this epoch: %.3g; converge-cast latency metric: %d slots\n",
-		out.Energy, m.AggregationLatency)
+	sinkMax := float64(outcome.Value) / 100
+	fmt.Fprintf(out, "physical epoch: sink read max=%.2f°C (true max %.2f°C) in %d channel slots\n",
+		sinkMax, trueMax, outcome.SlotsUsed)
+	fmt.Fprintf(out, "energy spent this epoch: %.3g; converge-cast latency metric: %d slots\n",
+		outcome.Energy, m.AggregationLatency)
 	if math.Abs(sinkMax-trueMax) > 0.01 {
-		log.Fatal("aggregation lost the maximum — schedule violation")
+		return fmt.Errorf("aggregation lost the maximum — schedule violation")
 	}
+	return nil
 }
 
 // clusteredField places n sensors in k pockets of the given radius on a

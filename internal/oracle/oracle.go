@@ -1,0 +1,214 @@
+// Package oracle is the deliberately naive, obviously-correct reference
+// implementation of the SINR model — the differential oracle the fast
+// physics kernel (internal/sinr) and the simulator (internal/sim) are
+// tested against.
+//
+// Everything here is written for transparency, not speed: distances via
+// math.Hypot, path loss via math.Pow, O(n²) loops, no caching, no pooling,
+// no gain tables, no memoized link constants. The package must stay free of
+// any kernel/pool/caching code forever, so that when an optimization PR
+// breaks the physics, the disagreement with this package is the proof.
+//
+// The package imports internal/sinr and internal/tree for their plain data
+// types only (Params, Link, Tx, TimedLink) — it never calls a method on
+// sinr.Instance or tree.BiTree. All computations take raw point slices.
+package oracle
+
+import (
+	"math"
+
+	"sinrconn/internal/geom"
+	"sinrconn/internal/sinr"
+)
+
+// Dist returns the Euclidean distance between nodes u and v of pts, via
+// math.Hypot — the textbook formulation.
+func Dist(pts []geom.Point, u, v int) float64 {
+	return math.Hypot(pts[u].X-pts[v].X, pts[u].Y-pts[v].Y)
+}
+
+// PathLoss returns d^α via math.Pow, the naive formulation the fast
+// PowAlpha/PowAlphaSq kernel paths are pinned against.
+func PathLoss(d, alpha float64) float64 {
+	return math.Pow(d, alpha)
+}
+
+// Gain returns the channel gain d(u,v)^{-α}, +Inf at zero distance (the
+// saturation sentinel shared with the kernel).
+func Gain(pts []geom.Point, alpha float64, u, v int) float64 {
+	d := Dist(pts, u, v)
+	if d == 0 {
+		return math.Inf(1)
+	}
+	return 1 / PathLoss(d, alpha)
+}
+
+// C returns the paper's noise-derating constant c(u,v) = β/(1 − βN·ℓ^α/P_u)
+// for a link of the given length whose sender uses power pu, +Inf when the
+// link cannot meet SINR β against noise alone.
+func C(p sinr.Params, length, pu float64) float64 {
+	denom := 1 - p.Beta*p.Noise*PathLoss(length, p.Alpha)/pu
+	if denom <= 0 {
+		return math.Inf(1)
+	}
+	return p.Beta / denom
+}
+
+// Affectance returns the thresholded affectance a_w(ℓ) of sender w with
+// power pw on link l whose sender uses power pu (Section 5):
+//
+//	a_w(ℓ) = min{ 1+ε, c(u,v)·(P_w/P_u)·(d(u,v)/d(w,v))^α }
+//
+// with the kernel's conventions: the link's own sender contributes 0, a
+// sender co-located with the receiver contributes the cap, and a link that
+// cannot overcome noise (c = +Inf) receives the cap from every interferer.
+func Affectance(pts []geom.Point, p sinr.Params, w int, pw float64, l sinr.Link, pu float64) float64 {
+	if w == l.From {
+		return 0
+	}
+	cap_ := 1 + p.Epsilon
+	dwv := Dist(pts, w, l.To)
+	if dwv == 0 {
+		return cap_
+	}
+	duv := Dist(pts, l.From, l.To)
+	c := C(p, duv, pu)
+	if math.IsInf(c, 1) {
+		return cap_
+	}
+	a := c * (pw / pu) * PathLoss(duv/dwv, p.Alpha)
+	if a > cap_ {
+		return cap_
+	}
+	return a
+}
+
+// SetAffectance returns a_S(ℓ) = Σ_{w∈S} a_w(ℓ), term by term.
+func SetAffectance(pts []geom.Point, p sinr.Params, txs []sinr.Tx, l sinr.Link, pu float64) float64 {
+	sum := 0.0
+	for _, t := range txs {
+		sum += Affectance(pts, p, t.Sender, t.Power, l, pu)
+	}
+	return sum
+}
+
+// SINR returns the signal-to-interference-and-noise ratio at the receiver
+// of link l when txs transmit concurrently (Eqn 1's left-hand side divided
+// by its interference-plus-noise term). The link's own sender must appear
+// in txs; it returns 0 if absent.
+func SINR(pts []geom.Point, p sinr.Params, txs []sinr.Tx, l sinr.Link) float64 {
+	signal, interference := 0.0, 0.0
+	for _, t := range txs {
+		rp := t.Power / PathLoss(Dist(pts, t.Sender, l.To), p.Alpha)
+		if t.Sender == l.From {
+			signal += rp
+		} else {
+			interference += rp
+		}
+	}
+	if signal == 0 {
+		return 0
+	}
+	return signal / (p.Noise + interference)
+}
+
+// MeasuredAffectance returns the uncapped aggregate affectance a receiver
+// can measure during a reception: c(u,v)·I/S.
+func MeasuredAffectance(pts []geom.Point, p sinr.Params, txs []sinr.Tx, l sinr.Link, pu float64) float64 {
+	c := C(p, Dist(pts, l.From, l.To), pu)
+	if math.IsInf(c, 1) {
+		return math.Inf(1)
+	}
+	signal := pu / PathLoss(Dist(pts, l.From, l.To), p.Alpha)
+	interference := 0.0
+	for _, t := range txs {
+		if t.Sender == l.From {
+			continue
+		}
+		d := Dist(pts, t.Sender, l.To)
+		if d == 0 {
+			return math.Inf(1)
+		}
+		interference += t.Power / PathLoss(d, p.Alpha)
+	}
+	return c * interference / signal
+}
+
+// FeasibilitySlack is the tolerance the feasibility decisions carry on the
+// β comparison, mirroring the kernel's 1e-9 slack exactly so decisions are
+// comparable.
+const FeasibilitySlack = 1e-9
+
+// SINRFeasible reports whether every link in links, transmitting
+// concurrently with the given powers, meets SINR β — the O(n²) brute-force
+// resolution of Eqn 1 (every link's SINR computed from scratch).
+func SINRFeasible(pts []geom.Point, p sinr.Params, links []sinr.Link, powers []float64) (bool, error) {
+	if len(links) != len(powers) {
+		return false, sinr.ErrMismatchedLengths
+	}
+	txs := make([]sinr.Tx, len(links))
+	for i, l := range links {
+		txs[i] = sinr.Tx{Sender: l.From, Power: powers[i]}
+	}
+	for _, l := range links {
+		if SINR(pts, p, txs, l) < p.Beta-FeasibilitySlack {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Feasible reports feasibility in the affectance formulation of Section 5:
+// a_L(ℓ) ≤ 1 for every ℓ ∈ L, each link additionally overcoming noise on
+// its own (finite c). Mirrors sinr.Instance.Feasible with explicit powers.
+func Feasible(pts []geom.Point, p sinr.Params, links []sinr.Link, powers []float64) (bool, error) {
+	if len(links) != len(powers) {
+		return false, sinr.ErrMismatchedLengths
+	}
+	txs := make([]sinr.Tx, len(links))
+	for i, l := range links {
+		txs[i] = sinr.Tx{Sender: l.From, Power: powers[i]}
+	}
+	for i, l := range links {
+		if math.IsInf(C(p, Dist(pts, l.From, l.To), powers[i]), 1) {
+			return false, nil
+		}
+		if SetAffectance(pts, p, txs, l, powers[i]) > 1+FeasibilitySlack {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// ResolveSlot resolves reception at one listener exactly as the channel
+// model prescribes: among the concurrent transmitters txs, the one with the
+// strongest received power at the listener is decoded iff its SINR against
+// all the others plus noise clears β. It returns the index into txs of the
+// decoded transmission and its SINR, or (-1, 0) when nothing is decodable.
+// A transmitter co-located with the listener saturates the channel.
+//
+// This is the oracle for sim.Engine's decode stage, recomputing every
+// received power with naive physics.
+func ResolveSlot(pts []geom.Point, p sinr.Params, txs []sinr.Tx, listener int) (int, float64) {
+	best, bestRP, total := -1, 0.0, 0.0
+	for k, t := range txs {
+		d := Dist(pts, t.Sender, listener)
+		if d == 0 {
+			return -1, 0
+		}
+		rp := t.Power / PathLoss(d, p.Alpha)
+		total += rp
+		if rp > bestRP {
+			bestRP = rp
+			best = k
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	s := bestRP / (p.Noise + (total - bestRP))
+	if s < p.Beta {
+		return -1, 0
+	}
+	return best, s
+}

@@ -1,0 +1,181 @@
+package oracle
+
+import (
+	"fmt"
+
+	"sinrconn/internal/geom"
+	"sinrconn/internal/sinr"
+	"sinrconn/internal/tree"
+)
+
+// This file holds the brute-force bi-tree validators: every property the
+// paper's theorems assert about a constructed bi-tree (Definition 1),
+// checked in the most literal way available — quadratic descendant scans,
+// per-slot feasibility through the naive O(n²) physics — independent of the
+// optimized validators in internal/tree.
+
+// ValidateTree checks the structural spanning-tree properties of an
+// aggregation link set by brute force: node uniqueness, the root in the
+// node set with no up-link, exactly one up-link per non-root node with both
+// endpoints in the node set, and every node reaching the root by parent
+// walking.
+func ValidateTree(root int, nodes []int, up []tree.TimedLink) error {
+	inNodes := make(map[int]bool, len(nodes))
+	for _, v := range nodes {
+		if inNodes[v] {
+			return fmt.Errorf("oracle: duplicate node %d", v)
+		}
+		inNodes[v] = true
+	}
+	if !inNodes[root] {
+		return fmt.Errorf("oracle: root %d not in node set", root)
+	}
+	parent := make(map[int]int, len(up))
+	for _, tl := range up {
+		if !inNodes[tl.L.From] || !inNodes[tl.L.To] {
+			return fmt.Errorf("oracle: link %v leaves node set", tl.L)
+		}
+		if tl.L.From == tl.L.To {
+			return fmt.Errorf("oracle: self-loop at %d", tl.L.From)
+		}
+		if _, dup := parent[tl.L.From]; dup {
+			return fmt.Errorf("oracle: node %d has two up-links", tl.L.From)
+		}
+		parent[tl.L.From] = tl.L.To
+	}
+	if _, bad := parent[root]; bad {
+		return fmt.Errorf("oracle: root %d has an up-link", root)
+	}
+	if len(parent) != len(nodes)-1 {
+		return fmt.Errorf("oracle: %d up-links for %d nodes", len(parent), len(nodes))
+	}
+	for _, v := range nodes {
+		steps := 0
+		for v != root {
+			p, ok := parent[v]
+			if !ok {
+				return fmt.Errorf("oracle: node %d has no path to root", v)
+			}
+			v = p
+			if steps++; steps > len(nodes) {
+				return fmt.Errorf("oracle: cycle detected")
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateOrdering checks the aggregation scheduling property globally: for
+// every pair of links, if one link's sender is a (strict) descendant of the
+// other's sender, the descendant's link must be scheduled strictly earlier.
+// This is the O(n²) transitive form of the property — deliberately not the
+// local parent/child shortcut internal/tree uses.
+func ValidateOrdering(root int, up []tree.TimedLink) error {
+	parent := make(map[int]int, len(up))
+	slot := make(map[int]int, len(up))
+	for _, tl := range up {
+		parent[tl.L.From] = tl.L.To
+		slot[tl.L.From] = tl.Slot
+	}
+	isDescendant := func(a, b int) bool { // a strictly below b
+		steps := 0
+		for a != b {
+			p, ok := parent[a]
+			if !ok {
+				return false
+			}
+			a = p
+			if steps++; steps > len(up)+1 {
+				return false
+			}
+		}
+		return true
+	}
+	for _, lo := range up {
+		for _, hi := range up {
+			if lo.L.From == hi.L.From {
+				continue
+			}
+			if isDescendant(lo.L.From, hi.L.From) && !(lo.Slot < hi.Slot) {
+				return fmt.Errorf("oracle: ordering violated: descendant link %v slot %d not before %v slot %d",
+					lo.L, lo.Slot, hi.L, hi.Slot)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateSchedule checks per-slot SINR feasibility of the stamped schedule
+// by brute force: links grouped by slot through a map, each group resolved
+// with the naive O(n²) physics.
+func ValidateSchedule(pts []geom.Point, p sinr.Params, up []tree.TimedLink) error {
+	bySlot := make(map[int][]tree.TimedLink)
+	for _, tl := range up {
+		bySlot[tl.Slot] = append(bySlot[tl.Slot], tl)
+	}
+	for s, group := range bySlot {
+		links := make([]sinr.Link, len(group))
+		powers := make([]float64, len(group))
+		for i, tl := range group {
+			links[i] = tl.L
+			powers[i] = tl.Power
+		}
+		ok, err := SINRFeasible(pts, p, links, powers)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("oracle: slot %d is not SINR-feasible (%d links)", s, len(group))
+		}
+	}
+	return nil
+}
+
+// StronglyConnected reports whether the up-links together with their duals
+// strongly connect the node set, by running one full BFS from every node —
+// the most literal reading of Theorem 2's claim, with no symmetry shortcut.
+func StronglyConnected(nodes []int, up []tree.TimedLink) bool {
+	if len(nodes) == 0 {
+		return false
+	}
+	adj := make(map[int][]int, len(nodes))
+	for _, tl := range up {
+		adj[tl.L.From] = append(adj[tl.L.From], tl.L.To)
+		adj[tl.L.To] = append(adj[tl.L.To], tl.L.From)
+	}
+	for _, src := range nodes {
+		seen := map[int]bool{src: true}
+		queue := []int{src}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		for _, v := range nodes {
+			if !seen[v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ValidateBiTree runs the full brute-force battery: structure, global
+// ordering, strong connectivity, and per-slot feasibility.
+func ValidateBiTree(pts []geom.Point, p sinr.Params, root int, nodes []int, up []tree.TimedLink) error {
+	if err := ValidateTree(root, nodes, up); err != nil {
+		return err
+	}
+	if err := ValidateOrdering(root, up); err != nil {
+		return err
+	}
+	if !StronglyConnected(nodes, up) {
+		return fmt.Errorf("oracle: tree not strongly connected")
+	}
+	return ValidateSchedule(pts, p, up)
+}

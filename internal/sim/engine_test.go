@@ -158,6 +158,7 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 			procs[i] = &scripted{actions: acts}
 		}
 		e := mustEngine(t, in, procs, Config{Workers: workers, DropProb: 0.2, Seed: 99})
+		defer e.Close()
 		e.Run(10)
 		return e.Stats()
 	}
@@ -268,6 +269,7 @@ func BenchmarkEngineSlot(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer e.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Step()

@@ -33,14 +33,14 @@ func (in *Instance) cFromLenAlpha(lenAlpha, pu float64) float64 {
 // affectanceTerm returns one interferer's thresholded affectance on a link
 // whose per-link constants are hoisted: v is the link's receiver, pu the
 // link sender's power, lenAlpha = d(u,v)^α, c = c(u,v), and cap_ = 1+ε.
-// The caller has already excluded the link's own sender.
+// The caller has already excluded the link's own sender and handled the
+// c = +Inf case (a link that cannot overcome noise receives the cap from
+// every interferer), so c is finite here — the branch stays out of the
+// per-(sender, link) hot loops.
 func (in *Instance) affectanceTerm(w int, pw float64, v int, pu, lenAlpha, c, cap_ float64) float64 {
 	gwv := in.Gain(w, v) // d(w,v)^{-α}
 	if math.IsInf(gwv, 1) {
 		// Interferer co-located with the receiver.
-		return cap_
-	}
-	if math.IsInf(c, 1) {
 		return cap_
 	}
 	a := c * (pw / pu) * lenAlpha * gwv
@@ -65,6 +65,9 @@ func (in *Instance) Affectance(w int, pw float64, l Link, pu float64) float64 {
 	}
 	lenAlpha := in.LengthAlpha(l)
 	c := in.cFromLenAlpha(lenAlpha, pu)
+	if math.IsInf(c, 1) {
+		return 1 + in.params.Epsilon
+	}
 	return in.affectanceTerm(w, pw, l.To, pu, lenAlpha, c, 1+in.params.Epsilon)
 }
 
@@ -75,6 +78,16 @@ func (in *Instance) SetAffectance(txs []Tx, l Link, pu float64) float64 {
 	lenAlpha := in.LengthAlpha(l)
 	c := in.cFromLenAlpha(lenAlpha, pu)
 	sum := 0.0
+	if math.IsInf(c, 1) {
+		// Every interferer contributes the cap; summed term by term so the
+		// result is bit-identical to the per-term formulation.
+		for _, t := range txs {
+			if t.Sender != l.From {
+				sum += cap_
+			}
+		}
+		return sum
+	}
 	for _, t := range txs {
 		if t.Sender == l.From {
 			continue
@@ -98,6 +111,14 @@ func (in *Instance) SetLinkAffectance(set []Link, l Link, pa Assignment) float64
 	lenAlpha := in.LengthAlpha(l)
 	c := in.cFromLenAlpha(lenAlpha, pu)
 	sum := 0.0
+	if math.IsInf(c, 1) {
+		for _, o := range set {
+			if o.From != l.From {
+				sum += cap_
+			}
+		}
+		return sum
+	}
 	for _, o := range set {
 		if o.From == l.From {
 			continue

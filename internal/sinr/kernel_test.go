@@ -121,9 +121,10 @@ func randomKernelInstance(rng *rand.Rand, n int, alpha float64) *Instance {
 
 // TestKernelGoldenEquivalence cross-checks every kernel-backed quantity
 // against the naive physics across random instances, senders, and
-// α ∈ {2.5, 3, 4} (fractional fallback, odd and even integer fast paths).
+// α ∈ {2, 2.5, 3, 4} (free-space boundary, fractional fallback, odd and
+// even integer fast paths).
 func TestKernelGoldenEquivalence(t *testing.T) {
-	for _, alpha := range []float64{2.5, 3, 4} {
+	for _, alpha := range []float64{2, 2.5, 3, 4} {
 		for seed := int64(0); seed < 5; seed++ {
 			rng := rand.New(rand.NewSource(seed*100 + int64(alpha*10)))
 			n := 24 + rng.Intn(16)
@@ -179,7 +180,7 @@ func TestKernelGoldenEquivalence(t *testing.T) {
 // fallback produce bit-identical gains, so the memory bound can never change
 // results.
 func TestGainTableMatchesFallback(t *testing.T) {
-	for _, alpha := range []float64{2.5, 3, 4} {
+	for _, alpha := range []float64{2, 2.5, 3, 4} {
 		rng := rand.New(rand.NewSource(int64(alpha * 7)))
 		cached := randomKernelInstance(rng, 40, alpha)
 		rng = rand.New(rand.NewSource(int64(alpha * 7)))

@@ -1,0 +1,241 @@
+package sinr_test
+
+// The metamorphic invariant harness: exact model-level invariants of the
+// SINR physics, each classified Type 1 per the experiment standard
+// (deterministic; one failure = bug), each checked across the seeds
+// {42, 123, 456}. These are properties the paper treats as self-evident
+// consequences of Eqn 1, so any violation is a kernel bug, never noise:
+//
+//   - spatial-scale invariance: scaling coordinates by s and powers by s^α
+//     leaves every SINR unchanged (bit-for-bit when s is a power of two);
+//   - relabeling invariance: permuting node indices permutes but never
+//     changes outcomes;
+//   - β monotonicity: the feasible decision is monotone non-increasing in β;
+//   - power-scale monotonicity: scaling all powers by γ ≥ 1 never breaks a
+//     feasible set;
+//   - idle-node inertness: adding nodes that never transmit changes no
+//     physics quantity of the existing nodes.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sinrconn/internal/geom"
+	"sinrconn/internal/sinr"
+	"sinrconn/internal/workload"
+)
+
+var metamorphicSeeds = []int64{42, 123, 456}
+
+// metaScene is one generated scene: an instance plus a random link set with
+// powers straddling the feasibility boundary.
+type metaScene struct {
+	pts    []geom.Point
+	in     *sinr.Instance
+	links  []sinr.Link
+	powers []float64
+	txs    []sinr.Tx
+}
+
+func newMetaScene(t *testing.T, seed int64, n int) *metaScene {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pts := workload.GaussianClusters(rng, n, 3, 3, 40)
+	in := sinr.MustInstance(pts, sinr.DefaultParams())
+	links, powers := randomLinkSet(rng, in, 6)
+	txs := make([]sinr.Tx, len(links))
+	for i, l := range links {
+		txs[i] = sinr.Tx{Sender: l.From, Power: powers[i]}
+	}
+	return &metaScene{pts: pts, in: in, links: links, powers: powers, txs: txs}
+}
+
+type invariant struct {
+	name string
+	run  func(t *testing.T, seed int64)
+}
+
+// invariants is the Type-1 table EXPERIMENTS.md §Invariant classes indexes.
+var invariants = []invariant{
+	{"SpatialScaleInvariance", checkSpatialScaleInvariance},
+	{"RelabelingInvariance", checkRelabelingInvariance},
+	{"BetaMonotonicity", checkBetaMonotonicity},
+	{"PowerScaleMonotonicity", checkPowerScaleMonotonicity},
+	{"IdleNodeInertness", checkIdleNodeInertness},
+}
+
+func TestMetamorphicInvariants(t *testing.T) {
+	for _, inv := range invariants {
+		inv := inv
+		t.Run(inv.name, func(t *testing.T) {
+			for _, seed := range metamorphicSeeds {
+				inv.run(t, seed)
+			}
+		})
+	}
+}
+
+// checkSpatialScaleInvariance: scaling every coordinate by s and every
+// power by s^α leaves each link's SINR and the feasibility decision
+// unchanged. Powers of two commute exactly with IEEE rounding, so for
+// s ∈ {2, 4} equality is bit-for-bit; for arbitrary s it holds to 1e-9.
+func checkSpatialScaleInvariance(t *testing.T, seed int64) {
+	sc := newMetaScene(t, seed, 28)
+	p := sc.in.Params()
+	for _, s := range []float64{2, 4, 1.7} {
+		exact := s == 2 || s == 4
+		scaled := make([]geom.Point, len(sc.pts))
+		for i, pt := range sc.pts {
+			scaled[i] = pt.Scale(s)
+		}
+		sIn := sinr.MustInstance(scaled, p)
+		f := math.Pow(s, p.Alpha)
+		if exact {
+			f = oracleExactPow(s, p.Alpha)
+		}
+		sTxs := make([]sinr.Tx, len(sc.txs))
+		sPowers := make([]float64, len(sc.powers))
+		for i := range sc.txs {
+			sTxs[i] = sinr.Tx{Sender: sc.txs[i].Sender, Power: sc.txs[i].Power * f}
+			sPowers[i] = sc.powers[i] * f
+		}
+		for _, l := range sc.links {
+			a := sc.in.SINR(sc.txs, l)
+			b := sIn.SINR(sTxs, l)
+			if exact && a != b {
+				t.Fatalf("seed %d s=%v link %v: SINR %v != %v (bit-exact expected)", seed, s, l, a, b)
+			}
+			if !exact && math.Abs(a-b) > 1e-9*math.Max(math.Abs(a), math.Abs(b)) {
+				t.Fatalf("seed %d s=%v link %v: SINR %v vs %v", seed, s, l, a, b)
+			}
+		}
+		ok1, err1 := sc.in.SINRFeasible(sc.links, sc.powers)
+		ok2, err2 := sIn.SINRFeasible(sc.links, sPowers)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("seed %d s=%v: errors %v %v", seed, s, err1, err2)
+		}
+		if exact && ok1 != ok2 {
+			t.Fatalf("seed %d s=%v: feasibility flipped %v → %v", seed, s, ok1, ok2)
+		}
+	}
+}
+
+// oracleExactPow computes s^α for power-of-two s via repeated exact
+// multiplication, so the scale factor itself carries no rounding.
+func oracleExactPow(s, alpha float64) float64 {
+	f := 1.0
+	for i := 0; i < int(alpha); i++ {
+		f *= s
+	}
+	return f
+}
+
+// checkRelabelingInvariance: applying a permutation π to node indices (and
+// to every link and sender) yields bit-identical SINR, affectance, and
+// feasibility — outcomes are permuted, never changed.
+func checkRelabelingInvariance(t *testing.T, seed int64) {
+	sc := newMetaScene(t, seed, 26)
+	p := sc.in.Params()
+	n := len(sc.pts)
+	rng := rand.New(rand.NewSource(seed + 7))
+	perm := rng.Perm(n)
+	relPts := make([]geom.Point, n)
+	for i, pt := range sc.pts {
+		relPts[perm[i]] = pt
+	}
+	rIn := sinr.MustInstance(relPts, p)
+	rTxs := make([]sinr.Tx, len(sc.txs))
+	for i, tx := range sc.txs {
+		rTxs[i] = sinr.Tx{Sender: perm[tx.Sender], Power: tx.Power}
+	}
+	rLinks := make([]sinr.Link, len(sc.links))
+	for i, l := range sc.links {
+		rLinks[i] = sinr.Link{From: perm[l.From], To: perm[l.To]}
+	}
+	for i, l := range sc.links {
+		if a, b := sc.in.SINR(sc.txs, l), rIn.SINR(rTxs, rLinks[i]); a != b {
+			t.Fatalf("seed %d link %v: SINR %v != %v after relabeling", seed, l, a, b)
+		}
+		pu := sc.powers[i]
+		if a, b := sc.in.SetAffectance(sc.txs, l, pu), rIn.SetAffectance(rTxs, rLinks[i], pu); a != b {
+			t.Fatalf("seed %d link %v: SetAffectance %v != %v after relabeling", seed, l, a, b)
+		}
+	}
+	ok1, _ := sc.in.SINRFeasible(sc.links, sc.powers)
+	ok2, _ := rIn.SINRFeasible(rLinks, sc.powers)
+	if ok1 != ok2 {
+		t.Fatalf("seed %d: feasibility flipped %v → %v after relabeling", seed, ok1, ok2)
+	}
+}
+
+// checkBetaMonotonicity: for a fixed link set and powers, the feasibility
+// decision is monotone non-increasing in β — once the set turns infeasible
+// while raising β, it must stay infeasible. Exact: the SINR values do not
+// depend on β, only the threshold does.
+func checkBetaMonotonicity(t *testing.T, seed int64) {
+	sc := newMetaScene(t, seed, 24)
+	base := sc.in.Params()
+	prevFeasible := true
+	for _, beta := range []float64{0.25, 0.5, 1, 1.5, 2.5, 4, 8} {
+		p := base
+		p.Beta = beta
+		in := sinr.MustInstance(sc.pts, p)
+		ok, err := in.SINRFeasible(sc.links, sc.powers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok && !prevFeasible {
+			t.Fatalf("seed %d: feasibility not monotone in β (refeasible at β=%v)", seed, beta)
+		}
+		prevFeasible = ok
+	}
+}
+
+// checkPowerScaleMonotonicity: scaling every power by a common γ ≥ 1 never
+// breaks a feasible set — relative interference is unchanged and the noise
+// term only shrinks relative to the signal.
+func checkPowerScaleMonotonicity(t *testing.T, seed int64) {
+	sc := newMetaScene(t, seed, 24)
+	ok, err := sc.in.SINRFeasible(sc.links, sc.powers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gamma := range []float64{2, 16, 1024} {
+		scaled := make([]float64, len(sc.powers))
+		for i, pw := range sc.powers {
+			scaled[i] = pw * gamma
+		}
+		ok2, err := sc.in.SINRFeasible(sc.links, scaled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok && !ok2 {
+			t.Fatalf("seed %d: feasible set broke at γ=%v", seed, gamma)
+		}
+	}
+}
+
+// checkIdleNodeInertness: appending nodes that never transmit leaves every
+// physics quantity of the original nodes bit-identical — the gain table
+// grows but existing entries, SINRs, and affectance sums cannot move.
+func checkIdleNodeInertness(t *testing.T, seed int64) {
+	sc := newMetaScene(t, seed, 24)
+	p := sc.in.Params()
+	rng := rand.New(rand.NewSource(seed + 99))
+	padded := append(append([]geom.Point(nil), sc.pts...), workload.Annulus(rng, 8, 200, 210)...)
+	pIn := sinr.MustInstance(padded, p)
+	for i, l := range sc.links {
+		if a, b := sc.in.SINR(sc.txs, l), pIn.SINR(sc.txs, l); a != b {
+			t.Fatalf("seed %d link %v: SINR %v != %v after idle padding", seed, l, a, b)
+		}
+		if a, b := sc.in.SetAffectance(sc.txs, l, sc.powers[i]), pIn.SetAffectance(sc.txs, l, sc.powers[i]); a != b {
+			t.Fatalf("seed %d link %v: SetAffectance changed after idle padding", seed, l)
+		}
+	}
+	ok1, _ := sc.in.SINRFeasible(sc.links, sc.powers)
+	ok2, _ := pIn.SINRFeasible(sc.links, sc.powers)
+	if ok1 != ok2 {
+		t.Fatalf("seed %d: feasibility flipped %v → %v after idle padding", seed, ok1, ok2)
+	}
+}

@@ -19,7 +19,10 @@ import (
 //
 //	Reception (Eqn 1):  P_u/d(u,v)^α  ≥  β·(N + Σ_w P_w/d(w,v)^α)
 type Params struct {
-	// Alpha is the path-loss exponent α > 2.
+	// Alpha is the path-loss exponent α ≥ 2. The paper's asymptotic bounds
+	// assume α > 2, but the physics of Eqn 1 is well-defined on finite
+	// instances at the free-space boundary α = 2, which the scenario matrix
+	// exercises.
 	Alpha float64
 	// Beta is the required SINR threshold β. Values ≥ 1 guarantee that at
 	// most one sender is decodable at any receiver in any slot.
@@ -40,8 +43,8 @@ func DefaultParams() Params {
 // Validate reports whether the parameters define a sane SINR model.
 func (p Params) Validate() error {
 	switch {
-	case !(p.Alpha > 2):
-		return fmt.Errorf("sinr: alpha must be > 2, got %v", p.Alpha)
+	case !(p.Alpha >= 2):
+		return fmt.Errorf("sinr: alpha must be ≥ 2, got %v", p.Alpha)
 	case !(p.Beta > 0):
 		return fmt.Errorf("sinr: beta must be > 0, got %v", p.Beta)
 	case !(p.Noise > 0):

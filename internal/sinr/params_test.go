@@ -19,7 +19,7 @@ func TestValidateRejectsBadParams(t *testing.T) {
 		name string
 		p    Params
 	}{
-		{"alpha too small", Params{Alpha: 2, Beta: 1, Noise: 1, Epsilon: 0.1}},
+		{"alpha too small", Params{Alpha: 1.9, Beta: 1, Noise: 1, Epsilon: 0.1}},
 		{"zero beta", Params{Alpha: 3, Beta: 0, Noise: 1, Epsilon: 0.1}},
 		{"zero noise", Params{Alpha: 3, Beta: 1, Noise: 0, Epsilon: 0.1}},
 		{"zero epsilon", Params{Alpha: 3, Beta: 1, Noise: 1, Epsilon: 0}},
@@ -30,6 +30,14 @@ func TestValidateRejectsBadParams(t *testing.T) {
 				t.Errorf("Validate(%+v) = nil, want error", tc.p)
 			}
 		})
+	}
+}
+
+func TestValidateAcceptsBoundaryAlpha(t *testing.T) {
+	p := DefaultParams()
+	p.Alpha = 2 // free-space boundary, exercised by the scenario matrix
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,144 @@
+package tree
+
+// Edge-case coverage for Restamp, the repair tool every dynamic-membership
+// path funnels through: degenerate trees (empty, single node), stale and
+// colliding stamps, the infeasible-alone error path, and preservation of
+// the validator battery on non-trivial trees.
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sinrconn/internal/geom"
+	"sinrconn/internal/sinr"
+	"sinrconn/internal/workload"
+)
+
+func TestRestampEmptyTree(t *testing.T) {
+	in := sinr.MustInstance([]geom.Point{{X: 0}}, sinr.DefaultParams())
+	bt := &BiTree{Root: 0, Nodes: []int{0}}
+	k, err := bt.Restamp(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 0 {
+		t.Fatalf("empty tree restamped to %d slots, want 0", k)
+	}
+}
+
+func TestRestampSingleLink(t *testing.T) {
+	in := sinr.MustInstance([]geom.Point{{X: 0}, {X: 1.5}}, sinr.DefaultParams())
+	pw := in.Params().SafePower(1.5)
+	bt := &BiTree{
+		Root:  0,
+		Nodes: []int{0, 1},
+		Up:    []TimedLink{{L: sinr.Link{From: 1, To: 0}, Slot: 77, Power: pw}},
+	}
+	k, err := bt.Restamp(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 {
+		t.Fatalf("single link restamped to %d slots, want 1", k)
+	}
+	if bt.Up[0].Slot != 1 {
+		t.Fatalf("slot %d, want 1 (stamps must be dense after restamp)", bt.Up[0].Slot)
+	}
+	if err := bt.ValidatePerSlotFeasible(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestampInfeasibleAloneErrors(t *testing.T) {
+	in := sinr.MustInstance([]geom.Point{{X: 0}, {X: 4}}, sinr.DefaultParams())
+	// Power below MinPower(4): the link cannot clear β even alone.
+	bt := &BiTree{
+		Root:  0,
+		Nodes: []int{0, 1},
+		Up:    []TimedLink{{L: sinr.Link{From: 1, To: 0}, Slot: 1, Power: 0.5 * in.Params().MinPower(4)}},
+	}
+	if _, err := bt.Restamp(in); err == nil {
+		t.Fatal("underpowered link restamped without error")
+	} else if !strings.Contains(err.Error(), "infeasible alone") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestRestampRepairsCollidedStamps corrupts a valid chain schedule by
+// forcing every link into one slot, then checks Restamp restores ordering
+// and feasibility without touching powers.
+func TestRestampRepairsCollidedStamps(t *testing.T) {
+	pts := workload.ExponentialChain(10, 1.5)
+	in := sinr.MustInstance(pts, sinr.DefaultParams())
+	bt := &BiTree{Root: 9}
+	for i := 0; i < 10; i++ {
+		bt.Nodes = append(bt.Nodes, i)
+	}
+	for i := 0; i < 9; i++ {
+		l := sinr.Link{From: i, To: i + 1}
+		bt.Up = append(bt.Up, TimedLink{L: l, Slot: 1, Power: in.Params().SafePower(in.Length(l))})
+	}
+	powers := map[sinr.Link]float64{}
+	for _, tl := range bt.Up {
+		powers[tl.L] = tl.Power
+	}
+	k, err := bt.Restamp(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k <= 0 {
+		t.Fatalf("restamped to %d slots", k)
+	}
+	if err := bt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.ValidateOrdering(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.ValidatePerSlotFeasible(in); err != nil {
+		t.Fatal(err)
+	}
+	for _, tl := range bt.Up {
+		if powers[tl.L] != tl.Power {
+			t.Fatalf("Restamp changed power of %v", tl.L)
+		}
+	}
+}
+
+// TestRestampRandomTreesKeepBattery restamps randomized star-of-chains
+// trees over uniform instances and re-runs the full validator battery.
+func TestRestampRandomTreesKeepBattery(t *testing.T) {
+	for _, seed := range []int64{42, 123, 456} {
+		rng := rand.New(rand.NewSource(seed))
+		pts := workload.UniformSeeded(seed, 24)
+		in := sinr.MustInstance(pts, sinr.DefaultParams())
+		// Random valid tree: each node links to a random lower index (root 0),
+		// stamped in reverse node order (descendants first), one slot each.
+		bt := &BiTree{Root: 0}
+		for i := 0; i < 24; i++ {
+			bt.Nodes = append(bt.Nodes, i)
+		}
+		for i := 23; i >= 1; i-- {
+			to := rng.Intn(i)
+			l := sinr.Link{From: i, To: to}
+			bt.Up = append(bt.Up, TimedLink{L: l, Slot: 24 - i, Power: in.Params().SafePower(in.Length(l))})
+		}
+		k, err := bt.Restamp(in)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if k <= 0 || k > 23 {
+			t.Fatalf("seed %d: restamped to %d slots", seed, k)
+		}
+		if err := bt.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := bt.ValidateOrdering(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := bt.ValidatePerSlotFeasible(in); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package workload
+
+// The widened scenario matrix: generators for the clustered and
+// high-density regimes the original suite (uniform / clusters / grid /
+// chain) never produces — Gaussian pockets with unbounded tails, annulus
+// bands, power-law radii (a 2D high-Δ instance denser than the exponential
+// chain), and a two-scale "city + suburbs" layout. Every generator honors
+// the package contract: minimum pairwise distance ≥ 1 (the paper's
+// normalization), enforced by rejection with automatic parameter growth so
+// calls always terminate.
+
+import (
+	"math"
+	"math/rand"
+
+	"sinrconn/internal/geom"
+)
+
+// minDistOK reports whether cand keeps the min-distance-1 contract against
+// the points placed so far. Quadratic on purpose: generators run at test
+// scale and transparency beats speed here.
+func minDistOK(pts []geom.Point, cand geom.Point) bool {
+	for _, p := range pts {
+		if p.Dist(cand) < 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// fillRejecting draws candidates from sample until n points satisfy the
+// min-distance contract. After stall consecutive rejections it calls relax
+// (which must make room — grow a radius, widen a span) and restarts.
+func fillRejecting(n int, sample func() geom.Point, relax func()) []geom.Point {
+	if n <= 0 {
+		return nil
+	}
+	pts := make([]geom.Point, 0, n)
+	stall := 200*n + 200
+	fails := 0
+	for len(pts) < n {
+		cand := sample()
+		if minDistOK(pts, cand) {
+			pts = append(pts, cand)
+			fails = 0
+		} else if fails++; fails > stall {
+			relax()
+			pts = pts[:0]
+			fails = 0
+		}
+	}
+	return pts
+}
+
+// GaussianClusters places n points into k clusters whose centers are
+// uniform on a span×span square and whose members are Gaussian-distributed
+// around the center with standard deviation sigma. Unlike Clusters (uniform
+// discs), the Gaussian tails overlap pockets and produce the in-between
+// stragglers that stress length-class algorithms. Minimum pairwise
+// distance 1 is enforced by rejection; sigma grows if the density is
+// impossible.
+func GaussianClusters(rng *rand.Rand, n, k int, sigma, span float64) []geom.Point {
+	if n <= 0 {
+		return nil
+	}
+	if k <= 0 {
+		k = 1
+	}
+	if sigma < 1 {
+		sigma = 1
+	}
+	// A Gaussian pocket holds ~π·(2σ)² points at min spacing 1.
+	for float64(k)*4*math.Pi*sigma*sigma < 2*float64(n) {
+		sigma *= 1.4
+	}
+	if minSpan := 6 * sigma; span < minSpan {
+		span = minSpan
+	}
+	centers := make([]geom.Point, k)
+	reseed := func() {
+		for i := range centers {
+			centers[i] = geom.Point{X: rng.Float64() * span, Y: rng.Float64() * span}
+		}
+	}
+	reseed()
+	return fillRejecting(n,
+		func() geom.Point {
+			c := centers[rng.Intn(k)]
+			return geom.Point{X: c.X + rng.NormFloat64()*sigma, Y: c.Y + rng.NormFloat64()*sigma}
+		},
+		func() { sigma *= 1.4; reseed() })
+}
+
+// Annulus scatters n points uniformly (by area) on the ring between radii
+// inner and outer — the topology of a sensor belt around an obstacle, where
+// every converge-cast path is forced around the hole. Minimum pairwise
+// distance 1 is enforced by rejection; the outer radius grows if the band
+// cannot hold n points.
+func Annulus(rng *rand.Rand, n int, inner, outer float64) []geom.Point {
+	if n <= 0 {
+		return nil
+	}
+	if inner < 0 {
+		inner = 0
+	}
+	if outer < inner+1 {
+		outer = inner + 1
+	}
+	// Band area must comfortably exceed n unit discs.
+	for math.Pi*(outer*outer-inner*inner) < 2*float64(n) {
+		outer *= 1.3
+	}
+	return fillRejecting(n,
+		func() geom.Point {
+			// Uniform by area: r² uniform on [inner², outer²].
+			r := math.Sqrt(inner*inner + rng.Float64()*(outer*outer-inner*inner))
+			a := rng.Float64() * 2 * math.Pi
+			return geom.Point{X: r * math.Cos(a), Y: r * math.Sin(a)}
+		},
+		func() { outer *= 1.3 })
+}
+
+// PowerLawRadii scatters n points at Pareto-distributed distances from the
+// origin (radius = scale·u^{-1/(exponent-1)}, uniform angle): a dense core
+// with a sparse far halo, the 2D analog of the exponential chain. It drives
+// Δ high while keeping most pairwise distances short — the regime where
+// log Δ and log n algorithms separate on two-dimensional instances.
+// Minimum pairwise distance 1 is enforced by rejection; scale grows if the
+// core is impossibly dense.
+func PowerLawRadii(rng *rand.Rand, n int, exponent, scale float64) []geom.Point {
+	if n <= 0 {
+		return nil
+	}
+	if exponent <= 1.1 {
+		exponent = 1.1
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return fillRejecting(n,
+		func() geom.Point {
+			u := rng.Float64()
+			if u < 1e-12 {
+				u = 1e-12
+			}
+			r := scale * math.Pow(u, -1/(exponent-1))
+			a := rng.Float64() * 2 * math.Pi
+			return geom.Point{X: r * math.Cos(a), Y: r * math.Sin(a)}
+		},
+		func() { scale *= 1.3 })
+}
+
+// CitySuburbs builds a two-scale population layout: coreFrac of the points
+// packed densely in a central "city" square, the rest scattered across a
+// surrounding square ten times wider (the "suburbs", which include the
+// city's airspace — suburban points may fall between city blocks if
+// spacing allows). Minimum pairwise distance 1 holds across both scales, so
+// city links are short and suburb links long, stressing schedulers that
+// group by length class. coreFrac is clamped to [0, 1].
+func CitySuburbs(rng *rand.Rand, n int, coreFrac float64) []geom.Point {
+	if n <= 0 {
+		return nil
+	}
+	coreFrac = math.Max(0, math.Min(1, coreFrac))
+	city := int(math.Round(float64(n) * coreFrac))
+	citySpan := 1.6 * math.Sqrt(float64(city)+1)
+	stall := 200*n + 200
+	for {
+		subSpan := 10 * citySpan
+		off := (subSpan - citySpan) / 2
+		pts := make([]geom.Point, 0, n)
+		place := func(count int, sample func() geom.Point) bool {
+			fails := 0
+			for placed := 0; placed < count; {
+				cand := sample()
+				if minDistOK(pts, cand) {
+					pts = append(pts, cand)
+					placed++
+					fails = 0
+				} else if fails++; fails > stall {
+					return false
+				}
+			}
+			return true
+		}
+		cityOK := place(city, func() geom.Point {
+			return geom.Point{X: off + rng.Float64()*citySpan, Y: off + rng.Float64()*citySpan}
+		})
+		if cityOK && place(n-city, func() geom.Point {
+			return geom.Point{X: rng.Float64() * subSpan, Y: rng.Float64() * subSpan}
+		}) {
+			return pts
+		}
+		citySpan *= 1.3 // too dense at this scale; widen both tiers and retry
+	}
+}
+
+// UniformSeeded is the shared deterministic test generator: n points
+// uniform on a 2.6√n square at min distance 1, all randomness from the
+// seed. It reproduces (bit for bit) the uniformPoints helper the root test
+// suites historically re-declared, so existing golden expectations keep
+// their point sets.
+func UniformSeeded(seed int64, n int) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	span := 2.6 * math.Sqrt(float64(n))
+	var pts []geom.Point
+	for len(pts) < n {
+		cand := geom.Point{X: rng.Float64() * span, Y: rng.Float64() * span}
+		if minDistOK(pts, cand) {
+			pts = append(pts, cand)
+		}
+	}
+	return pts
+}
+
+// Matrix returns the full scenario matrix: the Standard suite plus the
+// clustered/high-density generators above. This is the generator axis of
+// the correctness cross-product suite (generator × α × power scheme ×
+// pipeline).
+func Matrix() []Spec {
+	return append(Standard(), []Spec{
+		{Name: "gaussians", Gen: func(rng *rand.Rand, n int) []geom.Point {
+			return GaussianClusters(rng, n, 1+n/24, 3, 80)
+		}},
+		{Name: "annulus", Gen: func(rng *rand.Rand, n int) []geom.Point {
+			r := math.Sqrt(float64(n))
+			return Annulus(rng, n, 3*r, 4*r)
+		}},
+		{Name: "powerlaw", Gen: func(rng *rand.Rand, n int) []geom.Point {
+			return PowerLawRadii(rng, n, 2.5, 2)
+		}},
+		{Name: "city", Gen: func(rng *rand.Rand, n int) []geom.Point {
+			return CitySuburbs(rng, n, 0.7)
+		}},
+	}...)
+}

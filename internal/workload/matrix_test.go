@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sinrconn/internal/geom"
+)
+
+func TestGaussianClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 40, 150} {
+		pts := GaussianClusters(rng, n, 4, 3, 60)
+		if len(pts) != n {
+			t.Fatalf("n=%d: got %d points", n, len(pts))
+		}
+		checkMinDist(t, pts, "gaussians")
+	}
+	if GaussianClusters(rng, 0, 3, 2, 10) != nil {
+		t.Error("GaussianClusters(0) != nil")
+	}
+	// Degenerate cluster count and sigma are clamped, not fatal.
+	pts := GaussianClusters(rng, 30, 0, 0, 0)
+	if len(pts) != 30 {
+		t.Errorf("clamped call: got %d points", len(pts))
+	}
+	checkMinDist(t, pts, "gaussians clamped")
+}
+
+func TestAnnulus(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts := Annulus(rng, 120, 20, 28)
+	if len(pts) != 120 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	checkMinDist(t, pts, "annulus")
+	// Every point lies in the band (the outer radius may have been grown,
+	// so only check the inner exclusion).
+	for _, p := range pts {
+		if r := math.Hypot(p.X, p.Y); r < 20-1e-9 {
+			t.Fatalf("point %v inside inner radius (r=%v)", p, r)
+		}
+	}
+	// A band too thin for n must be grown, not spun forever.
+	pts = Annulus(rng, 80, 5, 5.5)
+	if len(pts) != 80 {
+		t.Fatalf("thin band: got %d points", len(pts))
+	}
+	checkMinDist(t, pts, "annulus thin")
+	if Annulus(rng, 0, 1, 2) != nil {
+		t.Error("Annulus(0) != nil")
+	}
+}
+
+func TestPowerLawRadii(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := PowerLawRadii(rng, 100, 2.5, 2)
+	if len(pts) != 100 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	checkMinDist(t, pts, "powerlaw")
+	// The halo should stretch Δ well beyond a uniform instance of the same n.
+	if d := geom.Delta(pts); d < 50 {
+		t.Errorf("power-law Δ = %v, expected a heavy tail (≥ 50)", d)
+	}
+	// Degenerate exponents are clamped.
+	pts = PowerLawRadii(rng, 20, 0.5, 0)
+	if len(pts) != 20 {
+		t.Errorf("clamped call: got %d points", len(pts))
+	}
+	checkMinDist(t, pts, "powerlaw clamped")
+}
+
+func TestCitySuburbs(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	pts := CitySuburbs(rng, 90, 0.7)
+	if len(pts) != 90 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	checkMinDist(t, pts, "city")
+	// Two scales: the core must be far denser than the whole instance —
+	// compare median nearest-neighbor distance of the first 63 (city)
+	// points against the span of the whole point set.
+	min, max := geom.BoundingBox(pts)
+	span := math.Max(max.X-min.X, max.Y-min.Y)
+	cityMin, cityMax := geom.BoundingBox(pts[:63])
+	citySpan := math.Max(cityMax.X-cityMin.X, cityMax.Y-cityMin.Y)
+	if citySpan*3 > span {
+		t.Errorf("city span %v not well inside suburb span %v", citySpan, span)
+	}
+	// Extreme fractions degrade gracefully.
+	for _, frac := range []float64{-1, 0, 1, 2} {
+		pts := CitySuburbs(rng, 25, frac)
+		if len(pts) != 25 {
+			t.Fatalf("frac=%v: got %d points", frac, len(pts))
+		}
+		checkMinDist(t, pts, "city extreme frac")
+	}
+	if CitySuburbs(rng, 0, 0.5) != nil {
+		t.Error("CitySuburbs(0) != nil")
+	}
+}
+
+func TestUniformSeededDeterministic(t *testing.T) {
+	a := UniformSeeded(42, 40)
+	b := UniformSeeded(42, 40)
+	if len(a) != 40 || len(b) != 40 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	checkMinDist(t, a, "uniform seeded")
+}
+
+func TestMatrixSpecs(t *testing.T) {
+	specs := Matrix()
+	if len(specs) < 8 {
+		t.Fatalf("matrix has %d specs, want ≥ 8", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Name] {
+			t.Fatalf("duplicate spec %q", s.Name)
+		}
+		seen[s.Name] = true
+		rng := rand.New(rand.NewSource(3))
+		pts := s.Gen(rng, 36)
+		if len(pts) != 36 {
+			t.Fatalf("%s: got %d points", s.Name, len(pts))
+		}
+		checkMinDist(t, pts, s.Name)
+	}
+	for _, name := range []string{"uniform", "clusters", "grid", "chain", "gaussians", "annulus", "powerlaw", "city"} {
+		if !seen[name] {
+			t.Errorf("matrix missing %q", name)
+		}
+	}
+}
+
+// FuzzWorkloadMinDist fuzzes every matrix generator against the package
+// contract: exactly n points, minimum pairwise distance ≥ 1 (Type 1: one
+// violation = bug).
+func FuzzWorkloadMinDist(f *testing.F) {
+	f.Add(int64(42), int64(24), int64(0))
+	f.Add(int64(123), int64(7), int64(5))
+	f.Add(int64(456), int64(40), int64(7))
+	f.Fuzz(func(t *testing.T, seed, n, spec int64) {
+		specs := Matrix()
+		if n < 1 {
+			n = 1
+		}
+		if n > 64 {
+			n = 64
+		}
+		s := specs[int(((spec%int64(len(specs)))+int64(len(specs)))%int64(len(specs)))]
+		rng := rand.New(rand.NewSource(seed))
+		pts := s.Gen(rng, int(n))
+		if len(pts) != int(n) {
+			t.Fatalf("%s: %d points for n=%d", s.Name, len(pts), n)
+		}
+		if len(pts) > 1 {
+			if d := geom.MinDist(pts); d < 1-1e-9 {
+				t.Fatalf("%s: min distance %v < 1", s.Name, d)
+			}
+		}
+	})
+}

@@ -58,7 +58,7 @@ type ScheduledLink struct {
 
 // PhysParams are the SINR physical constants.
 type PhysParams struct {
-	// Alpha is the path-loss exponent (> 2).
+	// Alpha is the path-loss exponent (≥ 2).
 	Alpha float64
 	// Beta is the SINR decoding threshold.
 	Beta float64

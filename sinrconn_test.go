@@ -2,28 +2,20 @@ package sinrconn
 
 import (
 	"errors"
-	"math"
-	"math/rand"
 	"testing"
+
+	"sinrconn/internal/workload"
 )
 
-// uniformPoints generates n facade points with min distance ≥ 1.
+// uniformPoints generates n facade points with min distance ≥ 1. The
+// actual generation is the shared workload.UniformSeeded helper (used by
+// the soak, dynamic, aggregate, and scenario-matrix suites alike); this
+// wrapper only converts to the facade Point type.
 func uniformPoints(seed int64, n int) []Point {
-	rng := rand.New(rand.NewSource(seed))
-	span := 2.6 * math.Sqrt(float64(n))
-	var pts []Point
-	for len(pts) < n {
-		cand := Point{X: rng.Float64() * span, Y: rng.Float64() * span}
-		ok := true
-		for _, p := range pts {
-			if math.Hypot(p.X-cand.X, p.Y-cand.Y) < 1 {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			pts = append(pts, cand)
-		}
+	g := workload.UniformSeeded(seed, n)
+	pts := make([]Point, len(g))
+	for i, p := range g {
+		pts[i] = Point{X: p.X, Y: p.Y}
 	}
 	return pts
 }
