@@ -1,7 +1,11 @@
 package sinrconn
 
 import (
+	"context"
+	"errors"
+
 	"sinrconn/internal/core"
+	"sinrconn/internal/sim"
 )
 
 // AggFunc combines two partial aggregates during a converge-cast. It must
@@ -35,12 +39,55 @@ type BroadcastOutcome struct {
 	Energy float64
 }
 
+// PairOutcome reports a physical node-to-node message delivery.
+type PairOutcome struct {
+	// Delivered reports whether dst received the message.
+	Delivered bool
+	// SlotsUsed is the total channel time: one converge-cast epoch up plus
+	// one dissemination epoch down — the Definition 1 "2× schedule" bound.
+	SlotsUsed int
+	// Energy is the total transmission energy spent.
+	Energy float64
+}
+
+// epochConfig derives the engine config for a physical epoch on r's tree,
+// borrowing the session pool for the epoch's duration (the caller must
+// invoke the returned release). WithDropProb and WithSeed apply to the
+// epoch itself — fading injected into a converge-cast can legitimately
+// lose a transfer, which the epoch reports as an error.
+func (nw *Network) epochConfig(opts []RunOption) (sim.Config, func(), error) {
+	done, err := nw.beginOp()
+	if err != nil {
+		return sim.Config{}, func() {}, err
+	}
+	s, err := nw.opSettings(opts)
+	if err != nil {
+		done()
+		return sim.Config{}, func() {}, err
+	}
+	pool, release := nw.acquirePool()
+	return sim.Config{
+		Workers:  s.workers,
+		DropProb: s.drop,
+		Seed:     s.seed,
+		Pool:     pool,
+	}, func() { release(); done() }, nil
+}
+
 // Broadcast physically executes one dissemination epoch over the SINR
 // channel: the bi-tree's dual links fire in reversed schedule order,
 // carrying value from the root to every node (Definition 1). An error
 // means some node was left unreached — a schedule or physics violation.
-func (r *Result) Broadcast(value int64, opt Options) (*BroadcastOutcome, error) {
-	out, err := core.RunBroadcast(r.Tree.inst, r.Tree.inner, value, opt.Workers)
+func (nw *Network) Broadcast(ctx context.Context, r *Result, value int64, opts ...RunOption) (*BroadcastOutcome, error) {
+	if err := nw.checkBound(r); err != nil {
+		return nil, err
+	}
+	ecfg, release, err := nw.epochConfig(opts)
+	defer release()
+	if err != nil {
+		return nil, err
+	}
+	out, err := core.RunBroadcast(ctx, r.Tree.inst, r.Tree.inner, value, ecfg)
 	if err != nil {
 		return nil, err
 	}
@@ -58,8 +105,16 @@ func (r *Result) Broadcast(value int64, opt Options) (*BroadcastOutcome, error) 
 // Value equals f folded over every tree node's value — if the schedule
 // were infeasible or mis-ordered, the physics would lose a transfer and
 // Aggregate returns an error instead.
-func (r *Result) Aggregate(values []int64, f AggFunc, opt Options) (*AggregateOutcome, error) {
-	out, err := core.RunAggregation(r.Tree.inst, r.Tree.inner, values, core.AggFunc(f), opt.Workers)
+func (nw *Network) Aggregate(ctx context.Context, r *Result, values []int64, f AggFunc, opts ...RunOption) (*AggregateOutcome, error) {
+	if err := nw.checkBound(r); err != nil {
+		return nil, err
+	}
+	ecfg, release, err := nw.epochConfig(opts)
+	defer release()
+	if err != nil {
+		return nil, err
+	}
+	out, err := core.RunAggregation(ctx, r.Tree.inst, r.Tree.inner, values, core.AggFunc(f), ecfg)
 	if err != nil {
 		return nil, err
 	}
@@ -70,23 +125,20 @@ func (r *Result) Aggregate(values []int64, f AggFunc, opt Options) (*AggregateOu
 	}, nil
 }
 
-// PairOutcome reports a physical node-to-node message delivery.
-type PairOutcome struct {
-	// Delivered reports whether dst received the message.
-	Delivered bool
-	// SlotsUsed is the total channel time: one converge-cast epoch up plus
-	// one dissemination epoch down — the Definition 1 "2× schedule" bound.
-	SlotsUsed int
-	// Energy is the total transmission energy spent.
-	Energy float64
-}
-
 // SendMessage physically delivers a message from src to dst over the SINR
 // channel: the payload piggybacks on one converge-cast epoch to the root,
 // then rides one dissemination epoch down (Definition 1's node-to-node
 // communication guarantee).
-func (r *Result) SendMessage(src, dst int, payload int64, opt Options) (*PairOutcome, error) {
-	out, err := core.RunPairMessage(r.Tree.inst, r.Tree.inner, src, dst, payload, opt.Workers)
+func (nw *Network) SendMessage(ctx context.Context, r *Result, src, dst int, payload int64, opts ...RunOption) (*PairOutcome, error) {
+	if err := nw.checkBound(r); err != nil {
+		return nil, err
+	}
+	ecfg, release, err := nw.epochConfig(opts)
+	defer release()
+	if err != nil {
+		return nil, err
+	}
+	out, err := core.RunPairMessage(ctx, r.Tree.inst, r.Tree.inner, src, dst, payload, ecfg)
 	if err != nil {
 		return nil, err
 	}
@@ -95,4 +147,66 @@ func (r *Result) SendMessage(src, dst int, payload int64, opt Options) (*PairOut
 		SlotsUsed: out.SlotsUsed,
 		Energy:    out.Energy,
 	}, nil
+}
+
+// epochNetwork resolves the handle a deprecated epoch wrapper runs on.
+func (r *Result) epochNetwork() (*Network, error) {
+	if r.nw == nil {
+		return nil, errors.New("sinrconn: result is not bound to a network")
+	}
+	return r.nw, nil
+}
+
+// Broadcast physically executes one dissemination epoch.
+//
+// Deprecated: use (*Network).Broadcast, which takes a context.
+func (r *Result) Broadcast(value int64, opt Options) (*BroadcastOutcome, error) {
+	nw, err := r.epochNetwork()
+	if err != nil {
+		return nil, err
+	}
+	pool, release := nw.acquirePool()
+	defer release()
+	out, err := core.RunBroadcast(context.Background(), r.Tree.inst, r.Tree.inner, value,
+		sim.Config{Workers: opt.Workers, Pool: pool})
+	if err != nil {
+		return nil, err
+	}
+	return &BroadcastOutcome{Reached: out.Reached, SlotsUsed: out.SlotsUsed, Energy: out.Energy}, nil
+}
+
+// Aggregate physically executes one converge-cast epoch.
+//
+// Deprecated: use (*Network).Aggregate, which takes a context.
+func (r *Result) Aggregate(values []int64, f AggFunc, opt Options) (*AggregateOutcome, error) {
+	nw, err := r.epochNetwork()
+	if err != nil {
+		return nil, err
+	}
+	pool, release := nw.acquirePool()
+	defer release()
+	out, err := core.RunAggregation(context.Background(), r.Tree.inst, r.Tree.inner, values, core.AggFunc(f),
+		sim.Config{Workers: opt.Workers, Pool: pool})
+	if err != nil {
+		return nil, err
+	}
+	return &AggregateOutcome{Value: out.Value, SlotsUsed: out.SlotsUsed, Energy: out.Energy}, nil
+}
+
+// SendMessage physically delivers a message from src to dst.
+//
+// Deprecated: use (*Network).SendMessage, which takes a context.
+func (r *Result) SendMessage(src, dst int, payload int64, opt Options) (*PairOutcome, error) {
+	nw, err := r.epochNetwork()
+	if err != nil {
+		return nil, err
+	}
+	pool, release := nw.acquirePool()
+	defer release()
+	out, err := core.RunPairMessage(context.Background(), r.Tree.inst, r.Tree.inner, src, dst, payload,
+		sim.Config{Workers: opt.Workers, Pool: pool})
+	if err != nil {
+		return nil, err
+	}
+	return &PairOutcome{Delivered: out.Delivered, SlotsUsed: out.SlotsUsed, Energy: out.Energy}, nil
 }

@@ -1,4 +1,4 @@
-package sinrconn
+package sinrconn_test
 
 // One benchmark per experiment table (E1–E12, see DESIGN.md §4 and
 // EXPERIMENTS.md). Each bench runs the measurement behind its table at a
@@ -7,6 +7,7 @@ package sinrconn
 // summarize. cmd/experiments prints the full sweeps.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -17,6 +18,7 @@ import (
 	"sinrconn/internal/geom"
 	"sinrconn/internal/power"
 	"sinrconn/internal/schedule"
+	"sinrconn/internal/sim"
 	"sinrconn/internal/sinr"
 	"sinrconn/internal/sparsity"
 	"sinrconn/internal/workload"
@@ -47,7 +49,7 @@ func BenchmarkE1InitSlots(b *testing.B) {
 			in := benchInstanceN(1, n)
 			total := 0
 			for i := 0; i < b.N; i++ {
-				res, err := core.Init(in, core.InitConfig{Seed: int64(i)})
+				res, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(i)})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -63,7 +65,7 @@ func BenchmarkE1InitSlots(b *testing.B) {
 func BenchmarkE2BiTreeValidity(b *testing.B) {
 	in := benchInstance(2)
 	for i := 0; i < b.N; i++ {
-		res, err := core.Init(in, core.InitConfig{Seed: int64(i)})
+		res, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(i)})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -81,7 +83,7 @@ func BenchmarkE3DegreeTail(b *testing.B) {
 	in := benchInstance(3)
 	worst := 0
 	for i := 0; i < b.N; i++ {
-		res, err := core.Init(in, core.InitConfig{Seed: int64(i)})
+		res, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(i)})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -95,7 +97,7 @@ func BenchmarkE3DegreeTail(b *testing.B) {
 // BenchmarkE4Sparsity regenerates Table E4: ψ(T) vs log n (Theorem 11).
 func BenchmarkE4Sparsity(b *testing.B) {
 	in := benchInstance(4)
-	res, err := core.Init(in, core.InitConfig{Seed: 1})
+	res, err := core.Init(context.Background(), in, core.InitConfig{Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -112,7 +114,7 @@ func BenchmarkE4Sparsity(b *testing.B) {
 // retention (Theorem 13).
 func BenchmarkE5LowDegreeFilter(b *testing.B) {
 	in := benchInstance(5)
-	res, err := core.Init(in, core.InitConfig{Seed: 1})
+	res, err := core.Init(context.Background(), in, core.InitConfig{Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -129,7 +131,7 @@ func BenchmarkE5LowDegreeFilter(b *testing.B) {
 // rescheduling of T (Theorem 3).
 func BenchmarkE6MeanReschedule(b *testing.B) {
 	in := benchInstance(6)
-	res, err := core.Init(in, core.InitConfig{Seed: 1})
+	res, err := core.Init(context.Background(), in, core.InitConfig{Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -137,7 +139,7 @@ func BenchmarkE6MeanReschedule(b *testing.B) {
 	slots := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rres, err := core.Reschedule(in, res.Tree, pa, schedule.DistConfig{Seed: int64(i)})
+		rres, err := core.Reschedule(context.Background(), in, res.Tree, pa, schedule.DistConfig{Seed: int64(i)})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -152,7 +154,7 @@ func BenchmarkE7Iterations(b *testing.B) {
 	in := benchInstance(7)
 	iters := 0
 	for i := 0; i < b.N; i++ {
-		res, err := core.TreeViaCapacity(in, core.TVCConfig{
+		res, err := core.TreeViaCapacity(context.Background(), in, core.TVCConfig{
 			Variant: core.VariantArbitrary, Seed: int64(i),
 		})
 		if err != nil {
@@ -169,7 +171,7 @@ func BenchmarkE8ArbitraryPower(b *testing.B) {
 	in := benchInstance(8)
 	slots := 0
 	for i := 0; i < b.N; i++ {
-		res, err := core.TreeViaCapacity(in, core.TVCConfig{
+		res, err := core.TreeViaCapacity(context.Background(), in, core.TVCConfig{
 			Variant: core.VariantArbitrary, Seed: int64(i),
 		})
 		if err != nil {
@@ -186,7 +188,7 @@ func BenchmarkE9MeanPower(b *testing.B) {
 	in := benchInstance(9)
 	slots := 0
 	for i := 0; i < b.N; i++ {
-		res, err := core.TreeViaCapacity(in, core.TVCConfig{
+		res, err := core.TreeViaCapacity(context.Background(), in, core.TVCConfig{
 			Variant: core.VariantMean, Seed: int64(i),
 		})
 		if err != nil {
@@ -201,7 +203,7 @@ func BenchmarkE9MeanPower(b *testing.B) {
 // the same high-Δ tree.
 func BenchmarkE10Crossover(b *testing.B) {
 	in := sinr.MustInstance(workload.ChainForDelta(benchN/2, 1<<18), sinr.DefaultParams())
-	res, err := core.Init(in, core.InitConfig{Seed: 1})
+	res, err := core.Init(context.Background(), in, core.InitConfig{Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -219,7 +221,7 @@ func BenchmarkE10Crossover(b *testing.B) {
 // Section-8 bi-tree (Definition 1 / Theorem 4).
 func BenchmarkE11Latency(b *testing.B) {
 	in := benchInstance(11)
-	res, err := core.TreeViaCapacity(in, core.TVCConfig{
+	res, err := core.TreeViaCapacity(context.Background(), in, core.TVCConfig{
 		Variant: core.VariantArbitrary, Seed: 1,
 	})
 	if err != nil {
@@ -241,7 +243,7 @@ func BenchmarkE11Latency(b *testing.B) {
 // the centralized Kesselheim selection (Theorem 20).
 func BenchmarkE12CapacityRatio(b *testing.B) {
 	in := benchInstance(12)
-	ires, err := core.Init(in, core.InitConfig{Seed: 1})
+	ires, err := core.Init(context.Background(), in, core.InitConfig{Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -264,7 +266,7 @@ func BenchmarkE12CapacityRatio(b *testing.B) {
 // the Section-8 tree.
 func BenchmarkE13Energy(b *testing.B) {
 	in := benchInstance(13)
-	res, err := core.TreeViaCapacity(in, core.TVCConfig{Variant: core.VariantArbitrary, Seed: 1})
+	res, err := core.TreeViaCapacity(context.Background(), in, core.TVCConfig{Variant: core.VariantArbitrary, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -275,7 +277,7 @@ func BenchmarkE13Energy(b *testing.B) {
 	energy := 0.0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out, err := core.RunAggregation(in, res.Tree, values, core.SumAgg, 0)
+		out, err := core.RunAggregation(context.Background(), in, res.Tree, values, core.SumAgg, sim.Config{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -288,7 +290,7 @@ func BenchmarkE13Energy(b *testing.B) {
 // converge-cast epoch on the Init tree.
 func BenchmarkE14PhysicalEpoch(b *testing.B) {
 	in := benchInstance(14)
-	res, err := core.Init(in, core.InitConfig{Seed: 1})
+	res, err := core.Init(context.Background(), in, core.InitConfig{Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -298,7 +300,7 @@ func BenchmarkE14PhysicalEpoch(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.RunAggregation(in, res.Tree, values, core.SumAgg, 0); err != nil {
+		if _, err := core.RunAggregation(context.Background(), in, res.Tree, values, core.SumAgg, sim.Config{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -326,7 +328,7 @@ func BenchmarkA1BroadcastProb(b *testing.B) {
 			in := benchInstance(31)
 			slots := 0
 			for i := 0; i < b.N; i++ {
-				res, err := core.Init(in, core.InitConfig{BroadcastProb: p, Seed: int64(i)})
+				res, err := core.Init(context.Background(), in, core.InitConfig{BroadcastProb: p, Seed: int64(i)})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -340,7 +342,7 @@ func BenchmarkA1BroadcastProb(b *testing.B) {
 // BenchmarkA3DistrCapTau regenerates Table A3's yield column.
 func BenchmarkA3DistrCapTau(b *testing.B) {
 	in := benchInstance(33)
-	ires, err := core.Init(in, core.InitConfig{Seed: 1})
+	ires, err := core.Init(context.Background(), in, core.InitConfig{Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -368,7 +370,7 @@ func BenchmarkA5DropRobustness(b *testing.B) {
 			in := benchInstance(35)
 			slots := 0
 			for i := 0; i < b.N; i++ {
-				res, err := core.Init(in, core.InitConfig{Seed: int64(i), DropProb: drop})
+				res, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(i), DropProb: drop})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -390,13 +392,13 @@ func BenchmarkJoin(b *testing.B) {
 	for i := range joiners {
 		joiners[i] = benchN - 4 + i
 	}
-	ires, err := core.Init(in, core.InitConfig{Seed: 1, Participants: base})
+	ires, err := core.Init(context.Background(), in, core.InitConfig{Seed: 1, Participants: base})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Join(in, ires.Tree, joiners, core.InitConfig{Seed: int64(i)}); err != nil {
+		if _, err := core.Join(context.Background(), in, ires.Tree, joiners, core.InitConfig{Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -405,7 +407,7 @@ func BenchmarkJoin(b *testing.B) {
 // BenchmarkRepair measures recovering from one interior-node failure.
 func BenchmarkRepair(b *testing.B) {
 	in := benchInstance(37)
-	ires, err := core.Init(in, core.InitConfig{Seed: 1})
+	ires, err := core.Init(context.Background(), in, core.InitConfig{Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -421,7 +423,7 @@ func BenchmarkRepair(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Repair(in, ires.Tree, []int{victim}, core.InitConfig{Seed: int64(i)}); err != nil {
+		if _, err := core.Repair(context.Background(), in, ires.Tree, []int{victim}, core.InitConfig{Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -453,7 +455,7 @@ func BenchmarkChannelSlot(b *testing.B) {
 // feasible set.
 func BenchmarkPowerSolve(b *testing.B) {
 	in := benchInstance(21)
-	ires, err := core.Init(in, core.InitConfig{Seed: 1})
+	ires, err := core.Init(context.Background(), in, core.InitConfig{Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}

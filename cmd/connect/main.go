@@ -4,20 +4,28 @@
 // Usage:
 //
 //	connect -n 64 -workload uniform -pipeline arbitrary -seed 1 [-v]
+//	connect -n 64 -sweep 8                  # all pipelines × 8 seeds, one Network
+//	connect -n 256 -timeout 2s              # bound the construction time
 //
 // Pipelines: init (Section 6), reschedule (Section 7), mean (Section 8,
 // mean power), arbitrary (Section 8, power control).
 // Workloads: every generator of the scenario matrix (workload.Matrix) —
 // uniform, clusters, grid, chain, gaussians, annulus, powerlaw, city.
+//
+// Single runs and sweeps share one session: the point set is validated and
+// the physics gain table built exactly once (Open), and the sweep fans out
+// across the session's worker pool with bounded concurrency (RunMatrix).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
 	"sort"
+	"time"
 
 	"sinrconn"
 
@@ -38,6 +46,8 @@ func run(args []string, out io.Writer) error {
 	pipeline := fs.String("pipeline", "arbitrary", "pipeline: init|reschedule|mean|arbitrary")
 	seed := fs.Int64("seed", 1, "random seed")
 	drop := fs.Float64("drop", 0, "reception drop probability in [0,1)")
+	sweep := fs.Int("sweep", 0, "run all pipelines × this many seeds as one batch")
+	timeout := fs.Duration("timeout", 0, "abort constructions that exceed this duration (0 = none)")
 	verbose := fs.Bool("v", false, "print every scheduled link")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,21 +57,44 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	opt := sinrconn.Options{Seed: *seed, DropProb: *drop, AutoNormalize: true}
-
-	var res *sinrconn.Result
-	switch *pipeline {
-	case "init":
-		res, err = sinrconn.BuildInitialBiTree(pts, opt)
-	case "reschedule":
-		res, err = sinrconn.RescheduleMeanPower(pts, opt)
-	case "mean":
-		res, err = sinrconn.BuildBiTreeMeanPower(pts, opt)
-	case "arbitrary":
-		res, err = sinrconn.BuildBiTreeArbitraryPower(pts, opt)
-	default:
-		return fmt.Errorf("unknown pipeline %q", *pipeline)
+	opts := []sinrconn.Option{
+		sinrconn.WithSeed(*seed),
+		sinrconn.WithAutoNormalize(true),
 	}
+	if *drop > 0 {
+		opts = append(opts, sinrconn.WithDropProb(*drop))
+	}
+	nw, err := sinrconn.Open(pts, opts...)
+	if err != nil {
+		return err
+	}
+	defer nw.Close()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if *sweep > 0 {
+		conflict := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "pipeline" {
+				conflict = true
+			}
+		})
+		if conflict {
+			return fmt.Errorf("-sweep runs every pipeline; drop the -pipeline flag")
+		}
+		return runSweep(ctx, out, nw, *wl, *n, *sweep, *seed)
+	}
+
+	p, err := parsePipeline(*pipeline)
+	if err != nil {
+		return err
+	}
+	res, err := nw.Run(ctx, p)
 	if err != nil {
 		return err
 	}
@@ -75,8 +108,9 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "aggregation latency=%d  broadcast latency=%d\n",
 			m.AggregationLatency, m.BroadcastLatency)
 	}
-	fmt.Fprintf(out, "max degree=%d  depth=%d\n", res.Tree.MaxDegree(), res.Tree.Depth())
-	if *pipeline != "reschedule" {
+	fmt.Fprintf(out, "max degree=%d  depth=%d  energy=%.3g\n",
+		res.Tree.MaxDegree(), res.Tree.Depth(), m.Energy)
+	if p.Ordered() {
 		if err := res.Tree.Verify(); err != nil {
 			return fmt.Errorf("verification failed: %w", err)
 		}
@@ -95,6 +129,52 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// runSweep fans the open session out across pipelines × seeds with
+// RunMatrix and prints one summary line per pipeline (mean over seeds).
+// The seed family starts at the -seed flag, so sweeps are reproducible.
+func runSweep(ctx context.Context, out io.Writer, nw *sinrconn.Network, wl string, n, seedCount int, baseSeed int64) error {
+	pipes := sinrconn.Pipelines()
+	seeds := make([]int64, seedCount)
+	for i := range seeds {
+		seeds[i] = baseSeed + int64(i)
+	}
+	specs := sinrconn.Specs(pipes, seeds)
+	start := time.Now()
+	results, err := nw.RunMatrix(ctx, specs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "workload=%s n=%d  %d specs in %v (one Network, shared gain table)\n",
+		wl, n, len(specs), time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(out, "%-16s %10s %14s %10s\n", "pipeline", "schedule", "construction", "energy")
+	for pi, p := range pipes {
+		var sched, slots, energy float64
+		for si := range seeds {
+			m := results[pi*len(seeds)+si].Metrics
+			sched += float64(m.ScheduleLength)
+			slots += float64(m.SlotsUsed)
+			energy += m.Energy
+		}
+		k := float64(len(seeds))
+		fmt.Fprintf(out, "%-16s %10.1f %14.1f %10.3g\n", p, sched/k, slots/k, energy/k)
+	}
+	return nil
+}
+
+func parsePipeline(name string) (sinrconn.Pipeline, error) {
+	switch name {
+	case "init":
+		return sinrconn.PipelineInit, nil
+	case "reschedule":
+		return sinrconn.PipelineRescheduleMean, nil
+	case "mean":
+		return sinrconn.PipelineTVCMean, nil
+	case "arbitrary":
+		return sinrconn.PipelineTVCArbitrary, nil
+	}
+	return 0, fmt.Errorf("unknown pipeline %q", name)
 }
 
 func generate(name string, n int, seed int64) ([]sinrconn.Point, error) {

@@ -63,6 +63,7 @@ func run(args []string, out io.Writer) error {
 		{"E12", experiments.E12CapacityRatio},
 		{"E13", experiments.E13Energy},
 		{"E14", experiments.E14PhysicalEpoch},
+		{"E15", experiments.E15SessionMatrix},
 	}
 	abl := []entry{
 		{"A1", experiments.A1BroadcastProb},

@@ -1,11 +1,13 @@
 package sinrconn
 
 // Dynamic-membership operations: the extensions the paper's conclusion
-// calls for ("asynchronous node wakeup, node and link failures"). Both
-// operate on an existing Result and return a fresh one; the original is
-// never mutated.
+// calls for ("asynchronous node wakeup, node and link failures"). All of
+// them live on the Network handle, operate on an existing Result, and
+// return a fresh one; the original is never mutated, so memoized Results
+// stay safe to share.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -14,37 +16,95 @@ import (
 	"sinrconn/internal/sinr"
 )
 
-// JoinPoints attaches newly awakened nodes at newPts to the existing
-// bi-tree, distributedly (members acknowledge, joiners ladder through
-// distance classes — see core.Join). The new nodes receive indices
-// starting at the current node count, in input order. The combined point
-// set must keep minimum pairwise distance ≥ 1; joins never renormalize,
-// since that would silently move the existing nodes.
-func (r *Result) JoinPoints(newPts []Point, opt Options) (*Result, error) {
+// checkBound rejects a Result that is not bound to the receiver Network
+// (or to any Network at all).
+func (nw *Network) checkBound(r *Result) error {
+	if r == nil || r.nw == nil {
+		return errors.New("sinrconn: result is not bound to a network")
+	}
+	if r.nw != nw {
+		return errors.New("sinrconn: result belongs to a different network (use r.Network())")
+	}
+	return nil
+}
+
+// opSettings resolves options for an operation on an existing result
+// (join, repair, physical epoch). WithPhys is rejected because the result
+// fixes the physics. The caller has already been admitted via beginOp —
+// Close's contract refuses new work uniformly, not just Run.
+func (nw *Network) opSettings(opts []RunOption) (settings, error) {
+	s, err := nw.runSettings(opts)
+	if err != nil {
+		return s, err
+	}
+	if s.physSet {
+		return s, errors.New("sinrconn: WithPhys does not apply to joins, repairs, or physical epochs (the result fixes the physics)")
+	}
+	return s, nil
+}
+
+// Join attaches newly awakened nodes at newPts to r's bi-tree,
+// distributedly (members acknowledge, joiners ladder through distance
+// classes — see core.Join). The new nodes receive indices starting at the
+// current node count, in input order. The combined point set must keep
+// minimum pairwise distance ≥ 1, reported as ErrNotNormalized otherwise;
+// joins never renormalize, since that would silently move existing nodes.
+//
+// The grown deployment reuses this session's state: the enlarged physics
+// instance is derived from the run's instance by extending its gain table
+// (only the new rows/columns are computed) and the join protocol runs on
+// this Network's worker pool. The returned Result is bound to a derived
+// Network over the enlarged point set — reachable via Result.Network() —
+// which shares this handle's pool and needs no separate Close.
+func (nw *Network) Join(ctx context.Context, r *Result, newPts []Point, opts ...RunOption) (*Result, error) {
+	if err := nw.checkBound(r); err != nil {
+		return nil, err
+	}
+	done, err := nw.beginOp()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	s, err := nw.opSettings(opts)
+	if err != nil {
+		return nil, err
+	}
+	return nw.join(ctx, r, newPts, s)
+}
+
+// join is the shared body of Join and the deprecated JoinPoints wrapper.
+// The physical parameters always come from r's instance (never from s):
+// a join extends an existing deployment, it does not re-parameterize it.
+func (nw *Network) join(ctx context.Context, r *Result, newPts []Point, s settings) (*Result, error) {
 	if len(newPts) == 0 {
 		return nil, errors.New("sinrconn: no points to join")
 	}
 	oldTree := r.Tree.inner
 	oldInst := r.Tree.inst
 
-	pts := append([]geom.Point(nil), oldInst.Points()...)
-	joiners := make([]int, 0, len(newPts))
-	for _, p := range newPts {
-		joiners = append(joiners, len(pts))
-		pts = append(pts, geom.Point{X: p.X, Y: p.Y})
+	extra := make([]geom.Point, len(newPts))
+	joiners := make([]int, len(newPts))
+	for i, p := range newPts {
+		extra[i] = geom.Point{X: p.X, Y: p.Y}
+		joiners[i] = oldInst.Len() + i
 	}
-	if md := geom.MinDist(pts); md < 1-1e-9 {
+	merged := make([]geom.Point, 0, oldInst.Len()+len(extra))
+	merged = append(append(merged, oldInst.Points()...), extra...)
+	if md := geom.MinDist(merged); md < 1-1e-9 {
 		return nil, fmt.Errorf("%w: min distance %v after join", ErrNotNormalized, md)
 	}
-	in, err := sinr.NewInstance(pts, oldInst.Params())
+	in, err := oldInst.Extend(extra)
 	if err != nil {
 		return nil, err
 	}
-	jres, err := core.Join(in, oldTree, joiners, core.InitConfig{
-		BroadcastProb: opt.BroadcastProb,
-		Seed:          opt.Seed,
-		Workers:       opt.Workers,
-		DropProb:      opt.DropProb,
+	pool, release := nw.acquirePool()
+	defer release()
+	jres, err := core.Join(ctx, in, oldTree, joiners, core.InitConfig{
+		BroadcastProb: s.broadcastProb,
+		Seed:          s.seed,
+		Workers:       s.workers,
+		DropProb:      s.drop,
+		Pool:          pool,
 	})
 	if err != nil {
 		return nil, err
@@ -61,23 +121,61 @@ func (r *Result) JoinPoints(newPts []Point, opt Options) (*Result, error) {
 	if err := fillLatencies(&m, bt); err != nil {
 		return nil, err
 	}
-	return &Result{Tree: publicTree(in, bt), Metrics: m}, nil
+	grown := nw.derive(in)
+	return grown.newResult(in, bt, m), nil
 }
 
-// RepairFailures removes the given (failed) node indices from the tree and
-// reconnects the surviving nodes: orphaned subtrees re-attach as units via
-// the join protocol and the schedule is recomputed (see core.Repair). If
-// the root failed, the largest orphan subtree is promoted.
-func (r *Result) RepairFailures(failed []int, opt Options) (*Result, error) {
+// derive builds the Network bound to a join-grown instance: same settings,
+// the parent's pool by reference, and the grown instance pre-cached.
+func (nw *Network) derive(in *sinr.Instance) *Network {
+	root := nw
+	if nw.parent != nil {
+		root = nw.parent
+	}
+	return &Network{
+		pts:     in.Points(),
+		base:    nw.base,
+		parent:  root,
+		insts:   map[sinr.Params]*sinr.Instance{in.Params(): in},
+		results: make(map[runKey]*Result),
+	}
+}
+
+// Repair removes the given (failed) node indices from r's tree and
+// reconnects the survivors: orphaned subtrees re-attach as units via the
+// join protocol and the schedule is recomputed (see core.Repair). If the
+// root failed, the largest orphan subtree is promoted. The repaired Result
+// stays bound to this Network (the point set is unchanged; failed nodes
+// simply no longer appear in the tree).
+func (nw *Network) Repair(ctx context.Context, r *Result, failed []int, opts ...RunOption) (*Result, error) {
+	if err := nw.checkBound(r); err != nil {
+		return nil, err
+	}
+	done, err := nw.beginOp()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	s, err := nw.opSettings(opts)
+	if err != nil {
+		return nil, err
+	}
+	return nw.repair(ctx, r, failed, s)
+}
+
+func (nw *Network) repair(ctx context.Context, r *Result, failed []int, s settings) (*Result, error) {
 	if len(failed) == 0 {
 		return nil, errors.New("sinrconn: no failed nodes given")
 	}
 	in := r.Tree.inst
-	rres, err := core.Repair(in, r.Tree.inner, failed, core.InitConfig{
-		BroadcastProb: opt.BroadcastProb,
-		Seed:          opt.Seed,
-		Workers:       opt.Workers,
-		DropProb:      opt.DropProb,
+	pool, release := nw.acquirePool()
+	defer release()
+	rres, err := core.Repair(ctx, in, r.Tree.inner, failed, core.InitConfig{
+		BroadcastProb: s.broadcastProb,
+		Seed:          s.seed,
+		Workers:       s.workers,
+		DropProb:      s.drop,
+		Pool:          pool,
 	})
 	if err != nil {
 		return nil, err
@@ -88,19 +186,36 @@ func (r *Result) RepairFailures(failed []int, opt Options) (*Result, error) {
 		ScheduleLength: rres.ScheduleLength,
 		Upsilon:        in.Upsilon(),
 		Delta:          in.Delta(),
+		Energy:         rres.Stats.Energy,
 	}
 	if err := fillLatencies(&m, bt); err != nil {
 		return nil, err
 	}
-	return &Result{Tree: publicTree(in, bt), Metrics: m}, nil
+	return nw.newResult(in, bt, m), nil
 }
 
-// RepairLinkFailures handles permanent link failures: the given tree links
-// have become unusable (an obstacle the path-loss model cannot see) while
-// both endpoints remain alive. The orphaned subtrees re-attach via the
-// join protocol — explicitly forbidden from re-forming the failed links —
-// and the schedule is recomputed.
-func (r *Result) RepairLinkFailures(links []Link, opt Options) (*Result, error) {
+// RepairLinks handles permanent link failures: the given tree links have
+// become unusable (an obstacle the path-loss model cannot see) while both
+// endpoints remain alive. The orphaned subtrees re-attach via the join
+// protocol — explicitly forbidden from re-forming the failed links — and
+// the schedule is recomputed.
+func (nw *Network) RepairLinks(ctx context.Context, r *Result, links []Link, opts ...RunOption) (*Result, error) {
+	if err := nw.checkBound(r); err != nil {
+		return nil, err
+	}
+	done, err := nw.beginOp()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	s, err := nw.opSettings(opts)
+	if err != nil {
+		return nil, err
+	}
+	return nw.repairLinks(ctx, r, links, s)
+}
+
+func (nw *Network) repairLinks(ctx context.Context, r *Result, links []Link, s settings) (*Result, error) {
 	if len(links) == 0 {
 		return nil, errors.New("sinrconn: no failed links given")
 	}
@@ -109,11 +224,14 @@ func (r *Result) RepairLinkFailures(links []Link, opt Options) (*Result, error) 
 	for i, l := range links {
 		failed[i] = sinr.Link{From: l.From, To: l.To}
 	}
-	rres, err := core.RepairLinks(in, r.Tree.inner, failed, core.InitConfig{
-		BroadcastProb: opt.BroadcastProb,
-		Seed:          opt.Seed,
-		Workers:       opt.Workers,
-		DropProb:      opt.DropProb,
+	pool, release := nw.acquirePool()
+	defer release()
+	rres, err := core.RepairLinks(ctx, in, r.Tree.inner, failed, core.InitConfig{
+		BroadcastProb: s.broadcastProb,
+		Seed:          s.seed,
+		Workers:       s.workers,
+		DropProb:      s.drop,
+		Pool:          pool,
 	})
 	if err != nil {
 		return nil, err
@@ -124,9 +242,41 @@ func (r *Result) RepairLinkFailures(links []Link, opt Options) (*Result, error) 
 		ScheduleLength: rres.ScheduleLength,
 		Upsilon:        in.Upsilon(),
 		Delta:          in.Delta(),
+		Energy:         rres.Stats.Energy,
 	}
 	if err := fillLatencies(&m, bt); err != nil {
 		return nil, err
 	}
-	return &Result{Tree: publicTree(in, bt), Metrics: m}, nil
+	return nw.newResult(in, bt, m), nil
+}
+
+// JoinPoints attaches newly awakened nodes to the existing bi-tree.
+//
+// Deprecated: use (*Network).Join, which takes a context and reports the
+// grown handle via Result.Network().
+func (r *Result) JoinPoints(newPts []Point, opt Options) (*Result, error) {
+	if r.nw == nil {
+		return nil, errors.New("sinrconn: result is not bound to a network")
+	}
+	return r.nw.join(context.Background(), r, newPts, opt.settings())
+}
+
+// RepairFailures removes failed nodes and reconnects the survivors.
+//
+// Deprecated: use (*Network).Repair.
+func (r *Result) RepairFailures(failed []int, opt Options) (*Result, error) {
+	if r.nw == nil {
+		return nil, errors.New("sinrconn: result is not bound to a network")
+	}
+	return r.nw.repair(context.Background(), r, failed, opt.settings())
+}
+
+// RepairLinkFailures handles permanent link failures.
+//
+// Deprecated: use (*Network).RepairLinks.
+func (r *Result) RepairLinkFailures(links []Link, opt Options) (*Result, error) {
+	if r.nw == nil {
+		return nil, errors.New("sinrconn: result is not bound to a network")
+	}
+	return r.nw.repairLinks(context.Background(), r, links, opt.settings())
 }

@@ -1,20 +1,27 @@
 package sinrconn_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"sinrconn"
 )
 
-// Build a bi-tree for a small fixed deployment and verify every property
-// the theorems promise. Results are deterministic for a fixed seed.
-func ExampleBuildInitialBiTree() {
+// Open a session for a small fixed deployment, build a bi-tree, and verify
+// every property the theorems promise. Results are deterministic for a
+// fixed seed.
+func ExampleNetwork_Run() {
 	pts := []sinrconn.Point{
 		{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 4, Y: 1},
 		{X: 1, Y: 3}, {X: 3, Y: 4}, {X: 6, Y: 3},
 	}
-	res, err := sinrconn.BuildInitialBiTree(pts, sinrconn.Options{Seed: 42})
+	nw, err := sinrconn.Open(pts, sinrconn.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer nw.Close()
+	res, err := nw.Run(context.Background(), sinrconn.PipelineInit)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -30,17 +37,53 @@ func ExampleBuildInitialBiTree() {
 	// spanning: true
 }
 
-// Aggregate a sum over the whole network in one physical converge-cast
-// epoch.
-func ExampleResult_Aggregate() {
+// Sweep one deployment across every pipeline and several seeds in a single
+// batch call; the session's validated geometry, gain table, and worker
+// pool are shared by all specs.
+func ExampleNetwork_RunMatrix() {
 	pts := []sinrconn.Point{
-		{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 0, Y: 2}, {X: 2, Y: 2},
+		{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 0, Y: 2}, {X: 2, Y: 2}, {X: 4, Y: 1},
 	}
-	res, err := sinrconn.BuildInitialBiTree(pts, sinrconn.Options{Seed: 7})
+	nw, err := sinrconn.Open(pts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	out, err := res.Aggregate([]int64{10, 20, 30, 40}, sinrconn.SumAgg, sinrconn.Options{})
+	defer nw.Close()
+	specs := sinrconn.Specs(
+		[]sinrconn.Pipeline{sinrconn.PipelineInit, sinrconn.PipelineTVCArbitrary},
+		[]int64{1, 2, 3},
+	)
+	results, err := nw.RunMatrix(context.Background(), specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spanning := 0
+	for _, r := range results {
+		if r.Tree.NumNodes == len(pts) {
+			spanning++
+		}
+	}
+	fmt.Printf("%d/%d specs spanned all nodes\n", spanning, len(specs))
+	// Output:
+	// 6/6 specs spanned all nodes
+}
+
+// Aggregate a sum over the whole network in one physical converge-cast
+// epoch.
+func ExampleNetwork_Aggregate() {
+	pts := []sinrconn.Point{
+		{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 0, Y: 2}, {X: 2, Y: 2},
+	}
+	nw, err := sinrconn.Open(pts, sinrconn.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer nw.Close()
+	res, err := nw.Run(context.Background(), sinrconn.PipelineInit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := nw.Aggregate(context.Background(), res, []int64{10, 20, 30, 40}, sinrconn.SumAgg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,15 +93,20 @@ func ExampleResult_Aggregate() {
 }
 
 // Disseminate a value from the root to every node.
-func ExampleResult_Broadcast() {
+func ExampleNetwork_Broadcast() {
 	pts := []sinrconn.Point{
 		{X: 0, Y: 0}, {X: 3, Y: 0}, {X: 0, Y: 3}, {X: 3, Y: 3}, {X: 6, Y: 1},
 	}
-	res, err := sinrconn.BuildInitialBiTree(pts, sinrconn.Options{Seed: 9})
+	nw, err := sinrconn.Open(pts, sinrconn.WithSeed(9))
 	if err != nil {
 		log.Fatal(err)
 	}
-	out, err := res.Broadcast(77, sinrconn.Options{})
+	defer nw.Close()
+	res, err := nw.Run(context.Background(), sinrconn.PipelineInit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := nw.Broadcast(context.Background(), res, 77)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,14 +115,21 @@ func ExampleResult_Broadcast() {
 	// reached: 5 of 5
 }
 
-// Attach newly awakened nodes to a live network.
-func ExampleResult_JoinPoints() {
+// Attach newly awakened nodes to a live network. The grown result is bound
+// to a derived session over the enlarged point set.
+func ExampleNetwork_Join() {
 	pts := []sinrconn.Point{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 4, Y: 0}}
-	res, err := sinrconn.BuildInitialBiTree(pts, sinrconn.Options{Seed: 3})
+	nw, err := sinrconn.Open(pts, sinrconn.WithSeed(3))
 	if err != nil {
 		log.Fatal(err)
 	}
-	grown, err := res.JoinPoints([]sinrconn.Point{{X: 6, Y: 0}, {X: 8, Y: 1}}, sinrconn.Options{Seed: 4})
+	defer nw.Close()
+	res, err := nw.Run(context.Background(), sinrconn.PipelineInit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	grown, err := nw.Join(context.Background(), res,
+		[]sinrconn.Point{{X: 6, Y: 0}, {X: 8, Y: 1}}, sinrconn.WithSeed(4))
 	if err != nil {
 		log.Fatal(err)
 	}

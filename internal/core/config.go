@@ -23,11 +23,34 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"sinrconn/internal/sim"
 	"sinrconn/internal/sinr"
 )
+
+// engineConfig is the sim.Config a core construction derives from an
+// InitConfig: worker budget, failure injection, and the shared pool.
+func (c *InitConfig) engineConfig(seed int64) sim.Config {
+	return sim.Config{
+		Workers:  c.Workers,
+		DropProb: c.DropProb,
+		Seed:     seed,
+		Pool:     c.Pool,
+	}
+}
+
+// checkCtx returns ctx's error wrapped with the construction stage that
+// observed it, or nil. Constructions call it between engine slots (never
+// inside one), so cancellation always leaves engines and trees consistent.
+func checkCtx(ctx context.Context, stage string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: %s canceled: %w", stage, err)
+	}
+	return nil
+}
 
 // InitConfig tunes the Section 6 construction.
 type InitConfig struct {
@@ -53,8 +76,13 @@ type InitConfig struct {
 	StrictGate bool
 	// Seed derives all node randomness. Runs are reproducible.
 	Seed int64
-	// Workers is the sim engine worker count (0 = NumCPU).
+	// Workers is the sim engine worker count (0 = NumCPU). Ignored when
+	// Pool is set.
 	Workers int
+	// Pool, if non-nil, is a persistent sim worker pool shared across
+	// engine lifetimes (owned by the session handle, sinrconn.Network).
+	// Engines borrow it instead of spawning goroutines per construction.
+	Pool *sim.Pool
 	// DropProb injects reception failures in the engine.
 	DropProb float64
 	// Participants restricts the protocol to a subset of node indices

@@ -60,6 +60,9 @@ type DistrCapResult struct {
 	// SlotPairs is the channel time consumed (Repeats slot-pairs per
 	// phase).
 	SlotPairs int
+	// Energy is the transmission energy the protocol spent on the channel
+	// (sum of every transmitted power across both slots of every phase).
+	Energy float64
 }
 
 // DistrCap is the Section 8.2 protocol selecting a large
@@ -114,7 +117,8 @@ func DistrCap(in *sinr.Instance, cand []sinr.Link, cfg DistrCapConfig) *DistrCap
 			if len(live) == 0 {
 				continue
 			}
-			admitted := distrCapPhase(in, selected, live, lin, cfg, rng)
+			admitted, energy := distrCapPhase(in, selected, live, lin, cfg, rng)
+			res.Energy += energy
 			for _, l := range admitted {
 				selected = append(selected, l)
 				selectedNodes[l.From] = true
@@ -127,8 +131,8 @@ func DistrCap(in *sinr.Instance, cand []sinr.Link, cfg DistrCapConfig) *DistrCap
 }
 
 // distrCapPhase plays one slot-pair of the protocol and returns the links
-// admitted.
-func distrCapPhase(in *sinr.Instance, selected, live []sinr.Link, lin sinr.Linear, cfg DistrCapConfig, rng *rand.Rand) []sinr.Link {
+// admitted plus the transmission energy the pair spent.
+func distrCapPhase(in *sinr.Instance, selected, live []sinr.Link, lin sinr.Linear, cfg DistrCapConfig, rng *rand.Rand) ([]sinr.Link, float64) {
 	// Slot 1: T′ senders always transmit; live candidates with coin p.
 	var txs []sinr.Tx
 	transmitting := make(map[int]bool)
@@ -196,5 +200,5 @@ func distrCapPhase(in *sinr.Instance, selected, live []sinr.Link, lin sinr.Linea
 			admitted = append(admitted, l)
 		}
 	}
-	return admitted
+	return admitted, sumTxPower(txs, ackTxs)
 }

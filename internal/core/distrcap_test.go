@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"sinrconn/internal/power"
@@ -11,7 +12,7 @@ import (
 // low-degree core links — the candidate set Distr-Cap is designed for.
 func initCoreLinks(t *testing.T, in *sinr.Instance, seed int64) []sinr.Link {
 	t.Helper()
-	res, err := Init(in, InitConfig{Seed: seed})
+	res, err := Init(context.Background(), in, InitConfig{Seed: seed})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -25,7 +26,7 @@ func splitInstance(t *testing.T, seed int64, n, k int) (*sinr.Instance, *InitRes
 			joiners = append(joiners, i)
 		}
 	}
-	res, err := Init(in, InitConfig{Seed: seed, Participants: base})
+	res, err := Init(context.Background(), in, InitConfig{Seed: seed, Participants: base})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func checkFullBiTree(t *testing.T, in *sinr.Instance, bt interface {
 
 func TestJoinAttachesAll(t *testing.T) {
 	in, res, joiners := splitInstance(t, 60, 48, 8)
-	jres, err := Join(in, res.Tree, joiners, InitConfig{Seed: 2})
+	jres, err := Join(context.Background(), in, res.Tree, joiners, InitConfig{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestJoinAttachesAll(t *testing.T) {
 
 func TestJoinEmpty(t *testing.T) {
 	in, res, _ := splitInstance(t, 61, 24, 4)
-	jres, err := Join(in, res.Tree, nil, InitConfig{Seed: 1})
+	jres, err := Join(context.Background(), in, res.Tree, nil, InitConfig{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,13 +88,13 @@ func TestJoinEmpty(t *testing.T) {
 
 func TestJoinValidation(t *testing.T) {
 	in, res, _ := splitInstance(t, 62, 16, 4)
-	if _, err := Join(in, res.Tree, []int{999}, InitConfig{}); err == nil {
+	if _, err := Join(context.Background(), in, res.Tree, []int{999}, InitConfig{}); err == nil {
 		t.Error("out-of-range joiner accepted")
 	}
-	if _, err := Join(in, res.Tree, []int{res.Tree.Root}, InitConfig{}); err == nil {
+	if _, err := Join(context.Background(), in, res.Tree, []int{res.Tree.Root}, InitConfig{}); err == nil {
 		t.Error("member joiner accepted")
 	}
-	if _, err := Join(in, res.Tree, []int{14, 14}, InitConfig{}); err == nil {
+	if _, err := Join(context.Background(), in, res.Tree, []int{14, 14}, InitConfig{}); err == nil {
 		t.Error("duplicate joiner accepted")
 	}
 }
@@ -110,11 +111,11 @@ func TestJoinChained(t *testing.T) {
 		pts = append(pts, geom.Point{X: 4 + float64(i)*3, Y: 2})
 	}
 	in := sinr.MustInstance(pts, sinr.DefaultParams())
-	res, err := Init(in, InitConfig{Seed: 3, Participants: base})
+	res, err := Init(context.Background(), in, InitConfig{Seed: 3, Participants: base})
 	if err != nil {
 		t.Fatal(err)
 	}
-	jres, err := Join(in, res.Tree, []int{9, 10, 11, 12}, InitConfig{Seed: 4})
+	jres, err := Join(context.Background(), in, res.Tree, []int{9, 10, 11, 12}, InitConfig{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,11 +127,11 @@ func TestJoinChained(t *testing.T) {
 
 func TestJoinDeterministic(t *testing.T) {
 	in, res, joiners := splitInstance(t, 63, 32, 6)
-	a, err := Join(in, res.Tree, joiners, InitConfig{Seed: 9})
+	a, err := Join(context.Background(), in, res.Tree, joiners, InitConfig{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Join(in, res.Tree, joiners, InitConfig{Seed: 9})
+	b, err := Join(context.Background(), in, res.Tree, joiners, InitConfig{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestRepairInteriorFailure(t *testing.T) {
 	if victim < 0 {
 		t.Skip("no interior node in this tree")
 	}
-	rres, err := Repair(in, bt, []int{victim}, InitConfig{Seed: 5})
+	rres, err := Repair(context.Background(), in, bt, []int{victim}, InitConfig{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestRepairInteriorFailure(t *testing.T) {
 func TestRepairRootFailure(t *testing.T) {
 	in, res, _ := splitInstance(t, 65, 40, 0)
 	bt := res.Tree
-	rres, err := Repair(in, bt, []int{bt.Root}, InitConfig{Seed: 6})
+	rres, err := Repair(context.Background(), in, bt, []int{bt.Root}, InitConfig{Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestRepairLeafFailure(t *testing.T) {
 	if leaf < 0 {
 		t.Fatal("no leaf found")
 	}
-	rres, err := Repair(in, bt, []int{leaf}, InitConfig{Seed: 7})
+	rres, err := Repair(context.Background(), in, bt, []int{leaf}, InitConfig{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestRepairMultipleFailures(t *testing.T) {
 			failed = append(failed, v)
 		}
 	}
-	rres, err := Repair(in, bt, failed, InitConfig{Seed: 8})
+	rres, err := Repair(context.Background(), in, bt, failed, InitConfig{Seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,14 +241,14 @@ func TestRepairMultipleFailures(t *testing.T) {
 
 func TestRepairValidation(t *testing.T) {
 	in, res, _ := splitInstance(t, 68, 16, 0)
-	if _, err := Repair(in, res.Tree, []int{999}, InitConfig{}); err == nil {
+	if _, err := Repair(context.Background(), in, res.Tree, []int{999}, InitConfig{}); err == nil {
 		t.Error("unknown failed node accepted")
 	}
-	if _, err := Repair(in, res.Tree, []int{3, 3}, InitConfig{}); err == nil {
+	if _, err := Repair(context.Background(), in, res.Tree, []int{3, 3}, InitConfig{}); err == nil {
 		t.Error("duplicate failed node accepted")
 	}
 	all := append([]int(nil), res.Tree.Nodes...)
-	if _, err := Repair(in, res.Tree, all, InitConfig{}); err == nil {
+	if _, err := Repair(context.Background(), in, res.Tree, all, InitConfig{}); err == nil {
 		t.Error("total failure accepted")
 	}
 }
@@ -305,7 +306,7 @@ func TestRepairLinksReattaches(t *testing.T) {
 	if !found {
 		t.Skip("no interior out-link")
 	}
-	rres, err := RepairLinks(in, bt, []sinr.Link{failed}, InitConfig{Seed: 6})
+	rres, err := RepairLinks(context.Background(), in, bt, []sinr.Link{failed}, InitConfig{Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +338,7 @@ func TestRepairLinksMultiple(t *testing.T) {
 			break
 		}
 	}
-	rres, err := RepairLinks(in, bt, failed, InitConfig{Seed: 7})
+	rres, err := RepairLinks(context.Background(), in, bt, failed, InitConfig{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -355,15 +356,15 @@ func TestRepairLinksMultiple(t *testing.T) {
 
 func TestRepairLinksValidation(t *testing.T) {
 	in, res, _ := splitInstance(t, 73, 16, 0)
-	if _, err := RepairLinks(in, res.Tree, []sinr.Link{{From: 98, To: 99}}, InitConfig{}); err == nil {
+	if _, err := RepairLinks(context.Background(), in, res.Tree, []sinr.Link{{From: 98, To: 99}}, InitConfig{}); err == nil {
 		t.Error("unknown link accepted")
 	}
 	l := res.Tree.Up[0].L
-	if _, err := RepairLinks(in, res.Tree, []sinr.Link{l, l}, InitConfig{}); err == nil {
+	if _, err := RepairLinks(context.Background(), in, res.Tree, []sinr.Link{l, l}, InitConfig{}); err == nil {
 		t.Error("duplicate link accepted")
 	}
 	// Empty failure set: pure restamp, no channel time.
-	rres, err := RepairLinks(in, res.Tree, nil, InitConfig{})
+	rres, err := RepairLinks(context.Background(), in, res.Tree, nil, InitConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -41,7 +42,11 @@ type InitResult struct {
 // cfg.Participants if set) and returns the resulting bi-tree. The slot
 // stamps on the tree links are slot-pair indices: links sharing a stamp
 // succeeded concurrently and are SINR-feasible together at the round powers.
-func Init(in *sinr.Instance, cfg InitConfig) (*InitResult, error) {
+//
+// ctx is checked between slot-pairs: a canceled context aborts the
+// construction with an error wrapping ctx.Err(), leaving any shared worker
+// pool reusable.
+func Init(ctx context.Context, in *sinr.Instance, cfg InitConfig) (*InitResult, error) {
 	cfg.defaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -102,11 +107,7 @@ func Init(in *sinr.Instance, cfg InitConfig) (*InitResult, error) {
 		}
 		procs[i] = nodes[i]
 	}
-	eng, err := sim.NewEngine(in, procs, sim.Config{
-		Workers:  cfg.Workers,
-		DropProb: cfg.DropProb,
-		Seed:     cfg.Seed ^ 0x5DEECE66D,
-	})
+	eng, err := sim.NewEngine(in, procs, cfg.engineConfig(cfg.Seed^0x5DEECE66D))
 	if err != nil {
 		return nil, err
 	}
@@ -123,9 +124,12 @@ func Init(in *sinr.Instance, cfg InitConfig) (*InitResult, error) {
 	}
 
 	res := &InitResult{LadderRounds: ladder}
-	runRound := func(spec roundSpec) bool {
+	runRound := func(spec roundSpec) (bool, error) {
 		res.Rounds++
 		for k := 0; k < pairs; k++ {
+			if err := checkCtx(ctx, "init"); err != nil {
+				return false, err
+			}
 			for i := range nodes {
 				nodes[i].spec = spec
 			}
@@ -139,10 +143,10 @@ func Init(in *sinr.Instance, cfg InitConfig) (*InitResult, error) {
 				}
 				eng.Step()
 				eng.Step()
-				return true
+				return true, nil
 			}
 		}
-		return activeCount() <= 1
+		return activeCount() <= 1, nil
 	}
 
 	converged := false
@@ -152,12 +156,20 @@ func Init(in *sinr.Instance, cfg InitConfig) (*InitResult, error) {
 		if !cfg.StrictGate {
 			lo = 0
 		}
-		converged = runRound(roundSpec{lo: lo, hi: hi, power: p.SafePower(hi)})
+		if converged, err = runRound(roundSpec{lo: lo, hi: hi, power: p.SafePower(hi)}); err != nil {
+			res.SlotsUsed = eng.Stats().Slots
+			res.Stats = eng.Stats()
+			return res, err
+		}
 	}
 	// Safety rounds: top length class, permissive gate.
 	topHi := math.Exp2(float64(ladder))
 	for x := 0; x < cfg.ExtraRounds && !converged; x++ {
-		converged = runRound(roundSpec{lo: 0, hi: topHi, power: p.SafePower(topHi)})
+		if converged, err = runRound(roundSpec{lo: 0, hi: topHi, power: p.SafePower(topHi)}); err != nil {
+			res.SlotsUsed = eng.Stats().Slots
+			res.Stats = eng.Stats()
+			return res, err
+		}
 	}
 
 	res.SlotsUsed = eng.Stats().Slots

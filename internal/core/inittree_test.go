@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -43,7 +44,7 @@ func checkBiTree(t *testing.T, in *sinr.Instance, res *InitResult) {
 
 func TestInitSmallLine(t *testing.T) {
 	in := sinr.MustInstance(workload.ExponentialChain(8, 2), sinr.DefaultParams())
-	res, err := Init(in, InitConfig{Seed: 1})
+	res, err := Init(context.Background(), in, InitConfig{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestInitSmallLine(t *testing.T) {
 
 func TestInitUniform(t *testing.T) {
 	in := uniformInstance(t, 2, 64)
-	res, err := Init(in, InitConfig{Seed: 7})
+	res, err := Init(context.Background(), in, InitConfig{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestInitUniform(t *testing.T) {
 
 func TestInitSingleParticipant(t *testing.T) {
 	in := uniformInstance(t, 3, 10)
-	res, err := Init(in, InitConfig{Seed: 1, Participants: []int{4}})
+	res, err := Init(context.Background(), in, InitConfig{Seed: 1, Participants: []int{4}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestInitSingleParticipant(t *testing.T) {
 func TestInitSubsetParticipants(t *testing.T) {
 	in := uniformInstance(t, 4, 40)
 	parts := []int{0, 3, 7, 11, 18, 25, 31, 39}
-	res, err := Init(in, InitConfig{Seed: 5, Participants: parts})
+	res, err := Init(context.Background(), in, InitConfig{Seed: 5, Participants: parts})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,11 +105,11 @@ func TestInitSubsetParticipants(t *testing.T) {
 
 func TestInitDeterministic(t *testing.T) {
 	in := uniformInstance(t, 5, 48)
-	a, err := Init(in, InitConfig{Seed: 11})
+	a, err := Init(context.Background(), in, InitConfig{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Init(in, InitConfig{Seed: 11})
+	b, err := Init(context.Background(), in, InitConfig{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestInitDeterministic(t *testing.T) {
 			t.Fatalf("link %d differs", i)
 		}
 	}
-	c, err := Init(in, InitConfig{Seed: 12})
+	c, err := Init(context.Background(), in, InitConfig{Seed: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestInitDeterministic(t *testing.T) {
 
 func TestInitWithDropInjection(t *testing.T) {
 	in := uniformInstance(t, 6, 32)
-	res, err := Init(in, InitConfig{Seed: 3, DropProb: 0.3})
+	res, err := Init(context.Background(), in, InitConfig{Seed: 3, DropProb: 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestInitWithDropInjection(t *testing.T) {
 
 func TestInitPermissiveGate(t *testing.T) {
 	in := uniformInstance(t, 7, 32)
-	res, err := Init(in, InitConfig{Seed: 3, StrictGate: false})
+	res, err := Init(context.Background(), in, InitConfig{Seed: 3, StrictGate: false})
 	// StrictGate default is true; explicit false is the permissive variant.
 	if err != nil {
 		t.Fatal(err)
@@ -161,16 +162,16 @@ func TestInitPermissiveGate(t *testing.T) {
 
 func TestInitErrors(t *testing.T) {
 	in := uniformInstance(t, 8, 8)
-	if _, err := Init(in, InitConfig{Participants: []int{}}); err == nil {
+	if _, err := Init(context.Background(), in, InitConfig{Participants: []int{}}); err == nil {
 		t.Error("empty participants accepted")
 	}
-	if _, err := Init(in, InitConfig{Participants: []int{99}}); err == nil {
+	if _, err := Init(context.Background(), in, InitConfig{Participants: []int{99}}); err == nil {
 		t.Error("out-of-range participant accepted")
 	}
-	if _, err := Init(in, InitConfig{Participants: []int{1, 1}}); err == nil {
+	if _, err := Init(context.Background(), in, InitConfig{Participants: []int{1, 1}}); err == nil {
 		t.Error("duplicate participant accepted")
 	}
-	if _, err := Init(in, InitConfig{DropProb: 2}); err == nil {
+	if _, err := Init(context.Background(), in, InitConfig{DropProb: 2}); err == nil {
 		t.Error("bad drop probability accepted")
 	}
 }
@@ -178,7 +179,7 @@ func TestInitErrors(t *testing.T) {
 func TestInitDegreeBound(t *testing.T) {
 	// Theorem 7: max degree O(log n) w.h.p. Use a generous constant.
 	in := uniformInstance(t, 9, 128)
-	res, err := Init(in, InitConfig{Seed: 13})
+	res, err := Init(context.Background(), in, InitConfig{Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,11 +195,11 @@ func TestInitSlotsScaleWithLadder(t *testing.T) {
 	// size (the log Δ factor of Theorem 2).
 	chain := sinr.MustInstance(workload.ChainForDelta(32, 1<<16), sinr.DefaultParams())
 	grid := sinr.MustInstance(workload.GridPoints(6, 6, 2)[:32], sinr.DefaultParams())
-	resChain, err := Init(chain, InitConfig{Seed: 21})
+	resChain, err := Init(context.Background(), chain, InitConfig{Seed: 21})
 	if err != nil {
 		t.Fatal(err)
 	}
-	resGrid, err := Init(grid, InitConfig{Seed: 21})
+	resGrid, err := Init(context.Background(), grid, InitConfig{Seed: 21})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func TestInitStrayCleanup(t *testing.T) {
 	// reported. Run several seeds and just assert validity every time.
 	in := uniformInstance(t, 10, 48)
 	for seed := int64(0); seed < 5; seed++ {
-		res, err := Init(in, InitConfig{Seed: seed})
+		res, err := Init(context.Background(), in, InitConfig{Seed: seed})
 		if err != nil {
 			t.Fatal(err)
 		}

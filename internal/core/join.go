@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -29,7 +30,7 @@ import (
 // attached under an earlier joiner fires later than its child, preserving
 // the ordering property without touching the existing stamps. Per-pair
 // concurrency keeps each new stamp group SINR-feasible.
-func Join(in *sinr.Instance, bt *tree.BiTree, joiners []int, cfg InitConfig) (*JoinResult, error) {
+func Join(ctx context.Context, in *sinr.Instance, bt *tree.BiTree, joiners []int, cfg InitConfig) (*JoinResult, error) {
 	cfg.defaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -113,11 +114,7 @@ func Join(in *sinr.Instance, bt *tree.BiTree, joiners []int, cfg InitConfig) (*J
 		}
 		procs[i] = nodes[i]
 	}
-	eng, err := sim.NewEngine(in, procs, sim.Config{
-		Workers:  cfg.Workers,
-		DropProb: cfg.DropProb,
-		Seed:     cfg.Seed ^ 0x9E3779B9,
-	})
+	eng, err := sim.NewEngine(in, procs, cfg.engineConfig(cfg.Seed^0x9E3779B9))
 	if err != nil {
 		return nil, err
 	}
@@ -132,8 +129,11 @@ func Join(in *sinr.Instance, bt *tree.BiTree, joiners []int, cfg InitConfig) (*J
 		}
 		return c
 	}
-	runRound := func(spec roundSpec) bool {
+	runRound := func(spec roundSpec) (bool, error) {
 		for k := 0; k < pairs; k++ {
+			if err := checkCtx(ctx, "join"); err != nil {
+				return false, err
+			}
 			for i := range nodes {
 				nodes[i].spec = spec
 			}
@@ -145,10 +145,10 @@ func Join(in *sinr.Instance, bt *tree.BiTree, joiners []int, cfg InitConfig) (*J
 				}
 				eng.Step()
 				eng.Step()
-				return true
+				return true, nil
 			}
 		}
-		return remaining() == 0
+		return remaining() == 0, nil
 	}
 
 	done := false
@@ -160,12 +160,16 @@ func Join(in *sinr.Instance, bt *tree.BiTree, joiners []int, cfg InitConfig) (*J
 			lo = 0
 		}
 		rounds++
-		done = runRound(roundSpec{lo: lo, hi: hi, power: p.SafePower(hi)})
+		if done, err = runRound(roundSpec{lo: lo, hi: hi, power: p.SafePower(hi)}); err != nil {
+			return nil, err
+		}
 	}
 	topHi := math.Exp2(float64(ladder))
 	for x := 0; x < cfg.ExtraRounds && !done; x++ {
 		rounds++
-		done = runRound(roundSpec{lo: 0, hi: topHi, power: p.SafePower(topHi)})
+		if done, err = runRound(roundSpec{lo: 0, hi: topHi, power: p.SafePower(topHi)}); err != nil {
+			return nil, err
+		}
 	}
 	res := &JoinResult{
 		SlotsUsed: eng.Stats().Slots,

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"sinrconn/internal/sim"
 	"sinrconn/internal/sinr"
 	"sinrconn/internal/tree"
 )
@@ -14,7 +16,7 @@ import (
 // Each failed link orphans exactly the subtree of its sender; the orphan
 // roots re-attach via the join protocol against the main component and the
 // schedule is restamped.
-func RepairLinks(in *sinr.Instance, bt *tree.BiTree, failedLinks []sinr.Link, cfg InitConfig) (*RepairResult, error) {
+func RepairLinks(ctx context.Context, in *sinr.Instance, bt *tree.BiTree, failedLinks []sinr.Link, cfg InitConfig) (*RepairResult, error) {
 	failedSet := make(map[sinr.Link]bool, len(failedLinks))
 	present := make(map[sinr.Link]bool, len(bt.Up))
 	for _, tl := range bt.Up {
@@ -64,11 +66,12 @@ func RepairLinks(in *sinr.Instance, bt *tree.BiTree, failedLinks []sinr.Link, cf
 		joinBase := &tree.BiTree{Root: bt.Root, Nodes: mainNodes}
 		jcfg := cfg
 		jcfg.Forbidden = append(append([]sinr.Link(nil), cfg.Forbidden...), failedLinks...)
-		jres, err := Join(in, joinBase, orphans, jcfg)
+		jres, err := Join(ctx, in, joinBase, orphans, jcfg)
 		if err != nil {
 			return res, fmt.Errorf("core: link-repair re-attachment: %w", err)
 		}
 		res.SlotsUsed = jres.SlotsUsed
+		res.Stats = jres.Stats
 		newOut := make(map[int]tree.TimedLink, len(orphans))
 		for _, tl := range jres.Tree.Up {
 			newOut[tl.L.From] = tl
@@ -109,6 +112,9 @@ type RepairResult struct {
 	SlotsUsed int
 	// ScheduleLength is the restamped schedule length.
 	ScheduleLength int
+	// Stats carries the engine counters of the re-attachment run (zero when
+	// no orphans had to re-attach).
+	Stats sim.Stats
 }
 
 // Repair implements the paper's "node failures" extension (Conclusions,
@@ -124,7 +130,7 @@ type RepairResult struct {
 // the surviving stamps without breaking the aggregation ordering, the
 // repaired tree's schedule is recomputed with Restamp, which restores
 // ordering and per-slot feasibility in one pass.
-func Repair(in *sinr.Instance, bt *tree.BiTree, failed []int, cfg InitConfig) (*RepairResult, error) {
+func Repair(ctx context.Context, in *sinr.Instance, bt *tree.BiTree, failed []int, cfg InitConfig) (*RepairResult, error) {
 	failedSet := make(map[int]bool, len(failed))
 	inTree := make(map[int]bool, len(bt.Nodes))
 	for _, v := range bt.Nodes {
@@ -225,11 +231,12 @@ func Repair(in *sinr.Instance, bt *tree.BiTree, failed []int, cfg InitConfig) (*
 			stack = append(stack, children[v]...)
 		}
 		joinBase := &tree.BiTree{Root: mainRoot, Nodes: mainNodes}
-		jres, err := Join(in, joinBase, orphans, cfg)
+		jres, err := Join(ctx, in, joinBase, orphans, cfg)
 		if err != nil {
 			return res, fmt.Errorf("core: re-attachment: %w", err)
 		}
 		res.SlotsUsed = jres.SlotsUsed
+		res.Stats = jres.Stats
 		// Adopt the new out-links of the orphan roots.
 		newOut := make(map[int]tree.TimedLink, len(orphans))
 		for _, tl := range jres.Tree.Up {

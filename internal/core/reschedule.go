@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"sinrconn/internal/schedule"
+	"sinrconn/internal/sim"
 	"sinrconn/internal/sinr"
 	"sinrconn/internal/tree"
 )
@@ -20,6 +22,9 @@ type RescheduleResult struct {
 	NumSlots int
 	// SlotPairs is the channel time the distributed scheduler consumed.
 	SlotPairs int
+	// Stats carries the scheduler's engine counters (Energy is the
+	// transmission energy the contention-resolution run itself spent).
+	Stats sim.Stats
 }
 
 // Reschedule re-schedules the links of an Init tree under assignment pa
@@ -28,9 +33,9 @@ type RescheduleResult struct {
 // (Theorem 11) is what makes the resulting schedule short:
 // O(Υ·log³ n) versus the O(log Δ·log n) stamps the construction itself
 // produced.
-func Reschedule(in *sinr.Instance, bt *tree.BiTree, pa sinr.Assignment, cfg schedule.DistConfig) (*RescheduleResult, error) {
+func Reschedule(ctx context.Context, in *sinr.Instance, bt *tree.BiTree, pa sinr.Assignment, cfg schedule.DistConfig) (*RescheduleResult, error) {
 	links := bt.Links()
-	res, err := schedule.Distributed(in, links, pa, cfg)
+	res, err := schedule.Distributed(ctx, in, links, pa, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: reschedule: %w", err)
 	}
@@ -50,6 +55,7 @@ func Reschedule(in *sinr.Instance, bt *tree.BiTree, pa sinr.Assignment, cfg sche
 		Tree:      out,
 		NumSlots:  res.NumSlots,
 		SlotPairs: res.SlotPairs,
+		Stats:     res.Stats,
 	}, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -11,12 +12,12 @@ import (
 
 func TestRescheduleMeanPower(t *testing.T) {
 	in := uniformInstance(t, 50, 64)
-	ires, err := Init(in, InitConfig{Seed: 3})
+	ires, err := Init(context.Background(), in, InitConfig{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	pa := sinr.NoiseSafeMean(in.Params(), in.Delta())
-	rres, err := Reschedule(in, ires.Tree, pa, schedule.DistConfig{Seed: 5})
+	rres, err := Reschedule(context.Background(), in, ires.Tree, pa, schedule.DistConfig{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestRescheduleRemovesLogDeltaDependence(t *testing.T) {
 	// Theorem 3's point: on a high-Δ chain, the mean-power schedule is far
 	// shorter than the uniform-power baseline.
 	in := sinr.MustInstance(workload.ChainForDelta(48, 1<<20), sinr.DefaultParams())
-	ires, err := Init(in, InitConfig{Seed: 7})
+	ires, err := Init(context.Background(), in, InitConfig{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,12 +59,12 @@ func TestRescheduleRemovesLogDeltaDependence(t *testing.T) {
 
 func TestRescheduleErrorPropagates(t *testing.T) {
 	in := uniformInstance(t, 51, 16)
-	ires, err := Init(in, InitConfig{Seed: 1})
+	ires, err := Init(context.Background(), in, InitConfig{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Hopeless power with a tiny budget must surface the scheduler error.
-	_, err = Reschedule(in, ires.Tree, sinr.Uniform{P: 1e-12},
+	_, err = Reschedule(context.Background(), in, ires.Tree, sinr.Uniform{P: 1e-12},
 		schedule.DistConfig{MaxSlotPairs: 10, Seed: 1})
 	if err == nil {
 		t.Error("expected reschedule error")
@@ -72,7 +73,7 @@ func TestRescheduleErrorPropagates(t *testing.T) {
 
 func TestScheduleLengthHelpers(t *testing.T) {
 	in := uniformInstance(t, 52, 32)
-	ires, err := Init(in, InitConfig{Seed: 2})
+	ires, err := Init(context.Background(), in, InitConfig{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

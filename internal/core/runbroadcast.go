@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -26,7 +27,7 @@ type BroadcastOutcome struct {
 // forwarding the root's value to a child at the stamped power. On success
 // every tree node holds the value; a node left without it means the
 // schedule or physics was violated, reported as an error.
-func RunBroadcast(in *sinr.Instance, bt *tree.BiTree, value int64, workers int) (*BroadcastOutcome, error) {
+func RunBroadcast(ctx context.Context, in *sinr.Instance, bt *tree.BiTree, value int64, ecfg sim.Config) (*BroadcastOutcome, error) {
 	down := bt.Down()
 	distinct := map[int]struct{}{}
 	for _, tl := range down {
@@ -103,12 +104,14 @@ func RunBroadcast(in *sinr.Instance, bt *tree.BiTree, value int64, workers int) 
 		})
 	}
 
-	eng, err := sim.NewEngine(in, procs, sim.Config{Workers: workers})
+	eng, err := sim.NewEngine(in, procs, ecfg)
 	if err != nil {
 		return nil, err
 	}
 	defer eng.Close()
-	eng.Run(len(stamps) + 1)
+	if _, err := eng.RunCtx(ctx, len(stamps)+1); err != nil {
+		return nil, fmt.Errorf("core: broadcast canceled: %w", err)
+	}
 
 	out := &BroadcastOutcome{
 		SlotsUsed: eng.Stats().Slots,

@@ -1,18 +1,20 @@
 package core
 
 import (
+	"context"
 	"testing"
 
+	"sinrconn/internal/sim"
 	"sinrconn/internal/tree"
 )
 
 func TestRunBroadcastOnInitTree(t *testing.T) {
 	in := uniformInstance(t, 86, 48)
-	res, err := Init(in, InitConfig{Seed: 1})
+	res, err := Init(context.Background(), in, InitConfig{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := RunBroadcast(in, res.Tree, 4242, 0)
+	out, err := RunBroadcast(context.Background(), in, res.Tree, 4242, sim.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,11 +31,11 @@ func TestRunBroadcastOnInitTree(t *testing.T) {
 
 func TestRunBroadcastOnTVCTree(t *testing.T) {
 	in := uniformInstance(t, 87, 36)
-	res, err := TreeViaCapacity(in, TVCConfig{Variant: VariantArbitrary, Seed: 2})
+	res, err := TreeViaCapacity(context.Background(), in, TVCConfig{Variant: VariantArbitrary, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := RunBroadcast(in, res.Tree, -7, 0)
+	out, err := RunBroadcast(context.Background(), in, res.Tree, -7, sim.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +46,7 @@ func TestRunBroadcastOnTVCTree(t *testing.T) {
 
 func TestRunBroadcastDetectsBadSchedule(t *testing.T) {
 	in := uniformInstance(t, 88, 24)
-	res, err := Init(in, InitConfig{Seed: 3})
+	res, err := Init(context.Background(), in, InitConfig{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,18 +57,18 @@ func TestRunBroadcastDetectsBadSchedule(t *testing.T) {
 	for i := range bad.Up {
 		bad.Up[i].Slot = 1
 	}
-	if _, err := RunBroadcast(in, bad, 1, 0); err == nil {
+	if _, err := RunBroadcast(context.Background(), in, bad, 1, sim.Config{}); err == nil {
 		t.Fatal("sabotaged broadcast schedule not detected")
 	}
 }
 
 func TestRunBroadcastSingleNode(t *testing.T) {
 	in := uniformInstance(t, 89, 4)
-	res, err := Init(in, InitConfig{Seed: 1, Participants: []int{2}})
+	res, err := Init(context.Background(), in, InitConfig{Seed: 1, Participants: []int{2}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := RunBroadcast(in, res.Tree, 9, 0)
+	out, err := RunBroadcast(context.Background(), in, res.Tree, 9, sim.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

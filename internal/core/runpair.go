@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -28,7 +29,7 @@ type PairOutcome struct {
 // realizes the paper's claim that "any node-node communication can be
 // achieved within time equal to the length of the schedule" (Definition 1)
 // — twice the schedule, once up and once down.
-func RunPairMessage(in *sinr.Instance, bt *tree.BiTree, src, dst int, payload int64, workers int) (*PairOutcome, error) {
+func RunPairMessage(ctx context.Context, in *sinr.Instance, bt *tree.BiTree, src, dst int, payload int64, ecfg sim.Config) (*PairOutcome, error) {
 	inTree := make(map[int]bool, len(bt.Nodes))
 	for _, v := range bt.Nodes {
 		inTree[v] = true
@@ -54,12 +55,14 @@ func RunPairMessage(in *sinr.Instance, bt *tree.BiTree, src, dst int, payload in
 	nodes[src].holds = true
 	nodes[src].payload = payload
 
-	eng, err := sim.NewEngine(in, procs, sim.Config{Workers: workers})
+	eng, err := sim.NewEngine(in, procs, ecfg)
 	if err != nil {
 		return nil, err
 	}
 	defer eng.Close()
-	eng.Run(len(upStamps) + 1)
+	if _, err := eng.RunCtx(ctx, len(upStamps)+1); err != nil {
+		return nil, fmt.Errorf("core: pair message canceled: %w", err)
+	}
 	upStats := eng.Stats()
 	out := &PairOutcome{SlotsUsed: upStats.Slots, Energy: upStats.Energy}
 	if !nodes[bt.Root].holds {
@@ -70,7 +73,7 @@ func RunPairMessage(in *sinr.Instance, bt *tree.BiTree, src, dst int, payload in
 	// everyone — in particular dst (the paper's reversal: "same links in
 	// the opposite direction and same schedule in opposite order").
 	// RunBroadcast also handles the dual-power subtlety.
-	bout, err := RunBroadcast(in, bt, payload, workers)
+	bout, err := RunBroadcast(ctx, in, bt, payload, ecfg)
 	if err != nil {
 		return out, fmt.Errorf("core: down phase: %w", err)
 	}

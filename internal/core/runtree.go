@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -49,8 +50,9 @@ func SumAgg(a, b int64) int64 { return a + b }
 //
 // values[i] is node i's initial contribution (indexed by instance node
 // id); on success the outcome's Value equals f folded over the values of
-// all tree nodes.
-func RunAggregation(in *sinr.Instance, bt *tree.BiTree, values []int64, f AggFunc, workers int) (*AggregationOutcome, error) {
+// all tree nodes. ecfg carries the engine worker budget and shared pool;
+// its DropProb/Seed/Observer fields are honored as-is.
+func RunAggregation(ctx context.Context, in *sinr.Instance, bt *tree.BiTree, values []int64, f AggFunc, ecfg sim.Config) (*AggregationOutcome, error) {
 	if len(values) != in.Len() {
 		return nil, fmt.Errorf("core: %d values for %d nodes", len(values), in.Len())
 	}
@@ -95,13 +97,15 @@ func RunAggregation(in *sinr.Instance, bt *tree.BiTree, values []int64, f AggFun
 		nd.power = tl.Power
 	}
 
-	eng, err := sim.NewEngine(in, procs, sim.Config{Workers: workers})
+	eng, err := sim.NewEngine(in, procs, ecfg)
 	if err != nil {
 		return nil, err
 	}
 	defer eng.Close()
 	// One extra slot drains the final deliveries into the root's fold.
-	eng.Run(len(stamps) + 1)
+	if _, err := eng.RunCtx(ctx, len(stamps)+1); err != nil {
+		return nil, fmt.Errorf("core: aggregation canceled: %w", err)
+	}
 
 	expected := values[bt.Root]
 	for _, v := range bt.Nodes {

@@ -1,15 +1,17 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
+	"sinrconn/internal/sim"
 	"sinrconn/internal/tree"
 )
 
 func TestRunAggregationOnInitTree(t *testing.T) {
 	in := uniformInstance(t, 80, 48)
-	res, err := Init(in, InitConfig{Seed: 1})
+	res, err := Init(context.Background(), in, InitConfig{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,7 +22,7 @@ func TestRunAggregationOnInitTree(t *testing.T) {
 		values[i] = int64(rng.Intn(1000))
 		wantSum += values[i]
 	}
-	out, err := RunAggregation(in, res.Tree, values, SumAgg, 0)
+	out, err := RunAggregation(context.Background(), in, res.Tree, values, SumAgg, sim.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +39,7 @@ func TestRunAggregationOnInitTree(t *testing.T) {
 
 func TestRunAggregationMaxOnTVCTree(t *testing.T) {
 	in := uniformInstance(t, 81, 40)
-	res, err := TreeViaCapacity(in, TVCConfig{Variant: VariantArbitrary, Seed: 2})
+	res, err := TreeViaCapacity(context.Background(), in, TVCConfig{Variant: VariantArbitrary, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +47,7 @@ func TestRunAggregationMaxOnTVCTree(t *testing.T) {
 	for i := range values {
 		values[i] = int64(i * 13 % 97)
 	}
-	out, err := RunAggregation(in, res.Tree, values, MaxAgg, 0)
+	out, err := RunAggregation(context.Background(), in, res.Tree, values, MaxAgg, sim.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +64,7 @@ func TestRunAggregationMaxOnTVCTree(t *testing.T) {
 
 func TestRunAggregationMeanVariant(t *testing.T) {
 	in := uniformInstance(t, 82, 32)
-	res, err := TreeViaCapacity(in, TVCConfig{Variant: VariantMean, Seed: 3})
+	res, err := TreeViaCapacity(context.Background(), in, TVCConfig{Variant: VariantMean, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +72,7 @@ func TestRunAggregationMeanVariant(t *testing.T) {
 	for i := range values {
 		values[i] = 1
 	}
-	out, err := RunAggregation(in, res.Tree, values, SumAgg, 0)
+	out, err := RunAggregation(context.Background(), in, res.Tree, values, SumAgg, sim.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +86,7 @@ func TestRunAggregationDetectsBadSchedule(t *testing.T) {
 	// Sabotage: give two conflicting links the same slot with weak powers —
 	// the physical run must detect the loss.
 	in := uniformInstance(t, 83, 24)
-	res, err := Init(in, InitConfig{Seed: 4})
+	res, err := Init(context.Background(), in, InitConfig{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,22 +101,22 @@ func TestRunAggregationDetectsBadSchedule(t *testing.T) {
 	for i := range values {
 		values[i] = 1
 	}
-	if _, err := RunAggregation(in, bad, values, SumAgg, 0); err == nil {
+	if _, err := RunAggregation(context.Background(), in, bad, values, SumAgg, sim.Config{}); err == nil {
 		t.Fatal("single-slot sabotage not detected by the physical run")
 	}
 }
 
 func TestRunAggregationValidation(t *testing.T) {
 	in := uniformInstance(t, 84, 8)
-	res, err := Init(in, InitConfig{Seed: 1})
+	res, err := Init(context.Background(), in, InitConfig{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RunAggregation(in, res.Tree, nil, SumAgg, 0); err == nil {
+	if _, err := RunAggregation(context.Background(), in, res.Tree, nil, SumAgg, sim.Config{}); err == nil {
 		t.Error("short values accepted")
 	}
 	vals := make([]int64, in.Len())
-	if _, err := RunAggregation(in, res.Tree, vals, nil, 0); err == nil {
+	if _, err := RunAggregation(context.Background(), in, res.Tree, vals, nil, sim.Config{}); err == nil {
 		t.Error("nil fold accepted")
 	}
 }
@@ -135,7 +137,7 @@ func TestRunAggregationAfterRepair(t *testing.T) {
 	if victim < 0 {
 		t.Skip("no interior node")
 	}
-	rres, err := Repair(in, bt, []int{victim}, InitConfig{Seed: 5})
+	rres, err := Repair(context.Background(), in, bt, []int{victim}, InitConfig{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +147,7 @@ func TestRunAggregationAfterRepair(t *testing.T) {
 		values[v] = int64(v)
 		want += int64(v)
 	}
-	out, err := RunAggregation(in, rres.Tree, values, SumAgg, 0)
+	out, err := RunAggregation(context.Background(), in, rres.Tree, values, SumAgg, sim.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +158,7 @@ func TestRunAggregationAfterRepair(t *testing.T) {
 
 func TestRunPairMessage(t *testing.T) {
 	in := uniformInstance(t, 91, 40)
-	res, err := TreeViaCapacity(in, TVCConfig{Variant: VariantArbitrary, Seed: 6})
+	res, err := TreeViaCapacity(context.Background(), in, TVCConfig{Variant: VariantArbitrary, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +166,7 @@ func TestRunPairMessage(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for trial := 0; trial < 5; trial++ {
 		src, dst := rng.Intn(40), rng.Intn(40)
-		out, err := RunPairMessage(in, res.Tree, src, dst, int64(100+trial), 0)
+		out, err := RunPairMessage(context.Background(), in, res.Tree, src, dst, int64(100+trial), sim.Config{})
 		if err != nil {
 			t.Fatalf("pair %d→%d: %v", src, dst, err)
 		}
@@ -180,11 +182,11 @@ func TestRunPairMessage(t *testing.T) {
 
 func TestRunPairMessageValidation(t *testing.T) {
 	in := uniformInstance(t, 92, 12)
-	res, err := Init(in, InitConfig{Seed: 1})
+	res, err := Init(context.Background(), in, InitConfig{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RunPairMessage(in, res.Tree, 0, 999, 1, 0); err == nil {
+	if _, err := RunPairMessage(context.Background(), in, res.Tree, 0, 999, 1, sim.Config{}); err == nil {
 		t.Error("bad dst accepted")
 	}
 }

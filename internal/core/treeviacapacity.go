@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -83,6 +84,10 @@ type TVCResult struct {
 	// PowerSolveIterations sums Foschini–Miljanic rounds (the paper's η
 	// budget for Section 8.2.3), arbitrary variant only.
 	PowerSolveIterations int
+	// Energy is the total transmission energy the construction spent on
+	// the channel: every inner Init run plus the selection protocol's
+	// transmissions (Distr-Cap phases or mean-power sampling pairs).
+	Energy float64
 }
 
 // ErrTVCStuck reports that Algorithm 1 hit MaxIterations.
@@ -92,7 +97,9 @@ var ErrTVCStuck = errors.New("core: TreeViaCapacity exceeded iteration budget")
 // still-active nodes, select a large feasible subset T′ of its low-degree
 // core, commit those links at the current iteration's schedule slot, and
 // recurse on the top-level nodes. See Theorems 12, 16, 20, 21.
-func TreeViaCapacity(in *sinr.Instance, cfg TVCConfig) (*TVCResult, error) {
+// ctx is checked at every iteration (and inside every inner Init run); a
+// canceled context aborts the construction with an error wrapping ctx.Err().
+func TreeViaCapacity(ctx context.Context, in *sinr.Instance, cfg TVCConfig) (*TVCResult, error) {
 	cfg.defaults(in.Len())
 	if in.Len() == 0 {
 		return nil, errors.New("core: empty instance")
@@ -112,17 +119,21 @@ func TreeViaCapacity(in *sinr.Instance, cfg TVCConfig) (*TVCResult, error) {
 		}
 		res.Iterations++
 		iterSeed := rng.Int63()
+		if err := checkCtx(ctx, "tree-via-capacity"); err != nil {
+			return res, err
+		}
 
 		// Step 3: inner tree on the active set.
 		icfg := cfg.Init
 		icfg.Participants = active
 		icfg.Seed = iterSeed
 		icfg.Workers = cfg.Init.Workers
-		ires, err := Init(in, icfg)
+		ires, err := Init(ctx, in, icfg)
 		if err != nil {
 			return res, fmt.Errorf("core: iteration %d init: %w", res.Iterations, err)
 		}
 		res.ConstructionSlots += ires.SlotsUsed
+		res.Energy += ires.Stats.Energy
 		innerTree := ires.Tree
 
 		// Step 4a: low-degree core T(M) (Theorem 13).
@@ -144,8 +155,10 @@ func TreeViaCapacity(in *sinr.Instance, cfg TVCConfig) (*TVCResult, error) {
 		switch cfg.Variant {
 		case VariantMean:
 			q := SampleProb(in.Upsilon(), cfg.Gamma1)
-			selected = MeanSample(in, cand, meanPA, q, rand.New(rand.NewSource(iterSeed^0x9E37)))
+			var selEnergy float64
+			selected, selEnergy = MeanSampleEnergy(in, cand, meanPA, q, rand.New(rand.NewSource(iterSeed^0x9E37)))
 			res.ConstructionSlots += 2
+			res.Energy += selEnergy
 			powers = make(map[sinr.Link]float64, len(selected))
 			for _, l := range selected {
 				powers[l] = meanPA.Power(in, l)
@@ -155,6 +168,7 @@ func TreeViaCapacity(in *sinr.Instance, cfg TVCConfig) (*TVCResult, error) {
 			dcfg.Seed = iterSeed ^ 0x51AB
 			dres := DistrCap(in, cand, dcfg)
 			res.ConstructionSlots += 2 * dres.SlotPairs
+			res.Energy += dres.Energy
 			var it int
 			selected, powers, it, err = solvePowers(in, dres.Selected)
 			if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -33,7 +34,7 @@ func checkTVC(t *testing.T, in *sinr.Instance, res *TVCResult) {
 
 func TestTVCArbitrary(t *testing.T) {
 	in := uniformInstance(t, 40, 64)
-	res, err := TreeViaCapacity(in, TVCConfig{Variant: VariantArbitrary, Seed: 1})
+	res, err := TreeViaCapacity(context.Background(), in, TVCConfig{Variant: VariantArbitrary, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestTVCArbitrary(t *testing.T) {
 
 func TestTVCMean(t *testing.T) {
 	in := uniformInstance(t, 41, 64)
-	res, err := TreeViaCapacity(in, TVCConfig{Variant: VariantMean, Seed: 2})
+	res, err := TreeViaCapacity(context.Background(), in, TVCConfig{Variant: VariantMean, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestTVCMean(t *testing.T) {
 
 func TestTVCDefaultVariantIsArbitrary(t *testing.T) {
 	in := uniformInstance(t, 42, 24)
-	res, err := TreeViaCapacity(in, TVCConfig{Seed: 3})
+	res, err := TreeViaCapacity(context.Background(), in, TVCConfig{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestTVCDefaultVariantIsArbitrary(t *testing.T) {
 
 func TestTVCSingleNode(t *testing.T) {
 	in := sinr.MustInstance(workload.GridPoints(1, 1, 1), sinr.DefaultParams())
-	res, err := TreeViaCapacity(in, TVCConfig{Seed: 1})
+	res, err := TreeViaCapacity(context.Background(), in, TVCConfig{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestTVCSingleNode(t *testing.T) {
 
 func TestTVCChainInstance(t *testing.T) {
 	in := sinr.MustInstance(workload.ChainForDelta(24, 1<<12), sinr.DefaultParams())
-	res, err := TreeViaCapacity(in, TVCConfig{Variant: VariantArbitrary, Seed: 5})
+	res, err := TreeViaCapacity(context.Background(), in, TVCConfig{Variant: VariantArbitrary, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestTVCIterationsLogarithmic(t *testing.T) {
 	// Theorem 12 shape: iterations should grow like log n, not n. Compare
 	// against a very generous c·log₂n bound.
 	in := uniformInstance(t, 43, 128)
-	res, err := TreeViaCapacity(in, TVCConfig{Variant: VariantArbitrary, Seed: 7})
+	res, err := TreeViaCapacity(context.Background(), in, TVCConfig{Variant: VariantArbitrary, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestTVCIterationsLogarithmic(t *testing.T) {
 
 func TestTVCSelectionFractionsRecorded(t *testing.T) {
 	in := uniformInstance(t, 44, 48)
-	res, err := TreeViaCapacity(in, TVCConfig{Variant: VariantMean, Seed: 9})
+	res, err := TreeViaCapacity(context.Background(), in, TVCConfig{Variant: VariantMean, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,18 +126,18 @@ func TestTVCSelectionFractionsRecorded(t *testing.T) {
 
 func TestTVCEmptyInstance(t *testing.T) {
 	in := sinr.MustInstance(nil, sinr.DefaultParams())
-	if _, err := TreeViaCapacity(in, TVCConfig{}); err == nil {
+	if _, err := TreeViaCapacity(context.Background(), in, TVCConfig{}); err == nil {
 		t.Error("empty instance accepted")
 	}
 }
 
 func TestTVCDeterministic(t *testing.T) {
 	in := uniformInstance(t, 45, 32)
-	a, err := TreeViaCapacity(in, TVCConfig{Variant: VariantArbitrary, Seed: 21})
+	a, err := TreeViaCapacity(context.Background(), in, TVCConfig{Variant: VariantArbitrary, Seed: 21})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := TreeViaCapacity(in, TVCConfig{Variant: VariantArbitrary, Seed: 21})
+	b, err := TreeViaCapacity(context.Background(), in, TVCConfig{Variant: VariantArbitrary, Seed: 21})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestTVCDeterministic(t *testing.T) {
 
 func TestTVCPowerIterationsAccounted(t *testing.T) {
 	in := uniformInstance(t, 46, 48)
-	res, err := TreeViaCapacity(in, TVCConfig{Variant: VariantArbitrary, Seed: 23})
+	res, err := TreeViaCapacity(context.Background(), in, TVCConfig{Variant: VariantArbitrary, Seed: 23})
 	if err != nil {
 		t.Fatal(err)
 	}

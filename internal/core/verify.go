@@ -18,8 +18,16 @@ import (
 //   - reception requires SINR ≥ β with every concurrent transmitter as
 //     interference.
 func VerifyPair(in *sinr.Instance, links []sinr.Link, pa sinr.Assignment) []sinr.Link {
+	out, _ := VerifyPairEnergy(in, links, pa)
+	return out
+}
+
+// VerifyPairEnergy is VerifyPair reporting also the transmission energy the
+// slot-pair spent on the channel (the sum of every transmitted power over
+// both slots), so callers can account selection cost in their energy totals.
+func VerifyPairEnergy(in *sinr.Instance, links []sinr.Link, pa sinr.Assignment) ([]sinr.Link, float64) {
 	if len(links) == 0 {
-		return nil
+		return nil, 0
 	}
 	// Slot 1: every link's sender transmits. Duplicate senders serve only
 	// their first link.
@@ -79,7 +87,19 @@ func VerifyPair(in *sinr.Instance, links []sinr.Link, pa sinr.Assignment) []sinr
 			out = append(out, l)
 		}
 	}
-	return out
+	return out, sumTxPower(txs, ackTxs)
+}
+
+// sumTxPower totals the transmitted power across slot transmission sets —
+// the single definition of selection-protocol energy accounting.
+func sumTxPower(slots ...[]sinr.Tx) float64 {
+	energy := 0.0
+	for _, txs := range slots {
+		for _, t := range txs {
+			energy += t.Power
+		}
+	}
+	return energy
 }
 
 // MeanSample implements the Section 8.1 selection: sample each candidate
@@ -87,8 +107,15 @@ func VerifyPair(in *sinr.Instance, links []sinr.Link, pa sinr.Assignment) []sinr
 // slot-pair under assignment pa (mean power in the paper). The paper's
 // q = 1/(4γ₁Υ) makes the expected yield Ω(|cand|/Υ).
 func MeanSample(in *sinr.Instance, cand []sinr.Link, pa sinr.Assignment, q float64, rng *rand.Rand) []sinr.Link {
+	sel, _ := MeanSampleEnergy(in, cand, pa, q, rng)
+	return sel
+}
+
+// MeanSampleEnergy is MeanSample reporting also the transmission energy the
+// sampling slot-pair spent on the channel.
+func MeanSampleEnergy(in *sinr.Instance, cand []sinr.Link, pa sinr.Assignment, q float64, rng *rand.Rand) ([]sinr.Link, float64) {
 	if q <= 0 {
-		return nil
+		return nil, 0
 	}
 	if q > 1 {
 		q = 1
@@ -99,7 +126,7 @@ func MeanSample(in *sinr.Instance, cand []sinr.Link, pa sinr.Assignment, q float
 			sampled = append(sampled, l)
 		}
 	}
-	return VerifyPair(in, sampled, pa)
+	return VerifyPairEnergy(in, sampled, pa)
 }
 
 // SampleProb returns the paper's sampling probability 1/(4γ₁Υ) clamped to

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -47,7 +48,7 @@ func A1BroadcastProb(cfg Config) Report {
 		converged := 0
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(3100*n+s), n)
-			res, err := core.Init(in, core.InitConfig{
+			res, err := core.Init(context.Background(), in, core.InitConfig{
 				BroadcastProb: p, Seed: int64(s), Workers: cfg.Workers,
 			})
 			if err != nil {
@@ -95,7 +96,7 @@ func A2SlotPairsPerRound(cfg Config) Report {
 		ladder := 0
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(3300*n+s), n)
-			res, err := core.Init(in, core.InitConfig{
+			res, err := core.Init(context.Background(), in, core.InitConfig{
 				Lambda: lambda, Seed: int64(s), Workers: cfg.Workers,
 			})
 			if err != nil {
@@ -134,7 +135,7 @@ func A3DistrCapTau(cfg Config) Report {
 		runs := 0
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(3500*n+s), n)
-			ires, err := core.Init(in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
+			ires, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
 			if err != nil {
 				continue
 			}
@@ -176,7 +177,7 @@ func A4DegreeCap(cfg Config) Report {
 		var ret, psi []float64
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(3700*n+s), n)
-			ires, err := core.Init(in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
+			ires, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
 			if err != nil {
 				continue
 			}
@@ -223,7 +224,7 @@ func A5DropRobustness(cfg Config) Report {
 		var slots []float64
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(3900*n+s), n)
-			res, err := core.Init(in, core.InitConfig{
+			res, err := core.Init(context.Background(), in, core.InitConfig{
 				Seed: int64(s), Workers: cfg.Workers, DropProb: drop,
 			})
 			if err != nil {

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"sinrconn/internal/core"
+	"sinrconn/internal/sim"
 	"sinrconn/internal/stats"
 )
 
@@ -27,13 +29,13 @@ func E13Energy(cfg Config) Report {
 		var initE, tvcE, epochE []float64
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(4100*n+s), n)
-			ires, err := core.Init(in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
+			ires, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
 			if err != nil {
 				pass = false
 				continue
 			}
 			initE = append(initE, ires.Stats.Energy)
-			tres, err := core.TreeViaCapacity(in, core.TVCConfig{
+			tres, err := core.TreeViaCapacity(context.Background(), in, core.TVCConfig{
 				Variant: core.VariantArbitrary, Seed: int64(s),
 				Init: core.InitConfig{Workers: cfg.Workers},
 			})
@@ -48,7 +50,7 @@ func E13Energy(cfg Config) Report {
 			for i := range values {
 				values[i] = 1
 			}
-			out, err := core.RunAggregation(in, tres.Tree, values, core.SumAgg, cfg.Workers)
+			out, err := core.RunAggregation(context.Background(), in, tres.Tree, values, core.SumAgg, sim.Config{Workers: cfg.Workers})
 			if err != nil {
 				pass = false
 				continue
@@ -98,24 +100,24 @@ func E14PhysicalEpoch(cfg Config) Report {
 			for i := range values {
 				values[i] = int64(i)
 			}
-			if ires, err := core.Init(in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers}); err == nil {
-				if _, err := core.RunAggregation(in, ires.Tree, values, core.SumAgg, cfg.Workers); err == nil {
+			if ires, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers}); err == nil {
+				if _, err := core.RunAggregation(context.Background(), in, ires.Tree, values, core.SumAgg, sim.Config{Workers: cfg.Workers}); err == nil {
 					okInit++
 				}
 			}
-			if tres, err := core.TreeViaCapacity(in, core.TVCConfig{
+			if tres, err := core.TreeViaCapacity(context.Background(), in, core.TVCConfig{
 				Variant: core.VariantMean, Seed: int64(s),
 				Init: core.InitConfig{Workers: cfg.Workers},
 			}); err == nil {
-				if _, err := core.RunAggregation(in, tres.Tree, values, core.SumAgg, cfg.Workers); err == nil {
+				if _, err := core.RunAggregation(context.Background(), in, tres.Tree, values, core.SumAgg, sim.Config{Workers: cfg.Workers}); err == nil {
 					okMean++
 				}
 			}
-			if tres, err := core.TreeViaCapacity(in, core.TVCConfig{
+			if tres, err := core.TreeViaCapacity(context.Background(), in, core.TVCConfig{
 				Variant: core.VariantArbitrary, Seed: int64(s),
 				Init: core.InitConfig{Workers: cfg.Workers},
 			}); err == nil {
-				if _, err := core.RunAggregation(in, tres.Tree, values, core.SumAgg, cfg.Workers); err == nil {
+				if _, err := core.RunAggregation(context.Background(), in, tres.Tree, values, core.SumAgg, sim.Config{Workers: cfg.Workers}); err == nil {
 					okArb++
 				}
 			}

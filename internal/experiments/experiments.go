@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -103,6 +104,7 @@ func All(cfg Config) []Report {
 		E12CapacityRatio(cfg),
 		E13Energy(cfg),
 		E14PhysicalEpoch(cfg),
+		E15SessionMatrix(cfg),
 	}
 }
 
@@ -135,7 +137,7 @@ func E1InitSlots(cfg Config) Report {
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(100*n+s), n)
 			delta = in.Delta()
-			res, err := core.Init(in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
+			res, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
 			if err != nil {
 				r.Notes = append(r.Notes, "ERROR: "+err.Error())
 				return r
@@ -154,7 +156,7 @@ func E1InitSlots(cfg Config) Report {
 		in := chainInst(cfg.ChainN, delta)
 		var cell []float64
 		for s := 0; s < cfg.Seeds; s++ {
-			res, err := core.Init(in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
+			res, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
 			if err != nil {
 				r.Notes = append(r.Notes, "ERROR: "+err.Error())
 				return r
@@ -193,7 +195,7 @@ func E2BiTreeValidity(cfg Config) Report {
 		for s := 0; s < cfg.Seeds; s++ {
 			rng := rand.New(rand.NewSource(int64(300 + s)))
 			in := sinr.MustInstance(spec.Gen(rng, n), sinr.DefaultParams())
-			res, err := core.Init(in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
+			res, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
 			if err != nil {
 				continue
 			}
@@ -230,7 +232,7 @@ func E3DegreeTail(cfg Config) Report {
 		tail4, tail8, total := 0, 0, 0
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(500*n+s), n)
-			res, err := core.Init(in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
+			res, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
 			if err != nil {
 				continue
 			}
@@ -287,7 +289,7 @@ func E4Sparsity(cfg Config) Report {
 		var psis []float64
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(700*n+s), n)
-			res, err := core.Init(in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
+			res, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
 			if err != nil {
 				continue
 			}
@@ -320,7 +322,7 @@ func E5LowDegreeFilter(cfg Config) Report {
 		var cellPsi, cellFrac []float64
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(900*n+s), n)
-			res, err := core.Init(in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
+			res, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
 			if err != nil {
 				continue
 			}
@@ -364,14 +366,14 @@ func E6MeanReschedule(cfg Config) Report {
 		in := chainInst(cfg.ChainN, delta)
 		var uni, meanFF, meanDist []float64
 		for s := 0; s < cfg.Seeds; s++ {
-			res, err := core.Init(in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
+			res, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
 			if err != nil {
 				continue
 			}
 			uni = append(uni, float64(core.UniformScheduleLength(in, res.Tree)))
 			meanFF = append(meanFF, float64(core.MeanScheduleLength(in, res.Tree)))
 			pa := sinr.NoiseSafeMean(in.Params(), math.Max(1, in.Delta()))
-			rres, err := core.Reschedule(in, res.Tree, pa,
+			rres, err := core.Reschedule(context.Background(), in, res.Tree, pa,
 				schedule.DistConfig{Seed: int64(s), Workers: cfg.Workers})
 			if err == nil {
 				meanDist = append(meanDist, float64(rres.NumSlots))
@@ -413,7 +415,7 @@ func E7Iterations(cfg Config) Report {
 		var cellIt, cellDelta []float64
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(1100*n+s), n)
-			res, err := core.TreeViaCapacity(in, core.TVCConfig{
+			res, err := core.TreeViaCapacity(context.Background(), in, core.TVCConfig{
 				Variant: core.VariantArbitrary,
 				Seed:    int64(s),
 				Init:    core.InitConfig{Workers: cfg.Workers},
@@ -454,7 +456,7 @@ func E8ArbitraryPower(cfg Config) Report {
 		var cellS, cellL, cellC []float64
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(1300*n+s), n)
-			res, err := core.TreeViaCapacity(in, core.TVCConfig{
+			res, err := core.TreeViaCapacity(context.Background(), in, core.TVCConfig{
 				Variant: core.VariantArbitrary,
 				Seed:    int64(s),
 				Init:    core.InitConfig{Workers: cfg.Workers},
@@ -505,7 +507,7 @@ func E9MeanPower(cfg Config) Report {
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(1500*n+s), n)
 			ups = in.Upsilon()
-			res, err := core.TreeViaCapacity(in, core.TVCConfig{
+			res, err := core.TreeViaCapacity(context.Background(), in, core.TVCConfig{
 				Variant: core.VariantMean,
 				Seed:    int64(s),
 				Init:    core.InitConfig{Workers: cfg.Workers},
@@ -557,18 +559,18 @@ func E10Crossover(cfg Config) Report {
 		in := chainInst(cfg.ChainN, delta)
 		var uni, meanFF, meanS, arbS, mst []float64
 		for s := 0; s < cfg.Seeds; s++ {
-			ires, err := core.Init(in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
+			ires, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
 			if err == nil {
 				uni = append(uni, float64(core.UniformScheduleLength(in, ires.Tree)))
 				meanFF = append(meanFF, float64(core.MeanScheduleLength(in, ires.Tree)))
 			}
-			if res, err := core.TreeViaCapacity(in, core.TVCConfig{
+			if res, err := core.TreeViaCapacity(context.Background(), in, core.TVCConfig{
 				Variant: core.VariantMean, Seed: int64(s),
 				Init: core.InitConfig{Workers: cfg.Workers},
 			}); err == nil {
 				meanS = append(meanS, float64(res.Tree.NumSlots()))
 			}
-			if res, err := core.TreeViaCapacity(in, core.TVCConfig{
+			if res, err := core.TreeViaCapacity(context.Background(), in, core.TVCConfig{
 				Variant: core.VariantArbitrary, Seed: int64(s),
 				Init: core.InitConfig{Workers: cfg.Workers},
 			}); err == nil {
@@ -621,7 +623,7 @@ func E11Latency(cfg Config) Report {
 		var sch, agg, bc, pairMax []float64
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(1700*n+s), n)
-			res, err := core.TreeViaCapacity(in, core.TVCConfig{
+			res, err := core.TreeViaCapacity(context.Background(), in, core.TVCConfig{
 				Variant: core.VariantArbitrary,
 				Seed:    int64(s),
 				Init:    core.InitConfig{Workers: cfg.Workers},
@@ -687,7 +689,7 @@ func E12CapacityRatio(cfg Config) Report {
 		var cand, cent, dist []float64
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(1900*n+s), n)
-			ires, err := core.Init(in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
+			ires, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
 			if err != nil {
 				continue
 			}
@@ -726,7 +728,7 @@ func E12CapacityRatio(cfg Config) Report {
 // makeTree is a test hook: it builds a bi-tree via Init for callers outside
 // core (kept internal to the module).
 func makeTree(in *sinr.Instance, seed int64, workers int) (*tree.BiTree, error) {
-	res, err := core.Init(in, core.InitConfig{Seed: seed, Workers: workers})
+	res, err := core.Init(context.Background(), in, core.InitConfig{Seed: seed, Workers: workers})
 	if err != nil {
 		return nil, err
 	}

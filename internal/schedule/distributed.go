@@ -1,6 +1,7 @@
 package schedule
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -23,8 +24,11 @@ type DistConfig struct {
 	MaxSlotPairs int
 	// Seed derives all per-node randomness.
 	Seed int64
-	// Workers is passed to the sim engine.
+	// Workers is passed to the sim engine. Ignored when Pool is set.
 	Workers int
+	// Pool, if non-nil, is a shared persistent sim worker pool the
+	// scheduler's engine borrows instead of spawning its own.
+	Pool *sim.Pool
 }
 
 func (c *DistConfig) defaults(nLinks int) {
@@ -66,7 +70,9 @@ type Result struct {
 // pending link transmits with an adaptive probability that decays on
 // failure. Multiple pending links sharing a sender are multiplexed
 // randomly; half-duplex conflicts are resolved by the physics itself.
-func Distributed(in *sinr.Instance, links []sinr.Link, pa sinr.Assignment, cfg DistConfig) (*Result, error) {
+// ctx is checked between slot-pairs; cancellation aborts the run with an
+// error wrapping ctx.Err().
+func Distributed(ctx context.Context, in *sinr.Instance, links []sinr.Link, pa sinr.Assignment, cfg DistConfig) (*Result, error) {
 	cfg.defaults(len(links))
 	if len(links) == 0 {
 		return &Result{Slot: map[sinr.Link]int{}}, nil
@@ -101,7 +107,7 @@ func Distributed(in *sinr.Instance, links []sinr.Link, pa sinr.Assignment, cfg D
 	for i := range nodes {
 		procs[i] = nodes[i]
 	}
-	eng, err := sim.NewEngine(in, procs, sim.Config{Workers: cfg.Workers, Seed: cfg.Seed})
+	eng, err := sim.NewEngine(in, procs, sim.Config{Workers: cfg.Workers, Seed: cfg.Seed, Pool: cfg.Pool})
 	if err != nil {
 		return nil, err
 	}
@@ -119,6 +125,9 @@ func Distributed(in *sinr.Instance, links []sinr.Link, pa sinr.Assignment, cfg D
 	// drains (checked at pair boundaries).
 	pairs := 0
 	for pairs < cfg.MaxSlotPairs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("schedule: distributed scheduler canceled: %w", err)
+		}
 		eng.Step()
 		eng.Step()
 		pairs++

@@ -1,6 +1,7 @@
 package schedule
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -127,7 +128,7 @@ func TestDistributedSchedulesAll(t *testing.T) {
 	in := scatterInstance(t, 11, 30, 60)
 	links := pairLinks(30)
 	pa := sinr.NoiseSafeLinear(in.Params())
-	res, err := Distributed(in, links, pa, DistConfig{Seed: 1})
+	res, err := Distributed(context.Background(), in, links, pa, DistConfig{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,11 +155,11 @@ func TestDistributedDeterministic(t *testing.T) {
 	in := scatterInstance(t, 13, 20, 50)
 	links := pairLinks(20)
 	pa := sinr.NoiseSafeLinear(in.Params())
-	a, err := Distributed(in, links, pa, DistConfig{Seed: 42})
+	a, err := Distributed(context.Background(), in, links, pa, DistConfig{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Distributed(in, links, pa, DistConfig{Seed: 42})
+	b, err := Distributed(context.Background(), in, links, pa, DistConfig{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestDistributedSharedSenderMultiplexed(t *testing.T) {
 	in := lineInstance(t, 0, 2, 4)
 	links := []sinr.Link{{From: 0, To: 1}, {From: 0, To: 2}}
 	pa := sinr.NoiseSafeLinear(in.Params())
-	res, err := Distributed(in, links, pa, DistConfig{Seed: 3})
+	res, err := Distributed(context.Background(), in, links, pa, DistConfig{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,15 +193,15 @@ func TestDistributedSharedSenderMultiplexed(t *testing.T) {
 
 func TestDistributedEmptyAndErrors(t *testing.T) {
 	in := lineInstance(t, 0, 2)
-	res, err := Distributed(in, nil, sinr.NoiseSafeLinear(in.Params()), DistConfig{})
+	res, err := Distributed(context.Background(), in, nil, sinr.NoiseSafeLinear(in.Params()), DistConfig{})
 	if err != nil || len(res.Slot) != 0 {
 		t.Errorf("empty run: %v %v", res, err)
 	}
-	if _, err := Distributed(in, []sinr.Link{{From: 1, To: 1}}, sinr.NoiseSafeLinear(in.Params()), DistConfig{}); err == nil {
+	if _, err := Distributed(context.Background(), in, []sinr.Link{{From: 1, To: 1}}, sinr.NoiseSafeLinear(in.Params()), DistConfig{}); err == nil {
 		t.Error("self-loop accepted")
 	}
 	// Hopeless power with a tiny budget must report ErrIncomplete.
-	_, err = Distributed(in, []sinr.Link{{From: 0, To: 1}}, sinr.Uniform{P: 1e-12},
+	_, err = Distributed(context.Background(), in, []sinr.Link{{From: 0, To: 1}}, sinr.Uniform{P: 1e-12},
 		DistConfig{MaxSlotPairs: 20})
 	if !errors.Is(err, ErrIncomplete) {
 		t.Errorf("err = %v, want ErrIncomplete", err)
@@ -217,7 +218,7 @@ func TestDistributedComparableToFirstFit(t *testing.T) {
 	if len(bad) != 0 {
 		t.Fatalf("unschedulable: %v", bad)
 	}
-	res, err := Distributed(in, links, pa, DistConfig{Seed: 5})
+	res, err := Distributed(context.Background(), in, links, pa, DistConfig{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func BenchmarkDistributed(b *testing.B) {
 	pa := sinr.NoiseSafeMean(in.Params(), in.Delta())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Distributed(in, links, pa, DistConfig{Seed: int64(i)}); err != nil {
+		if _, err := Distributed(context.Background(), in, links, pa, DistConfig{Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -257,12 +258,12 @@ func TestDecayVsFixedProbability(t *testing.T) {
 	pa := sinr.NoiseSafeMean(in.Params(), in.Delta())
 	var decaySlots, fixedSlots int
 	for seed := int64(0); seed < 3; seed++ {
-		d, err := Distributed(in, links, pa, DistConfig{Seed: seed})
+		d, err := Distributed(context.Background(), in, links, pa, DistConfig{Seed: seed})
 		if err != nil {
 			t.Fatal(err)
 		}
 		decaySlots += d.SlotPairs
-		f, err := Distributed(in, links, pa, DistConfig{Seed: seed, Decay: 1, Q0: 0.2})
+		f, err := Distributed(context.Background(), in, links, pa, DistConfig{Seed: seed, Decay: 1, Q0: 0.2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -278,7 +279,7 @@ func TestDistributedStatsExposed(t *testing.T) {
 	in := scatterInstance(t, 29, 16, 40)
 	links := pairLinks(16)
 	pa := sinr.NoiseSafeLinear(in.Params())
-	res, err := Distributed(in, links, pa, DistConfig{Seed: 2})
+	res, err := Distributed(context.Background(), in, links, pa, DistConfig{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,6 +20,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -129,6 +130,13 @@ type Config struct {
 	// Observer, if non-nil, is invoked after every slot with a summary of
 	// channel activity (for tracing and live experiment dashboards).
 	Observer Observer
+	// Pool, if non-nil, is a shared worker pool the engine dispatches its
+	// parallel stages on instead of spawning its own. The engine does not
+	// own a shared pool: Close leaves it running, so a session handle
+	// (sinrconn.Network) can reuse one pool across many engine lifetimes
+	// and across concurrent engines. When Pool is nil the engine spawns a
+	// private pool sized by Workers (the pre-session behavior).
+	Pool *Pool
 }
 
 // Stats counts engine activity for experiment reporting.
@@ -166,69 +174,6 @@ type shard struct {
 	_         [40]byte
 }
 
-// stage identifies the work a dispatched worker round performs.
-type stage uint8
-
-const (
-	stageStep stage = iota + 1
-	stageDecode
-)
-
-// workerPool is a persistent pool of goroutines executing engine stages over
-// static index shards. Workers live for the engine's lifetime (see
-// Engine.Close); dispatching a stage costs one buffered channel send per
-// worker and one WaitGroup wait — no per-slot goroutine spawning and no
-// per-slot allocation.
-type workerPool struct {
-	e   *Engine
-	cmd []chan stage
-	wg  sync.WaitGroup
-}
-
-func newWorkerPool(e *Engine, workers int) *workerPool {
-	p := &workerPool{e: e, cmd: make([]chan stage, workers)}
-	for k := range p.cmd {
-		p.cmd[k] = make(chan stage, 1)
-		go p.work(k)
-	}
-	return p
-}
-
-// work is one worker's loop: receive a stage, process this worker's static
-// shard of the node range, signal completion. Terminates when the command
-// channel closes.
-func (p *workerPool) work(k int) {
-	w := len(p.cmd)
-	for st := range p.cmd[k] {
-		n := len(p.e.procs)
-		chunk := (n + w - 1) / w
-		lo := k * chunk
-		hi := lo + chunk
-		if lo > n {
-			lo = n
-		}
-		if hi > n {
-			hi = n
-		}
-		switch st {
-		case stageStep:
-			p.e.stepRange(lo, hi)
-		case stageDecode:
-			p.e.decodeRange(lo, hi, &p.e.shards[k])
-		}
-		p.wg.Done()
-	}
-}
-
-// dispatch runs one stage across all workers and waits for completion.
-func (p *workerPool) dispatch(st stage) {
-	p.wg.Add(len(p.cmd))
-	for _, c := range p.cmd {
-		c <- st
-	}
-	p.wg.Wait()
-}
-
 // Engine drives a set of per-node protocols over a shared SINR channel.
 type Engine struct {
 	inst    *sinr.Instance
@@ -246,14 +191,18 @@ type Engine struct {
 	noise float64
 	gains []float64 // row-major n×n gain table; nil if over memory budget
 
-	shards []shard
-	pool   *workerPool // nil when the engine runs serially
+	shards  []shard
+	pool    *Pool // nil when the engine runs serially
+	ownPool bool  // the engine spawned pool itself and must close it
+	stageWG sync.WaitGroup
 }
 
 // NewEngine creates an engine over instance inst with one protocol per node.
 // len(procs) must equal inst.Len(). Engines whose instance is large enough
-// to parallelize own a persistent worker pool; call Close when done with
-// such an engine to release its goroutines (Close is always safe to call).
+// to parallelize dispatch on Config.Pool when one is provided, otherwise
+// they spawn a private worker pool; call Close when done with an engine to
+// release a private pool's goroutines (Close is always safe to call and
+// never touches a shared pool).
 func NewEngine(inst *sinr.Instance, procs []Protocol, cfg Config) (*Engine, error) {
 	if len(procs) != inst.Len() {
 		return nil, fmt.Errorf("sim: %d protocols for %d nodes", len(procs), inst.Len())
@@ -279,24 +228,31 @@ func NewEngine(inst *sinr.Instance, procs []Protocol, cfg Config) (*Engine, erro
 		noise:   p.Noise,
 		gains:   inst.GainTable(),
 	}
-	if cfg.Workers > 1 && n >= 2*cfg.Workers {
+	switch {
+	case cfg.Pool != nil && cfg.Pool.Workers() > 1 && n >= 2*cfg.Pool.Workers():
+		// Shared session pool; the engine borrows it and never closes it.
+		e.pool = cfg.Pool
+		e.shards = make([]shard, cfg.Pool.Workers())
+	case cfg.Pool == nil && cfg.Workers > 1 && n >= 2*cfg.Workers:
+		e.pool = NewPool(cfg.Workers)
+		e.ownPool = true
 		e.shards = make([]shard, cfg.Workers)
-		e.pool = newWorkerPool(e, cfg.Workers)
-	} else {
+	default:
 		e.shards = make([]shard, 1)
 	}
 	return e, nil
 }
 
-// Close releases the engine's worker pool, if any. The engine must not be
-// stepped afterwards. Close is idempotent.
+// Close releases the engine's private worker pool, if it spawned one. A
+// shared pool passed in via Config.Pool is left running — its owner (the
+// session handle) closes it. The engine must not be stepped after Close.
+// Close is idempotent.
 func (e *Engine) Close() {
-	if e.pool != nil {
-		for _, c := range e.pool.cmd {
-			close(c)
-		}
-		e.pool = nil
+	if e.pool != nil && e.ownPool {
+		e.pool.Close()
 	}
+	e.pool = nil
+	e.ownPool = false
 }
 
 // Slot returns the index of the next slot to execute.
@@ -314,7 +270,7 @@ func (e *Engine) Step() {
 
 	// Stage 1: step every protocol with its inbox (parallel).
 	if e.pool != nil {
-		e.pool.dispatch(stageStep)
+		e.pool.dispatch(e, stageStep)
 	} else {
 		e.stepRange(0, n)
 	}
@@ -334,7 +290,7 @@ func (e *Engine) Step() {
 	// shards; no lock is taken.
 	if len(e.txs) > 0 {
 		if e.pool != nil {
-			e.pool.dispatch(stageDecode)
+			e.pool.dispatch(e, stageDecode)
 		} else {
 			e.decodeRange(0, n, &e.shards[0])
 		}
@@ -444,6 +400,21 @@ func (e *Engine) Run(n int) {
 	for i := 0; i < n; i++ {
 		e.Step()
 	}
+}
+
+// RunCtx executes up to n slots, checking ctx before every slot. It
+// returns the number of slots executed and ctx's error if the context was
+// canceled or its deadline passed. Cancellation lands between slots, so
+// the engine is left in a consistent state and remains usable (stats,
+// inboxes, and the worker pool are intact).
+func (e *Engine) RunCtx(ctx context.Context, n int) (int, error) {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return i, err
+		}
+		e.Step()
+	}
+	return n, nil
 }
 
 // RunUntil executes slots until stop() returns true (checked after every

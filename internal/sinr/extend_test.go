@@ -1,0 +1,58 @@
+package sinr
+
+import (
+	"math/rand"
+	"testing"
+
+	"sinrconn/internal/geom"
+)
+
+// TestExtendMatchesFreshInstance pins the join fast path: an extended
+// instance's gain table must be bit-identical to one built from scratch on
+// the union point set, for every entry (copied block and new rows alike).
+func TestExtendMatchesFreshInstance(t *testing.T) {
+	for _, alpha := range []float64{2, 2.5, 3, 4} {
+		rng := rand.New(rand.NewSource(7))
+		base := make([]geom.Point, 40)
+		for i := range base {
+			base[i] = geom.Point{X: rng.Float64() * 50, Y: rng.Float64() * 50}
+		}
+		extra := make([]geom.Point, 9)
+		for i := range extra {
+			extra[i] = geom.Point{X: 200 + rng.Float64()*20, Y: rng.Float64() * 20}
+		}
+		p := DefaultParams()
+		p.Alpha = alpha
+		parent := MustInstance(base, p)
+		got, err := parent.Extend(extra)
+		if err != nil {
+			t.Fatal(err)
+		}
+		union := append(append([]geom.Point(nil), base...), extra...)
+		want := MustInstance(union, p)
+		if got.Len() != want.Len() {
+			t.Fatalf("alpha %v: extended has %d nodes, want %d", alpha, got.Len(), want.Len())
+		}
+		gt, wt := got.GainTable(), want.GainTable()
+		if len(gt) != len(wt) {
+			t.Fatalf("alpha %v: table sizes %d vs %d", alpha, len(gt), len(wt))
+		}
+		for i := range gt {
+			if gt[i] != wt[i] {
+				t.Fatalf("alpha %v: gain entry %d differs: %v vs %v", alpha, i, gt[i], wt[i])
+			}
+		}
+	}
+}
+
+// TestExtendEmpty covers the degenerate no-new-points call.
+func TestExtendEmpty(t *testing.T) {
+	parent := MustInstance([]geom.Point{{X: 0, Y: 0}, {X: 3, Y: 0}}, DefaultParams())
+	got, err := parent.Extend(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("extended len %d, want 2", got.Len())
+	}
+}

@@ -92,7 +92,9 @@ func (l Link) String() string { return fmt.Sprintf("%d->%d", l.From, l.To) }
 type Instance struct {
 	pts    []geom.Point
 	params Params
-	delta  float64
+
+	deltaOnce sync.Once
+	delta     float64
 
 	gainOnce sync.Once
 	gain     []float64 // row-major n×n, entry v·n+u = d(u,v)^{-α}; nil if over budget
@@ -105,7 +107,7 @@ func NewInstance(pts []geom.Point, params Params) (*Instance, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	return &Instance{pts: pts, params: params, delta: -1}, nil
+	return &Instance{pts: pts, params: params}, nil
 }
 
 // MustInstance is NewInstance for static inputs known to be valid.
@@ -137,11 +139,11 @@ func (in *Instance) Dist(u, v int) float64 { return in.pts[u].Dist(in.pts[v]) }
 func (in *Instance) Length(l Link) float64 { return in.Dist(l.From, l.To) }
 
 // Delta returns the max/min pairwise distance ratio Δ of the instance,
-// computed once and cached.
+// computed once and cached. Safe for concurrent use: instances are shared
+// read-only across a session's concurrent runs, so the lazy fill is
+// guarded by a sync.Once.
 func (in *Instance) Delta() float64 {
-	if in.delta < 0 {
-		in.delta = geom.Delta(in.pts)
-	}
+	in.deltaOnce.Do(func() { in.delta = geom.Delta(in.pts) })
 	return in.delta
 }
 

@@ -4,8 +4,11 @@ package sinrconn
 // run end to end, with every constructed bi-tree verified twice — once by
 // the optimized validators (Tree.Verify) and once by the brute-force
 // oracle battery (internal/oracle) — so the validators themselves are
-// differentially tested on every cell. Runs a reduced matrix under -short
-// and the full product (at larger n) in soak mode.
+// differentially tested on every cell. Since PR 3 the suite runs on the
+// session API: each (generator, α) cell group opens one Network and fans
+// the four pipelines out through RunMatrix, exercising the batch executor
+// and the shared-instance reuse path on every cell. Runs a reduced matrix
+// under -short and the full product (at larger n) in soak mode.
 //
 // Also home of the structure-level metamorphic invariant: growing a
 // network by join-then-repair must be equivalent to rebuilding on the
@@ -13,6 +16,7 @@ package sinrconn
 // validator battery on both structures (Type 1).
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -23,23 +27,6 @@ import (
 // matrixAlphas matches the differential suite: even/odd integer fast
 // paths, the half-integer path, and the free-space boundary α = 2.
 var matrixAlphas = []float64{2, 2.5, 3, 4}
-
-type pipelineSpec struct {
-	name string
-	// ordered reports whether the pipeline guarantees the aggregation
-	// ordering property (RescheduleMeanPower documents that it does not).
-	ordered bool
-	build   func([]Point, Options) (*Result, error)
-}
-
-func matrixPipelines() []pipelineSpec {
-	return []pipelineSpec{
-		{"init-uniform", true, BuildInitialBiTree},
-		{"reschedule-mean", false, RescheduleMeanPower},
-		{"tvc-mean", true, BuildBiTreeMeanPower},
-		{"tvc-arbitrary", true, BuildBiTreeArbitraryPower},
-	}
-}
 
 // facadePoints runs a workload generator and converts to facade points.
 func facadePoints(spec workload.Spec, seed int64, n int) []Point {
@@ -84,54 +71,67 @@ func verifyCell(t *testing.T, res *Result, ordered bool) {
 	}
 }
 
-// TestScenarioMatrix sweeps the cross-product. Under -short each generator
-// runs every pipeline at the default α plus one rotating non-default α, at
-// small n; without -short the full generator × α × pipeline product runs
-// at larger n.
+// TestScenarioMatrix sweeps the cross-product. Each (generator, α) cell
+// group shares one Network: the four pipelines run as a single RunMatrix
+// batch against the session's shared instance. Under -short each generator
+// runs at the default α plus one rotating non-default α, at small n;
+// without -short the full generator × α product runs at larger n.
 func TestScenarioMatrix(t *testing.T) {
 	specs := workload.Matrix()
-	pipes := matrixPipelines()
+	pipes := Pipelines()
 	n := 40
 	if testing.Short() {
 		n = 22
 	}
+	ctx := context.Background()
 	for si, spec := range specs {
 		for ai, alpha := range matrixAlphas {
 			if testing.Short() && alpha != 3 && ai != si%len(matrixAlphas) {
 				continue
 			}
-			for pi, pipe := range pipes {
-				spec, alpha, pipe := spec, alpha, pipe
-				seed := int64(1000 + 100*si + 10*ai + pi)
-				t.Run(spec.Name+"/"+floatName(alpha)+"/"+pipe.name, func(t *testing.T) {
-					// The construction protocols are randomized and may
-					// (rarely, legitimately) fail to converge within their
-					// round bounds on a given seed; that surfaces as a clean
-					// error, and the cell retries with a fresh protocol seed
-					// on the SAME point set — so an instance-specific
-					// deterministic pipeline bug fails every attempt.
-					// Validator failures below are never retried.
-					pts := facadePoints(spec, seed, n)
-					var res *Result
-					var err error
-					for attempt := int64(0); attempt < 3; attempt++ {
-						res, err = pipe.build(pts, Options{
-							Seed:   seed + attempt,
-							Params: PhysParams{Alpha: alpha},
-						})
-						if err == nil {
-							break
+			spec, alpha := spec, alpha
+			// Point seed matches the reschedule-mean cells of the
+			// pre-session suite (…+1): those point sets are proven
+			// schedulable under mean power, whose budget failure mode is
+			// instance-deterministic (retrying protocol seeds cannot help).
+			seed := int64(1001 + 100*si + 10*ai)
+			t.Run(spec.Name+"/"+floatName(alpha), func(t *testing.T) {
+				pts := facadePoints(spec, seed, n)
+				nw, err := Open(pts, WithPhys(PhysParams{Alpha: alpha}), WithSeed(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer nw.Close()
+
+				// One batch across all four pipelines. The construction
+				// protocols are randomized and may (rarely, legitimately)
+				// fail to converge within their round bounds on a given
+				// seed; that surfaces as a clean per-spec error, and the
+				// cell retries with a fresh protocol seed on the SAME point
+				// set — so an instance-specific deterministic pipeline bug
+				// fails every attempt. Validator failures are never retried.
+				runSpecs := make([]RunSpec, len(pipes))
+				for pi, p := range pipes {
+					runSpecs[pi] = RunSpec{Pipeline: p, Opts: []RunOption{WithSeed(seed + int64(pi))}}
+				}
+				results, _ := nw.RunMatrix(ctx, runSpecs)
+				for pi, pipe := range pipes {
+					pi, pipe := pi, pipe
+					t.Run(pipe.String(), func(t *testing.T) {
+						res := results[pi]
+						for attempt := int64(1); res == nil && attempt < 3; attempt++ {
+							res, err = nw.Run(ctx, pipe, WithSeed(seed+int64(pi)+100*attempt))
 						}
-					}
-					if err != nil {
-						t.Fatalf("pipeline failed on 3 seeds: %v", err)
-					}
-					if res.Tree.NumNodes != n {
-						t.Fatalf("tree spans %d of %d nodes", res.Tree.NumNodes, n)
-					}
-					verifyCell(t, res, pipe.ordered)
-				})
-			}
+						if res == nil {
+							t.Fatalf("pipeline failed on 3 seeds: %v", err)
+						}
+						if res.Tree.NumNodes != n {
+							t.Fatalf("tree spans %d of %d nodes", res.Tree.NumNodes, n)
+						}
+						verifyCell(t, res, pipe.Ordered())
+					})
+				}
+			})
 		}
 	}
 }
@@ -153,8 +153,11 @@ func floatName(f float64) string {
 // scratch on the surviving union — and requires both structures to span
 // exactly the same node set and pass the identical full validator battery
 // (optimized and oracle). The trees themselves may differ (the protocols
-// are randomized); the paper's guarantees may not.
+// are randomized); the paper's guarantees may not. The grown path runs
+// entirely on the session API: Join derives a handle over the enlarged
+// point set that shares the original session's worker pool.
 func TestMetamorphicJoinThenRepairEqualsRebuild(t *testing.T) {
+	ctx := context.Background()
 	for _, seed := range []int64{42, 123, 456} {
 		base := uniformPoints(seed, 28)
 		var annulus workload.Spec
@@ -173,11 +176,16 @@ func TestMetamorphicJoinThenRepairEqualsRebuild(t *testing.T) {
 			extra[i].X += 300
 		}
 
-		grown, err := BuildInitialBiTree(base, Options{Seed: seed})
+		nw, err := Open(base, WithSeed(seed))
 		if err != nil {
 			t.Fatal(err)
 		}
-		grown, err = grown.JoinPoints(extra, Options{Seed: seed + 2})
+		defer nw.Close()
+		grown, err := nw.Run(ctx, PipelineInit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grown, err = nw.Join(ctx, grown, extra, WithSeed(seed+2))
 		if err != nil {
 			t.Fatalf("seed %d: join: %v", seed, err)
 		}
@@ -185,7 +193,7 @@ func TestMetamorphicJoinThenRepairEqualsRebuild(t *testing.T) {
 		if victim == grown.Tree.Root {
 			victim = 1
 		}
-		grown, err = grown.RepairFailures([]int{victim}, Options{Seed: seed + 3})
+		grown, err = grown.Network().Repair(ctx, grown, []int{victim}, WithSeed(seed+3))
 		if err != nil {
 			t.Fatalf("seed %d: repair: %v", seed, err)
 		}
@@ -198,7 +206,12 @@ func TestMetamorphicJoinThenRepairEqualsRebuild(t *testing.T) {
 			}
 		}
 		union = append(union, extra...)
-		rebuilt, err := BuildInitialBiTree(union, Options{Seed: seed + 4})
+		nw2, err := Open(union, WithSeed(seed+4))
+		if err != nil {
+			t.Fatalf("seed %d: open union: %v", seed, err)
+		}
+		defer nw2.Close()
+		rebuilt, err := nw2.Run(ctx, PipelineInit)
 		if err != nil {
 			t.Fatalf("seed %d: rebuild: %v", seed, err)
 		}

@@ -1,0 +1,580 @@
+package sinrconn
+
+// The session-oriented API: a Network is a long-lived handle over one point
+// set. Open validates and normalizes the geometry once, owns the physics
+// instances (the O(n²) gain table is built once per physical parameterization
+// and shared by every run) and a persistent simulator worker pool, and every
+// construction — the four theorem pipelines, joins, repairs, and physical
+// aggregate/broadcast epochs — runs against that shared state. Constructions
+// are deterministic for fixed settings, so a Network also memoizes Run
+// results: a repeated query is a map lookup, which is what lets one handle
+// serve the same deployment to many callers cheaply.
+//
+// The free functions of sinrconn.go (BuildInitialBiTree & co.) remain as
+// deprecated wrappers over one-shot Networks, bit-identical by test.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"sinrconn/internal/core"
+	"sinrconn/internal/geom"
+	"sinrconn/internal/schedule"
+	"sinrconn/internal/sim"
+	"sinrconn/internal/sinr"
+	"sinrconn/internal/tree"
+)
+
+// Pipeline identifies one of the paper's construction pipelines.
+type Pipeline uint8
+
+// The four pipelines, mirroring the paper's theorems.
+const (
+	// PipelineInit is the Section 6 construction (Theorem 2): a bi-tree in
+	// O(log Δ · log n) slots using per-round uniform power.
+	PipelineInit Pipeline = iota + 1
+	// PipelineRescheduleMean is Section 7 (Theorem 3): the Init tree
+	// re-scheduled under mean power, removing the log Δ factor. The
+	// resulting schedule may violate the bi-tree ordering property (the
+	// paper's caveat), so aggregation/broadcast latencies are not filled.
+	PipelineRescheduleMean
+	// PipelineTVCMean is TreeViaCapacity with Υ-sampled mean-power
+	// selection (Theorem 4, second half: O(Υ·log n) slots).
+	PipelineTVCMean
+	// PipelineTVCArbitrary is TreeViaCapacity with Distr-Cap selection and
+	// computed per-link powers (Theorem 4, first half: O(log n) slots).
+	PipelineTVCArbitrary
+)
+
+// Pipelines returns all four pipelines in declaration order — handy for
+// sweep construction.
+func Pipelines() []Pipeline {
+	return []Pipeline{PipelineInit, PipelineRescheduleMean, PipelineTVCMean, PipelineTVCArbitrary}
+}
+
+// String implements fmt.Stringer.
+func (p Pipeline) String() string {
+	switch p {
+	case PipelineInit:
+		return "init-uniform"
+	case PipelineRescheduleMean:
+		return "reschedule-mean"
+	case PipelineTVCMean:
+		return "tvc-mean"
+	case PipelineTVCArbitrary:
+		return "tvc-arbitrary"
+	}
+	return fmt.Sprintf("pipeline(%d)", uint8(p))
+}
+
+// Ordered reports whether the pipeline guarantees the bi-tree aggregation
+// ordering property (PipelineRescheduleMean does not, per the paper).
+func (p Pipeline) Ordered() bool { return p != PipelineRescheduleMean }
+
+// settings is the resolved configuration of a Network or a single run.
+// Functional options edit it; the zero-ambiguity of the old Options struct
+// (0 meaning "default") is gone because every With* records the value it
+// was explicitly handed.
+type settings struct {
+	phys          sinr.Params
+	seed          int64
+	workers       int
+	drop          float64
+	autoNormalize bool
+	broadcastProb float64
+	rho           int
+
+	physSet  bool  // WithPhys applied in the current scope
+	runScope bool  // applying options to a single run, not to Open
+	err      error // first option error, reported by Open/Run
+}
+
+func defaultSettings() settings {
+	return settings{phys: sinr.DefaultParams()}
+}
+
+func (s *settings) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// Option configures a Network at Open time. The same values double as
+// RunOption where per-run overrides make sense; options that shape the
+// session itself (WithWorkers, WithAutoNormalize) are rejected by Run.
+type Option func(*settings)
+
+// RunOption adjusts a single Run (or one RunSpec of a RunMatrix sweep) on
+// an open Network. Every RunOption is an Option; the reverse holds except
+// for the Open-scoped options called out above.
+type RunOption = Option
+
+// WithPhys sets the SINR physical constants. Zero fields of p inherit the
+// value currently in effect: the package defaults (α = 3, β = 1.5, N = 1)
+// at Open, or the session's Open-time parameters at run scope — so a
+// per-run α override keeps a session-customized β. As a RunOption it
+// selects (building and caching on first use) the instance for that
+// parameterization, so one Network serves sweeps across α/β/N without
+// re-validating geometry. Joins, repairs, and physical epochs operate on
+// an existing result's physics and reject this option.
+func WithPhys(p PhysParams) Option {
+	return func(s *settings) {
+		if p.Alpha != 0 {
+			s.phys.Alpha = p.Alpha
+		}
+		if p.Beta != 0 {
+			s.phys.Beta = p.Beta
+		}
+		if p.Noise != 0 {
+			s.phys.Noise = p.Noise
+		}
+		s.physSet = true
+		if err := s.phys.Validate(); err != nil {
+			s.fail(err)
+		}
+	}
+}
+
+// WithSeed sets the seed deriving all protocol randomness. Zero is a legal
+// explicit seed (it is also the default).
+func WithSeed(seed int64) Option {
+	return func(s *settings) { s.seed = seed }
+}
+
+// WithWorkers bounds the simulator worker pool (0 = NumCPU, the default).
+// Open-scoped: the pool is sized once per Network.
+func WithWorkers(n int) Option {
+	return func(s *settings) {
+		if s.runScope {
+			s.fail(errors.New("sinrconn: WithWorkers is an Open option, not a run option"))
+			return
+		}
+		if n < 0 {
+			s.fail(fmt.Errorf("sinrconn: negative worker count %d", n))
+			return
+		}
+		s.workers = n
+	}
+}
+
+// WithDropProb injects reception failures (fading) with the given
+// probability in [0, 1). Zero is a legal explicit value (no injection).
+func WithDropProb(p float64) Option {
+	return func(s *settings) {
+		if p < 0 || p >= 1 {
+			s.fail(fmt.Errorf("sinrconn: drop probability %v outside [0,1)", p))
+			return
+		}
+		s.drop = p
+	}
+}
+
+// WithAutoNormalize rescales the input so the minimum pairwise distance is
+// 1 instead of rejecting un-normalized input. Open-scoped: the geometry is
+// fixed when the Network opens.
+func WithAutoNormalize(on bool) Option {
+	return func(s *settings) {
+		if s.runScope {
+			s.fail(errors.New("sinrconn: WithAutoNormalize is an Open option, not a run option"))
+			return
+		}
+		s.autoNormalize = on
+	}
+}
+
+// WithBroadcastProb overrides the Section 6 broadcast probability p,
+// which must lie in (0, 0.5].
+func WithBroadcastProb(p float64) Option {
+	return func(s *settings) {
+		if p <= 0 || p > 0.5 {
+			s.fail(fmt.Errorf("sinrconn: broadcast probability %v outside (0, 0.5]", p))
+			return
+		}
+		s.broadcastProb = p
+	}
+}
+
+// WithRho overrides the low-degree cap ρ for the TreeViaCapacity pipelines
+// (must be ≥ 1).
+func WithRho(rho int) Option {
+	return func(s *settings) {
+		if rho < 1 {
+			s.fail(fmt.Errorf("sinrconn: rho %d must be ≥ 1", rho))
+			return
+		}
+		s.rho = rho
+	}
+}
+
+// runKey identifies a deterministic run for memoization: everything that
+// influences a pipeline's output. Worker counts are deliberately absent —
+// results are reproducible regardless of parallelism (pinned by the sim
+// package's pool-versus-serial tests).
+type runKey struct {
+	pipeline Pipeline
+	phys     sinr.Params
+	seed     int64
+	drop     float64
+	bprob    float64
+	rho      int
+}
+
+// maxCachedResults bounds the per-Network result memo. Beyond it new
+// results are still returned, just not retained.
+const maxCachedResults = 128
+
+// maxCachedInstances bounds the per-Network instance cache: each retained
+// instance can hold an O(n²) gain table (up to 256 MiB at the sinr memory
+// budget), so an unbounded phys sweep must not pin them all. Beyond the
+// cap, runs get a fresh un-retained instance — correct, just un-amortized.
+const maxCachedInstances = 16
+
+// ErrNetworkClosed reports a Run on a closed Network.
+var ErrNetworkClosed = errors.New("sinrconn: network is closed")
+
+// Network is a long-lived session handle over one validated point set. It
+// owns the physics instances (gain tables built once per parameterization)
+// and a persistent simulator worker pool; every run, join, repair, and
+// physical epoch on the handle reuses them. Methods are safe for
+// concurrent use — the instance is read-only after build and the pool is
+// engine-agnostic — which is what RunMatrix exploits.
+//
+// Close releases the worker pool. Results remain valid after Close; only
+// new runs are refused.
+type Network struct {
+	pts  []geom.Point
+	base settings
+
+	// parent is set on Networks derived by Join: they share the parent's
+	// pool (resolved dynamically, so a parent Close degrades derived
+	// networks to per-run pools instead of crashing them).
+	parent *Network
+
+	mu      sync.Mutex
+	pool    *sim.Pool
+	closed  bool
+	insts   map[sinr.Params]*sinr.Instance
+	results map[runKey]*Result
+
+	// running counts in-flight operations (beginOp) and pool borrows
+	// (acquirePool). Close waits for it before returning, so "new work is
+	// refused" is a barrier: once Close returns, no admitted operation is
+	// still executing and no engine can dispatch on closed worker channels.
+	running sync.WaitGroup
+}
+
+// Open validates pts (non-empty, minimum pairwise distance ≥ 1 unless
+// WithAutoNormalize), builds the instance for the configured physical
+// parameters — paying the O(n²) gain table exactly once for the session —
+// and spawns the persistent worker pool. Callers own the handle: Close it
+// to release the pool's goroutines.
+func Open(pts []Point, opts ...Option) (*Network, error) {
+	s := defaultSettings()
+	for _, o := range opts {
+		o(&s)
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	nw, err := newNetwork(pts, s)
+	if err != nil {
+		return nil, err
+	}
+	nw.pool = sim.NewPool(s.workers)
+	return nw, nil
+}
+
+// newNetwork builds the handle minus the pool (the deprecated wrappers use
+// pool-less "standalone" networks whose engines spawn and release their own
+// workers per run, reproducing the legacy behavior exactly).
+func newNetwork(pts []Point, s settings) (*Network, error) {
+	if len(pts) == 0 {
+		return nil, errors.New("sinrconn: no points")
+	}
+	g := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		g[i] = geom.Point{X: p.X, Y: p.Y}
+	}
+	if len(g) > 1 {
+		if md := geom.MinDist(g); md < 1-1e-9 {
+			if !s.autoNormalize {
+				return nil, fmt.Errorf("%w: min distance %v", ErrNotNormalized, md)
+			}
+			if md <= 0 {
+				return nil, errors.New("sinrconn: duplicate points")
+			}
+			g, _ = geom.Normalize(g)
+		}
+	}
+	nw := &Network{
+		pts:     g,
+		base:    s,
+		insts:   make(map[sinr.Params]*sinr.Instance),
+		results: make(map[runKey]*Result),
+	}
+	if _, err := nw.instanceFor(s.phys); err != nil {
+		return nil, err
+	}
+	return nw, nil
+}
+
+// Close releases the Network's worker pool, waiting first for in-flight
+// operations to finish so their engines never touch closed worker
+// channels. Networks derived by Join share their parent's pool and never
+// close it. Close is idempotent; existing Results stay usable, new runs
+// return ErrNetworkClosed.
+func (nw *Network) Close() error {
+	nw.mu.Lock()
+	if nw.closed {
+		nw.mu.Unlock()
+		return nil
+	}
+	nw.closed = true
+	p := nw.pool
+	nw.pool = nil
+	nw.mu.Unlock()
+	nw.running.Wait()
+	if p != nil {
+		p.Close()
+	}
+	return nil
+}
+
+// Len returns the number of nodes the Network spans.
+func (nw *Network) Len() int { return len(nw.pts) }
+
+// acquirePool borrows the session worker pool (the Network's own, or the
+// parent's for Join-derived handles) for one operation, registering it so
+// Close blocks until the operation releases. A nil pool (standalone
+// wrapper networks, or after Close) means engines manage their own
+// workers; the returned release func must be called in every case.
+func (nw *Network) acquirePool() (*sim.Pool, func()) {
+	owner := nw
+	if nw.parent != nil {
+		owner = nw.parent
+	}
+	owner.mu.Lock()
+	defer owner.mu.Unlock()
+	if owner.closed || owner.pool == nil {
+		return nil, func() {}
+	}
+	owner.running.Add(1)
+	return owner.pool, func() { owner.running.Done() }
+}
+
+// beginOp admits one operation on the handle: refused with
+// ErrNetworkClosed once Close has started, registered in running
+// otherwise — so Close blocks until every admitted operation calls the
+// returned release (no run can still be executing after Close returns).
+func (nw *Network) beginOp() (func(), error) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.closed {
+		return nil, ErrNetworkClosed
+	}
+	nw.running.Add(1)
+	return func() { nw.running.Done() }, nil
+}
+
+// instanceFor returns the session instance for the given physical
+// parameters, building and caching it on first use. Instances are
+// read-only after build and shared freely across concurrent runs.
+func (nw *Network) instanceFor(p sinr.Params) (*sinr.Instance, error) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if in, ok := nw.insts[p]; ok {
+		return in, nil
+	}
+	in, err := sinr.NewInstance(nw.pts, p)
+	if err != nil {
+		return nil, err
+	}
+	if len(nw.insts) < maxCachedInstances {
+		nw.insts[p] = in
+	}
+	return in, nil
+}
+
+// runSettings resolves per-run options against the Network's base
+// configuration.
+func (nw *Network) runSettings(opts []RunOption) (settings, error) {
+	s := nw.base
+	s.err = nil
+	s.runScope = true
+	s.physSet = false
+	for _, o := range opts {
+		o(&s)
+	}
+	return s, s.err
+}
+
+func (s *settings) key(p Pipeline) runKey {
+	return runKey{
+		pipeline: p,
+		phys:     s.phys,
+		seed:     s.seed,
+		drop:     s.drop,
+		bprob:    s.broadcastProb,
+		rho:      s.rho,
+	}
+}
+
+func (nw *Network) cachedResult(k runKey) *Result {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.results[k]
+}
+
+func (nw *Network) storeResult(k runKey, r *Result) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if len(nw.results) < maxCachedResults {
+		nw.results[k] = r
+	}
+}
+
+// initConfig derives the core construction config for a run on the
+// acquired pool.
+func initConfig(s settings, pool *sim.Pool) core.InitConfig {
+	return core.InitConfig{
+		BroadcastProb: s.broadcastProb,
+		Seed:          s.seed,
+		Workers:       s.workers,
+		DropProb:      s.drop,
+		Pool:          pool,
+	}
+}
+
+// Run executes one pipeline on the open handle, reusing the session's
+// instance (no geometry re-validation, no gain-table rebuild) and worker
+// pool. ctx is honored between simulator slots in every pipeline: on
+// cancellation or deadline Run returns an error wrapping ctx.Err() and the
+// handle remains fully usable.
+//
+// Runs are deterministic for fixed settings, and the handle memoizes them:
+// repeating a (pipeline, phys, seed, …) query returns the same *Result
+// without re-running the construction. Results are shared and must be
+// treated as read-only, which every method on them honors.
+func (nw *Network) Run(ctx context.Context, p Pipeline, opts ...RunOption) (*Result, error) {
+	done, err := nw.beginOp()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	s, err := nw.runSettings(opts)
+	if err != nil {
+		return nil, err
+	}
+	key := s.key(p)
+	if r := nw.cachedResult(key); r != nil {
+		return r, nil
+	}
+	in, err := nw.instanceFor(s.phys)
+	if err != nil {
+		return nil, err
+	}
+	pool, release := nw.acquirePool()
+	defer release()
+	var res *Result
+	switch p {
+	case PipelineInit:
+		res, err = nw.runInit(ctx, in, s, pool)
+	case PipelineRescheduleMean:
+		res, err = nw.runRescheduleMean(ctx, in, s, pool)
+	case PipelineTVCMean:
+		res, err = nw.runTVC(ctx, in, s, pool, core.VariantMean)
+	case PipelineTVCArbitrary:
+		res, err = nw.runTVC(ctx, in, s, pool, core.VariantArbitrary)
+	default:
+		return nil, fmt.Errorf("sinrconn: unknown pipeline %v", p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	nw.storeResult(key, res)
+	return res, nil
+}
+
+// newResult binds a constructed tree and its metrics to this handle.
+func (nw *Network) newResult(in *sinr.Instance, bt *tree.BiTree, m Metrics) *Result {
+	return &Result{Tree: publicTree(in, bt), Metrics: m, nw: nw}
+}
+
+// runInit is the Section 6 pipeline body (Theorem 2).
+func (nw *Network) runInit(ctx context.Context, in *sinr.Instance, s settings, pool *sim.Pool) (*Result, error) {
+	res, err := core.Init(ctx, in, initConfig(s, pool))
+	if err != nil {
+		return nil, err
+	}
+	bt := res.Tree
+	bt.Compact()
+	m := Metrics{
+		SlotsUsed:      res.SlotsUsed,
+		ScheduleLength: bt.NumSlots(),
+		Rounds:         res.Rounds,
+		Upsilon:        in.Upsilon(),
+		Delta:          in.Delta(),
+		Energy:         res.Stats.Energy,
+	}
+	if err := fillLatencies(&m, bt); err != nil {
+		return nil, err
+	}
+	return nw.newResult(in, bt, m), nil
+}
+
+// runRescheduleMean is the Section 7 pipeline body (Theorem 3).
+func (nw *Network) runRescheduleMean(ctx context.Context, in *sinr.Instance, s settings, pool *sim.Pool) (*Result, error) {
+	ires, err := core.Init(ctx, in, initConfig(s, pool))
+	if err != nil {
+		return nil, err
+	}
+	pa := sinr.NoiseSafeMean(in.Params(), math.Max(1, in.Delta()))
+	rres, err := core.Reschedule(ctx, in, ires.Tree, pa, schedule.DistConfig{
+		Seed:    s.seed + 1,
+		Workers: s.workers,
+		Pool:    pool,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := Metrics{
+		SlotsUsed:      ires.SlotsUsed + 2*rres.SlotPairs,
+		ScheduleLength: rres.NumSlots,
+		Rounds:         ires.Rounds,
+		Upsilon:        in.Upsilon(),
+		Delta:          in.Delta(),
+		Energy:         ires.Stats.Energy + rres.Stats.Energy,
+	}
+	return nw.newResult(in, rres.Tree, m), nil
+}
+
+// runTVC is the Section 8 pipeline body (Theorem 4, both halves).
+func (nw *Network) runTVC(ctx context.Context, in *sinr.Instance, s settings, pool *sim.Pool, v core.Variant) (*Result, error) {
+	icfg := initConfig(s, pool)
+	icfg.Seed = 0 // TreeViaCapacity derives per-iteration seeds from its own
+	res, err := core.TreeViaCapacity(ctx, in, core.TVCConfig{
+		Variant: v,
+		Seed:    s.seed,
+		Rho:     s.rho,
+		Init:    icfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bt := res.Tree
+	m := Metrics{
+		SlotsUsed:      res.ConstructionSlots,
+		ScheduleLength: bt.NumSlots(),
+		Iterations:     res.Iterations,
+		Upsilon:        in.Upsilon(),
+		Delta:          in.Delta(),
+		Energy:         res.Energy,
+	}
+	if err := fillLatencies(&m, bt); err != nil {
+		return nil, err
+	}
+	return nw.newResult(in, bt, m), nil
+}

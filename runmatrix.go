@@ -1,0 +1,73 @@
+package sinrconn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// RunSpec names one cell of a batch sweep: a pipeline plus its per-run
+// overrides (seed, physical constants, drop probability, …).
+type RunSpec struct {
+	Pipeline Pipeline
+	Opts     []RunOption
+}
+
+// Specs builds the cross product pipelines × seeds as a RunSpec slice —
+// the common sweep shape (one point set, many parameterizations). extra
+// options are appended to every spec.
+func Specs(pipelines []Pipeline, seeds []int64, extra ...RunOption) []RunSpec {
+	specs := make([]RunSpec, 0, len(pipelines)*len(seeds))
+	for _, p := range pipelines {
+		for _, seed := range seeds {
+			opts := make([]RunOption, 0, len(extra)+1)
+			opts = append(opts, WithSeed(seed))
+			opts = append(opts, extra...)
+			specs = append(specs, RunSpec{Pipeline: p, Opts: opts})
+		}
+	}
+	return specs
+}
+
+// RunMatrix executes every spec against this handle with bounded
+// concurrency (min(NumCPU, len(specs)) runs in flight). It is the batch
+// substrate for sweeping one deployment across pipelines × seeds × physical
+// parameters: all specs share the session's validated geometry, per-phys
+// instances, memo, and worker pool — safe because instances are read-only
+// after build and the pool is engine-agnostic.
+//
+// results[i] corresponds to specs[i]; a spec that fails leaves a nil entry
+// and contributes a wrapped error to the joined error return (successful
+// specs still return their results). ctx cancellation aborts in-flight
+// runs between simulator slots and fails not-yet-started specs fast.
+func (nw *Network) RunMatrix(ctx context.Context, specs []RunSpec) ([]*Result, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	limit := runtime.NumCPU()
+	if limit > len(specs) {
+		limit = len(specs)
+	}
+	results := make([]*Result, len(specs))
+	errs := make([]error, len(specs))
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := nw.Run(ctx, specs[i].Pipeline, specs[i].Opts...)
+			if err != nil {
+				errs[i] = fmt.Errorf("sinrconn: spec %d (%s): %w", i, specs[i].Pipeline, err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	return results, errors.Join(errs...)
+}

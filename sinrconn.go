@@ -5,39 +5,43 @@
 // bi-tree: converge-cast plus dissemination tree) and schedule it
 // efficiently under the SINR physical interference model.
 //
-// Three pipelines are exposed, mirroring the paper's three main theorems:
+// The primary API is session-oriented: Open validates a deployment once and
+// returns a long-lived *Network owning the physics state (the O(n²) gain
+// table) and a persistent simulator worker pool; Run executes any of the
+// paper's pipelines against that shared state with context cancellation,
+// and RunMatrix fans one handle out across pipelines × seeds × physical
+// parameters with bounded concurrency. The pipelines mirror the paper's
+// three main theorems:
 //
-//   - BuildInitialBiTree — the Section 6 construction (Theorem 2): a
-//     bi-tree in O(log Δ · log n) channel slots using per-round uniform
-//     power.
-//   - RescheduleMeanPower — Section 7 (Theorem 3): the same tree
+//   - PipelineInit — the Section 6 construction (Theorem 2): a bi-tree in
+//     O(log Δ · log n) channel slots using per-round uniform power.
+//   - PipelineRescheduleMean — Section 7 (Theorem 3): the same tree
 //     re-scheduled under mean power with distributed contention
 //     resolution, removing the log Δ factor from the schedule.
-//   - BuildBiTreeMeanPower / BuildBiTreeArbitraryPower — Section 8
-//     (Theorem 4): the interleaved TreeViaCapacity constructions whose
-//     final schedules match the best centralized bounds — O(Υ·log n) slots
-//     with oblivious mean power and O(log n) slots with computed powers.
+//   - PipelineTVCMean / PipelineTVCArbitrary — Section 8 (Theorem 4): the
+//     interleaved TreeViaCapacity constructions whose final schedules match
+//     the best centralized bounds — O(Υ·log n) slots with oblivious mean
+//     power and O(log n) slots with computed powers.
 //
 // All pipelines run on an exact slotted SINR channel simulator; results are
-// deterministic for a fixed Seed. See DESIGN.md for the system inventory
-// and EXPERIMENTS.md for the reproduction of the paper's claims.
+// deterministic for a fixed seed (and therefore memoized per handle). The
+// free functions (BuildInitialBiTree & co.) predate the session API and
+// remain as deprecated one-shot wrappers, bit-identical to their Network
+// counterparts. See DESIGN.md for the system inventory and EXPERIMENTS.md
+// for the reproduction of the paper's claims.
 package sinrconn
 
 import (
+	"context"
 	"errors"
-	"fmt"
-	"math"
 
-	"sinrconn/internal/core"
-	"sinrconn/internal/geom"
-	"sinrconn/internal/schedule"
 	"sinrconn/internal/sinr"
 	"sinrconn/internal/tree"
 )
 
 // Point is a node location in the plane. The paper's normalization (minimum
-// pairwise distance 1) is required; Validate in Options enforces it unless
-// AutoNormalize is set.
+// pairwise distance 1) is required; Open enforces it unless
+// WithAutoNormalize is set.
 type Point struct {
 	X, Y float64
 }
@@ -72,7 +76,12 @@ func DefaultPhysParams() PhysParams {
 	return PhysParams{Alpha: p.Alpha, Beta: p.Beta, Noise: p.Noise}
 }
 
-// Options configures a pipeline run.
+// Options configures a legacy one-shot pipeline call.
+//
+// Deprecated: Options predates the session API and cannot express an
+// explicit zero (0 always means "use the default"). Open a *Network with
+// functional options (WithPhys, WithSeed, WithWorkers, WithDropProb,
+// WithAutoNormalize, WithBroadcastProb, WithRho) instead.
 type Options struct {
 	// Params are the physical constants; zero value means defaults.
 	Params PhysParams
@@ -105,6 +114,29 @@ func (o Options) params() sinr.Params {
 	return p
 }
 
+// settings converts legacy Options to resolved session settings verbatim
+// (no option-level validation, preserving the legacy pass-through semantics
+// where out-of-range knobs fall back to defaults inside internal/core).
+func (o Options) settings() settings {
+	return settings{
+		phys:          o.params(),
+		seed:          o.Seed,
+		workers:       o.Workers,
+		drop:          o.DropProb,
+		autoNormalize: o.AutoNormalize,
+		broadcastProb: o.BroadcastProb,
+		rho:           o.Rho,
+	}
+}
+
+// standalone builds the pool-less one-shot Network backing a deprecated
+// free-function call: engines spawn and release their own workers per run,
+// exactly as the pre-session code did, so wrapper outputs stay
+// bit-identical while still flowing through the single Network code path.
+func standalone(pts []Point, opt Options) (*Network, error) {
+	return newNetwork(pts, opt.settings())
+}
+
 // Metrics reports the cost of a pipeline run.
 type Metrics struct {
 	// SlotsUsed is the total channel time (simulator slots) the distributed
@@ -125,7 +157,9 @@ type Metrics struct {
 	AggregationLatency int
 	BroadcastLatency   int
 	// Energy is the total transmission energy (sum of powers over all
-	// transmissions) the construction spent on the channel.
+	// transmissions) the construction spent on the channel, including
+	// rescheduling and selection-protocol traffic for the Section 7/8
+	// pipelines.
 	Energy float64
 }
 
@@ -173,37 +207,27 @@ func (b *BiTree) Verify() error {
 	return b.inner.ValidatePerSlotFeasible(b.inst)
 }
 
-// Result bundles a constructed tree with its metrics.
+// Result bundles a constructed tree with its metrics. Results returned by
+// a Network (directly or through the deprecated wrappers) are bound to
+// their handle: joins, repairs, and physical epochs reuse its instances
+// and worker pool. Results are immutable — every operation returns a fresh
+// one — so a memoized Result may be shared by concurrent callers.
 type Result struct {
 	Tree    *BiTree
 	Metrics Metrics
+
+	nw *Network
 }
+
+// Network returns the session handle this result is bound to. For results
+// grown by Join it is a derived handle over the enlarged point set (sharing
+// the original's worker pool).
+func (r *Result) Network() *Network { return r.nw }
 
 // ErrNotNormalized reports input whose minimum pairwise distance is below 1
-// when AutoNormalize is off.
+// when normalization is off (WithAutoNormalize at Open; joins never
+// renormalize). Test with errors.Is.
 var ErrNotNormalized = errors.New("sinrconn: minimum pairwise distance below 1 (set AutoNormalize)")
-
-func buildInstance(pts []Point, opt Options) (*sinr.Instance, error) {
-	if len(pts) == 0 {
-		return nil, errors.New("sinrconn: no points")
-	}
-	g := make([]geom.Point, len(pts))
-	for i, p := range pts {
-		g[i] = geom.Point{X: p.X, Y: p.Y}
-	}
-	if len(g) > 1 {
-		if md := geom.MinDist(g); md < 1-1e-9 {
-			if !opt.AutoNormalize {
-				return nil, fmt.Errorf("%w: min distance %v", ErrNotNormalized, md)
-			}
-			if md <= 0 {
-				return nil, errors.New("sinrconn: duplicate points")
-			}
-			g, _ = geom.Normalize(g)
-		}
-	}
-	return sinr.NewInstance(g, opt.params())
-}
 
 func publicTree(in *sinr.Instance, bt *tree.BiTree) *BiTree {
 	out := &BiTree{
@@ -236,114 +260,49 @@ func fillLatencies(m *Metrics, bt *tree.BiTree) error {
 	return nil
 }
 
+// buildPipeline is the shared body of the deprecated one-shot wrappers.
+func buildPipeline(pts []Point, opt Options, p Pipeline) (*Result, error) {
+	nw, err := standalone(pts, opt)
+	if err != nil {
+		return nil, err
+	}
+	return nw.Run(context.Background(), p)
+}
+
 // BuildInitialBiTree runs the Section 6 construction (Theorem 2).
+//
+// Deprecated: use Open followed by (*Network).Run(ctx, PipelineInit); the
+// handle amortizes geometry validation and the gain table across runs and
+// honors context cancellation. This wrapper re-pays both on every call.
 func BuildInitialBiTree(pts []Point, opt Options) (*Result, error) {
-	in, err := buildInstance(pts, opt)
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.Init(in, core.InitConfig{
-		BroadcastProb: opt.BroadcastProb,
-		Seed:          opt.Seed,
-		Workers:       opt.Workers,
-		DropProb:      opt.DropProb,
-	})
-	if err != nil {
-		return nil, err
-	}
-	bt := res.Tree
-	bt.Compact()
-	m := Metrics{
-		SlotsUsed:      res.SlotsUsed,
-		ScheduleLength: bt.NumSlots(),
-		Rounds:         res.Rounds,
-		Upsilon:        in.Upsilon(),
-		Delta:          in.Delta(),
-		Energy:         res.Stats.Energy,
-	}
-	if err := fillLatencies(&m, bt); err != nil {
-		return nil, err
-	}
-	return &Result{Tree: publicTree(in, bt), Metrics: m}, nil
+	return buildPipeline(pts, opt, PipelineInit)
 }
 
 // RescheduleMeanPower runs Section 6 then re-schedules the tree under mean
 // power with the distributed scheduler (Theorem 3). The returned schedule
 // does not necessarily satisfy the bi-tree ordering property, matching the
 // paper's caveat; aggregation/broadcast latencies are therefore not filled.
+//
+// Deprecated: use Open followed by (*Network).Run(ctx,
+// PipelineRescheduleMean).
 func RescheduleMeanPower(pts []Point, opt Options) (*Result, error) {
-	in, err := buildInstance(pts, opt)
-	if err != nil {
-		return nil, err
-	}
-	ires, err := core.Init(in, core.InitConfig{
-		BroadcastProb: opt.BroadcastProb,
-		Seed:          opt.Seed,
-		Workers:       opt.Workers,
-		DropProb:      opt.DropProb,
-	})
-	if err != nil {
-		return nil, err
-	}
-	pa := sinr.NoiseSafeMean(in.Params(), math.Max(1, in.Delta()))
-	rres, err := core.Reschedule(in, ires.Tree, pa, schedule.DistConfig{
-		Seed:    opt.Seed + 1,
-		Workers: opt.Workers,
-	})
-	if err != nil {
-		return nil, err
-	}
-	m := Metrics{
-		SlotsUsed:      ires.SlotsUsed + 2*rres.SlotPairs,
-		ScheduleLength: rres.NumSlots,
-		Rounds:         ires.Rounds,
-		Upsilon:        in.Upsilon(),
-		Delta:          in.Delta(),
-	}
-	return &Result{Tree: publicTree(in, rres.Tree), Metrics: m}, nil
+	return buildPipeline(pts, opt, PipelineRescheduleMean)
 }
 
 // BuildBiTreeMeanPower runs TreeViaCapacity with Υ-sampled mean-power
 // selection (Theorem 4, second half: O(Υ·log n) schedule slots).
+//
+// Deprecated: use Open followed by (*Network).Run(ctx, PipelineTVCMean).
 func BuildBiTreeMeanPower(pts []Point, opt Options) (*Result, error) {
-	return buildTVC(pts, opt, core.VariantMean)
+	return buildPipeline(pts, opt, PipelineTVCMean)
 }
 
 // BuildBiTreeArbitraryPower runs TreeViaCapacity with Distr-Cap selection
 // and computed per-link powers (Theorem 4, first half: O(log n) schedule
 // slots).
+//
+// Deprecated: use Open followed by (*Network).Run(ctx,
+// PipelineTVCArbitrary).
 func BuildBiTreeArbitraryPower(pts []Point, opt Options) (*Result, error) {
-	return buildTVC(pts, opt, core.VariantArbitrary)
-}
-
-func buildTVC(pts []Point, opt Options, v core.Variant) (*Result, error) {
-	in, err := buildInstance(pts, opt)
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.TreeViaCapacity(in, core.TVCConfig{
-		Variant: v,
-		Seed:    opt.Seed,
-		Rho:     opt.Rho,
-		Init: core.InitConfig{
-			BroadcastProb: opt.BroadcastProb,
-			Workers:       opt.Workers,
-			DropProb:      opt.DropProb,
-		},
-	})
-	if err != nil {
-		return nil, err
-	}
-	bt := res.Tree
-	m := Metrics{
-		SlotsUsed:      res.ConstructionSlots,
-		ScheduleLength: bt.NumSlots(),
-		Iterations:     res.Iterations,
-		Upsilon:        in.Upsilon(),
-		Delta:          in.Delta(),
-	}
-	if err := fillLatencies(&m, bt); err != nil {
-		return nil, err
-	}
-	return &Result{Tree: publicTree(in, bt), Metrics: m}, nil
+	return buildPipeline(pts, opt, PipelineTVCArbitrary)
 }
