@@ -55,12 +55,17 @@ type PairOutcome struct {
 // invoke the returned release). WithDropProb and WithSeed apply to the
 // epoch itself — fading injected into a converge-cast can legitimately
 // lose a transfer, which the epoch reports as an error.
-func (nw *Network) epochConfig(opts []RunOption) (sim.Config, func(), error) {
+func (nw *Network) epochConfig(r *Result, opts []RunOption) (sim.Config, func(), error) {
 	done, err := nw.beginOp()
 	if err != nil {
 		return sim.Config{}, func() {}, err
 	}
 	s, err := nw.opSettings(opts)
+	if err != nil {
+		done()
+		return sim.Config{}, func() {}, err
+	}
+	ff, err := opFarField(r, r.Tree.inst, s)
 	if err != nil {
 		done()
 		return sim.Config{}, func() {}, err
@@ -71,6 +76,7 @@ func (nw *Network) epochConfig(opts []RunOption) (sim.Config, func(), error) {
 		DropProb: s.drop,
 		Seed:     s.seed,
 		Pool:     pool,
+		FarField: ff,
 	}, func() { release(); done() }, nil
 }
 
@@ -82,7 +88,7 @@ func (nw *Network) Broadcast(ctx context.Context, r *Result, value int64, opts .
 	if err := nw.checkBound(r); err != nil {
 		return nil, err
 	}
-	ecfg, release, err := nw.epochConfig(opts)
+	ecfg, release, err := nw.epochConfig(r, opts)
 	defer release()
 	if err != nil {
 		return nil, err
@@ -109,7 +115,7 @@ func (nw *Network) Aggregate(ctx context.Context, r *Result, values []int64, f A
 	if err := nw.checkBound(r); err != nil {
 		return nil, err
 	}
-	ecfg, release, err := nw.epochConfig(opts)
+	ecfg, release, err := nw.epochConfig(r, opts)
 	defer release()
 	if err != nil {
 		return nil, err
@@ -133,7 +139,7 @@ func (nw *Network) SendMessage(ctx context.Context, r *Result, src, dst int, pay
 	if err := nw.checkBound(r); err != nil {
 		return nil, err
 	}
-	ecfg, release, err := nw.epochConfig(opts)
+	ecfg, release, err := nw.epochConfig(r, opts)
 	defer release()
 	if err != nil {
 		return nil, err
@@ -157,7 +163,9 @@ func (r *Result) epochNetwork() (*Network, error) {
 	return r.nw, nil
 }
 
-// Broadcast physically executes one dissemination epoch.
+// Broadcast physically executes one dissemination epoch, under the same
+// channel mode (exact or far-field) the result's tree was built with —
+// legacy Options cannot express a per-epoch override.
 //
 // Deprecated: use (*Network).Broadcast, which takes a context.
 func (r *Result) Broadcast(value int64, opt Options) (*BroadcastOutcome, error) {
@@ -168,7 +176,7 @@ func (r *Result) Broadcast(value int64, opt Options) (*BroadcastOutcome, error) 
 	pool, release := nw.acquirePool()
 	defer release()
 	out, err := core.RunBroadcast(context.Background(), r.Tree.inst, r.Tree.inner, value,
-		sim.Config{Workers: opt.Workers, Pool: pool})
+		sim.Config{Workers: opt.Workers, Pool: pool, FarField: r.Tree.ff})
 	if err != nil {
 		return nil, err
 	}
@@ -186,7 +194,7 @@ func (r *Result) Aggregate(values []int64, f AggFunc, opt Options) (*AggregateOu
 	pool, release := nw.acquirePool()
 	defer release()
 	out, err := core.RunAggregation(context.Background(), r.Tree.inst, r.Tree.inner, values, core.AggFunc(f),
-		sim.Config{Workers: opt.Workers, Pool: pool})
+		sim.Config{Workers: opt.Workers, Pool: pool, FarField: r.Tree.ff})
 	if err != nil {
 		return nil, err
 	}
@@ -204,7 +212,7 @@ func (r *Result) SendMessage(src, dst int, payload int64, opt Options) (*PairOut
 	pool, release := nw.acquirePool()
 	defer release()
 	out, err := core.RunPairMessage(context.Background(), r.Tree.inst, r.Tree.inner, src, dst, payload,
-		sim.Config{Workers: opt.Workers, Pool: pool})
+		sim.Config{Workers: opt.Workers, Pool: pool, FarField: r.Tree.ff})
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@
 //	connect -n 64 -workload uniform -pipeline arbitrary -seed 1 [-v]
 //	connect -n 64 -sweep 8                  # all pipelines × 8 seeds, one Network
 //	connect -n 256 -timeout 2s              # bound the construction time
+//	connect -n 4096 -maxrelerr 0.5          # far-field approximate physics
 //
 // Pipelines: init (Section 6), reschedule (Section 7), mean (Section 8,
 // mean power), arbitrary (Section 8, power control).
@@ -46,6 +47,7 @@ func run(args []string, out io.Writer) error {
 	pipeline := fs.String("pipeline", "arbitrary", "pipeline: init|reschedule|mean|arbitrary")
 	seed := fs.Int64("seed", 1, "random seed")
 	drop := fs.Float64("drop", 0, "reception drop probability in [0,1)")
+	maxRelErr := fs.Float64("maxrelerr", 0, "far-field approximation error bound ε (0 = exact physics)")
 	sweep := fs.Int("sweep", 0, "run all pipelines × this many seeds as one batch")
 	timeout := fs.Duration("timeout", 0, "abort constructions that exceed this duration (0 = none)")
 	verbose := fs.Bool("v", false, "print every scheduled link")
@@ -63,6 +65,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if *drop > 0 {
 		opts = append(opts, sinrconn.WithDropProb(*drop))
+	}
+	if *maxRelErr != 0 {
+		// Non-zero values (including invalid negatives) flow to the option
+		// so Open reports validation errors instead of silently running the
+		// exact path.
+		opts = append(opts, sinrconn.WithMaxRelError(*maxRelErr))
 	}
 	nw, err := sinrconn.Open(pts, opts...)
 	if err != nil {

@@ -1,0 +1,124 @@
+package sinrconn
+
+// Documentation gates, run by the CI docs job:
+//
+//   - TestDocLinks: every relative markdown link in every *.md file must
+//     resolve to a file that exists in the repository.
+//   - TestPackageComments: every Go package — root, internal/*, cmd/*,
+//     examples/* — must carry a package comment, so `go doc` works
+//     everywhere.
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches [text](target); targets with schemes or pure anchors are
+// filtered by the caller.
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func TestDocLinks(t *testing.T) {
+	var mdFiles []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdFiles) < 5 {
+		t.Fatalf("found only %d markdown files — walk broken?", len(mdFiles))
+	}
+	for _, md := range mdFiles {
+		if filepath.Base(md) == "SNIPPETS.md" {
+			// Quotes exemplar files from external repositories verbatim,
+			// including their relative links; those don't resolve here by
+			// design.
+			continue
+		}
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; CI stays hermetic
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			if target == "" {
+				continue // same-file anchor
+			}
+			resolved := filepath.Join(filepath.Dir(md), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s)", md, m[1], resolved)
+			}
+		}
+	}
+}
+
+func TestPackageComments(t *testing.T) {
+	var pkgDirs []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			matches, _ := filepath.Glob(filepath.Join(path, "*.go"))
+			for _, f := range matches {
+				if !strings.HasSuffix(f, "_test.go") {
+					pkgDirs = append(pkgDirs, path)
+					break
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgDirs) < 15 {
+		t.Fatalf("found only %d package dirs — walk broken?", len(pkgDirs))
+	}
+	for _, dir := range pkgDirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for name, pkg := range pkgs {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				t.Errorf("package %s (%s) has no package comment — add a doc.go", name, dir)
+			}
+		}
+	}
+}

@@ -97,6 +97,10 @@ func (nw *Network) join(ctx context.Context, r *Result, newPts []Point, s settin
 	if err != nil {
 		return nil, err
 	}
+	ff, err := opFarField(r, in, s)
+	if err != nil {
+		return nil, err
+	}
 	pool, release := nw.acquirePool()
 	defer release()
 	jres, err := core.Join(ctx, in, oldTree, joiners, core.InitConfig{
@@ -105,6 +109,7 @@ func (nw *Network) join(ctx context.Context, r *Result, newPts []Point, s settin
 		Workers:       s.workers,
 		DropProb:      s.drop,
 		Pool:          pool,
+		FarField:      ff,
 	})
 	if err != nil {
 		return nil, err
@@ -122,7 +127,7 @@ func (nw *Network) join(ctx context.Context, r *Result, newPts []Point, s settin
 		return nil, err
 	}
 	grown := nw.derive(in)
-	return grown.newResult(in, bt, m), nil
+	return grown.newResult(in, bt, m, ff), nil
 }
 
 // derive builds the Network bound to a join-grown instance: same settings,
@@ -168,6 +173,10 @@ func (nw *Network) repair(ctx context.Context, r *Result, failed []int, s settin
 		return nil, errors.New("sinrconn: no failed nodes given")
 	}
 	in := r.Tree.inst
+	ff, err := opFarField(r, in, s)
+	if err != nil {
+		return nil, err
+	}
 	pool, release := nw.acquirePool()
 	defer release()
 	rres, err := core.Repair(ctx, in, r.Tree.inner, failed, core.InitConfig{
@@ -176,6 +185,7 @@ func (nw *Network) repair(ctx context.Context, r *Result, failed []int, s settin
 		Workers:       s.workers,
 		DropProb:      s.drop,
 		Pool:          pool,
+		FarField:      ff,
 	})
 	if err != nil {
 		return nil, err
@@ -191,7 +201,7 @@ func (nw *Network) repair(ctx context.Context, r *Result, failed []int, s settin
 	if err := fillLatencies(&m, bt); err != nil {
 		return nil, err
 	}
-	return nw.newResult(in, bt, m), nil
+	return nw.newResult(in, bt, m, ff), nil
 }
 
 // RepairLinks handles permanent link failures: the given tree links have
@@ -224,6 +234,10 @@ func (nw *Network) repairLinks(ctx context.Context, r *Result, links []Link, s s
 	for i, l := range links {
 		failed[i] = sinr.Link{From: l.From, To: l.To}
 	}
+	ff, err := opFarField(r, in, s)
+	if err != nil {
+		return nil, err
+	}
 	pool, release := nw.acquirePool()
 	defer release()
 	rres, err := core.RepairLinks(ctx, in, r.Tree.inner, failed, core.InitConfig{
@@ -232,6 +246,7 @@ func (nw *Network) repairLinks(ctx context.Context, r *Result, links []Link, s s
 		Workers:       s.workers,
 		DropProb:      s.drop,
 		Pool:          pool,
+		FarField:      ff,
 	})
 	if err != nil {
 		return nil, err
@@ -247,7 +262,7 @@ func (nw *Network) repairLinks(ctx context.Context, r *Result, links []Link, s s
 	if err := fillLatencies(&m, bt); err != nil {
 		return nil, err
 	}
-	return nw.newResult(in, bt, m), nil
+	return nw.newResult(in, bt, m, ff), nil
 }
 
 // JoinPoints attaches newly awakened nodes to the existing bi-tree.

@@ -1,0 +1,239 @@
+package sinrconn
+
+// Session-level far-field suite: the ε = 0 exactness contract (the drift
+// gate extending TestWrapperEquivalence to WithMaxRelError), approximate
+// pipeline runs across the scenario matrix, option validation, and the
+// far-field epoch/join paths.
+
+import (
+	"math"
+	"testing"
+
+	"sinrconn/internal/workload"
+)
+
+// TestFarFieldExactnessZero is the ε = 0 drift gate: a Network opened with
+// WithMaxRelError(0) must produce bit-identical results to one without the
+// option, for every pipeline across the scenario matrix (two generators
+// under -short, like the wrapper gate).
+func TestFarFieldExactnessZero(t *testing.T) {
+	gens := workload.Matrix()
+	if testing.Short() {
+		gens = gens[:2]
+	}
+	n := 24
+	for gi, gen := range gens {
+		for pi, p := range Pipelines() {
+			gen, p := gen, p
+			seed := int64(7001 + 100*gi + 10*pi)
+			t.Run(gen.Name+"/"+p.String(), func(t *testing.T) {
+				pts := facadePoints(gen, seed, n)
+				plain, err := Open(pts, WithSeed(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer plain.Close()
+				zero, err := Open(pts, WithSeed(seed), WithMaxRelError(0))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer zero.Close()
+				a, aerr := plain.Run(bg, p)
+				b, berr := zero.Run(bg, p)
+				if (aerr == nil) != (berr == nil) {
+					t.Fatalf("error divergence: plain %v vs ε=0 %v", aerr, berr)
+				}
+				if aerr != nil {
+					return
+				}
+				assertResultsIdentical(t, b, a)
+			})
+		}
+	}
+}
+
+// TestFarFieldPipelines runs every pipeline under an approximate channel
+// (ε = 0.5) across a slice of the matrix: the tree must span, pass the
+// structural validators, and pass per-slot feasibility under the plan's
+// guard band (Result.Tree.Verify applies it automatically).
+func TestFarFieldPipelines(t *testing.T) {
+	gens := workload.Matrix()[:3]
+	n := 32
+	for gi, gen := range gens {
+		for pi, p := range Pipelines() {
+			gen, p := gen, p
+			seed := int64(8001 + 100*gi + 10*pi)
+			t.Run(gen.Name+"/"+p.String(), func(t *testing.T) {
+				pts := facadePoints(gen, seed, n)
+				nw, err := Open(pts, WithSeed(seed), WithMaxRelError(0.5))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer nw.Close()
+				res, err := nw.Run(bg, p)
+				if err != nil {
+					t.Fatalf("far-field %v run: %v", p, err)
+				}
+				if res.Tree.NumNodes != n {
+					t.Fatalf("far-field tree spans %d/%d nodes", res.Tree.NumNodes, n)
+				}
+				if p.Ordered() {
+					if err := res.Tree.Verify(); err != nil {
+						t.Fatalf("far-field tree failed verification: %v", err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFarFieldMemoKeying asserts results are memoized per ε: repeats hit
+// the memo, distinct ε (including ε = 0) are distinct entries.
+func TestFarFieldMemoKeying(t *testing.T) {
+	pts := uniformPoints(31, 28)
+	nw, err := Open(pts, WithSeed(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	exact, err := nw.Run(bg, PipelineInit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := nw.Run(bg, PipelineInit, WithMaxRelError(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far == exact {
+		t.Fatal("ε=0.5 run served from the exact memo entry")
+	}
+	again, err := nw.Run(bg, PipelineInit, WithMaxRelError(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != far {
+		t.Fatal("repeated ε=0.5 run missed the memo")
+	}
+	zero, err := nw.Run(bg, PipelineInit, WithMaxRelError(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero != exact {
+		t.Fatal("explicit ε=0 run missed the exact memo entry")
+	}
+}
+
+// TestFarFieldOpInheritance pins the channel-mode inheritance of
+// operations on an existing result: a tree built with a run-scoped ε is
+// joined/repaired/re-driven under that same mode unless the operation
+// explicitly overrides it, and exact-built trees stay exact.
+func TestFarFieldOpInheritance(t *testing.T) {
+	pts := uniformPoints(53, 26)
+	nw, err := Open(pts, WithSeed(53)) // exact session base
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	far, err := nw.Run(bg, PipelineInit, WithMaxRelError(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far.Tree.ff == nil {
+		t.Fatal("run-scoped ε did not record a far-field plan on the tree")
+	}
+	grown, err := nw.Join(bg, far, []Point{{X: 300, Y: 300}, {X: 303, Y: 301}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Tree.ff == nil || grown.Tree.ff.MaxRelError() != 0.5 {
+		t.Fatalf("join did not inherit the tree's far-field mode: %+v", grown.Tree.ff)
+	}
+	exactGrown, err := nw.Join(bg, far, []Point{{X: 320, Y: 320}, {X: 323, Y: 321}}, WithMaxRelError(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exactGrown.Tree.ff != nil {
+		t.Fatal("explicit ε=0 override did not switch the join to exact mode")
+	}
+	exact, err := nw.Run(bg, PipelineInit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grownExact, err := nw.Join(bg, exact, []Point{{X: 340, Y: 340}, {X: 343, Y: 341}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grownExact.Tree.ff != nil {
+		t.Fatal("join of an exact-built tree picked up a far-field plan")
+	}
+}
+
+// TestWithMaxRelErrorValidation pins option validation: negative, NaN, and
+// +Inf bounds fail at the call site.
+func TestWithMaxRelErrorValidation(t *testing.T) {
+	pts := uniformPoints(5, 8)
+	for _, eps := range []float64{-0.1, math.Inf(1), math.NaN()} {
+		if _, err := Open(pts, WithMaxRelError(eps)); err == nil {
+			t.Fatalf("Open accepted WithMaxRelError(%v)", eps)
+		}
+	}
+	nw, err := Open(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	if _, err := nw.Run(bg, PipelineInit, WithMaxRelError(-1)); err == nil {
+		t.Fatal("Run accepted WithMaxRelError(-1)")
+	}
+}
+
+// TestFarFieldEpochAndJoin exercises the remaining far-field surfaces: a
+// physical aggregation epoch under an approximate channel delivers the
+// exact aggregate (the schedule's SafePower margins keep decisions away
+// from the β cut), and a far-field join grows the tree with the plan
+// extended rather than rebuilt.
+func TestFarFieldEpochAndJoin(t *testing.T) {
+	pts := uniformPoints(47, 30)
+	nw, err := Open(pts, WithSeed(47), WithMaxRelError(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	res, err := nw.Run(bg, PipelineTVCArbitrary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]int64, len(pts))
+	var want int64
+	for i := range values {
+		values[i] = int64(i + 1)
+		want += values[i]
+	}
+	out, err := nw.Aggregate(bg, res, values, SumAgg)
+	if err != nil {
+		t.Fatalf("far-field aggregation epoch: %v", err)
+	}
+	if out.Value != want {
+		t.Fatalf("far-field aggregate %d, want %d", out.Value, want)
+	}
+	// The deprecated wrapper runs the epoch under the same channel mode the
+	// tree was built with (it cannot express an override), so its outcome
+	// matches the Network method's.
+	wout, err := res.Aggregate(values, SumAgg, Options{})
+	if err != nil {
+		t.Fatalf("deprecated far-field aggregation epoch: %v", err)
+	}
+	if *wout != *out {
+		t.Fatalf("deprecated epoch wrapper diverged: %+v vs %+v", wout, out)
+	}
+	grown, err := nw.Join(bg, res, []Point{{X: 200, Y: 200}, {X: 203, Y: 201}})
+	if err != nil {
+		t.Fatalf("far-field join: %v", err)
+	}
+	if grown.Tree.NumNodes != len(pts)+2 {
+		t.Fatalf("far-field join spans %d nodes, want %d", grown.Tree.NumNodes, len(pts)+2)
+	}
+	if err := grown.Tree.Verify(); err != nil {
+		t.Fatalf("far-field joined tree failed verification: %v", err)
+	}
+}

@@ -1,25 +1,3 @@
-// Package core implements the paper's distributed connectivity algorithms:
-//
-//   - Init (Section 6): the from-scratch bi-tree construction over ⌈log Δ⌉
-//     doubling rounds of randomized broadcast/acknowledge slot-pairs
-//     (Theorem 2).
-//   - Reschedule (Section 7): re-scheduling the Init tree under mean power
-//     with the distributed contention-resolution scheduler (Theorem 3).
-//   - LowDegreeSubset (Theorem 13): the O(1)-sparse low-degree core T(M).
-//   - MeanSample (Section 8.1): the 1/(4γ₁Υ) sampling selection of a large
-//     feasible subset under mean power.
-//   - DistrCap (Section 8.2): the two-slot linear-power measurement
-//     protocol selecting a Kesselheim-feasible subset for arbitrary power.
-//   - TreeViaCapacity (Algorithm 1): the iterated construction matching the
-//     centralized bounds (Theorem 4), in mean-power and arbitrary-power
-//     variants.
-//
-// The theory constants of the proofs (p ≤ 1/64(1+6β2^α/(α−2)), λ₁ = 80/p²)
-// are tuned for union bounds, not practice; every constant here is a Config
-// knob with an empirically sensible default, and the construction includes
-// a deterministic safety loop (extra rounds at the top length class) that
-// guarantees termination with a connected tree regardless of how the coins
-// fall. DESIGN.md discusses the substitution.
 package core
 
 import (
@@ -39,6 +17,7 @@ func (c *InitConfig) engineConfig(seed int64) sim.Config {
 		DropProb: c.DropProb,
 		Seed:     seed,
 		Pool:     c.Pool,
+		FarField: c.FarField,
 	}
 }
 
@@ -83,6 +62,10 @@ type InitConfig struct {
 	// engine lifetimes (owned by the session handle, sinrconn.Network).
 	// Engines borrow it instead of spawning goroutines per construction.
 	Pool *sim.Pool
+	// FarField, if non-nil, runs every engine of the construction under the
+	// tile-based far-field channel approximation (see sim.Config.FarField).
+	// The plan must be built from the construction's instance.
+	FarField *sinr.FarField
 	// DropProb injects reception failures in the engine.
 	DropProb float64
 	// Participants restricts the protocol to a subset of node indices

@@ -1,0 +1,8 @@
+// Package experiments reproduces the paper's claims. The paper is pure
+// theory — its "evaluation" is a set of theorems — so each experiment
+// measures the quantity one theorem bounds, sweeps the driving parameter
+// (n, or Δ via exponential chains), and checks the claimed *shape*: who
+// wins, how quantities scale, where crossovers fall. EXPERIMENTS.md records
+// paper-claim versus measured output for every table here; cmd/experiments
+// regenerates them all.
+package experiments

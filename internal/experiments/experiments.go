@@ -1,10 +1,3 @@
-// Package experiments reproduces the paper's claims. The paper is pure
-// theory — its "evaluation" is a set of theorems — so each experiment
-// measures the quantity one theorem bounds, sweeps the driving parameter
-// (n, or Δ via exponential chains), and checks the claimed *shape*: who
-// wins, how quantities scale, where crossovers fall. EXPERIMENTS.md records
-// paper-claim versus measured output for every table here; cmd/experiments
-// regenerates them all.
 package experiments
 
 import (
@@ -105,6 +98,7 @@ func All(cfg Config) []Report {
 		E13Energy(cfg),
 		E14PhysicalEpoch(cfg),
 		E15SessionMatrix(cfg),
+		E16FarField(cfg),
 	}
 }
 

@@ -1,0 +1,231 @@
+package oracle
+
+// The brute-force reference for the tile-based far-field interference
+// approximation (internal/sinr/farfield.go): the same tiling *specification*
+// — ring radius k(ε, α), tile side, grid dims, binning, power-weighted
+// centroids, near-ring-exact / far-tile-aggregated interference — computed
+// with the package's naive physics (math.Hypot distances, math.Pow path
+// loss) and naive bookkeeping (maps, no scratch reuse, no refinement).
+//
+// The plan derivation below is an independent transcription of the one in
+// internal/sinr and must stay in lockstep with it expression by expression:
+// TestFarFieldPlanLockstep asserts the two derive identical plans, and
+// TestDifferentialFarFieldVsOracle that they agree on the approximate SINR
+// to 1e-12 relative; TestFarFieldErrorBound pins both within the certified
+// ε of the exact physics. When an optimization breaks the
+// far-field kernel, the disagreement with this file is the proof.
+
+import (
+	"math"
+
+	"sinrconn/internal/geom"
+	"sinrconn/internal/sinr"
+)
+
+// farMinRing and farMaxTiles mirror the kernel's clamps.
+const (
+	farMinRing  = 2
+	farMaxTiles = 1 << 18
+)
+
+// FarPlan is the naive transcription of the far-field plan geometry.
+type FarPlan struct {
+	K          int
+	Cell       float64
+	Cols, Rows int
+	OX, OY     float64
+}
+
+// FarK is the naive transcription of sinr.FarK: the smallest ring radius
+// with (1 + √2/k)^α − 1 ≤ ε, clamped below at 2.
+func FarK(alpha, maxRelErr float64) int {
+	d := math.Pow(1+maxRelErr, 1/alpha) - 1
+	if d <= 0 {
+		return math.MaxInt32
+	}
+	k := int(math.Ceil(math.Sqrt2 / d))
+	if k < farMinRing {
+		k = farMinRing
+	}
+	return k
+}
+
+// FarCertifiedErr is the naive transcription of sinr.FarCertifiedErr.
+func FarCertifiedErr(k int, alpha float64) float64 {
+	return math.Pow(1+math.Sqrt2/float64(k), alpha) - 1
+}
+
+// FarPlanFor derives the tile grid for pts at the given exponent and error
+// bound, expression for expression as the kernel does.
+func FarPlanFor(pts []geom.Point, alpha, maxRelErr float64) FarPlan {
+	n := len(pts)
+	k := FarK(alpha, maxRelErr)
+	lo, hi := pts[0], pts[0]
+	for _, p := range pts[1:] {
+		if p.X < lo.X {
+			lo.X = p.X
+		}
+		if p.Y < lo.Y {
+			lo.Y = p.Y
+		}
+		if p.X > hi.X {
+			hi.X = p.X
+		}
+		if p.Y > hi.Y {
+			hi.Y = p.Y
+		}
+	}
+	w, h := hi.X-lo.X, hi.Y-lo.Y
+	area := w * h
+	cell := math.Sqrt(math.Sqrt(math.Sqrt2 * area * area / (float64(2*k+1) * float64(2*k+1) * float64(n))))
+	if !(cell > 1) {
+		cell = 1
+	}
+	for i := 0; i < 64; i++ {
+		cols := math.Floor(w/cell) + 1
+		rows := math.Floor(h/cell) + 1
+		if cols*rows <= farMaxTiles {
+			break
+		}
+		cell *= math.Sqrt(cols * rows / farMaxTiles)
+	}
+	return FarPlan{
+		K:    k,
+		Cell: cell,
+		Cols: int(math.Floor(w/cell)) + 1,
+		Rows: int(math.Floor(h/cell)) + 1,
+		OX:   lo.X,
+		OY:   lo.Y,
+	}
+}
+
+// Tile returns p's tile coordinates, clamped into the grid.
+func (fp FarPlan) Tile(p geom.Point) (tx, ty int) {
+	tx = int(math.Floor((p.X - fp.OX) / fp.Cell))
+	ty = int(math.Floor((p.Y - fp.OY) / fp.Cell))
+	if tx < 0 {
+		tx = 0
+	} else if tx >= fp.Cols {
+		tx = fp.Cols - 1
+	}
+	if ty < 0 {
+		ty = 0
+	} else if ty >= fp.Rows {
+		ty = fp.Rows - 1
+	}
+	return tx, ty
+}
+
+// near reports whether tile (tx, ty) lies in the near ring of tile (vx, vy).
+func (fp FarPlan) near(tx, ty, vx, vy int) bool {
+	dx, dy := tx-vx, ty-vy
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx <= fp.K && dy <= fp.K
+}
+
+// farAgg is one tile's sender aggregate.
+type farAgg struct {
+	mass, cx, cy float64
+}
+
+// farAccumulate folds txs into per-tile aggregates in tx order (the same
+// fold order the kernel uses, so mass and centroid sums are bit-identical).
+func farAccumulate(fp FarPlan, pts []geom.Point, txs []sinr.Tx) (map[int]*farAgg, []int) {
+	tiles := make(map[int]*farAgg)
+	var order []int
+	for _, t := range txs {
+		tx, ty := fp.Tile(pts[t.Sender])
+		ti := ty*fp.Cols + tx
+		a := tiles[ti]
+		if a == nil {
+			a = &farAgg{}
+			tiles[ti] = a
+			order = append(order, ti)
+		}
+		a.mass += t.Power
+		a.cx += t.Power * pts[t.Sender].X
+		a.cy += t.Power * pts[t.Sender].Y
+	}
+	return tiles, order
+}
+
+// FarLinkSINR returns the far-field approximate SINR of link l with sender
+// power pu among txs, the naive way: exact signal, exact near-ring
+// interference (per sender, math.Pow physics), far tiles approximated as
+// mass at the power-weighted centroid. The link's own sender is excluded
+// exactly in the near ring and by mass subtraction in its far tile. txs
+// must contain at most one entry per sender — the same contract as the
+// kernel's LinkSINR.
+func FarLinkSINR(pts []geom.Point, p sinr.Params, maxRelErr float64, txs []sinr.Tx, l sinr.Link, pu float64) float64 {
+	fp := FarPlanFor(pts, p.Alpha, maxRelErr)
+	tiles, order := farAccumulate(fp, pts, txs)
+
+	signal := pu * Gain(pts, p.Alpha, l.From, l.To)
+	if signal == 0 {
+		return 0
+	}
+	vx, vy := fp.Tile(pts[l.To])
+	ux, uy := fp.Tile(pts[l.From])
+	uTile := uy*fp.Cols + ux
+
+	interference := 0.0
+	for _, t := range txs {
+		if t.Sender == l.From {
+			continue
+		}
+		tx, ty := fp.Tile(pts[t.Sender])
+		if fp.near(tx, ty, vx, vy) {
+			interference += t.Power / PathLoss(Dist(pts, t.Sender, l.To), p.Alpha)
+		}
+	}
+	for _, ti := range order {
+		tx, ty := ti%fp.Cols, ti/fp.Cols
+		if fp.near(tx, ty, vx, vy) {
+			continue
+		}
+		a := tiles[ti]
+		m := a.mass
+		if ti == uTile {
+			m -= pu
+			if m <= 0 {
+				continue
+			}
+		}
+		if m == 0 {
+			continue
+		}
+		// The centroid is normalized by the full tile mass (own sender
+		// included), exactly as the kernel computes it.
+		cx, cy := a.cx/a.mass, a.cy/a.mass
+		d := math.Hypot(pts[l.To].X-cx, pts[l.To].Y-cy)
+		interference += m / PathLoss(d, p.Alpha)
+	}
+	return signal / (p.Noise + interference)
+}
+
+// FarSINRFeasible is the naive transcription of the far-field feasibility
+// check with its (1±ε) guard band at the β cut: a link passes when its
+// approximate SINR times (1 + ε_certified) clears β − FeasibilitySlack.
+func FarSINRFeasible(pts []geom.Point, p sinr.Params, maxRelErr float64, links []sinr.Link, powers []float64) (bool, error) {
+	if len(links) != len(powers) {
+		return false, sinr.ErrMismatchedLengths
+	}
+	txs := make([]sinr.Tx, len(links))
+	for i, l := range links {
+		txs[i] = sinr.Tx{Sender: l.From, Power: powers[i]}
+	}
+	k := FarK(p.Alpha, maxRelErr)
+	band := 1 + FarCertifiedErr(k, p.Alpha)
+	cut := p.Beta - FeasibilitySlack
+	for i, l := range links {
+		if FarLinkSINR(pts, p, maxRelErr, txs, l, powers[i])*band < cut {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,17 +1,3 @@
-// Package oracle is the deliberately naive, obviously-correct reference
-// implementation of the SINR model — the differential oracle the fast
-// physics kernel (internal/sinr) and the simulator (internal/sim) are
-// tested against.
-//
-// Everything here is written for transparency, not speed: distances via
-// math.Hypot, path loss via math.Pow, O(n²) loops, no caching, no pooling,
-// no gain tables, no memoized link constants. The package must stay free of
-// any kernel/pool/caching code forever, so that when an optimization PR
-// breaks the physics, the disagreement with this package is the proof.
-//
-// The package imports internal/sinr and internal/tree for their plain data
-// types only (Params, Link, Tx, TimedLink) — it never calls a method on
-// sinr.Instance or tree.BiTree. All computations take raw point slices.
 package oracle
 
 import (

@@ -1,17 +1,3 @@
-// Package power implements the power-assignment "black box" the paper
-// invokes in Section 8.2.3: given a set of links known (or hoped) to be
-// feasible under *some* power assignment, compute one. We use the classic
-// Foschini–Miljanic fixed-point dynamics, the same family as the paper's
-// references [17] (Lotker et al., Infocom 2011) and [2] (Dams et al., ICALP
-// 2011):
-//
-//	P_ℓ ← β·d(ℓ)^α · (N + I_ℓ(P))           for every link ℓ in parallel,
-//
-// where I_ℓ(P) is the interference at ℓ's receiver under the current power
-// vector. The iteration converges (geometrically) to the minimal feasible
-// power vector iff the link set is feasible under power control with the
-// required slack; otherwise powers diverge, which the solver detects and
-// reports.
 package power
 
 import (

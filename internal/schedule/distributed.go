@@ -29,6 +29,9 @@ type DistConfig struct {
 	// Pool, if non-nil, is a shared persistent sim worker pool the
 	// scheduler's engine borrows instead of spawning its own.
 	Pool *sim.Pool
+	// FarField, if non-nil, runs the scheduler's engine under the tile-based
+	// far-field channel approximation (see sim.Config.FarField).
+	FarField *sinr.FarField
 }
 
 func (c *DistConfig) defaults(nLinks int) {
@@ -107,7 +110,7 @@ func Distributed(ctx context.Context, in *sinr.Instance, links []sinr.Link, pa s
 	for i := range nodes {
 		procs[i] = nodes[i]
 	}
-	eng, err := sim.NewEngine(in, procs, sim.Config{Workers: cfg.Workers, Seed: cfg.Seed, Pool: cfg.Pool})
+	eng, err := sim.NewEngine(in, procs, sim.Config{Workers: cfg.Workers, Seed: cfg.Seed, Pool: cfg.Pool, FarField: cfg.FarField})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,20 @@
+// Package sim provides the synchronous slotted-time execution substrate of
+// the paper's model (Section 3): nodes have synchronized clocks, run their
+// protocols in lockstep, and the only communication primitive is
+// transmission on the single shared wireless channel, resolved exactly by
+// the SINR condition (Eqn 1) each slot.
+//
+// A slot proceeds in three stages: every node's protocol emits an action
+// (transmit with a power and message, listen, or idle); the channel computes
+// the SINR at every listener from the full set of concurrent senders; and
+// decodable messages are delivered into inboxes the protocols see at the
+// next slot. Node stepping and listener decoding are parallelized with a
+// persistent worker pool — safe because protocols only touch their own
+// state — and all randomness is derived deterministically from the engine
+// seed, so results are reproducible regardless of worker count.
+//
+// The slot loop is zero-allocation in steady state: workers are spawned once
+// (not per slot), per-worker shard counters replace mutex-guarded stats, and
+// channel resolution reads the sinr physics kernel's cached gain table
+// instead of recomputing path loss per (sender, listener) pair.
+package sim

@@ -1,22 +1,3 @@
-// Package sim provides the synchronous slotted-time execution substrate of
-// the paper's model (Section 3): nodes have synchronized clocks, run their
-// protocols in lockstep, and the only communication primitive is
-// transmission on the single shared wireless channel, resolved exactly by
-// the SINR condition (Eqn 1) each slot.
-//
-// A slot proceeds in three stages: every node's protocol emits an action
-// (transmit with a power and message, listen, or idle); the channel computes
-// the SINR at every listener from the full set of concurrent senders; and
-// decodable messages are delivered into inboxes the protocols see at the
-// next slot. Node stepping and listener decoding are parallelized with a
-// persistent worker pool — safe because protocols only touch their own
-// state — and all randomness is derived deterministically from the engine
-// seed, so results are reproducible regardless of worker count.
-//
-// The slot loop is zero-allocation in steady state: workers are spawned once
-// (not per slot), per-worker shard counters replace mutex-guarded stats, and
-// channel resolution reads the sinr physics kernel's cached gain table
-// instead of recomputing path loss per (sender, listener) pair.
 package sim
 
 import (
@@ -137,6 +118,16 @@ type Config struct {
 	// and across concurrent engines. When Pool is nil the engine spawns a
 	// private pool sized by Workers (the pre-session behavior).
 	Pool *Pool
+	// FarField, if non-nil, switches channel resolution to the tile-based
+	// far-field approximation: per slot, senders are aggregated per spatial
+	// tile and a listener resolves distant tiles by centroid mass instead
+	// of sender by sender, within the plan's certified relative error. The
+	// decoded winner and its received power stay exact (the plan refines
+	// any tile that could hide the strongest sender); only Delivery.SINR
+	// carries the ε bound. The plan must be built from the engine's own
+	// Instance. Nil means exact resolution — bit-identical to the
+	// pre-far-field engine.
+	FarField *sinr.FarField
 }
 
 // Stats counts engine activity for experiment reporting.
@@ -191,6 +182,12 @@ type Engine struct {
 	noise float64
 	gains []float64 // row-major n×n gain table; nil if over memory budget
 
+	// Far-field approximation state (nil in exact mode). The scratch is
+	// engine-private: Accumulate fills it serially each slot, the parallel
+	// decode stage only reads it.
+	far    *sinr.FarField
+	farScr *sinr.FarScratch
+
 	shards  []shard
 	pool    *Pool // nil when the engine runs serially
 	ownPool bool  // the engine spawned pool itself and must close it
@@ -226,7 +223,17 @@ func NewEngine(inst *sinr.Instance, procs []Protocol, cfg Config) (*Engine, erro
 		actions: make([]Action, n),
 		beta:    p.Beta,
 		noise:   p.Noise,
-		gains:   inst.GainTable(),
+	}
+	if cfg.FarField != nil {
+		if cfg.FarField.Instance() != inst {
+			return nil, fmt.Errorf("sim: far-field plan built from a different instance")
+		}
+		e.far = cfg.FarField
+		e.farScr = cfg.FarField.NewScratch()
+	} else {
+		// The gain table only pays off on the exact path; far-field mode
+		// targets instances past its memory bound.
+		e.gains = inst.GainTable()
 	}
 	switch {
 	case cfg.Pool != nil && cfg.Pool.Workers() > 1 && n >= 2*cfg.Pool.Workers():
@@ -284,6 +291,13 @@ func (e *Engine) Step() {
 		}
 	}
 	e.stats.Transmissions += len(e.txs)
+
+	// Stage 2.5 (far-field mode): one serial O(#senders) pass folds the
+	// sender set into per-tile mass/centroid/max-power aggregates the
+	// parallel decode stage reads.
+	if e.far != nil && len(e.txs) > 0 {
+		e.far.Accumulate(e.txs, e.farScr)
+	}
 
 	// Stage 3: decode at every listener (parallel). Each listener decodes
 	// the strongest sender if its SINR clears β. Counters land in per-worker
@@ -344,6 +358,10 @@ func (e *Engine) decodeRange(lo, hi int, sh *shard) {
 // SINR ≥ β. The sender's distance (for Delivery.Dist) is computed once,
 // only for an actual delivery.
 func (e *Engine) decodeListener(i int, sh *shard) {
+	if e.far != nil {
+		e.decodeListenerFar(i, sh)
+		return
+	}
 	n := len(e.procs)
 	var row []float64
 	if e.gains != nil {
@@ -376,6 +394,33 @@ func (e *Engine) decodeListener(i int, sh *shard) {
 		// No audible signal (all senders at zero power).
 		return
 	}
+	e.finishDecode(i, best, bestRP, total, sh)
+}
+
+// decodeListenerFar resolves reception at listener i through the far-field
+// plan: the winner and its received power are exact (the plan refines any
+// tile that could hide the strongest sender), the interference total is
+// approximate within the plan's certified ε, and everything downstream —
+// the β cut, drop injection, delivery bookkeeping — is the shared exact
+// tail.
+func (e *Engine) decodeListenerFar(i int, sh *shard) {
+	best, bestRP, total, saturated := e.far.Resolve(i, e.txs, e.farScr)
+	if saturated {
+		// A co-located sender drowns the channel, exactly as in exact mode.
+		sh.collided++
+		return
+	}
+	if best < 0 {
+		return
+	}
+	e.finishDecode(i, best, bestRP, total, sh)
+}
+
+// finishDecode is the decode tail shared by the exact and far-field paths:
+// the β cut on the winner's SINR, drop injection, and delivery bookkeeping.
+// best indexes e.txs; total is the full received power including the
+// winner's.
+func (e *Engine) finishDecode(i, best int, bestRP, total float64, sh *shard) {
 	sinrVal := bestRP / (e.noise + (total - bestRP))
 	if sinrVal < e.beta {
 		sh.collided++

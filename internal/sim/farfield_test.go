@@ -1,0 +1,210 @@
+package sim
+
+// Far-field engine suite: the approximate decode path keeps the exact
+// path's structural guarantees — exact winner identity, zero-allocation
+// steady state, worker-count independence — while Delivery.SINR carries the
+// plan's certified ε bound.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sinrconn/internal/geom"
+	"sinrconn/internal/sinr"
+	"sinrconn/internal/workload"
+)
+
+// farTestEngine builds an engine over a jittered-grid instance with fixed
+// transmit roles so exact and far-field runs see identical sender sets
+// regardless of what gets delivered.
+func farTestEngine(t *testing.T, n, workers int, maxRelErr float64) *Engine {
+	t.Helper()
+	pts := workload.JitteredGrid(rand.New(rand.NewSource(11)), n, 3, 0.8)
+	in := sinr.MustInstance(pts, sinr.DefaultParams())
+	power := in.Params().SafePower(4)
+	procs := make([]Protocol, n)
+	for i := 0; i < n; i++ {
+		procs[i] = &fixedProto{id: i, transmit: i%4 == 0, power: power}
+	}
+	cfg := Config{Workers: workers, Seed: 3}
+	if maxRelErr > 0 {
+		f, err := in.FarField(maxRelErr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.FarField = f
+	}
+	e, err := NewEngine(in, procs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestFarFieldEngineMatchesExactDeliveries compares far-field and exact
+// engines slot by slot on a fixed-role instance: every delivery's sender
+// and receiver must match (winner exactness), and the approximate SINR must
+// stay within the certified band of the exact one. Decode *verdicts* can in
+// principle flip inside the band at the β cut; the comfortable SafePower
+// margins here keep every decision far from it, so delivery sets are equal.
+func TestFarFieldEngineMatchesExactDeliveries(t *testing.T) {
+	const n, slots = 256, 12
+	type capture struct {
+		from, to int
+		sinr     float64
+	}
+	run := func(maxRelErr float64) ([]capture, Stats, float64) {
+		pts := workload.JitteredGrid(rand.New(rand.NewSource(11)), n, 3, 0.8)
+		in := sinr.MustInstance(pts, sinr.DefaultParams())
+		power := in.Params().SafePower(4)
+		procs := make([]Protocol, n)
+		recs := make([]*recordingProto, n)
+		for i := 0; i < n; i++ {
+			recs[i] = &recordingProto{fixedProto: fixedProto{id: i, transmit: i%4 == 0, power: power}}
+			procs[i] = recs[i]
+		}
+		cfg := Config{Workers: 1, Seed: 3}
+		ce := 0.0
+		if maxRelErr > 0 {
+			f, err := in.FarField(maxRelErr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.FarField = f
+			ce = f.CertifiedMaxRelError()
+		}
+		e, err := NewEngine(in, procs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		e.Run(slots)
+		var caps []capture
+		for i, r := range recs {
+			for _, d := range r.got {
+				caps = append(caps, capture{from: d.Msg.From, to: i, sinr: d.SINR})
+			}
+		}
+		return caps, e.Stats(), ce
+	}
+	exact, exactStats, _ := run(0)
+	far, farStats, ce := run(0.5)
+	if len(exact) != len(far) {
+		t.Fatalf("delivery count: exact %d far %d", len(exact), len(far))
+	}
+	if exactStats.Deliveries != farStats.Deliveries || exactStats.Transmissions != farStats.Transmissions {
+		t.Fatalf("stats diverged: exact %+v far %+v", exactStats, farStats)
+	}
+	for i := range exact {
+		if exact[i].from != far[i].from || exact[i].to != far[i].to {
+			t.Fatalf("delivery %d: exact %d→%d, far %d→%d",
+				i, exact[i].from, exact[i].to, far[i].from, far[i].to)
+		}
+		// The certificate bounds exact relative to the approximate value:
+		// exact ∈ [far·(1−ε), far·(1+ε)] — equivalently far ∈
+		// [exact/(1+ε), exact/(1−ε)], whose upper side degenerates for
+		// ε ≥ 1, so gate in the far-normalized form.
+		lo := far[i].sinr * (1 - ce) * (1 - 1e-9)
+		hi := far[i].sinr * (1 + ce) * (1 + 1e-9)
+		if exact[i].sinr < lo || exact[i].sinr > hi {
+			t.Fatalf("delivery %d (%d→%d): far SINR %v outside certified band of exact %v (ε=%v)",
+				i, exact[i].from, exact[i].to, far[i].sinr, exact[i].sinr, ce)
+		}
+	}
+}
+
+// recordingProto is fixedProto plus an inbox log.
+type recordingProto struct {
+	fixedProto
+	got []Delivery
+}
+
+func (p *recordingProto) Step(slot int, inbox []Delivery) Action {
+	p.got = append(p.got, inbox...)
+	return p.fixedProto.Step(slot, inbox)
+}
+
+// TestFarFieldSlotLoopZeroAlloc asserts the far-field slot loop keeps the
+// exact path's zero-allocation steady state, serial and pooled.
+func TestFarFieldSlotLoopZeroAlloc(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		e := farTestEngine(t, 256, workers, 0.5)
+		e.Run(8)
+		allocs := testing.AllocsPerRun(50, func() { e.Step() })
+		e.Close()
+		if allocs != 0 {
+			t.Fatalf("workers=%d: far-field steady-state Step allocates %.1f times/op, want 0", workers, allocs)
+		}
+	}
+}
+
+// TestFarFieldPoolMatchesSerial asserts far-field results are identical for
+// any worker count, like the exact engine's determinism contract.
+func TestFarFieldPoolMatchesSerial(t *testing.T) {
+	run := func(workers int) Stats {
+		e := farTestEngine(t, 256, workers, 0.5)
+		defer e.Close()
+		e.Run(30)
+		return e.Stats()
+	}
+	serial, pooled := run(1), run(4)
+	if serial != pooled {
+		t.Fatalf("worker count changed far-field results: serial %+v pooled %+v", serial, pooled)
+	}
+}
+
+// TestFarFieldEngineRejectsForeignPlan pins the config validation: a plan
+// built over a different instance must be refused.
+func TestFarFieldEngineRejectsForeignPlan(t *testing.T) {
+	pts := workload.JitteredGrid(rand.New(rand.NewSource(1)), 64, 3, 0.5)
+	other := make([]geom.Point, len(pts))
+	copy(other, pts)
+	inA := sinr.MustInstance(pts, sinr.DefaultParams())
+	inB := sinr.MustInstance(other, sinr.DefaultParams())
+	f, err := inB.FarField(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := make([]Protocol, inA.Len())
+	for i := range procs {
+		procs[i] = &fixedProto{id: i}
+	}
+	if _, err := NewEngine(inA, procs, Config{FarField: f}); err == nil {
+		t.Fatal("engine accepted a far-field plan from a different instance")
+	}
+}
+
+// TestFarFieldSaturation mirrors the exact engine's co-located-sender
+// semantics: a duplicate-point transmitter drowns every listener.
+func TestFarFieldSaturation(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 0, Y: 0}, {X: 5, Y: 0}, {X: 9, Y: 3}}
+	in := sinr.MustInstance(pts, sinr.DefaultParams())
+	f, err := in.FarField(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	power := in.Params().SafePower(4)
+	procs := []Protocol{
+		&fixedProto{id: 0, transmit: true, power: power},
+		&fixedProto{id: 1, transmit: true, power: power},
+		&fixedProto{id: 2},
+		&fixedProto{id: 3},
+	}
+	e, err := NewEngine(in, procs, Config{Workers: 1, FarField: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.Run(3)
+	st := e.Stats()
+	if st.Deliveries != 0 {
+		t.Fatalf("co-located senders delivered %d messages, want 0", st.Deliveries)
+	}
+	if st.Collisions == 0 {
+		t.Fatal("saturation not recorded as collisions")
+	}
+	if math.IsNaN(float64(st.Collisions)) {
+		t.Fatal("impossible")
+	}
+}

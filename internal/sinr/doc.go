@@ -1,0 +1,24 @@
+// Package sinr implements the physical (SINR) interference model of
+// Halldórsson & Mitra (PODC 2012), Section 3: reception condition (Eqn 1),
+// thresholded affectance, power assignments (uniform, linear, mean,
+// arbitrary), feasibility of link sets, and the duality bounds of
+// Claim 8.3. It is the physics substrate every protocol in this repository
+// runs on.
+//
+// Two performance layers sit under the model, both value-preserving by
+// test:
+//
+//   - The physics kernel (kernel.go): fast integer/half-integer-α path
+//     loss, a lazily built O(n²) gain table capped at 256 MiB with a
+//     bit-identical tableless fallback, and memoized per-link constants.
+//     See DESIGN.md §2.
+//   - The far-field approximation (farfield.go): a uniform spatial tile
+//     grid that resolves distant interference by per-tile centroid mass,
+//     within a certified worst-case relative error ε(k, α) selected via
+//     sinrconn.WithMaxRelError. Exact winners, guard-banded feasibility;
+//     see DESIGN.md §7.
+//
+// Every quantity is pinned against the deliberately naive reference in
+// internal/oracle by the differential suites (differential_test.go,
+// farfield_test.go) across the workload scenario matrix.
+package sinr

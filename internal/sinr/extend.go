@@ -26,11 +26,26 @@ func (in *Instance) Extend(extra []geom.Point) (*Instance, error) {
 	if len(extra) == 0 {
 		return out, nil
 	}
-	old := in.GainTable()
-	if old == nil || uint64(m)*uint64(m)*8 > maxGainTableBytes {
-		// Parent table disabled (or the grown table would bust the memory
-		// budget, which implies the parent's did too): fall back to the
-		// lazy path — identical values, computed on demand.
+	// Far-field plans ride along: a plan whose grid still covers the grown
+	// point set bins only the new points (O(k)); plans the growth escapes
+	// are rebuilt lazily on first use.
+	in.ffMu.Lock()
+	for eps, f := range in.ff {
+		if nf, ok := f.extendTo(out); ok {
+			if out.ff == nil {
+				out.ff = make(map[float64]*FarField, len(in.ff))
+			}
+			out.ff[eps] = nf
+		}
+	}
+	in.ffMu.Unlock()
+	old, built := in.gainTableIfBuilt()
+	if !built || old == nil || uint64(m)*uint64(m)*8 > maxGainTableBytes {
+		// Parent table never built (a far-field-only session has no use
+		// for it — forcing the O(n²) fill here would dwarf the join fast
+		// path), disabled by the memory budget, or the grown table would
+		// bust the budget: fall back to the lazy path — identical values,
+		// computed on demand by whoever first needs them.
 		return out, nil
 	}
 	g := make([]float64, m*m)
@@ -54,5 +69,6 @@ func (in *Instance) Extend(extra []geom.Point) (*Instance, error) {
 	}
 	out.gainOnce.Do(func() {})
 	out.gain = g
+	out.markGainResolved()
 	return out, nil
 }

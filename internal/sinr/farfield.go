@@ -1,0 +1,622 @@
+package sinr
+
+// The tile-based far-field interference approximation: the sub-quadratic
+// channel-resolution mode of the kernel. The exact physics resolves every
+// (sender, listener) pair — O(n²) per slot — which caps the instance sizes
+// the gain table (and, beyond its memory bound, the tableless fallback) can
+// serve. Far interference under the physical model decays as d^{-α}, so
+// distant senders are aggregated per spatial tile:
+//
+//   - A uniform tile grid covers the instance's bounding box. The tile side
+//     is never below 1 — the paper's min-distance normalization, which every
+//     internal/workload generator guarantees — so a tile holds O(cell²)
+//     nodes; the side is auto-sized above that floor to balance near-ring
+//     and far-tile work (see FarCell).
+//   - Per slot, one O(#senders) pass accumulates each occupied tile's total
+//     transmit mass Σ P_w, its power-weighted centroid, and its strongest
+//     single power.
+//   - Interference at a receiver is computed exactly for senders in the
+//     near ring (tiles within Chebyshev radius k of the receiver's tile)
+//     and approximated as mass · d(centroid, receiver)^{-α} for far tiles.
+//
+// Worst-case relative error. A far tile lies at tile-index distance ≥ k+1,
+// so every point of it — its centroid included — is at Euclidean distance
+// ≥ k·cell from the receiver, while any sender in the tile is within the
+// tile diagonal cell·√2 of the centroid. Writing D for the centroid
+// distance, each sender's true distance lies in [D − cell√2, D + cell√2] ⊆
+// [D(1 − √2/k), D(1 + √2/k)], hence each approximated gain is within a
+// factor (1 ± √2/k)^α of the truth and the aggregate far interference
+// carries relative error at most
+//
+//	ε(k, α) = (1 + √2/k)^α − 1
+//
+// independent of the tile side (both the diagonal and the near radius scale
+// with it). WithMaxRelError(ε) on sinrconn.Network inverts this bound:
+// k(ε, α) = ⌈√2 / ((1+ε)^{1/α} − 1)⌉. The signal term is always exact and
+// noise is exact, so an approximate SINR s brackets the exact value in
+// [s·(1−ε), s·(1+ε)]; SINRFeasibleFarBuf turns that bracket into the
+// (1±ε) guard band at the β cut. DESIGN.md §7 carries the full derivation;
+// internal/oracle/farfield.go is the naive reference implementation the
+// differential suite pins this file against.
+//
+// Winner exactness. Channel decode must identify the strongest sender at a
+// listener; an ε-perturbed gain must never crown the wrong winner. Resolve
+// therefore refines: a far tile whose best possible single received power
+// (its max power times an upper gain bound, see refineFac) could beat the
+// best exact candidate found so far is scanned sender by sender instead of
+// aggregated. The decoded winner and its received power are thus always
+// exact; only the interference sum carries the ε bound.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"sinrconn/internal/geom"
+)
+
+// minFarRing is the smallest admissible near-ring radius: below k = 2 the
+// far-distance lower bound k·cell no longer dominates the tile diagonal
+// cell·√2 and the error bound degenerates.
+const minFarRing = 2
+
+// maxFarTiles caps the tile-grid size so degenerate geometries (the
+// exponential chain's astronomically wide bounding box) cannot demand an
+// unbounded scratch allocation. When the cap binds, tiles grow — more of
+// the instance lands in the near ring and resolution degrades gracefully
+// toward the exact path.
+const maxFarTiles = 1 << 18
+
+// maxFarPlans bounds the per-instance plan cache (one plan per distinct ε).
+const maxFarPlans = 8
+
+// FarK returns the near-ring radius (in tiles) guaranteeing relative
+// interference error at most maxRelErr at path-loss exponent alpha:
+// the smallest k with (1 + √2/k)^α − 1 ≤ ε, clamped to minFarRing.
+func FarK(alpha, maxRelErr float64) int {
+	d := math.Pow(1+maxRelErr, 1/alpha) - 1
+	if d <= 0 {
+		return math.MaxInt32
+	}
+	k := int(math.Ceil(math.Sqrt2 / d))
+	if k < minFarRing {
+		k = minFarRing
+	}
+	return k
+}
+
+// FarCertifiedErr returns ε(k, α) = (1 + √2/k)^α − 1, the worst-case
+// relative error of far-tile aggregation at ring radius k. It is the bound
+// actually certified by a plan — at most the ε requested, usually tighter
+// because k is integral.
+func FarCertifiedErr(k int, alpha float64) float64 {
+	return math.Pow(1+math.Sqrt2/float64(k), alpha) - 1
+}
+
+// FarCell returns the tile side for an n-node instance with bounding-box
+// extents w×h at ring radius k. The side balances the two per-listener
+// costs — the near ring scans ~(2k+1)²·cell² worth of senders, the far pass
+// visits up to w·h/cell² occupied tiles — which yields cell⁴ ∝
+// (w·h)²/((2k+1)²·n); it is floored at 1, the model's minimum pairwise
+// distance (a tile never subdivides the normalization scale), and grown
+// when the grid would exceed maxFarTiles.
+func FarCell(n int, w, h float64, k int) float64 {
+	area := w * h
+	cell := math.Sqrt(math.Sqrt(math.Sqrt2 * area * area / (float64(2*k+1) * float64(2*k+1) * float64(n))))
+	if !(cell > 1) { // also catches NaN from a degenerate (zero-area) box
+		cell = 1
+	}
+	for i := 0; i < 64; i++ {
+		cols := math.Floor(w/cell) + 1
+		rows := math.Floor(h/cell) + 1
+		if cols*rows <= maxFarTiles {
+			break
+		}
+		cell *= math.Sqrt(cols * rows / maxFarTiles)
+	}
+	return cell
+}
+
+// FarField is an immutable far-field approximation plan over one Instance:
+// the tile grid, the node→tile assignment, and the ring radius k derived
+// from the requested error bound. Build one with Instance.FarField (plans
+// are cached per ε on the instance); per-slot state lives in a FarScratch
+// so one plan serves concurrent engines and validators.
+type FarField struct {
+	in        *Instance
+	maxRelErr float64 // requested bound
+	certErr   float64 // certified bound ε(k, α) ≤ maxRelErr
+	k         int
+	cell      float64
+	cols      int
+	rows      int
+	ox, oy    float64
+	tileOf    []int32
+	// refineFac bounds the gain anywhere in a far tile relative to the gain
+	// at its centroid: d ≥ k·cell and member distance ≥ d − cell√2 give
+	// member gain ≤ centroid gain · (k/(k−√2))^α. Resolve uses it to decide
+	// which far tiles could hide the strongest sender and must be scanned
+	// exactly.
+	refineFac float64
+
+	// scratches pools per-slot scratch state for transient users (the
+	// validators); long-lived users (engines) allocate their own via
+	// NewScratch. A pointer so plan values can be copied by extendTo, which
+	// installs a fresh pool (scratch sizes depend on the plan's node
+	// count).
+	scratches *sync.Pool
+}
+
+// newFarField derives the plan. Kept in lockstep with the independent
+// naive derivation in internal/oracle/farfield.go — the differential suite
+// asserts the two agree on (k, cell, grid dims, binning) exactly.
+func newFarField(in *Instance, maxRelErr float64) (*FarField, error) {
+	if !(maxRelErr > 0) || math.IsInf(maxRelErr, 1) {
+		return nil, fmt.Errorf("sinr: far-field max relative error must be positive and finite, got %v", maxRelErr)
+	}
+	n := len(in.pts)
+	alpha := in.params.Alpha
+	k := FarK(alpha, maxRelErr)
+	lo, hi := geom.BoundingBox(in.pts)
+	w, h := hi.X-lo.X, hi.Y-lo.Y
+	cell := FarCell(n, w, h, k)
+	f := &FarField{
+		in:        in,
+		maxRelErr: maxRelErr,
+		certErr:   FarCertifiedErr(k, alpha),
+		k:         k,
+		cell:      cell,
+		cols:      int(math.Floor(w/cell)) + 1,
+		rows:      int(math.Floor(h/cell)) + 1,
+		ox:        lo.X,
+		oy:        lo.Y,
+		refineFac: math.Pow(float64(k)/(float64(k)-math.Sqrt2), alpha),
+	}
+	f.tileOf = make([]int32, n)
+	for i, p := range in.pts {
+		f.tileOf[i] = f.bin(p)
+	}
+	f.scratches = &sync.Pool{New: func() any { return f.NewScratch() }}
+	return f, nil
+}
+
+// AcquireScratch borrows a per-slot scratch from the plan's pool; pair
+// with ReleaseScratch. Accumulate fully resets a scratch, so pooled reuse
+// is safe across unrelated callers.
+func (f *FarField) AcquireScratch() *FarScratch {
+	return f.scratches.Get().(*FarScratch)
+}
+
+// ReleaseScratch returns a scratch borrowed with AcquireScratch.
+func (f *FarField) ReleaseScratch(sc *FarScratch) {
+	f.scratches.Put(sc)
+}
+
+// bin maps a point to its tile index (row-major), clamping boundary points
+// into the grid.
+func (f *FarField) bin(p geom.Point) int32 {
+	tx := int(math.Floor((p.X - f.ox) / f.cell))
+	ty := int(math.Floor((p.Y - f.oy) / f.cell))
+	if tx < 0 {
+		tx = 0
+	} else if tx >= f.cols {
+		tx = f.cols - 1
+	}
+	if ty < 0 {
+		ty = 0
+	} else if ty >= f.rows {
+		ty = f.rows - 1
+	}
+	return int32(ty*f.cols + tx)
+}
+
+// Instance returns the instance the plan was built over.
+func (f *FarField) Instance() *Instance { return f.in }
+
+// K returns the near-ring radius in tiles.
+func (f *FarField) K() int { return f.k }
+
+// Cell returns the tile side.
+func (f *FarField) Cell() float64 { return f.cell }
+
+// Tiles returns the total tile count of the grid.
+func (f *FarField) Tiles() int { return f.cols * f.rows }
+
+// MaxRelError returns the requested error bound.
+func (f *FarField) MaxRelError() float64 { return f.maxRelErr }
+
+// CertifiedMaxRelError returns the certified worst-case relative
+// interference error ε(k, α) ≤ MaxRelError().
+func (f *FarField) CertifiedMaxRelError() float64 { return f.certErr }
+
+// extendTo reuses the plan for an instance grown by Extend: when every
+// appended point falls inside the existing grid, only the new points are
+// binned (O(new)); otherwise the grown instance rebuilds its plan lazily.
+func (f *FarField) extendTo(out *Instance) (*FarField, bool) {
+	n := len(f.in.pts)
+	m := len(out.pts)
+	for _, p := range out.pts[n:] {
+		if p.X < f.ox || p.Y < f.oy ||
+			p.X > f.ox+float64(f.cols)*f.cell || p.Y > f.oy+float64(f.rows)*f.cell {
+			return nil, false
+		}
+	}
+	nf := *f
+	nf.in = out
+	nf.tileOf = make([]int32, m)
+	copy(nf.tileOf, f.tileOf)
+	for i := n; i < m; i++ {
+		nf.tileOf[i] = nf.bin(out.pts[i])
+	}
+	nf.scratches = &sync.Pool{New: func() any { return nf.NewScratch() }}
+	return &nf, true
+}
+
+// FarField returns the plan for the given error bound, building and caching
+// it on first use (one plan per distinct ε, read-only after build — safe to
+// share across concurrent runs like the gain table).
+func (in *Instance) FarField(maxRelErr float64) (*FarField, error) {
+	in.ffMu.Lock()
+	defer in.ffMu.Unlock()
+	if f, ok := in.ff[maxRelErr]; ok {
+		return f, nil
+	}
+	f, err := newFarField(in, maxRelErr)
+	if err != nil {
+		return nil, err
+	}
+	if in.ff == nil {
+		in.ff = make(map[float64]*FarField)
+	}
+	if len(in.ff) >= maxFarPlans {
+		// Evict an arbitrary plan so a wide ε sweep keeps hitting the
+		// cache instead of rebuilding the newest ε on every use.
+		for eps := range in.ff {
+			delete(in.ff, eps)
+			break
+		}
+	}
+	in.ff[maxRelErr] = f
+	return f, nil
+}
+
+// FarScratch is the per-slot mutable state of a plan: tile accumulators and
+// the sender bucketing. One scratch belongs to one concurrent user (an
+// engine, a validator call); all buffers are allocated once at NewScratch
+// so the per-slot Accumulate/Resolve cycle allocates nothing.
+type FarScratch struct {
+	f     *FarField
+	epoch uint32
+	// Per-tile accumulators, valid where stamp == epoch.
+	stamp []uint32
+	mass  []float64 // Σ P_w over the tile's senders
+	cenX  []float64 // power-weighted centroid (filled by Accumulate)
+	cenY  []float64
+	pmax  []float64 // strongest single power in the tile
+	start []int32   // tile's offset into order
+	fill  []int32
+	order []int32 // tx indices bucketed by tile
+	// active lists the occupied tiles in first-touch (tx) order.
+	active []int32
+	// senderMark/markEpoch implement the zero-alloc duplicate-sender check
+	// of SINRFeasibleFarBuf (stamped per call, never cleared).
+	senderMark []uint32
+	markEpoch  uint32
+	// Compact per-active-tile mirrors, filled by Accumulate so the hot far
+	// loop reads sequential memory and never divides a tile index back into
+	// coordinates: entry i describes tile active[i].
+	actX, actY       []int32
+	actMass, actPmax []float64
+	actCenX, actCenY []float64
+}
+
+// NewScratch allocates per-slot state for the plan.
+func (f *FarField) NewScratch() *FarScratch {
+	t := f.Tiles()
+	n := len(f.in.pts)
+	capActive := t
+	if n < capActive {
+		capActive = n
+	}
+	return &FarScratch{
+		f:          f,
+		stamp:      make([]uint32, t),
+		mass:       make([]float64, t),
+		cenX:       make([]float64, t),
+		cenY:       make([]float64, t),
+		pmax:       make([]float64, t),
+		start:      make([]int32, t),
+		fill:       make([]int32, t),
+		order:      make([]int32, n),
+		active:     make([]int32, 0, capActive),
+		senderMark: make([]uint32, n),
+		actX:       make([]int32, 0, capActive),
+		actY:       make([]int32, 0, capActive),
+		actMass:    make([]float64, 0, capActive),
+		actPmax:    make([]float64, 0, capActive),
+		actCenX:    make([]float64, 0, capActive),
+		actCenY:    make([]float64, 0, capActive),
+	}
+}
+
+// nearWindow returns the clamped tile window of node v's near ring —
+// Chebyshev radius k around v's tile, intersected with the grid. Shared by
+// Resolve and LinkSINR so engine decode and the feasibility check can
+// never diverge on ring semantics.
+func (f *FarField) nearWindow(v int) (tx0, tx1, ty0, ty1 int) {
+	vt := int(f.tileOf[v])
+	vx, vy := vt%f.cols, vt/f.cols
+	tx0, tx1 = vx-f.k, vx+f.k
+	ty0, ty1 = vy-f.k, vy+f.k
+	if tx0 < 0 {
+		tx0 = 0
+	}
+	if ty0 < 0 {
+		ty0 = 0
+	}
+	if tx1 >= f.cols {
+		tx1 = f.cols - 1
+	}
+	if ty1 >= f.rows {
+		ty1 = f.rows - 1
+	}
+	return tx0, tx1, ty0, ty1
+}
+
+// Accumulate ingests one slot's sender set: per-tile mass, power-weighted
+// centroid, strongest power, and the tile-bucketed tx order. Must be called
+// before Resolve/LinkSINR for the same txs; runs in O(len(txs) + occupied
+// tiles) and allocates nothing.
+func (f *FarField) Accumulate(txs []Tx, sc *FarScratch) {
+	sc.epoch++
+	if sc.epoch == 0 { // uint32 wrap: invalidate all stamps once
+		for i := range sc.stamp {
+			sc.stamp[i] = 0
+		}
+		sc.epoch = 1
+	}
+	ep := sc.epoch
+	sc.active = sc.active[:0]
+	for i := range txs {
+		t := f.tileOf[txs[i].Sender]
+		if sc.stamp[t] != ep {
+			sc.stamp[t] = ep
+			sc.mass[t], sc.cenX[t], sc.cenY[t], sc.pmax[t] = 0, 0, 0, 0
+			sc.fill[t] = 0
+			sc.active = append(sc.active, t)
+		}
+		p := txs[i].Power
+		pt := f.in.pts[txs[i].Sender]
+		sc.mass[t] += p
+		sc.cenX[t] += p * pt.X
+		sc.cenY[t] += p * pt.Y
+		if p > sc.pmax[t] {
+			sc.pmax[t] = p
+		}
+		sc.fill[t]++
+	}
+	ofs := int32(0)
+	cols := int32(f.cols)
+	sc.actX, sc.actY = sc.actX[:0], sc.actY[:0]
+	sc.actMass, sc.actPmax = sc.actMass[:0], sc.actPmax[:0]
+	sc.actCenX, sc.actCenY = sc.actCenX[:0], sc.actCenY[:0]
+	for _, t := range sc.active {
+		sc.start[t] = ofs
+		ofs += sc.fill[t]
+		sc.fill[t] = 0
+		if m := sc.mass[t]; m > 0 {
+			// The power-weighted centroid lies in the convex hull of the
+			// tile's senders, hence inside the tile — the error bound needs
+			// only that. Zero-mass tiles keep a (0,0) centroid; they
+			// contribute nothing and are skipped.
+			sc.cenX[t] /= m
+			sc.cenY[t] /= m
+		}
+		sc.actX = append(sc.actX, t%cols)
+		sc.actY = append(sc.actY, t/cols)
+		sc.actMass = append(sc.actMass, sc.mass[t])
+		sc.actPmax = append(sc.actPmax, sc.pmax[t])
+		sc.actCenX = append(sc.actCenX, sc.cenX[t])
+		sc.actCenY = append(sc.actCenY, sc.cenY[t])
+	}
+	for i := range txs {
+		t := f.tileOf[txs[i].Sender]
+		sc.order[sc.start[t]+sc.fill[t]] = int32(i)
+		sc.fill[t]++
+	}
+}
+
+// Resolve computes channel reception at listener v against the accumulated
+// sender set: the strongest sender (exact — see the refinement note in the
+// package comment), its exact received power, and the total received power
+// with far tiles approximated within the certified ε. saturated reports a
+// sender co-located with the listener (zero distance), which drowns the
+// channel. best is -1 when no sender is audible.
+func (f *FarField) Resolve(v int, txs []Tx, sc *FarScratch) (best int, bestRP, total float64, saturated bool) {
+	in := f.in
+	alpha := in.params.Alpha
+	pv := in.pts[v]
+	best = -1
+	tx0, tx1, ty0, ty1 := f.nearWindow(v)
+	ep := sc.epoch
+
+	// Near ring: exact, sender by sender.
+	for ty := ty0; ty <= ty1; ty++ {
+		base := ty * f.cols
+		for tx := tx0; tx <= tx1; tx++ {
+			t := base + tx
+			if sc.stamp[t] != ep {
+				continue
+			}
+			for _, oi := range sc.order[sc.start[t] : sc.start[t]+sc.fill[t]] {
+				tr := &txs[oi]
+				d2 := pv.DistSq(in.pts[tr.Sender])
+				if d2 == 0 {
+					return -1, 0, 0, true
+				}
+				rp := tr.Power / PowAlphaSq(d2, alpha)
+				total += rp
+				if rp > bestRP {
+					bestRP = rp
+					best = int(oi)
+				}
+			}
+		}
+	}
+
+	// Far tiles: centroid-mass approximation, refined exactly whenever the
+	// tile could hide a sender outreceiving the best candidate so far (the
+	// bound only shrinks as best grows, so skipped tiles stay safe). The
+	// loop walks the compact active-tile arrays: sequential reads, no
+	// index-to-coordinate division.
+	cx0, cx1 := int32(tx0), int32(tx1)
+	cy0, cy1 := int32(ty0), int32(ty1)
+	for i, ax := range sc.actX {
+		if ay := sc.actY[i]; ax >= cx0 && ax <= cx1 && ay >= cy0 && ay <= cy1 {
+			continue // near ring, already counted
+		}
+		m := sc.actMass[i]
+		if m == 0 {
+			continue
+		}
+		dx := pv.X - sc.actCenX[i]
+		dy := pv.Y - sc.actCenY[i]
+		g := 1 / PowAlphaSq(dx*dx+dy*dy, alpha)
+		if sc.actPmax[i]*g*f.refineFac > bestRP {
+			t := sc.active[i]
+			for _, oi := range sc.order[sc.start[t] : sc.start[t]+sc.fill[t]] {
+				tr := &txs[oi]
+				rp := tr.Power / PowAlphaSq(pv.DistSq(in.pts[tr.Sender]), alpha)
+				total += rp
+				if rp > bestRP {
+					bestRP = rp
+					best = int(oi)
+				}
+			}
+		} else {
+			total += m * g
+		}
+	}
+	return best, bestRP, total, false
+}
+
+// LinkSINR returns the far-field SINR of link l whose sender transmits with
+// power pu among the accumulated sender set: exact signal, near-ring-exact
+// interference, far tiles approximated (never refined — no winner is
+// sought). The link's own sender is excluded from interference exactly in
+// the near ring and by mass subtraction in its far tile; txs must contain
+// at most one entry per sender (the per-slot schedule invariant). The
+// exact SINR lies within [·(1−ε), ·(1+ε)] of the returned value for
+// ε = CertifiedMaxRelError.
+func (f *FarField) LinkSINR(txs []Tx, l Link, pu float64, sc *FarScratch) float64 {
+	in := f.in
+	alpha := in.params.Alpha
+	u, v := l.From, l.To
+	pv := in.pts[v]
+	// Signal computed directly from the fast path loss: in.Gain would
+	// lazily build the O(n²) gain table, the quadratic setup this mode
+	// exists to avoid (identical values — pu/ℓ^α either way).
+	signal := pu / PowAlphaSq(pv.DistSq(in.pts[u]), alpha)
+	if signal == 0 {
+		return 0
+	}
+	ut := int(f.tileOf[u])
+	tx0, tx1, ty0, ty1 := f.nearWindow(v)
+	ep := sc.epoch
+	interference := 0.0
+	for ty := ty0; ty <= ty1; ty++ {
+		base := ty * f.cols
+		for tx := tx0; tx <= tx1; tx++ {
+			t := base + tx
+			if sc.stamp[t] != ep {
+				continue
+			}
+			for _, oi := range sc.order[sc.start[t] : sc.start[t]+sc.fill[t]] {
+				tr := &txs[oi]
+				if tr.Sender == u {
+					continue
+				}
+				d2 := pv.DistSq(in.pts[tr.Sender])
+				interference += tr.Power / PowAlphaSq(d2, alpha)
+			}
+		}
+	}
+	cx0, cx1 := int32(tx0), int32(tx1)
+	cy0, cy1 := int32(ty0), int32(ty1)
+	for i, ax := range sc.actX {
+		if ay := sc.actY[i]; ax >= cx0 && ax <= cx1 && ay >= cy0 && ay <= cy1 {
+			continue
+		}
+		m := sc.actMass[i]
+		if int(sc.active[i]) == ut {
+			// The link's own sender sits in this far tile: remove its share
+			// of the mass (the centroid stays inside the tile, so the error
+			// bound is unaffected).
+			m -= pu
+			if m <= 0 {
+				continue
+			}
+		}
+		if m == 0 {
+			continue
+		}
+		dx := pv.X - sc.actCenX[i]
+		dy := pv.Y - sc.actCenY[i]
+		interference += m / PowAlphaSq(dx*dx+dy*dy, alpha)
+	}
+	return signal / (in.params.Noise + interference)
+}
+
+// SINRFeasibleFarBuf is the far-field counterpart of SINRFeasibleBuf: it
+// reports whether every link in links, transmitting concurrently with the
+// given powers, clears the SINR threshold β under the (1±ε) guard band the
+// approximation admits at the cut. The check is complete — a schedule the
+// exact physics accepts is never rejected, because an exactly-feasible
+// link's approximate SINR is at least β/(1+ε) — and ε-sound: a rejection
+// certifies exact infeasibility, while an acceptance certifies exact SINR
+// ≥ β·(1−ε)/(1+ε) on every link. Nothing flips silently: the band is fixed
+// by f.CertifiedMaxRelError and ε = 0 (f == nil) is the exact check.
+func (in *Instance) SINRFeasibleFarBuf(links []Link, powers []float64, f *FarField, scratch []Tx, sc *FarScratch) (bool, error) {
+	if f == nil {
+		return in.SINRFeasibleBuf(links, powers, scratch)
+	}
+	if len(links) != len(powers) {
+		return false, ErrMismatchedLengths
+	}
+	// The tiled evaluation aggregates each sender's power into its tile
+	// exactly once; a sender appearing on two links would be mis-excluded
+	// (and could overflow the node-sized bucketing). The exact check sums
+	// duplicates fine, so reject them here rather than diverge silently —
+	// via the scratch's stamped mark array, keeping the validation path
+	// allocation-free. Per-slot schedules satisfy the contract by
+	// construction (one up-link per node per slot).
+	sc.markEpoch++
+	if sc.markEpoch == 0 {
+		for i := range sc.senderMark {
+			sc.senderMark[i] = 0
+		}
+		sc.markEpoch = 1
+	}
+	for _, l := range links {
+		if sc.senderMark[l.From] == sc.markEpoch {
+			return false, ErrDuplicateSender
+		}
+		sc.senderMark[l.From] = sc.markEpoch
+	}
+	txs := scratch[:0]
+	if cap(txs) < len(links) {
+		txs = make([]Tx, 0, len(links))
+	}
+	for i, l := range links {
+		txs = append(txs, Tx{Sender: l.From, Power: powers[i]})
+	}
+	f.Accumulate(txs, sc)
+	cut := in.params.Beta - 1e-9
+	band := 1 + f.certErr
+	for i, l := range links {
+		if f.LinkSINR(txs, l, powers[i], sc)*band < cut {
+			return false, nil
+		}
+	}
+	return true, nil
+}

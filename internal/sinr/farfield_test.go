@@ -1,0 +1,366 @@
+package sinr_test
+
+// Far-field approximation suite. Three layers, all Type 1 (deterministic;
+// one failure = bug):
+//
+//  1. Plan lockstep — the kernel's plan derivation (k, cell, grid dims,
+//     binning) must equal the oracle's independent naive transcription
+//     exactly (integer and float equality).
+//  2. Differential — the kernel's far-field SINR must match the oracle's
+//     brute-force tiled reference to 1e-12 relative across the scenario
+//     matrix × α.
+//  3. Certified bound — the far-field SINR must bracket the *exact* oracle
+//     SINR within the plan's certified ε, the bound WithMaxRelError
+//     promises; and the guard-banded feasibility check must never reject a
+//     schedule the exact check accepts.
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sinrconn/internal/geom"
+	"sinrconn/internal/oracle"
+	"sinrconn/internal/sinr"
+	"sinrconn/internal/workload"
+)
+
+var farEpsSweep = []float64{0.25, 1.0, 2.5}
+
+// farTxSet builds a sender set with distinct senders (the LinkSINR
+// contract) at powers spanning comfortably-feasible to marginal.
+func farTxSet(rng *rand.Rand, in *sinr.Instance, m int) []sinr.Tx {
+	p := in.Params()
+	n := in.Len()
+	used := map[int]bool{}
+	txs := make([]sinr.Tx, 0, m)
+	for len(txs) < m && len(used) < n {
+		s := rng.Intn(n)
+		if used[s] {
+			continue
+		}
+		used[s] = true
+		txs = append(txs, sinr.Tx{Sender: s, Power: p.SafePower(1+rng.Float64()*8) * (0.5 + 2*rng.Float64())})
+	}
+	return txs
+}
+
+// TestFarFieldPlanLockstep pins the kernel plan derivation to the oracle's
+// independent transcription: same k, same cell, same grid, same binning.
+func TestFarFieldPlanLockstep(t *testing.T) {
+	for _, spec := range workload.Matrix() {
+		for _, alpha := range diffAlphas {
+			spec, alpha := spec, alpha
+			t.Run(spec.Name+"/"+floatName(alpha), func(t *testing.T) {
+				for _, eps := range farEpsSweep {
+					pts, in := diffInstance(t, spec, alpha, 5, 48)
+					f, err := in.FarField(eps)
+					if err != nil {
+						t.Fatal(err)
+					}
+					op := oracle.FarPlanFor(pts, alpha, eps)
+					if f.K() != op.K || f.Cell() != op.Cell {
+						t.Fatalf("eps %v: kernel plan (k=%d cell=%v) oracle plan (k=%d cell=%v)",
+							eps, f.K(), f.Cell(), op.K, op.Cell)
+					}
+					if f.Tiles() != op.Cols*op.Rows {
+						t.Fatalf("eps %v: kernel %d tiles, oracle %d×%d", eps, f.Tiles(), op.Cols, op.Rows)
+					}
+					if got, want := f.CertifiedMaxRelError(), oracle.FarCertifiedErr(op.K, alpha); got != want {
+						t.Fatalf("eps %v: certified error kernel %v oracle %v", eps, got, want)
+					}
+					if f.CertifiedMaxRelError() > eps && f.K() > 2 {
+						t.Fatalf("eps %v: certified error %v exceeds requested bound at k=%d",
+							eps, f.CertifiedMaxRelError(), f.K())
+					}
+					if f.Cell() < 1 {
+						t.Fatalf("eps %v: cell %v below the min-distance normalization", eps, f.Cell())
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDifferentialFarFieldVsOracle pins the kernel's far-field LinkSINR to
+// the oracle's brute-force tiled reference at 1e-12 relative.
+func TestDifferentialFarFieldVsOracle(t *testing.T) {
+	for _, spec := range workload.Matrix() {
+		for _, alpha := range diffAlphas {
+			spec, alpha := spec, alpha
+			t.Run(spec.Name+"/"+floatName(alpha), func(t *testing.T) {
+				for seed := int64(1); seed <= 3; seed++ {
+					n := 40 + int(seed)*8
+					pts, in := diffInstance(t, spec, alpha, seed, n)
+					p := in.Params()
+					rng := rand.New(rand.NewSource(seed * 271))
+					for _, eps := range farEpsSweep {
+						f, err := in.FarField(eps)
+						if err != nil {
+							t.Fatal(err)
+						}
+						sc := f.NewScratch()
+						txs := farTxSet(rng, in, n/2)
+						f.Accumulate(txs, sc)
+						for trial := 0; trial < 12; trial++ {
+							tx := txs[rng.Intn(len(txs))]
+							l := sinr.Link{From: tx.Sender, To: rng.Intn(n)}
+							if l.From == l.To {
+								continue
+							}
+							got := f.LinkSINR(txs, l, tx.Power, sc)
+							want := oracle.FarLinkSINR(pts, p, eps, txs, l, tx.Power)
+							if !diffClose(got, want) {
+								t.Fatalf("seed %d eps %v LinkSINR(%v): kernel %v oracle %v",
+									seed, eps, l, got, want)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFarFieldErrorBound asserts the contract WithMaxRelError sells: the
+// far-field SINR stays within the certified (1±ε) bracket of the *exact*
+// physics (oracle-computed), across the scenario matrix × α × ε.
+func TestFarFieldErrorBound(t *testing.T) {
+	const slack = 1e-9 // floating headroom on the analytic bound
+	for _, spec := range workload.Matrix() {
+		for _, alpha := range diffAlphas {
+			spec, alpha := spec, alpha
+			t.Run(spec.Name+"/"+floatName(alpha), func(t *testing.T) {
+				for seed := int64(1); seed <= 2; seed++ {
+					n := 64
+					pts, in := diffInstance(t, spec, alpha, seed, n)
+					p := in.Params()
+					rng := rand.New(rand.NewSource(seed * 613))
+					for _, eps := range farEpsSweep {
+						f, err := in.FarField(eps)
+						if err != nil {
+							t.Fatal(err)
+						}
+						ce := f.CertifiedMaxRelError()
+						sc := f.NewScratch()
+						txs := farTxSet(rng, in, n/2)
+						f.Accumulate(txs, sc)
+						for _, tx := range txs {
+							for trial := 0; trial < 4; trial++ {
+								l := sinr.Link{From: tx.Sender, To: rng.Intn(n)}
+								if l.From == l.To {
+									continue
+								}
+								far := f.LinkSINR(txs, l, tx.Power, sc)
+								// The certified bound is on the interference
+								// sum: I_far ∈ [(1−ε)·I, (1+ε)·I] (clamped at
+								// 0), with signal and noise exact. Bound the
+								// SINR through it so the bracket stays valid
+								// for certified ε ≥ 1.
+								signal := tx.Power / oracle.PathLoss(oracle.Dist(pts, l.From, l.To), p.Alpha)
+								interf := 0.0
+								for _, w := range txs {
+									if w.Sender == l.From {
+										continue
+									}
+									interf += w.Power / oracle.PathLoss(oracle.Dist(pts, w.Sender, l.To), p.Alpha)
+								}
+								if math.IsInf(signal, 1) || math.IsInf(interf, 1) {
+									continue // co-located degeneracies
+								}
+								loI := (1 - ce) * interf
+								if loI < 0 {
+									loI = 0
+								}
+								lo := signal / (p.Noise + (1+ce)*interf) * (1 - slack)
+								hi := signal / (p.Noise + loI) * (1 + slack)
+								if far < lo || far > hi {
+									t.Fatalf("seed %d eps %v (cert %v) SINR(%v): far %v outside [%v, %v] (signal %v interf %v)",
+										seed, eps, ce, l, far, lo, hi, signal, interf)
+								}
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFarFeasibilityGuardBand asserts the guard-band semantics of the
+// far-field feasibility check: it never rejects a schedule the exact check
+// accepts (completeness), a rejection certifies exact infeasibility below
+// the band, and the decision matches the oracle's naive transcription.
+func TestFarFeasibilityGuardBand(t *testing.T) {
+	for _, spec := range workload.Matrix() {
+		for _, alpha := range diffAlphas {
+			spec, alpha := spec, alpha
+			t.Run(spec.Name+"/"+floatName(alpha), func(t *testing.T) {
+				for seed := int64(1); seed <= 3; seed++ {
+					pts, in := diffInstance(t, spec, alpha, seed, 32)
+					p := in.Params()
+					rng := rand.New(rand.NewSource(seed * 839))
+					for _, eps := range farEpsSweep {
+						f, err := in.FarField(eps)
+						if err != nil {
+							t.Fatal(err)
+						}
+						sc := f.NewScratch()
+						for trial := 0; trial < 10; trial++ {
+							links, powers := randomLinkSet(rng, in, 1+rng.Intn(6))
+							farOK, err := in.SINRFeasibleFarBuf(links, powers, f, nil, sc)
+							if err != nil {
+								t.Fatal(err)
+							}
+							exactOK, err := in.SINRFeasible(links, powers)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if exactOK && !farOK {
+								t.Fatalf("seed %d eps %v: far check rejected an exactly-feasible schedule %v",
+									seed, eps, links)
+							}
+							oOK, err := oracle.FarSINRFeasible(pts, p, eps, links, powers)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if farOK != oOK {
+								t.Fatalf("seed %d eps %v: far feasibility kernel %v oracle %v on %v",
+									seed, eps, farOK, oOK, links)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFarFieldResolveWinnerExact asserts Resolve's refinement contract: the
+// decoded winner and its received power are exactly the strongest sender —
+// never perturbed by the approximation — including when the strongest
+// sender sits far outside the near ring.
+func TestFarFieldResolveWinnerExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	pts := workload.UniformSeeded(42, 300)
+	p := sinr.DefaultParams()
+	in := sinr.MustInstance(pts, p)
+	f, err := in.FarField(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := f.NewScratch()
+	for trial := 0; trial < 50; trial++ {
+		txs := farTxSet(rng, in, 60)
+		// Crank one distant sender's power so the true winner at many
+		// listeners lies in the far field, forcing refinement.
+		txs[0].Power *= 1e6
+		f.Accumulate(txs, sc)
+		for probe := 0; probe < 20; probe++ {
+			v := rng.Intn(in.Len())
+			listening := true
+			for _, tx := range txs {
+				if tx.Sender == v {
+					listening = false
+					break
+				}
+			}
+			if !listening {
+				continue
+			}
+			best, bestRP, total, sat := f.Resolve(v, txs, sc)
+			if sat {
+				t.Fatalf("unexpected saturation at %d", v)
+			}
+			wantBest, wantRP := -1, 0.0
+			exactTotal := 0.0
+			for k, tx := range txs {
+				rp := tx.Power / oracle.PathLoss(oracle.Dist(pts, tx.Sender, v), p.Alpha)
+				exactTotal += rp
+				if rp > wantRP {
+					wantRP = rp
+					wantBest = k
+				}
+			}
+			if best != wantBest {
+				t.Fatalf("trial %d listener %d: winner %d (rp %v), exact argmax %d (rp %v)",
+					trial, v, best, bestRP, wantBest, wantRP)
+			}
+			if !diffClose(bestRP, wantRP) {
+				t.Fatalf("trial %d listener %d: winner rp %v, exact %v", trial, v, bestRP, wantRP)
+			}
+			ce := f.CertifiedMaxRelError()
+			if total < exactTotal*(1-ce)*(1-1e-9) || total > exactTotal*(1+ce)*(1+1e-9) {
+				t.Fatalf("trial %d listener %d: total %v outside certified band of exact %v (ε=%v)",
+					trial, v, total, exactTotal, ce)
+			}
+		}
+	}
+}
+
+// TestFarFieldExtendReuse asserts a plan survives Extend when the grown
+// points stay inside the grid (same geometry, new points binned) and is
+// rebuilt to a correct plan otherwise.
+func TestFarFieldExtendReuse(t *testing.T) {
+	pts := workload.UniformSeeded(7, 120)
+	in := sinr.MustInstance(pts, sinr.DefaultParams())
+	f, err := in.FarField(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interior points: the plan must carry over with identical geometry.
+	lo, hi := geom.BoundingBox(pts)
+	inside := []geom.Point{
+		{X: (lo.X + hi.X) / 2.001, Y: (lo.Y + hi.Y) / 2.003},
+		{X: lo.X + 1.7, Y: hi.Y - 1.3},
+	}
+	grown, err := in.Extend(inside)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, err := grown.FarField(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gf.Cell() != f.Cell() || gf.K() != f.K() || gf.Tiles() != f.Tiles() {
+		t.Fatalf("interior extend rebuilt the plan: cell %v→%v k %d→%d tiles %d→%d",
+			f.Cell(), gf.Cell(), f.K(), gf.K(), f.Tiles(), gf.Tiles())
+	}
+	// Exterior point: the reused grid no longer covers the set, so the
+	// grown instance must derive a fresh plan matching a from-scratch build.
+	outside := []geom.Point{{X: hi.X + 50, Y: hi.Y + 50}}
+	grown2, err := in.Extend(outside)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf2, err := grown2.FarField(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := sinr.MustInstance(grown2.Points(), grown2.Params()).FarField(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gf2.Cell() != fresh.Cell() || gf2.Tiles() != fresh.Tiles() {
+		t.Fatalf("exterior extend plan (cell %v, %d tiles) differs from fresh build (cell %v, %d tiles)",
+			gf2.Cell(), gf2.Tiles(), fresh.Cell(), fresh.Tiles())
+	}
+}
+
+// TestFarFeasibilityDuplicateSender pins the exported contract: a link set
+// with a repeated sender is rejected with ErrDuplicateSender instead of
+// silently diverging from the exact check (which sums duplicates).
+func TestFarFeasibilityDuplicateSender(t *testing.T) {
+	pts := workload.UniformSeeded(3, 16)
+	in := sinr.MustInstance(pts, sinr.DefaultParams())
+	f, err := in.FarField(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := []sinr.Link{{From: 0, To: 1}, {From: 0, To: 2}}
+	powers := []float64{100, 100}
+	if _, err := in.SINRFeasibleFarBuf(links, powers, f, nil, f.NewScratch()); !errors.Is(err, sinr.ErrDuplicateSender) {
+		t.Fatalf("duplicate-sender set returned %v, want ErrDuplicateSender", err)
+	}
+}

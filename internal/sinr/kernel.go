@@ -141,6 +141,10 @@ func (in *Instance) buildGainTable() {
 	in.gain = g
 }
 
+// markGainResolved records that gainOnce has run (the atomic publishes the
+// preceding gain write to non-Do readers of gainTableIfBuilt).
+func (in *Instance) markGainResolved() { in.gainReady.Store(true) }
+
 // GainTable returns the n×n gain table (row-major, entry v·n+u =
 // d(u,v)^{-α}), building it on first use. It returns nil when the table
 // would exceed the memory budget; callers must then fall back to Gain,
@@ -151,8 +155,22 @@ func (in *Instance) buildGainTable() {
 // per-Instance state, not part of the simulation, and the burst is bounded
 // by maxGainTableBytes.
 func (in *Instance) GainTable() []float64 {
-	in.gainOnce.Do(in.buildGainTable)
+	in.gainOnce.Do(func() {
+		in.buildGainTable()
+		in.markGainResolved()
+	})
 	return in.gain
+}
+
+// gainTableIfBuilt returns the gain table only when it has already been
+// resolved (built, Extend-seeded, or skipped for budget), never forcing
+// the O(n²) build — the peek Extend uses so far-field-only sessions don't
+// pay for a table no engine will read.
+func (in *Instance) gainTableIfBuilt() ([]float64, bool) {
+	if !in.gainReady.Load() {
+		return nil, false
+	}
+	return in.gain, true
 }
 
 // GainRow returns the gain row of receiver v (gains from every sender), or
@@ -179,4 +197,5 @@ func (in *Instance) Gain(u, v int) float64 {
 func (in *Instance) disableGainTableForTest() {
 	in.gainOnce.Do(func() {})
 	in.gain = nil
+	in.markGainResolved()
 }

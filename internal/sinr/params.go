@@ -1,9 +1,3 @@
-// Package sinr implements the physical (SINR) interference model of
-// Halldórsson & Mitra (PODC 2012), Section 3: reception condition (Eqn 1),
-// thresholded affectance, power assignments (uniform, linear, mean,
-// arbitrary), feasibility of link sets, and the duality bounds of
-// Claim 8.3. It is the physics substrate every protocol in this repository
-// runs on.
 package sinr
 
 import (
@@ -11,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"sinrconn/internal/geom"
 )
@@ -71,6 +66,11 @@ func (p Params) SafePower(length float64) float64 {
 // ErrMismatchedLengths reports a links/powers length mismatch in a bulk API.
 var ErrMismatchedLengths = errors.New("sinr: links and powers have different lengths")
 
+// ErrDuplicateSender reports a link set with two links sharing a sender in
+// a far-field bulk API, which the tiled aggregation cannot express (the
+// exact APIs sum duplicates fine).
+var ErrDuplicateSender = errors.New("sinr: far-field link set has two links with the same sender")
+
 // Link is a directed communication request from node From (the sender) to
 // node To (the receiver), identified by point indices into an Instance.
 type Link struct {
@@ -96,8 +96,12 @@ type Instance struct {
 	deltaOnce sync.Once
 	delta     float64
 
-	gainOnce sync.Once
-	gain     []float64 // row-major n×n, entry v·n+u = d(u,v)^{-α}; nil if over budget
+	gainOnce  sync.Once
+	gain      []float64   // row-major n×n, entry v·n+u = d(u,v)^{-α}; nil if over budget
+	gainReady atomic.Bool // set once gainOnce has resolved (built, seeded, or skipped)
+
+	ffMu sync.Mutex
+	ff   map[float64]*FarField // far-field plans keyed by requested ε (farfield.go)
 }
 
 // NewInstance creates an instance over pts. The points are not copied; the

@@ -1,8 +1,3 @@
-// Package stats provides the measurement arithmetic of the experiment
-// harness: summary statistics over repeated trials, least-squares fits on
-// transformed scales (to check "grows like log n" / "grows like
-// log Δ·log n" claims), and fixed-width ASCII table rendering for
-// EXPERIMENTS.md.
 package stats
 
 import (

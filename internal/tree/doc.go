@@ -1,0 +1,7 @@
+// Package tree defines the connectivity structures of the paper (Section 3):
+// time-stamped link sets, aggregation and dissemination trees, the bi-tree
+// of Definition 1, and validators for the properties the theorems assert —
+// strong connectivity, aggregation scheduling order, per-slot SINR
+// feasibility — plus replay-based latency measurement for converge-cast,
+// broadcast, and pairwise communication.
+package tree

@@ -1,9 +1,3 @@
-// Package tree defines the connectivity structures of the paper (Section 3):
-// time-stamped link sets, aggregation and dissemination trees, the bi-tree
-// of Definition 1, and validators for the properties the theorems assert —
-// strong connectivity, aggregation scheduling order, per-slot SINR
-// feasibility — plus replay-based latency measurement for converge-cast,
-// broadcast, and pairwise communication.
 package tree
 
 import (
@@ -252,6 +246,44 @@ func (t *BiTree) ValidateOrdering() error {
 // across groups, so validation of large trees stays allocation-light and
 // rides the sinr gain table for the physics.
 func (t *BiTree) ValidatePerSlotFeasible(in *sinr.Instance) error {
+	scratch := feasScratch{}
+	return t.validateSlots(func(links []sinr.Link, powers []float64) (bool, error) {
+		return in.SINRFeasibleBuf(links, powers, scratch.txs(len(links)))
+	})
+}
+
+// ValidatePerSlotFeasibleFar is ValidatePerSlotFeasible under the far-field
+// approximation plan f: each slot group is checked with
+// sinr.Instance.SINRFeasibleFarBuf, which accepts a (1±ε) guard band at the
+// β cut (ε = f.CertifiedMaxRelError). The check never rejects a schedule
+// the exact validator accepts; a schedule it rejects is exactly infeasible.
+// A nil f is the exact check.
+func (t *BiTree) ValidatePerSlotFeasibleFar(in *sinr.Instance, f *sinr.FarField) error {
+	if f == nil {
+		return t.ValidatePerSlotFeasible(in)
+	}
+	sc := f.AcquireScratch()
+	defer f.ReleaseScratch(sc)
+	scratch := feasScratch{}
+	return t.validateSlots(func(links []sinr.Link, powers []float64) (bool, error) {
+		return in.SINRFeasibleFarBuf(links, powers, f, scratch.txs(len(links)), sc)
+	})
+}
+
+// feasScratch reuses one Tx buffer across a validation's slot groups.
+type feasScratch struct{ buf []sinr.Tx }
+
+func (s *feasScratch) txs(n int) []sinr.Tx {
+	if cap(s.buf) < n {
+		s.buf = make([]sinr.Tx, n)
+	}
+	return s.buf[:n]
+}
+
+// validateSlots buckets the aggregation links by slot (counting sort over
+// the slot range, with a map fallback for degenerately sparse stamps) and
+// applies check to each group, reporting the first infeasible slot.
+func (t *BiTree) validateSlots(check func(links []sinr.Link, powers []float64) (bool, error)) error {
 	if len(t.Up) == 0 {
 		return nil
 	}
@@ -268,7 +300,7 @@ func (t *BiTree) ValidatePerSlotFeasible(in *sinr.Instance) error {
 	span := maxSlot - minSlot + 1
 	if span > 16*len(t.Up)+1024 {
 		// Degenerate sparse stamps; bucket through a map instead.
-		return t.validatePerSlotFeasibleSparse(in)
+		return t.validateSlotsSparse(check)
 	}
 	counts := make([]int, span+1)
 	for _, tl := range t.Up {
@@ -291,7 +323,6 @@ func (t *BiTree) ValidatePerSlotFeasible(in *sinr.Instance) error {
 	}
 	links := make([]sinr.Link, maxGroup)
 	powers := make([]float64, maxGroup)
-	txs := make([]sinr.Tx, maxGroup)
 	for s := 0; s < span; s++ {
 		group := ordered[counts[s]:counts[s+1]]
 		if len(group) == 0 {
@@ -301,7 +332,7 @@ func (t *BiTree) ValidatePerSlotFeasible(in *sinr.Instance) error {
 			links[i] = tl.L
 			powers[i] = tl.Power
 		}
-		ok, err := in.SINRFeasibleBuf(links[:len(group)], powers[:len(group)], txs)
+		ok, err := check(links[:len(group)], powers[:len(group)])
 		if err != nil {
 			return err
 		}
@@ -312,9 +343,9 @@ func (t *BiTree) ValidatePerSlotFeasible(in *sinr.Instance) error {
 	return nil
 }
 
-// validatePerSlotFeasibleSparse is the map-bucketed fallback for trees whose
-// slot stamps are far sparser than the link count.
-func (t *BiTree) validatePerSlotFeasibleSparse(in *sinr.Instance) error {
+// validateSlotsSparse is the map-bucketed fallback for trees whose slot
+// stamps are far sparser than the link count.
+func (t *BiTree) validateSlotsSparse(check func(links []sinr.Link, powers []float64) (bool, error)) error {
 	bySlot := make(map[int][]TimedLink)
 	for _, tl := range t.Up {
 		bySlot[tl.Slot] = append(bySlot[tl.Slot], tl)
@@ -326,7 +357,7 @@ func (t *BiTree) validatePerSlotFeasibleSparse(in *sinr.Instance) error {
 			links[i] = tl.L
 			powers[i] = tl.Power
 		}
-		ok, err := in.SINRFeasible(links, powers)
+		ok, err := check(links, powers)
 		if err != nil {
 			return err
 		}

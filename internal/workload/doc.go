@@ -1,0 +1,7 @@
+// Package workload generates the point-set instances the experiments run
+// on. Every generator guarantees the paper's normalization: minimum
+// pairwise distance ≥ 1. The exponential chain drives Δ (the max/min
+// distance ratio) independently of n, which is what separates the
+// log Δ-dependent algorithms from the log n-dependent ones in the
+// experiment tables.
+package workload

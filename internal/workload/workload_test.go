@@ -189,3 +189,27 @@ func TestDescribe(t *testing.T) {
 		t.Error("empty description")
 	}
 }
+
+// TestJitteredGrid pins the O(n) bench generator's contract: exactly n
+// points, minimum pairwise distance ≥ 1, and jitter clamped so the
+// normalization survives aggressive parameters.
+func TestJitteredGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, tc := range []struct {
+		n       int
+		spacing float64
+		jitter  float64
+	}{
+		{1, 1, 0}, {17, 2, 0.4}, {100, 3, 0.9}, {257, 1, 5}, {1024, 4, 1.5},
+	} {
+		pts := JitteredGrid(rng, tc.n, tc.spacing, tc.jitter)
+		if len(pts) != tc.n {
+			t.Fatalf("JitteredGrid(%d, %v, %v): got %d points", tc.n, tc.spacing, tc.jitter, len(pts))
+		}
+		if tc.n > 1 {
+			if md := geom.MinDist(pts); md < 1-1e-9 {
+				t.Fatalf("JitteredGrid(%d, %v, %v): min distance %v < 1", tc.n, tc.spacing, tc.jitter, md)
+			}
+		}
+	}
+}

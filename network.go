@@ -86,10 +86,12 @@ type settings struct {
 	autoNormalize bool
 	broadcastProb float64
 	rho           int
+	maxRelErr     float64
 
-	physSet  bool  // WithPhys applied in the current scope
-	runScope bool  // applying options to a single run, not to Open
-	err      error // first option error, reported by Open/Run
+	physSet   bool  // WithPhys applied in the current scope
+	relErrSet bool  // WithMaxRelError applied in the current scope
+	runScope  bool  // applying options to a single run, not to Open
+	err       error // first option error, reported by Open/Run
 }
 
 func defaultSettings() settings {
@@ -209,6 +211,31 @@ func WithRho(rho int) Option {
 	}
 }
 
+// WithMaxRelError enables the tile-based far-field interference
+// approximation with the given worst-case relative error bound on per-slot
+// interference sums (and hence a (1±ε) band on SINR values at the β cut).
+// Distant senders are aggregated per spatial tile, making channel
+// resolution sub-quadratic — the mode that carries instances past the
+// exact kernel's O(n²) wall. ε = 0 (the default) selects the exact path,
+// bit-identical to a Network without the option; ε > 0 selects the near
+// ring radius k(ε, α) per DESIGN.md §7, and the certified bound — usually
+// tighter than ε because k is integral — is honored by every engine slot
+// and by Result.Tree.Verify, which validates schedules under the matching
+// guard band. Legal at Open and at run scope; results for distinct ε are
+// memoized separately. Operations on an existing result (Join, Repair,
+// physical epochs) inherit the mode the result's tree was built under
+// unless the operation passes this option explicitly.
+func WithMaxRelError(eps float64) Option {
+	return func(s *settings) {
+		if eps < 0 || math.IsInf(eps, 1) || math.IsNaN(eps) {
+			s.fail(fmt.Errorf("sinrconn: max relative error %v must be ≥ 0 and finite", eps))
+			return
+		}
+		s.maxRelErr = eps
+		s.relErrSet = true
+	}
+}
+
 // runKey identifies a deterministic run for memoization: everything that
 // influences a pipeline's output. Worker counts are deliberately absent —
 // results are reproducible regardless of parallelism (pinned by the sim
@@ -220,6 +247,7 @@ type runKey struct {
 	drop     float64
 	bprob    float64
 	rho      int
+	relErr   float64
 }
 
 // maxCachedResults bounds the per-Network result memo. Beyond it new
@@ -405,6 +433,7 @@ func (nw *Network) runSettings(opts []RunOption) (settings, error) {
 	s.err = nil
 	s.runScope = true
 	s.physSet = false
+	s.relErrSet = false
 	for _, o := range opts {
 		o(&s)
 	}
@@ -419,6 +448,7 @@ func (s *settings) key(p Pipeline) runKey {
 		drop:     s.drop,
 		bprob:    s.broadcastProb,
 		rho:      s.rho,
+		relErr:   s.maxRelErr,
 	}
 }
 
@@ -438,14 +468,41 @@ func (nw *Network) storeResult(k runKey, r *Result) {
 
 // initConfig derives the core construction config for a run on the
 // acquired pool.
-func initConfig(s settings, pool *sim.Pool) core.InitConfig {
+func initConfig(s settings, pool *sim.Pool, ff *sinr.FarField) core.InitConfig {
 	return core.InitConfig{
 		BroadcastProb: s.broadcastProb,
 		Seed:          s.seed,
 		Workers:       s.workers,
 		DropProb:      s.drop,
 		Pool:          pool,
+		FarField:      ff,
 	}
+}
+
+// farFieldFor resolves the far-field plan a settings' ε selects over in:
+// nil for ε = 0 (the exact path), the instance-cached plan otherwise.
+func farFieldFor(in *sinr.Instance, s settings) (*sinr.FarField, error) {
+	if s.maxRelErr == 0 {
+		return nil, nil
+	}
+	return in.FarField(s.maxRelErr)
+}
+
+// opFarField resolves the channel mode for an operation on an existing
+// result (join, repair, physical epoch): an explicit WithMaxRelError on
+// the operation wins; otherwise the operation inherits the mode the
+// result's tree was built under, so growing or re-driving an ε-built tree
+// never silently switches it to exact physics (and vice versa). in is the
+// operation's instance — the tree's own for repairs and epochs, the
+// extended one for joins.
+func opFarField(r *Result, in *sinr.Instance, s settings) (*sinr.FarField, error) {
+	if !s.relErrSet {
+		if r.Tree.ff == nil {
+			return nil, nil
+		}
+		return in.FarField(r.Tree.ff.MaxRelError())
+	}
+	return farFieldFor(in, s)
 }
 
 // Run executes one pipeline on the open handle, reusing the session's
@@ -476,18 +533,22 @@ func (nw *Network) Run(ctx context.Context, p Pipeline, opts ...RunOption) (*Res
 	if err != nil {
 		return nil, err
 	}
+	ff, err := farFieldFor(in, s)
+	if err != nil {
+		return nil, err
+	}
 	pool, release := nw.acquirePool()
 	defer release()
 	var res *Result
 	switch p {
 	case PipelineInit:
-		res, err = nw.runInit(ctx, in, s, pool)
+		res, err = nw.runInit(ctx, in, s, pool, ff)
 	case PipelineRescheduleMean:
-		res, err = nw.runRescheduleMean(ctx, in, s, pool)
+		res, err = nw.runRescheduleMean(ctx, in, s, pool, ff)
 	case PipelineTVCMean:
-		res, err = nw.runTVC(ctx, in, s, pool, core.VariantMean)
+		res, err = nw.runTVC(ctx, in, s, pool, ff, core.VariantMean)
 	case PipelineTVCArbitrary:
-		res, err = nw.runTVC(ctx, in, s, pool, core.VariantArbitrary)
+		res, err = nw.runTVC(ctx, in, s, pool, ff, core.VariantArbitrary)
 	default:
 		return nil, fmt.Errorf("sinrconn: unknown pipeline %v", p)
 	}
@@ -498,14 +559,16 @@ func (nw *Network) Run(ctx context.Context, p Pipeline, opts ...RunOption) (*Res
 	return res, nil
 }
 
-// newResult binds a constructed tree and its metrics to this handle.
-func (nw *Network) newResult(in *sinr.Instance, bt *tree.BiTree, m Metrics) *Result {
-	return &Result{Tree: publicTree(in, bt), Metrics: m, nw: nw}
+// newResult binds a constructed tree and its metrics to this handle. ff
+// (nil in exact mode) records the far-field plan the construction ran
+// under, so Verify applies the matching guard band.
+func (nw *Network) newResult(in *sinr.Instance, bt *tree.BiTree, m Metrics, ff *sinr.FarField) *Result {
+	return &Result{Tree: publicTree(in, bt, ff), Metrics: m, nw: nw}
 }
 
 // runInit is the Section 6 pipeline body (Theorem 2).
-func (nw *Network) runInit(ctx context.Context, in *sinr.Instance, s settings, pool *sim.Pool) (*Result, error) {
-	res, err := core.Init(ctx, in, initConfig(s, pool))
+func (nw *Network) runInit(ctx context.Context, in *sinr.Instance, s settings, pool *sim.Pool, ff *sinr.FarField) (*Result, error) {
+	res, err := core.Init(ctx, in, initConfig(s, pool, ff))
 	if err != nil {
 		return nil, err
 	}
@@ -522,20 +585,21 @@ func (nw *Network) runInit(ctx context.Context, in *sinr.Instance, s settings, p
 	if err := fillLatencies(&m, bt); err != nil {
 		return nil, err
 	}
-	return nw.newResult(in, bt, m), nil
+	return nw.newResult(in, bt, m, ff), nil
 }
 
 // runRescheduleMean is the Section 7 pipeline body (Theorem 3).
-func (nw *Network) runRescheduleMean(ctx context.Context, in *sinr.Instance, s settings, pool *sim.Pool) (*Result, error) {
-	ires, err := core.Init(ctx, in, initConfig(s, pool))
+func (nw *Network) runRescheduleMean(ctx context.Context, in *sinr.Instance, s settings, pool *sim.Pool, ff *sinr.FarField) (*Result, error) {
+	ires, err := core.Init(ctx, in, initConfig(s, pool, ff))
 	if err != nil {
 		return nil, err
 	}
 	pa := sinr.NoiseSafeMean(in.Params(), math.Max(1, in.Delta()))
 	rres, err := core.Reschedule(ctx, in, ires.Tree, pa, schedule.DistConfig{
-		Seed:    s.seed + 1,
-		Workers: s.workers,
-		Pool:    pool,
+		Seed:     s.seed + 1,
+		Workers:  s.workers,
+		Pool:     pool,
+		FarField: ff,
 	})
 	if err != nil {
 		return nil, err
@@ -548,12 +612,12 @@ func (nw *Network) runRescheduleMean(ctx context.Context, in *sinr.Instance, s s
 		Delta:          in.Delta(),
 		Energy:         ires.Stats.Energy + rres.Stats.Energy,
 	}
-	return nw.newResult(in, rres.Tree, m), nil
+	return nw.newResult(in, rres.Tree, m, ff), nil
 }
 
 // runTVC is the Section 8 pipeline body (Theorem 4, both halves).
-func (nw *Network) runTVC(ctx context.Context, in *sinr.Instance, s settings, pool *sim.Pool, v core.Variant) (*Result, error) {
-	icfg := initConfig(s, pool)
+func (nw *Network) runTVC(ctx context.Context, in *sinr.Instance, s settings, pool *sim.Pool, ff *sinr.FarField, v core.Variant) (*Result, error) {
+	icfg := initConfig(s, pool, ff)
 	icfg.Seed = 0 // TreeViaCapacity derives per-iteration seeds from its own
 	res, err := core.TreeViaCapacity(ctx, in, core.TVCConfig{
 		Variant: v,
@@ -576,5 +640,5 @@ func (nw *Network) runTVC(ctx context.Context, in *sinr.Instance, s settings, po
 	if err := fillLatencies(&m, bt); err != nil {
 		return nil, err
 	}
-	return nw.newResult(in, bt, m), nil
+	return nw.newResult(in, bt, m, ff), nil
 }

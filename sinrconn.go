@@ -1,34 +1,3 @@
-// Package sinrconn is a Go implementation of "Distributed Connectivity of
-// Wireless Networks" (Halldórsson & Mitra, PODC 2012): distributed
-// algorithms that, starting from identical wireless nodes with no
-// infrastructure, build a strongly connected communication structure (a
-// bi-tree: converge-cast plus dissemination tree) and schedule it
-// efficiently under the SINR physical interference model.
-//
-// The primary API is session-oriented: Open validates a deployment once and
-// returns a long-lived *Network owning the physics state (the O(n²) gain
-// table) and a persistent simulator worker pool; Run executes any of the
-// paper's pipelines against that shared state with context cancellation,
-// and RunMatrix fans one handle out across pipelines × seeds × physical
-// parameters with bounded concurrency. The pipelines mirror the paper's
-// three main theorems:
-//
-//   - PipelineInit — the Section 6 construction (Theorem 2): a bi-tree in
-//     O(log Δ · log n) channel slots using per-round uniform power.
-//   - PipelineRescheduleMean — Section 7 (Theorem 3): the same tree
-//     re-scheduled under mean power with distributed contention
-//     resolution, removing the log Δ factor from the schedule.
-//   - PipelineTVCMean / PipelineTVCArbitrary — Section 8 (Theorem 4): the
-//     interleaved TreeViaCapacity constructions whose final schedules match
-//     the best centralized bounds — O(Υ·log n) slots with oblivious mean
-//     power and O(log n) slots with computed powers.
-//
-// All pipelines run on an exact slotted SINR channel simulator; results are
-// deterministic for a fixed seed (and therefore memoized per handle). The
-// free functions (BuildInitialBiTree & co.) predate the session API and
-// remain as deprecated one-shot wrappers, bit-identical to their Network
-// counterparts. See DESIGN.md for the system inventory and EXPERIMENTS.md
-// for the reproduction of the paper's claims.
 package sinrconn
 
 import (
@@ -174,6 +143,7 @@ type BiTree struct {
 
 	inner *tree.BiTree
 	inst  *sinr.Instance
+	ff    *sinr.FarField // far-field plan the construction ran under; nil = exact
 }
 
 // Parent returns each non-root node's parent.
@@ -193,7 +163,15 @@ func (b *BiTree) PairLatency(src, dst int) (int, error) {
 
 // Verify re-checks every structural property: spanning tree shape, strong
 // connectivity, aggregation ordering, and per-slot SINR feasibility of the
-// schedule. It is cheap insurance for downstream users.
+// schedule. It is cheap insurance for downstream users. A tree built under
+// WithMaxRelError(ε > 0) is validated under the matching (1±ε) guard band
+// at the β cut: a schedule that is exactly feasible is never rejected, and
+// a failure certifies a slot whose exact SINR falls below β — including a
+// link the approximate channel accepted inside its error band, which is a
+// genuinely sub-β link being reported rather than silently passed (the
+// construction's SafePower margins keep decisions away from the cut in
+// practice). See sinr.Instance.SINRFeasibleFarBuf for the exact
+// completeness/soundness contract.
 func (b *BiTree) Verify() error {
 	if err := b.inner.Validate(); err != nil {
 		return err
@@ -204,7 +182,7 @@ func (b *BiTree) Verify() error {
 	if err := b.inner.ValidateOrdering(); err != nil {
 		return err
 	}
-	return b.inner.ValidatePerSlotFeasible(b.inst)
+	return b.inner.ValidatePerSlotFeasibleFar(b.inst, b.ff)
 }
 
 // Result bundles a constructed tree with its metrics. Results returned by
@@ -229,12 +207,13 @@ func (r *Result) Network() *Network { return r.nw }
 // renormalize). Test with errors.Is.
 var ErrNotNormalized = errors.New("sinrconn: minimum pairwise distance below 1 (set AutoNormalize)")
 
-func publicTree(in *sinr.Instance, bt *tree.BiTree) *BiTree {
+func publicTree(in *sinr.Instance, bt *tree.BiTree, ff *sinr.FarField) *BiTree {
 	out := &BiTree{
 		Root:     bt.Root,
 		NumNodes: len(bt.Nodes),
 		inner:    bt,
 		inst:     in,
+		ff:       ff,
 	}
 	for _, tl := range bt.Up {
 		out.Up = append(out.Up, ScheduledLink{
