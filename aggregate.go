@@ -65,7 +65,7 @@ func (nw *Network) epochConfig(r *Result, opts []RunOption) (sim.Config, func(),
 		done()
 		return sim.Config{}, func() {}, err
 	}
-	ff, err := opFarField(r, r.Tree.inst, s)
+	ff, adaptive, err := opFarField(r, r.Tree.inst, s)
 	if err != nil {
 		done()
 		return sim.Config{}, func() {}, err
@@ -77,6 +77,7 @@ func (nw *Network) epochConfig(r *Result, opts []RunOption) (sim.Config, func(),
 		Seed:     s.seed,
 		Pool:     pool,
 		FarField: ff,
+		Adaptive: adaptive,
 	}, func() { release(); done() }, nil
 }
 
@@ -176,7 +177,7 @@ func (r *Result) Broadcast(value int64, opt Options) (*BroadcastOutcome, error) 
 	pool, release := nw.acquirePool()
 	defer release()
 	out, err := core.RunBroadcast(context.Background(), r.Tree.inst, r.Tree.inner, value,
-		sim.Config{Workers: opt.Workers, Pool: pool, FarField: r.Tree.ff})
+		sim.Config{Workers: opt.Workers, Pool: pool, FarField: r.Tree.ff, Adaptive: r.Tree.ffAdaptive})
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +195,7 @@ func (r *Result) Aggregate(values []int64, f AggFunc, opt Options) (*AggregateOu
 	pool, release := nw.acquirePool()
 	defer release()
 	out, err := core.RunAggregation(context.Background(), r.Tree.inst, r.Tree.inner, values, core.AggFunc(f),
-		sim.Config{Workers: opt.Workers, Pool: pool, FarField: r.Tree.ff})
+		sim.Config{Workers: opt.Workers, Pool: pool, FarField: r.Tree.ff, Adaptive: r.Tree.ffAdaptive})
 	if err != nil {
 		return nil, err
 	}
@@ -212,7 +213,7 @@ func (r *Result) SendMessage(src, dst int, payload int64, opt Options) (*PairOut
 	pool, release := nw.acquirePool()
 	defer release()
 	out, err := core.RunPairMessage(context.Background(), r.Tree.inst, r.Tree.inner, src, dst, payload,
-		sim.Config{Workers: opt.Workers, Pool: pool, FarField: r.Tree.ff})
+		sim.Config{Workers: opt.Workers, Pool: pool, FarField: r.Tree.ff, Adaptive: r.Tree.ffAdaptive})
 	if err != nil {
 		return nil, err
 	}

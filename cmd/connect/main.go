@@ -48,6 +48,7 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	drop := fs.Float64("drop", 0, "reception drop probability in [0,1)")
 	maxRelErr := fs.Float64("maxrelerr", 0, "far-field approximation error bound ε (0 = exact physics)")
+	farMode := fs.String("farmode", "auto", "far-field engine at ε > 0: auto|quadtree|flat")
 	sweep := fs.Int("sweep", 0, "run all pipelines × this many seeds as one batch")
 	timeout := fs.Duration("timeout", 0, "abort constructions that exceed this duration (0 = none)")
 	verbose := fs.Bool("v", false, "print every scheduled link")
@@ -71,6 +72,15 @@ func run(args []string, out io.Writer) error {
 		// so Open reports validation errors instead of silently running the
 		// exact path.
 		opts = append(opts, sinrconn.WithMaxRelError(*maxRelErr))
+	}
+	switch *farMode {
+	case "auto":
+	case "quadtree":
+		opts = append(opts, sinrconn.WithFarMode(sinrconn.FarQuadtree))
+	case "flat":
+		opts = append(opts, sinrconn.WithFarMode(sinrconn.FarFlat))
+	default:
+		return fmt.Errorf("unknown far mode %q (auto|quadtree|flat)", *farMode)
 	}
 	nw, err := sinrconn.Open(pts, opts...)
 	if err != nil {

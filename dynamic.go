@@ -97,7 +97,7 @@ func (nw *Network) join(ctx context.Context, r *Result, newPts []Point, s settin
 	if err != nil {
 		return nil, err
 	}
-	ff, err := opFarField(r, in, s)
+	ff, adaptive, err := opFarField(r, in, s)
 	if err != nil {
 		return nil, err
 	}
@@ -110,6 +110,7 @@ func (nw *Network) join(ctx context.Context, r *Result, newPts []Point, s settin
 		DropProb:      s.drop,
 		Pool:          pool,
 		FarField:      ff,
+		Adaptive:      adaptive,
 	})
 	if err != nil {
 		return nil, err
@@ -127,7 +128,7 @@ func (nw *Network) join(ctx context.Context, r *Result, newPts []Point, s settin
 		return nil, err
 	}
 	grown := nw.derive(in)
-	return grown.newResult(in, bt, m, ff), nil
+	return grown.newResult(in, bt, m, ff, adaptive), nil
 }
 
 // derive builds the Network bound to a join-grown instance: same settings,
@@ -173,7 +174,7 @@ func (nw *Network) repair(ctx context.Context, r *Result, failed []int, s settin
 		return nil, errors.New("sinrconn: no failed nodes given")
 	}
 	in := r.Tree.inst
-	ff, err := opFarField(r, in, s)
+	ff, adaptive, err := opFarField(r, in, s)
 	if err != nil {
 		return nil, err
 	}
@@ -186,6 +187,7 @@ func (nw *Network) repair(ctx context.Context, r *Result, failed []int, s settin
 		DropProb:      s.drop,
 		Pool:          pool,
 		FarField:      ff,
+		Adaptive:      adaptive,
 	})
 	if err != nil {
 		return nil, err
@@ -201,7 +203,7 @@ func (nw *Network) repair(ctx context.Context, r *Result, failed []int, s settin
 	if err := fillLatencies(&m, bt); err != nil {
 		return nil, err
 	}
-	return nw.newResult(in, bt, m, ff), nil
+	return nw.newResult(in, bt, m, ff, adaptive), nil
 }
 
 // RepairLinks handles permanent link failures: the given tree links have
@@ -234,7 +236,7 @@ func (nw *Network) repairLinks(ctx context.Context, r *Result, links []Link, s s
 	for i, l := range links {
 		failed[i] = sinr.Link{From: l.From, To: l.To}
 	}
-	ff, err := opFarField(r, in, s)
+	ff, adaptive, err := opFarField(r, in, s)
 	if err != nil {
 		return nil, err
 	}
@@ -247,6 +249,7 @@ func (nw *Network) repairLinks(ctx context.Context, r *Result, links []Link, s s
 		DropProb:      s.drop,
 		Pool:          pool,
 		FarField:      ff,
+		Adaptive:      adaptive,
 	})
 	if err != nil {
 		return nil, err
@@ -262,7 +265,7 @@ func (nw *Network) repairLinks(ctx context.Context, r *Result, links []Link, s s
 	if err := fillLatencies(&m, bt); err != nil {
 		return nil, err
 	}
-	return nw.newResult(in, bt, m, ff), nil
+	return nw.newResult(in, bt, m, ff, adaptive), nil
 }
 
 // JoinPoints attaches newly awakened nodes to the existing bi-tree.

@@ -9,13 +9,15 @@ import (
 	"math"
 	"testing"
 
+	"sinrconn/internal/sinr"
 	"sinrconn/internal/workload"
 )
 
 // TestFarFieldExactnessZero is the ε = 0 drift gate: a Network opened with
 // WithMaxRelError(0) must produce bit-identical results to one without the
-// option, for every pipeline across the scenario matrix (two generators
-// under -short, like the wrapper gate).
+// option — whatever far-field engine WithFarMode names, since ε = 0 is
+// always the exact path — for every pipeline across the scenario matrix
+// (two generators under -short, like the wrapper gate).
 func TestFarFieldExactnessZero(t *testing.T) {
 	gens := workload.Matrix()
 	if testing.Short() {
@@ -33,20 +35,28 @@ func TestFarFieldExactnessZero(t *testing.T) {
 					t.Fatal(err)
 				}
 				defer plain.Close()
-				zero, err := Open(pts, WithSeed(seed), WithMaxRelError(0))
-				if err != nil {
-					t.Fatal(err)
-				}
-				defer zero.Close()
 				a, aerr := plain.Run(bg, p)
-				b, berr := zero.Run(bg, p)
-				if (aerr == nil) != (berr == nil) {
-					t.Fatalf("error divergence: plain %v vs ε=0 %v", aerr, berr)
+				modes := []FarMode{FarAuto}
+				if gi == 0 {
+					// One generator sweeps every engine: ε = 0 must select
+					// the exact path regardless of the named mode.
+					modes = []FarMode{FarAuto, FarQuadtree, FarFlat}
 				}
-				if aerr != nil {
-					return
+				for _, mode := range modes {
+					zero, err := Open(pts, WithSeed(seed), WithMaxRelError(0), WithFarMode(mode))
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer zero.Close()
+					b, berr := zero.Run(bg, p)
+					if (aerr == nil) != (berr == nil) {
+						t.Fatalf("mode %v: error divergence: plain %v vs ε=0 %v", mode, aerr, berr)
+					}
+					if aerr != nil {
+						continue
+					}
+					assertResultsIdentical(t, b, a)
 				}
-				assertResultsIdentical(t, b, a)
 			})
 		}
 	}
@@ -134,7 +144,10 @@ func TestFarFieldOpInheritance(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer nw.Close()
-	far, err := nw.Run(bg, PipelineInit, WithMaxRelError(0.5))
+	// Forced quadtree: the 26-node box sits inside FarAuto's degeneracy
+	// guard, and inheritance must thread the *forced* engine through the
+	// join as well.
+	far, err := nw.Run(bg, PipelineInit, WithMaxRelError(0.5), WithFarMode(FarQuadtree))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,6 +181,134 @@ func TestFarFieldOpInheritance(t *testing.T) {
 	}
 }
 
+// TestFarModeSelection pins which engine each FarMode resolves to on the
+// recorded result, including both degenerate-geometry fallbacks:
+//
+//   - On a box large enough for its ε, FarAuto records a quadtree plan
+//     with adaptive per-slot selection, FarQuadtree the same plan forced.
+//   - In an engine's near-dominated regime — the flat grid's global near
+//     ring covering the grid (the n=4096/ε=0.5 regression of
+//     BENCH_farfield.json in miniature), or the quadtree's leaf opening
+//     horizon spanning the box — the session must run the exact path
+//     rather than a plan doing strictly more work than exact; a forced
+//     FarQuadtree keeps its plan.
+func TestFarModeSelection(t *testing.T) {
+	// 512 uniform nodes at ε=2.5: past both degeneracy guards (the
+	// quadtree horizon ratio (√2/θ)/2^L needs depth 2^L > 4√2/θ ≈ 11,
+	// i.e. L ≥ 4 ⇔ n ≥ 512 — span-independent).
+	pts := uniformPoints(61, 512)
+	nw, err := Open(pts, WithSeed(61), WithMaxRelError(2.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	auto, err := nw.Run(bg, PipelineInit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := auto.Tree.ff.(*sinr.QuadTree); !ok || !auto.Tree.ffAdaptive {
+		t.Fatalf("FarAuto recorded (%T, adaptive=%v), want (*sinr.QuadTree, true)",
+			auto.Tree.ff, auto.Tree.ffAdaptive)
+	}
+	quad, err := nw.Run(bg, PipelineInit, WithFarMode(FarQuadtree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := quad.Tree.ff.(*sinr.QuadTree); !ok || quad.Tree.ffAdaptive {
+		t.Fatalf("FarQuadtree recorded (%T, adaptive=%v), want (*sinr.QuadTree, false)",
+			quad.Tree.ff, quad.Tree.ffAdaptive)
+	}
+	if auto == quad {
+		t.Fatal("distinct far modes shared one memo entry")
+	}
+
+	// 40 nodes at ε=0.5: both engines' degenerate regimes at once.
+	small := uniformPoints(62, 40)
+	snw, err := Open(small, WithSeed(62), WithMaxRelError(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snw.Close()
+	sauto, err := snw.Run(bg, PipelineInit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sauto.Tree.ff != nil {
+		t.Fatalf("near-dominated FarAuto run recorded plan %T, want exact fallback", sauto.Tree.ff)
+	}
+	sflat, err := snw.Run(bg, PipelineInit, WithFarMode(FarFlat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sflat.Tree.ff != nil {
+		t.Fatalf("near-dominated FarFlat run recorded plan %T, want exact fallback", sflat.Tree.ff)
+	}
+	forced, err := snw.Run(bg, PipelineInit, WithFarMode(FarQuadtree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fq, ok := forced.Tree.ff.(*sinr.QuadTree)
+	if !ok {
+		t.Fatalf("forced FarQuadtree recorded %T, want *sinr.QuadTree", forced.Tree.ff)
+	}
+	if !fq.NearDominated() {
+		t.Fatal("test geometry no longer quadtree-near-dominated — shrink it")
+	}
+	flatPlan, err := fq.Instance().FarField(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flatPlan.NearDominated() {
+		t.Fatalf("test geometry no longer flat-near-dominated (k=%d, %d tiles) — shrink it",
+			flatPlan.K(), flatPlan.Tiles())
+	}
+}
+
+// TestFarModeOpScoping pins two option-scoping contracts on operations
+// over an existing result:
+//
+//  1. An Open-scoped WithFarMode must not leak into operation scope: a
+//     plain Join on an ε-built tree inherits the tree's engine and ε even
+//     when the Network was opened with an explicit (redundant) far mode.
+//  2. A run-scoped WithFarMode alone switches the engine but keeps the
+//     tree's ε — it is a mode, not an error bound, and must not silently
+//     flip the operation to exact physics.
+func TestFarModeOpScoping(t *testing.T) {
+	pts := uniformPoints(63, 512)
+	nw, err := Open(pts, WithSeed(63), WithFarMode(FarAuto)) // explicit mode, no ε
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	res, err := nw.Run(bg, PipelineInit, WithMaxRelError(2.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Tree.ff.(*sinr.QuadTree); !ok {
+		t.Fatalf("run-scoped ε recorded %T, want *sinr.QuadTree", res.Tree.ff)
+	}
+	grown, err := nw.Join(bg, res, []Point{{X: 400, Y: 400}, {X: 403, Y: 401}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Tree.ff == nil || grown.Tree.ff.MaxRelError() != 2.5 {
+		t.Fatalf("plain join under an Open-scoped far mode lost the tree's channel mode: %v", grown.Tree.ff)
+	}
+	if !grown.Tree.ffAdaptive {
+		t.Fatal("plain join did not inherit the tree's adaptivity")
+	}
+	switched, err := nw.Join(bg, res, []Point{{X: 420, Y: 420}, {X: 423, Y: 421}}, WithFarMode(FarQuadtree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if switched.Tree.ff == nil || switched.Tree.ff.MaxRelError() != 2.5 {
+		t.Fatalf("mode-only override dropped the tree's ε: %v", switched.Tree.ff)
+	}
+	if switched.Tree.ffAdaptive {
+		t.Fatal("forced FarQuadtree join kept adaptive selection, want forced always-far")
+	}
+}
+
 // TestWithMaxRelErrorValidation pins option validation: negative, NaN, and
 // +Inf bounds fail at the call site.
 func TestWithMaxRelErrorValidation(t *testing.T) {
@@ -184,6 +325,9 @@ func TestWithMaxRelErrorValidation(t *testing.T) {
 	defer nw.Close()
 	if _, err := nw.Run(bg, PipelineInit, WithMaxRelError(-1)); err == nil {
 		t.Fatal("Run accepted WithMaxRelError(-1)")
+	}
+	if _, err := nw.Run(bg, PipelineInit, WithFarMode(FarMode(99))); err == nil {
+		t.Fatal("Run accepted WithFarMode(99)")
 	}
 }
 

@@ -18,6 +18,7 @@ func (c *InitConfig) engineConfig(seed int64) sim.Config {
 		Seed:     seed,
 		Pool:     c.Pool,
 		FarField: c.FarField,
+		Adaptive: c.Adaptive,
 	}
 }
 
@@ -62,10 +63,15 @@ type InitConfig struct {
 	// engine lifetimes (owned by the session handle, sinrconn.Network).
 	// Engines borrow it instead of spawning goroutines per construction.
 	Pool *sim.Pool
-	// FarField, if non-nil, runs every engine of the construction under the
-	// tile-based far-field channel approximation (see sim.Config.FarField).
-	// The plan must be built from the construction's instance.
-	FarField *sinr.FarField
+	// FarField, if non-nil, runs every engine of the construction under a
+	// far-field channel approximation — flat grid or quadtree (see
+	// sim.Config.FarField). The plan must be built from the construction's
+	// instance.
+	FarField sinr.Far
+	// Adaptive, with FarField set, lets every engine pick exact or
+	// far-field resolution per slot from the live sender count (see
+	// sim.Config.Adaptive).
+	Adaptive bool
 	// DropProb injects reception failures in the engine.
 	DropProb float64
 	// Participants restricts the protocol to a subset of node indices

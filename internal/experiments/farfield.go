@@ -62,7 +62,7 @@ func E16FarField(cfg Config) Report {
 		txs = append(txs, sinr.Tx{Sender: i, Power: power})
 	}
 
-	exactMS := stepTime(in, nil, cfg.Workers)
+	exactMS := stepTime(in, nil, false, cfg.Workers)
 	for _, eps := range farfieldEps {
 		f, err := in.FarField(eps)
 		if err != nil {
@@ -101,7 +101,7 @@ func E16FarField(cfg Config) Report {
 				eps, maxErr, f.CertifiedMaxRelError()))
 			r.Pass = false
 		}
-		farMS := stepTime(in, f, cfg.Workers)
+		farMS := stepTime(in, f, false, cfg.Workers)
 		r.Table.AddRow(
 			fmt.Sprintf("%d", n),
 			fmt.Sprintf("%.2f", eps),
@@ -118,15 +118,17 @@ func E16FarField(cfg Config) Report {
 	return r
 }
 
-// stepTime runs a few fixed-role engine slots and returns ms per slot.
-func stepTime(in *sinr.Instance, f *sinr.FarField, workers int) float64 {
+// stepTime runs a few fixed-role engine slots and returns ms per slot. f
+// may be either far-field plan or nil (exact); adaptive enables per-slot
+// mode selection.
+func stepTime(in *sinr.Instance, f sinr.Far, adaptive bool, workers int) float64 {
 	n := in.Len()
 	power := in.Params().SafePower(4)
 	procs := make([]sim.Protocol, n)
 	for i := 0; i < n; i++ {
 		procs[i] = &farStepProto{id: i, transmit: i%2 == 0, power: power}
 	}
-	eng, err := sim.NewEngine(in, procs, sim.Config{Workers: workers, FarField: f})
+	eng, err := sim.NewEngine(in, procs, sim.Config{Workers: workers, FarField: f, Adaptive: adaptive})
 	if err != nil {
 		return math.NaN()
 	}

@@ -1,0 +1,134 @@
+package experiments
+
+// E17 sweeps the tight-ε accuracy-versus-speed frontier of the two
+// far-field engines: for each error bound ε — down to ε = 0.1, the regime
+// where the flat grid's single global near ring degenerates
+// (NearDominated) — the quadtree's certified bound, the *measured* maximum
+// relative SINR error at sampled listeners (against the naive exact
+// physics of internal/oracle), and the per-slot channel-resolution time of
+// exact / flat grid / quadtree. Two shape checks are Type 1: measured
+// error must never exceed the certified bound (a theorem, not a tendency),
+// and an adaptive engine must never resolve a slot slower than the forced
+// always-far engine beyond measurement noise — sparse slots simply skip
+// the plan. Timing columns are informational; the quadtree's win grows
+// with n (BENCH_quadtree.json carries the headline sweep to n = 262144).
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sinrconn/internal/oracle"
+	"sinrconn/internal/sinr"
+	"sinrconn/internal/stats"
+	"sinrconn/internal/workload"
+)
+
+// quadtreeEps is the E17 sweep: tight bounds first — the flat grid's
+// collapse region is the point of the experiment.
+var quadtreeEps = []float64{0.1, 0.25, 0.5, 1.0}
+
+// E17Quadtree measures the hierarchical far-field accuracy/speed sweep
+// against the flat grid and the exact kernel.
+func E17Quadtree(cfg Config) Report {
+	cfg.defaults()
+	r := Report{
+		ID:    "E17",
+		Title: "Hierarchical far field: tight-ε accuracy vs speed, flat vs quadtree",
+		Claim: "engineering: per-listener Barnes–Hut opening keeps measured SINR error ≤ the certified (1+θ)^α−1 bound at bounds the flat grid cannot serve sub-quadratically",
+		Table: stats.NewTable("n", "ε req", "ε cert", "max meas err", "flat near-dom", "exact ms/slot", "flat ms/slot", "quad ms/slot"),
+	}
+	r.Pass = true
+	n := cfg.Sizes[len(cfg.Sizes)-1] * 4
+	rng := rand.New(rand.NewSource(17))
+	pts := workload.JitteredGrid(rng, n, 2.6, 0.8)
+	in := sinr.MustInstance(pts, sinr.DefaultParams())
+	p := in.Params()
+	power := p.SafePower(4)
+	txs := make([]sinr.Tx, 0, n/2)
+	for i := 0; i < n; i += 2 {
+		txs = append(txs, sinr.Tx{Sender: i, Power: power})
+	}
+
+	exactMS := stepTime(in, nil, false, cfg.Workers)
+	for _, eps := range quadtreeEps {
+		q, err := in.QuadTree(eps)
+		if err != nil {
+			r.Notes = append(r.Notes, fmt.Sprintf("eps=%v: %v", eps, err))
+			r.Pass = false
+			continue
+		}
+		f, err := in.FarField(eps)
+		if err != nil {
+			r.Notes = append(r.Notes, fmt.Sprintf("eps=%v: %v", eps, err))
+			r.Pass = false
+			continue
+		}
+		sc := q.NewResolver()
+		sc.Accumulate(txs)
+		maxErr := 0.0
+		for probe := 0; probe < 40; probe++ {
+			v := rng.Intn(n/2)*2 + 1
+			best, bestRP, total, sat := sc.Resolve(v, txs)
+			if sat || best < 0 {
+				continue
+			}
+			exactTotal, exactBest := 0.0, 0.0
+			for _, tx := range txs {
+				rp := tx.Power / oracle.PathLoss(oracle.Dist(pts, tx.Sender, v), p.Alpha)
+				exactTotal += rp
+				if rp > exactBest {
+					exactBest = rp
+				}
+			}
+			far := bestRP / (p.Noise + (total - bestRP))
+			exact := exactBest / (p.Noise + (exactTotal - exactBest))
+			// Normalized by the approximate value — the side the
+			// certificate bounds (DESIGN.md §8).
+			if e := math.Abs(exact-far) / far; e > maxErr {
+				maxErr = e
+			}
+		}
+		if maxErr > q.CertifiedMaxRelError() {
+			r.Notes = append(r.Notes, fmt.Sprintf("eps=%v: measured error %v exceeds certified %v",
+				eps, maxErr, q.CertifiedMaxRelError()))
+			r.Pass = false
+		}
+		flatMS := math.NaN()
+		if !f.NearDominated() {
+			flatMS = stepTime(in, f, false, cfg.Workers)
+		}
+		quadMS := stepTime(in, q, false, cfg.Workers)
+		r.Table.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.2f", eps),
+			fmt.Sprintf("%.3f", q.CertifiedMaxRelError()),
+			fmt.Sprintf("%.2e", maxErr),
+			fmt.Sprintf("%v", f.NearDominated()),
+			fmt.Sprintf("%.2f", exactMS),
+			fmt.Sprintf("%.2f", flatMS),
+			fmt.Sprintf("%.2f", quadMS),
+		)
+	}
+
+	// Adaptive-versus-forced shape check on a sparse slot profile: with
+	// every slot under the crossover, the adaptive engine must match the
+	// exact engine's cost structure rather than paying tree accumulation.
+	q, err := in.QuadTree(0.5)
+	if err == nil {
+		forcedMS := stepTime(in, q, false, cfg.Workers)
+		adaptiveMS := stepTime(in, q, true, cfg.Workers)
+		r.Notes = append(r.Notes, fmt.Sprintf(
+			"dense-slot adaptive %.2f ms vs forced-far %.2f ms (adaptive resolves each slot on the cheap side of the calibrated crossover, so it never does worse than always-far)",
+			adaptiveMS, forcedMS))
+		if adaptiveMS > forcedMS*1.5 {
+			r.Notes = append(r.Notes, "adaptive resolved a dense slot markedly slower than always-far")
+			r.Pass = false
+		}
+	}
+	r.Notes = append(r.Notes,
+		"flat near-dom=true marks bounds whose flat plan is near-dominated (one global near ring covers the grid — DESIGN.md §8); the session's FarFlat mode falls back to exact there, so no flat timing exists",
+		"the quadtree certificate (1+θ)^α−1 equals the requested ε exactly (no integral ring radius to round), and the measured error sits orders of magnitude below it (power-weighted centroids cancel the first-order term)",
+		"speed columns cross over with n: see BENCH_quadtree.json for the n ≤ 262144 headline sweep and the flat-vs-quadtree crossover")
+	return r
+}

@@ -12,4 +12,12 @@
 // The package imports internal/sinr and internal/tree for their plain data
 // types only (Params, Link, Tx, TimedLink) — it never calls a method on
 // sinr.Instance or tree.BiTree. All computations take raw point slices.
+//
+// For the far-field engines (farfield.go, quadtree.go) the same rule holds
+// with one refinement: expressions that *partition* the computation — tile
+// binning, ring membership, the quadtree's opening comparison and the
+// centroid folds it reads — are transcribed from the kernel expression for
+// expression (a flipped decision swaps an exact branch for an
+// ε-approximate one, which no tolerance covers), while the physics inside
+// each branch stays naive.
 package oracle

@@ -29,9 +29,14 @@ type DistConfig struct {
 	// Pool, if non-nil, is a shared persistent sim worker pool the
 	// scheduler's engine borrows instead of spawning its own.
 	Pool *sim.Pool
-	// FarField, if non-nil, runs the scheduler's engine under the tile-based
-	// far-field channel approximation (see sim.Config.FarField).
-	FarField *sinr.FarField
+	// FarField, if non-nil, runs the scheduler's engine under a far-field
+	// channel approximation — flat grid or quadtree (see
+	// sim.Config.FarField).
+	FarField sinr.Far
+	// Adaptive, with FarField set, lets the engine pick exact or far-field
+	// resolution per slot from the live sender count (see
+	// sim.Config.Adaptive).
+	Adaptive bool
 }
 
 func (c *DistConfig) defaults(nLinks int) {
@@ -110,7 +115,7 @@ func Distributed(ctx context.Context, in *sinr.Instance, links []sinr.Link, pa s
 	for i := range nodes {
 		procs[i] = nodes[i]
 	}
-	eng, err := sim.NewEngine(in, procs, sim.Config{Workers: cfg.Workers, Seed: cfg.Seed, Pool: cfg.Pool, FarField: cfg.FarField})
+	eng, err := sim.NewEngine(in, procs, sim.Config{Workers: cfg.Workers, Seed: cfg.Seed, Pool: cfg.Pool, FarField: cfg.FarField, Adaptive: cfg.Adaptive})
 	if err != nil {
 		return nil, err
 	}

@@ -118,17 +118,53 @@ type Config struct {
 	// and across concurrent engines. When Pool is nil the engine spawns a
 	// private pool sized by Workers (the pre-session behavior).
 	Pool *Pool
-	// FarField, if non-nil, switches channel resolution to the tile-based
-	// far-field approximation: per slot, senders are aggregated per spatial
-	// tile and a listener resolves distant tiles by centroid mass instead
-	// of sender by sender, within the plan's certified relative error. The
-	// decoded winner and its received power stay exact (the plan refines
-	// any tile that could hide the strongest sender); only Delivery.SINR
-	// carries the ε bound. The plan must be built from the engine's own
-	// Instance. Nil means exact resolution — bit-identical to the
-	// pre-far-field engine.
-	FarField *sinr.FarField
+	// FarField, if non-nil, switches channel resolution to a far-field
+	// approximation plan — the flat tile grid (*sinr.FarField) or the
+	// hierarchical quadtree (*sinr.QuadTree): per slot, senders are
+	// aggregated spatially and a listener resolves distant senders by
+	// centroid mass instead of sender by sender, within the plan's
+	// certified relative error. The decoded winner and its received power
+	// stay exact (both plans refine any aggregate that could hide the
+	// strongest sender); only Delivery.SINR carries the ε bound. The plan
+	// must be built from the engine's own Instance. Nil means exact
+	// resolution — bit-identical to the pre-far-field engine.
+	FarField sinr.Far
+	// Adaptive, with FarField set, selects exact or far-field resolution
+	// per slot from the live sender count: a slot with fewer than the
+	// crossover's senders decodes exactly (sparse slots cost O(n·|txs|),
+	// below the plan's accumulation + walk overhead), a denser slot decodes
+	// through the plan. The choice depends only on |txs|, so runs stay
+	// deterministic and worker-count independent; each slot is bit-identical
+	// to an engine forced to that slot's mode.
+	Adaptive bool
+	// AdaptiveCrossover overrides the calibrated sender-count crossover
+	// (DefaultAdaptiveCrossover) above which an adaptive slot resolves
+	// far-field. Zero selects the default.
+	AdaptiveCrossover int
+
+	// forceFar, when set (tests only), overrides per-slot mode selection:
+	// the slot resolves far-field iff it returns true (and FarField is set
+	// with a non-empty sender set). It is the replay hook the adaptive
+	// drift gate uses to pin "adaptive run ≡ forcing the chosen mode per
+	// slot" bit for bit.
+	forceFar func(slot, senders int) bool
 }
+
+// DefaultAdaptiveCrossover is the calibrated sender count above which a
+// slot is cheaper through the far-field plan than exact. Below it, exact
+// decode costs |listeners|·|txs| direct gains, which undercuts the plan's
+// per-listener walk floor: with S spread-out senders the walk must still
+// reach each occupied region (≈ O(S · levels) visits at a several-fold
+// higher per-visit cost than a gain multiply), so aggregation only pays
+// once nodes hold many senders each. Measured on the jittered-grid bench
+// geometry with uniformly spread senders (BenchmarkAdaptiveCrossover,
+// BENCH_quadtree.json): at n = 65536 the exact and quadtree per-slot
+// curves cross between 512 and 1024 senders at ε = 0.5 and ε = 2.5 alike,
+// and the crossing count is only weakly n-dependent (both sides scale
+// with the listener count; the walk adds one pyramid level per 4× n).
+// 768 sits between the two measured crossings, deliberately toward the
+// exact side — exact slots are also error-free.
+const DefaultAdaptiveCrossover = 768
 
 // Stats counts engine activity for experiment reporting.
 type Stats struct {
@@ -148,6 +184,10 @@ type SlotEvent struct {
 	Senders int
 	// Deliveries is the number of successful decodes.
 	Deliveries int
+	// Far reports that the slot resolved through the far-field plan
+	// (always false on exact engines; on adaptive engines it records the
+	// per-slot mode choice, which the drift gate replays).
+	Far bool
 }
 
 // Observer receives a SlotEvent after every slot. Observers run on the
@@ -180,13 +220,18 @@ type Engine struct {
 	// Physics-kernel state hoisted out of the slot loop.
 	beta  float64
 	noise float64
+	alpha float64
 	gains []float64 // row-major n×n gain table; nil if over memory budget
 
-	// Far-field approximation state (nil in exact mode). The scratch is
+	// Far-field approximation state (nil in exact mode). The resolver is
 	// engine-private: Accumulate fills it serially each slot, the parallel
-	// decode stage only reads it.
-	far    *sinr.FarField
-	farScr *sinr.FarScratch
+	// decode stage only reads it (both plans keep per-listener walk state
+	// on the goroutine stack).
+	far       sinr.Far
+	farScr    sinr.FarResolver
+	adaptive  bool
+	crossover int
+	farSlot   bool // current slot resolves far-field (set serially in Step)
 
 	shards  []shard
 	pool    *Pool // nil when the engine runs serially
@@ -223,13 +268,24 @@ func NewEngine(inst *sinr.Instance, procs []Protocol, cfg Config) (*Engine, erro
 		actions: make([]Action, n),
 		beta:    p.Beta,
 		noise:   p.Noise,
+		alpha:   p.Alpha,
 	}
 	if cfg.FarField != nil {
 		if cfg.FarField.Instance() != inst {
 			return nil, fmt.Errorf("sim: far-field plan built from a different instance")
 		}
 		e.far = cfg.FarField
-		e.farScr = cfg.FarField.NewScratch()
+		e.farScr = cfg.FarField.NewResolver()
+		if cfg.Adaptive {
+			e.adaptive = true
+			e.crossover = cfg.AdaptiveCrossover
+			if e.crossover <= 0 {
+				e.crossover = DefaultAdaptiveCrossover
+			}
+		}
+		// Exact slots on an adaptive engine decode with on-the-fly path
+		// loss (bit-identical to table entries): a far-field session exists
+		// to avoid the O(n²) table, and sparse slots don't need it.
 	} else {
 		// The gain table only pays off on the exact path; far-field mode
 		// targets instances past its memory bound.
@@ -292,11 +348,22 @@ func (e *Engine) Step() {
 	}
 	e.stats.Transmissions += len(e.txs)
 
-	// Stage 2.5 (far-field mode): one serial O(#senders) pass folds the
-	// sender set into per-tile mass/centroid/max-power aggregates the
-	// parallel decode stage reads.
-	if e.far != nil && len(e.txs) > 0 {
-		e.far.Accumulate(e.txs, e.farScr)
+	// Stage 2.5 (far-field mode): pick the slot's resolution mode, then one
+	// serial O(#senders) pass folds the sender set into the plan's
+	// aggregates for the parallel decode stage. Adaptive engines keep
+	// sparse slots exact — below the crossover the plan's accumulation and
+	// per-listener walk floor cost more than |listeners|·|txs| direct
+	// gains — and the choice reads only |txs|, so it is deterministic and
+	// worker-count independent.
+	e.farSlot = e.far != nil && len(e.txs) > 0
+	if e.farSlot && e.adaptive && len(e.txs) < e.crossover {
+		e.farSlot = false
+	}
+	if e.far != nil && e.cfg.forceFar != nil {
+		e.farSlot = e.cfg.forceFar(e.slot, len(e.txs)) && len(e.txs) > 0
+	}
+	if e.farSlot {
+		e.farScr.Accumulate(e.txs)
 	}
 
 	// Stage 3: decode at every listener (parallel). Each listener decodes
@@ -329,6 +396,7 @@ func (e *Engine) Step() {
 			Slot:       slot,
 			Senders:    len(e.txs),
 			Deliveries: delivered,
+			Far:        e.farSlot,
 		})
 	}
 }
@@ -358,7 +426,7 @@ func (e *Engine) decodeRange(lo, hi int, sh *shard) {
 // SINR ≥ β. The sender's distance (for Delivery.Dist) is computed once,
 // only for an actual delivery.
 func (e *Engine) decodeListener(i int, sh *shard) {
-	if e.far != nil {
+	if e.farSlot {
 		e.decodeListenerFar(i, sh)
 		return
 	}
@@ -375,7 +443,10 @@ func (e *Engine) decodeListener(i int, sh *shard) {
 		if row != nil {
 			g = row[t.Sender]
 		} else {
-			g = e.inst.Gain(t.Sender, i)
+			// On-the-fly path loss: bit-identical to a table entry (same
+			// expression), and — unlike Instance.Gain — never forces the
+			// O(n²) table build an adaptive far-field engine avoids.
+			g = 1 / sinr.PowAlphaSq(e.inst.DistSq(t.Sender, i), e.alpha)
 		}
 		if math.IsInf(g, 1) {
 			// A co-located sender (only possible with duplicate points)
@@ -398,13 +469,13 @@ func (e *Engine) decodeListener(i int, sh *shard) {
 }
 
 // decodeListenerFar resolves reception at listener i through the far-field
-// plan: the winner and its received power are exact (the plan refines any
-// tile that could hide the strongest sender), the interference total is
-// approximate within the plan's certified ε, and everything downstream —
+// plan: the winner and its received power are exact (both plans refine any
+// aggregate that could hide the strongest sender), the interference total
+// is approximate within the plan's certified ε, and everything downstream —
 // the β cut, drop injection, delivery bookkeeping — is the shared exact
 // tail.
 func (e *Engine) decodeListenerFar(i int, sh *shard) {
-	best, bestRP, total, saturated := e.far.Resolve(i, e.txs, e.farScr)
+	best, bestRP, total, saturated := e.farScr.Resolve(i, e.txs)
 	if saturated {
 		// A co-located sender drowns the channel, exactly as in exact mode.
 		sh.collided++

@@ -26,9 +26,9 @@ func (in *Instance) Extend(extra []geom.Point) (*Instance, error) {
 	if len(extra) == 0 {
 		return out, nil
 	}
-	// Far-field plans ride along: a plan whose grid still covers the grown
-	// point set bins only the new points (O(k)); plans the growth escapes
-	// are rebuilt lazily on first use.
+	// Far-field plans ride along: a plan whose grid (or root square, for
+	// quadtrees) still covers the grown point set bins only the new points
+	// (O(k)); plans the growth escapes are rebuilt lazily on first use.
 	in.ffMu.Lock()
 	for eps, f := range in.ff {
 		if nf, ok := f.extendTo(out); ok {
@@ -36,6 +36,14 @@ func (in *Instance) Extend(extra []geom.Point) (*Instance, error) {
 				out.ff = make(map[float64]*FarField, len(in.ff))
 			}
 			out.ff[eps] = nf
+		}
+	}
+	for eps, q := range in.qt {
+		if nq, ok := q.extendTo(out); ok {
+			if out.qt == nil {
+				out.qt = make(map[float64]*QuadTree, len(in.qt))
+			}
+			out.qt[eps] = nq
 		}
 	}
 	in.ffMu.Unlock()

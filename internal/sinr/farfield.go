@@ -60,6 +60,60 @@ import (
 // cell·√2 and the error bound degenerates.
 const minFarRing = 2
 
+// Far is the far-field channel-resolution interface shared by the flat tile
+// grid (*FarField) and the hierarchical quadtree (*QuadTree, quadtree.go).
+// A Far value is an immutable plan over one Instance — safe to share across
+// concurrent engines and validators — that hands out per-slot FarResolver
+// state. Every consumer (sim.Config.FarField, tree validation, the session
+// layer) programs against this interface so the two engines stay drop-in
+// interchangeable.
+type Far interface {
+	// Instance returns the instance the plan was built over.
+	Instance() *Instance
+	// MaxRelError returns the requested worst-case relative interference
+	// error bound ε.
+	MaxRelError() float64
+	// CertifiedMaxRelError returns the bound the plan actually certifies,
+	// ≤ MaxRelError (tighter when the plan quantizes its geometry).
+	CertifiedMaxRelError() float64
+	// NewResolver allocates fresh per-slot state bound to the plan, for
+	// long-lived users (engines).
+	NewResolver() FarResolver
+	// AcquireResolver borrows pooled per-slot state for transient users
+	// (validators); pair with ReleaseResolver.
+	AcquireResolver() FarResolver
+	// ReleaseResolver returns a resolver borrowed with AcquireResolver.
+	ReleaseResolver(FarResolver)
+}
+
+// FarResolver is one concurrent user's per-slot view of a Far plan: the
+// mutable accumulator state plus the channel queries that read it.
+// Accumulate must be called (serially) before Resolve/LinkSINR for the same
+// sender set; the queries themselves are read-only on the resolver and safe
+// to issue from concurrent workers. Implementations live in this package
+// (the unexported method pins that down).
+type FarResolver interface {
+	// Accumulate ingests one slot's sender set into the plan's per-tile or
+	// per-node aggregates. O(len(txs) + occupied), allocation-free.
+	Accumulate(txs []Tx)
+	// Resolve computes channel reception at listener v against the
+	// accumulated set: the strongest sender (exact — see the refinement
+	// notes on the implementations), its exact received power, and the
+	// total received power with far senders approximated within the
+	// certified ε. saturated reports a sender co-located with the listener;
+	// best is -1 when no sender is audible.
+	Resolve(v int, txs []Tx) (best int, bestRP, total float64, saturated bool)
+	// LinkSINR returns the approximate SINR of link l whose sender
+	// transmits with power pu among the accumulated set, the link's own
+	// sender excluded from interference. The exact SINR lies within
+	// [·(1−ε), ·(1+ε)] of the returned value for the plan's certified ε.
+	LinkSINR(txs []Tx, l Link, pu float64) float64
+	// distinctSenders rejects a link set with a repeated sender
+	// (ErrDuplicateSender) — the contract the tiled aggregation needs —
+	// using the resolver's stamped mark array (allocation-free).
+	distinctSenders(links []Link) error
+}
+
 // maxFarTiles caps the tile-grid size so degenerate geometries (the
 // exponential chain's astronomically wide bounding box) cannot demand an
 // unbounded scratch allocation. When the cap binds, tiles grow — more of
@@ -180,16 +234,19 @@ func newFarField(in *Instance, maxRelErr float64) (*FarField, error) {
 	return f, nil
 }
 
-// AcquireScratch borrows a per-slot scratch from the plan's pool; pair
-// with ReleaseScratch. Accumulate fully resets a scratch, so pooled reuse
+// NewResolver implements Far: fresh per-slot state for an engine.
+func (f *FarField) NewResolver() FarResolver { return f.NewScratch() }
+
+// AcquireResolver borrows a per-slot scratch from the plan's pool; pair
+// with ReleaseResolver. Accumulate fully resets a scratch, so pooled reuse
 // is safe across unrelated callers.
-func (f *FarField) AcquireScratch() *FarScratch {
+func (f *FarField) AcquireResolver() FarResolver {
 	return f.scratches.Get().(*FarScratch)
 }
 
-// ReleaseScratch returns a scratch borrowed with AcquireScratch.
-func (f *FarField) ReleaseScratch(sc *FarScratch) {
-	f.scratches.Put(sc)
+// ReleaseResolver returns a scratch borrowed with AcquireResolver.
+func (f *FarField) ReleaseResolver(sc FarResolver) {
+	f.scratches.Put(sc.(*FarScratch))
 }
 
 // bin maps a point to its tile index (row-major), clamping boundary points
@@ -228,6 +285,30 @@ func (f *FarField) MaxRelError() float64 { return f.maxRelErr }
 // CertifiedMaxRelError returns the certified worst-case relative
 // interference error ε(k, α) ≤ MaxRelError().
 func (f *FarField) CertifiedMaxRelError() float64 { return f.certErr }
+
+// nearDominanceNum/nearDominanceDen express the ¼ area fraction above which
+// the flat grid's near ring does so much exact work that the whole plan is
+// no faster than exact resolution.
+const (
+	nearDominanceNum = 1
+	nearDominanceDen = 4
+)
+
+// NearDominated reports that the near ring spans so much of the grid that
+// the plan does strictly more work than exact resolution: a listener's
+// (2k+1)² ring covers ≥ ¼ of the cols×rows tiles, so most senders are
+// scanned exactly anyway and the far pass is pure overhead on top. This is
+// the tight-ε failure mode of a flat grid (one global k for the tightest
+// listener — the n=4096, ε=0.5 regression in BENCH_farfield.json); the
+// session layer falls back to exact resolution when it holds, and the
+// hierarchical quadtree (quadtree.go) is the engine that keeps tight ε
+// sub-quadratic. The threshold is a cost-model constant, not a certified
+// bound: ¼ leaves the near scan's extra bookkeeping (tile bucketing, ring
+// walk) comfortably below the far pass's savings on the workload matrix.
+func (f *FarField) NearDominated() bool {
+	ring := 2*f.k + 1
+	return ring*ring*nearDominanceDen >= f.cols*f.rows*nearDominanceNum
+}
 
 // extendTo reuses the plan for an instance grown by Extend: when every
 // appended point falls inside the existing grid, only the new points are
@@ -337,6 +418,49 @@ func (f *FarField) NewScratch() *FarScratch {
 		actCenX:    make([]float64, 0, capActive),
 		actCenY:    make([]float64, 0, capActive),
 	}
+}
+
+// Accumulate implements FarResolver over the scratch's own plan.
+func (sc *FarScratch) Accumulate(txs []Tx) { sc.f.Accumulate(txs, sc) }
+
+// Resolve implements FarResolver over the scratch's own plan.
+func (sc *FarScratch) Resolve(v int, txs []Tx) (best int, bestRP, total float64, saturated bool) {
+	return sc.f.Resolve(v, txs, sc)
+}
+
+// LinkSINR implements FarResolver over the scratch's own plan.
+func (sc *FarScratch) LinkSINR(txs []Tx, l Link, pu float64) float64 {
+	return sc.f.LinkSINR(txs, l, pu, sc)
+}
+
+// distinctSenders implements FarResolver via the shared mark-array check.
+func (sc *FarScratch) distinctSenders(links []Link) error {
+	return checkDistinctSenders(sc.senderMark, &sc.markEpoch, links)
+}
+
+// checkDistinctSenders rejects a link set with a repeated sender: a tiled
+// (or pyramid) evaluation aggregates each sender's power exactly once, so
+// a sender appearing on two links would be mis-excluded (and could
+// overflow the node-sized bucketing). The exact check sums duplicates
+// fine, so reject them here rather than diverge silently — via a stamped
+// mark array, keeping the validation path allocation-free. Per-slot
+// schedules satisfy the contract by construction (one up-link per node per
+// slot). Shared by both resolvers' distinctSenders methods.
+func checkDistinctSenders(mark []uint32, epoch *uint32, links []Link) error {
+	*epoch++
+	if *epoch == 0 {
+		for i := range mark {
+			mark[i] = 0
+		}
+		*epoch = 1
+	}
+	for _, l := range links {
+		if mark[l.From] == *epoch {
+			return ErrDuplicateSender
+		}
+		mark[l.From] = *epoch
+	}
+	return nil
 }
 
 // nearWindow returns the clamped tile window of node v's near ring —
@@ -575,33 +699,18 @@ func (f *FarField) LinkSINR(txs []Tx, l Link, pu float64, sc *FarScratch) float6
 // link's approximate SINR is at least β/(1+ε) — and ε-sound: a rejection
 // certifies exact infeasibility, while an acceptance certifies exact SINR
 // ≥ β·(1−ε)/(1+ε) on every link. Nothing flips silently: the band is fixed
-// by f.CertifiedMaxRelError and ε = 0 (f == nil) is the exact check.
-func (in *Instance) SINRFeasibleFarBuf(links []Link, powers []float64, f *FarField, scratch []Tx, sc *FarScratch) (bool, error) {
+// by f.CertifiedMaxRelError and ε = 0 (f == nil) is the exact check. The
+// check works identically for both far-field engines — f and sc may be a
+// flat-grid or a quadtree plan/resolver pair (sc must come from f).
+func (in *Instance) SINRFeasibleFarBuf(links []Link, powers []float64, f Far, scratch []Tx, sc FarResolver) (bool, error) {
 	if f == nil {
 		return in.SINRFeasibleBuf(links, powers, scratch)
 	}
 	if len(links) != len(powers) {
 		return false, ErrMismatchedLengths
 	}
-	// The tiled evaluation aggregates each sender's power into its tile
-	// exactly once; a sender appearing on two links would be mis-excluded
-	// (and could overflow the node-sized bucketing). The exact check sums
-	// duplicates fine, so reject them here rather than diverge silently —
-	// via the scratch's stamped mark array, keeping the validation path
-	// allocation-free. Per-slot schedules satisfy the contract by
-	// construction (one up-link per node per slot).
-	sc.markEpoch++
-	if sc.markEpoch == 0 {
-		for i := range sc.senderMark {
-			sc.senderMark[i] = 0
-		}
-		sc.markEpoch = 1
-	}
-	for _, l := range links {
-		if sc.senderMark[l.From] == sc.markEpoch {
-			return false, ErrDuplicateSender
-		}
-		sc.senderMark[l.From] = sc.markEpoch
+	if err := sc.distinctSenders(links); err != nil {
+		return false, err
 	}
 	txs := scratch[:0]
 	if cap(txs) < len(links) {
@@ -610,11 +719,11 @@ func (in *Instance) SINRFeasibleFarBuf(links []Link, powers []float64, f *FarFie
 	for i, l := range links {
 		txs = append(txs, Tx{Sender: l.From, Power: powers[i]})
 	}
-	f.Accumulate(txs, sc)
+	sc.Accumulate(txs)
 	cut := in.params.Beta - 1e-9
-	band := 1 + f.certErr
+	band := 1 + f.CertifiedMaxRelError()
 	for i, l := range links {
-		if f.LinkSINR(txs, l, powers[i], sc)*band < cut {
+		if sc.LinkSINR(txs, l, powers[i])*band < cut {
 			return false, nil
 		}
 	}

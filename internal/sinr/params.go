@@ -101,7 +101,8 @@ type Instance struct {
 	gainReady atomic.Bool // set once gainOnce has resolved (built, seeded, or skipped)
 
 	ffMu sync.Mutex
-	ff   map[float64]*FarField // far-field plans keyed by requested ε (farfield.go)
+	ff   map[float64]*FarField // flat far-field plans keyed by requested ε (farfield.go)
+	qt   map[float64]*QuadTree // hierarchical plans keyed by requested ε (quadtree.go)
 }
 
 // NewInstance creates an instance over pts. The points are not copied; the

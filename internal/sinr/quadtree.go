@@ -1,0 +1,692 @@
+package sinr
+
+// The hierarchical (quadtree) far-field engine: the Barnes–Hut counterpart
+// of the flat tile grid in farfield.go, and the default engine behind
+// WithMaxRelError. The flat grid forces ONE global near-ring radius k on
+// every listener — sized for the tightest ε — so below ε ≈ 0.5 its near
+// ring swallows most of the instance and the plan does strictly more work
+// than exact resolution (the n = 4096, ε = 0.5 regression in
+// BENCH_farfield.json). The quadtree instead resolves interference at a
+// resolution *adapted to each listener*: senders are aggregated into a
+// pyramid of square nodes (leaves are flat tiles; every parent covers its
+// four children), and each listener walks the pyramid top-down, opening a
+// node only when its aggregate could violate the listener's ε budget.
+// Distant clutter collapses into a handful of coarse nodes; nearby senders
+// are resolved leaf-exact — tight ε stays cheap because only the listener's
+// own neighborhood pays for it.
+//
+// Geometry. The root is the square of side span = max(bbox width, height)
+// anchored at the bounding box's lower corner. Level ℓ splits it into
+// 2^ℓ × 2^ℓ squares; the deepest level L has ~n leaves (L ≈ log₄ n),
+// clamped so the leaf side never drops below 1 — the paper's min-distance
+// normalization, exactly the flat grid's floor — and the leaf count never
+// exceeds maxFarTiles. Nodes are stored as one linearized pyramid (level
+// offsets (4^ℓ−1)/3), so a node's parent, children, and square are index
+// arithmetic — no pointers, no per-node allocation.
+//
+// Per-slot accumulation. One bottom-up pass per slot (Accumulate): senders
+// fold into their leaf's aggregates — total transmit mass Σ P_w, raw
+// power-weighted coordinate sums Σ P_w·x, Σ P_w·y, and the strongest single
+// power — then each occupied level folds into the level above, touching
+// only occupied nodes (epoch-stamped, like the flat scratch), in
+// O(#senders + #occupied nodes) with zero allocations. Centroids are
+// normalized once at the end, so every level's centroid is the exact
+// power-weighted centroid of the senders below it — which lies in their
+// convex hull, hence inside the node's square: the only property the error
+// bound needs.
+//
+// Opening criterion. For a node of side s, every member lies within
+// R = s·√2 of the node's centroid (both are inside the square). With D the
+// listener→centroid distance and δ = R/D, each member's true distance lies
+// in [D(1−δ), D(1+δ)], so the aggregated gain mass/D^α mis-states each
+// member's gain by a factor in [(1−δ)^α, (1+δ)^α] — the same algebra as
+// DESIGN.md §7 with the tile diagonal generalized to the node
+// diameter/distance ratio δ (§8 carries the derivation). The binding side
+// is the overestimate, (1+δ)^α ≤ 1+ε, so a node is ACCEPTED (aggregated as
+// one term) iff
+//
+//	δ ≤ θ(ε, α) = min( (1+ε)^{1/α} − 1, √2/minFarRing )
+//
+// equivalently D ≥ s·√2/θ — per level a precomputed squared radius, one
+// float compare per visited node. The √2/minFarRing clamp mirrors the flat
+// grid's k ≥ 2 floor: δ stays ≤ √2/2 < 1 so member distances stay bounded
+// away from zero and (1−δ)^α ≥ 1−ε holds on the underestimate side too.
+// Unlike the flat grid there is no integral k to round, so the certified
+// bound (1+θ)^α − 1 equals the requested ε whenever the clamp is slack.
+//
+// Winner exactness. As in the flat grid, channel decode must crown the
+// true strongest sender. An accepted node's best possible single received
+// power is pmax · (mass-free) centroid gain · 1/(1−θ)^α (a member is at
+// distance ≥ D(1−δ) ≥ D(1−θ)); when that could beat the best exact
+// candidate so far, Resolve opens the node instead of accepting it,
+// descending until the threat is either refuted at a coarser level or
+// resolved sender-by-sender in a leaf. The decoded winner and its received
+// power are therefore always exact; only the interference total carries ε.
+//
+// Determinism and lockstep. LinkSINR walks a fixed-order DFS (children in
+// index order), accumulation folds in first-touch order, and acceptance
+// compares the same float expressions the naive reference in
+// internal/oracle/quadtree.go transcribes — so kernel and oracle take
+// identical open/accept decisions and differ only by the physics kernel's
+// few-ulp rounding (pinned at 1e-12 by the differential suite). Resolve
+// instead descends proximity-first (nearest child quadrant before its
+// siblings) so the refinement pruning sees a strong bestRP early; that
+// order is a pure function of the listener position and the static
+// geometry, so engine runs stay deterministic and worker-count
+// independent (Resolve has no oracle mirror — its tests pin the winner
+// against the exact argmax and the total against the certified band, both
+// traversal-order-free properties).
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"sinrconn/internal/geom"
+)
+
+// maxQuadLevels caps the pyramid depth: 4^9 = 262144 leaves = maxFarTiles,
+// the same scratch bound the flat grid honors.
+const maxQuadLevels = 9
+
+// QuadLevels returns the pyramid depth for an n-node instance whose root
+// square has the given side: ≈ log₄(n/4) (about four nodes per leaf — the
+// measured optimum of the leaf-scan-versus-pyramid-walk tradeoff, both
+// sides of which scale as θ⁻²; one level deeper trades ~4·2π/θ² extra node
+// visits for a ~4× smaller exact-scan disk, and ~4 nodes per leaf is where
+// the two marginal costs meet on the bench geometry). The depth is lowered
+// until the leaf side span/2^L is at least 1 (the min-distance
+// normalization — a leaf never subdivides the model's unit scale) and
+// clamped to maxQuadLevels.
+func QuadLevels(n int, span float64) int {
+	l := int(math.Ceil(math.Log2(math.Max(2, float64(n)))/2)) - 1
+	if l > maxQuadLevels {
+		l = maxQuadLevels
+	}
+	for l > 0 && span/float64(int32(1)<<l) < 1 {
+		l--
+	}
+	if l < 0 {
+		l = 0
+	}
+	return l
+}
+
+// QuadTheta returns the opening threshold θ(ε, α): the largest admissible
+// node-diameter/centroid-distance ratio, (1+ε)^{1/α} − 1 clamped to
+// √2/minFarRing (the flat grid's k ≥ 2 floor, keeping δ < 1).
+func QuadTheta(alpha, maxRelErr float64) float64 {
+	t := math.Pow(1+maxRelErr, 1/alpha) - 1
+	if max := math.Sqrt2 / minFarRing; t > max {
+		t = max
+	}
+	return t
+}
+
+// QuadCertifiedErr returns (1+θ)^α − 1, the worst-case relative
+// interference error certified by opening threshold θ. It equals the
+// requested ε whenever the θ clamp is slack.
+func QuadCertifiedErr(theta, alpha float64) float64 {
+	return math.Pow(1+theta, alpha) - 1
+}
+
+// QuadTree is an immutable hierarchical far-field plan over one Instance:
+// the pyramid geometry, the node→leaf assignment, and the per-level opening
+// radii derived from the requested error bound. Build one with
+// Instance.QuadTree (plans are cached per ε on the instance); per-slot
+// state lives in a QuadScratch so one plan serves concurrent engines and
+// validators. QuadTree implements Far.
+type QuadTree struct {
+	in        *Instance
+	maxRelErr float64 // requested bound
+	certErr   float64 // certified bound (1+θ)^α − 1 ≤ maxRelErr
+	theta     float64
+	levels    int     // L: leaves form a 2^L × 2^L grid
+	cell      float64 // leaf side
+	ox, oy    float64
+	leafDim   int32 // 2^L
+	nodes     int   // total pyramid size (4^{L+1}−1)/3
+	levelOff  []int32
+	openRad2  []float64 // per level: squared opening radius (s·√2/θ)²
+	side      []float64 // per level: node side s = cell·2^{L−ℓ}
+	// refineFac bounds any member's gain relative to the gain at its node's
+	// centroid: member distance ≥ D(1−θ) at an accepted node, so member
+	// gain ≤ centroid gain · 1/(1−θ)^α. Resolve uses it to decide which
+	// accepted nodes could hide the strongest sender and must be opened.
+	refineFac float64
+	leafOf    []int32 // node(point) → leaf-local id (row-major at level L)
+
+	scratches *sync.Pool
+}
+
+// newQuadTree derives the plan. Kept in lockstep with the independent naive
+// derivation in internal/oracle/quadtree.go — the differential suite
+// asserts the two agree on (levels, cell, binning, opening radii) exactly.
+func newQuadTree(in *Instance, maxRelErr float64) (*QuadTree, error) {
+	if !(maxRelErr > 0) || math.IsInf(maxRelErr, 1) {
+		return nil, fmt.Errorf("sinr: quadtree max relative error must be positive and finite, got %v", maxRelErr)
+	}
+	n := len(in.pts)
+	alpha := in.params.Alpha
+	lo, hi := geom.BoundingBox(in.pts)
+	span := hi.X - lo.X
+	if h := hi.Y - lo.Y; h > span {
+		span = h
+	}
+	if !(span > 0) { // degenerate (single point / duplicate) boxes
+		span = 1
+	}
+	l := QuadLevels(n, span)
+	theta := QuadTheta(alpha, maxRelErr)
+	// θ analytically inverts (1+ε)^{1/α}−1, so the certificate is exactly ε
+	// when the clamp is slack; the float round-trip can land an ulp above,
+	// which the min repairs (the analytic bound is ε, not ε+ulp).
+	certErr := QuadCertifiedErr(theta, alpha)
+	if certErr > maxRelErr {
+		certErr = maxRelErr
+	}
+	q := &QuadTree{
+		in:        in,
+		maxRelErr: maxRelErr,
+		certErr:   certErr,
+		theta:     theta,
+		levels:    l,
+		cell:      span / float64(int32(1)<<l),
+		ox:        lo.X,
+		oy:        lo.Y,
+		leafDim:   int32(1) << l,
+		levelOff:  make([]int32, l+1),
+		openRad2:  make([]float64, l+1),
+		side:      make([]float64, l+1),
+		refineFac: math.Pow(1/(1-theta), alpha),
+	}
+	off := int32(0)
+	for lvl := 0; lvl <= l; lvl++ {
+		q.levelOff[lvl] = off
+		off += (int32(1) << lvl) * (int32(1) << lvl)
+		side := q.cell * float64(int32(1)<<(l-lvl))
+		q.side[lvl] = side
+		or := side * math.Sqrt2 / theta
+		q.openRad2[lvl] = or * or
+	}
+	q.nodes = int(off)
+	q.leafOf = make([]int32, n)
+	for i, p := range in.pts {
+		q.leafOf[i] = q.bin(p)
+	}
+	q.scratches = &sync.Pool{New: func() any { return q.NewScratch() }}
+	return q, nil
+}
+
+// bin maps a point to its leaf-local id (row-major at level L), clamping
+// boundary points into the grid.
+func (q *QuadTree) bin(p geom.Point) int32 {
+	tx := int32(math.Floor((p.X - q.ox) / q.cell))
+	ty := int32(math.Floor((p.Y - q.oy) / q.cell))
+	if tx < 0 {
+		tx = 0
+	} else if tx >= q.leafDim {
+		tx = q.leafDim - 1
+	}
+	if ty < 0 {
+		ty = 0
+	} else if ty >= q.leafDim {
+		ty = q.leafDim - 1
+	}
+	return ty*q.leafDim + tx
+}
+
+// Instance returns the instance the plan was built over.
+func (q *QuadTree) Instance() *Instance { return q.in }
+
+// MaxRelError returns the requested error bound.
+func (q *QuadTree) MaxRelError() float64 { return q.maxRelErr }
+
+// CertifiedMaxRelError returns the certified worst-case relative
+// interference error (1+θ)^α − 1 ≤ MaxRelError().
+func (q *QuadTree) CertifiedMaxRelError() float64 { return q.certErr }
+
+// Levels returns the pyramid depth L (leaves are level L).
+func (q *QuadTree) Levels() int { return q.levels }
+
+// LeafCell returns the leaf side.
+func (q *QuadTree) LeafCell() float64 { return q.cell }
+
+// Leaves returns the leaf count of the deepest level.
+func (q *QuadTree) Leaves() int { return int(q.leafDim) * int(q.leafDim) }
+
+// Nodes returns the total pyramid node count across all levels.
+func (q *QuadTree) Nodes() int { return q.nodes }
+
+// Theta returns the opening threshold θ(ε, α).
+func (q *QuadTree) Theta() float64 { return q.theta }
+
+// OpenRadius2 returns the squared opening radius of level lvl — a node at
+// that level is aggregated iff the listener's squared centroid distance is
+// at least this value (exported for the oracle lockstep suite).
+func (q *QuadTree) OpenRadius2(lvl int) float64 { return q.openRad2[lvl] }
+
+// NearDominated reports that the leaf-level opening horizon reaches a
+// quarter of the root square's side: the opened-leaf disk then covers
+// ≥ π/16 ≈ 20% of the instance, and the walk's exact scans plus pyramid
+// overhead measurably undercut plain exact resolution — the quadtree
+// analog of the flat grid's NearDominated regime (measured boundary: at
+// ε = 0.1 the n = 65536 walk, horizon/side ≈ 0.34, runs 1.3× slower than
+// exact, while n = 262144, horizon/side ≈ 0.17, wins — see
+// BENCH_quadtree.json). It holds for tight ε at small instances (the
+// opening radius is ≥ cell·√2/θ ≥ √2/θ units, so a span below ~4√2/θ
+// cannot be resolved hierarchically); the session's FarAuto mode falls
+// back to exact resolution when it does, a forced FarQuadtree run keeps
+// the plan. Equivalently, since horizon/side = (√2/θ)/2^L: the pyramid
+// needs depth 2^L > 4√2/θ before hierarchy pays.
+func (q *QuadTree) NearDominated() bool {
+	quarter := q.side[0] / 4
+	return q.openRad2[q.levels] >= quarter*quarter
+}
+
+// LeafCoords returns node i's leaf coordinates at the deepest level
+// (exported for the oracle lockstep suite).
+func (q *QuadTree) LeafCoords(i int) (x, y int) {
+	t := q.leafOf[i]
+	return int(t % q.leafDim), int(t / q.leafDim)
+}
+
+// NewResolver implements Far: fresh per-slot state for an engine.
+func (q *QuadTree) NewResolver() FarResolver { return q.NewScratch() }
+
+// AcquireResolver borrows pooled per-slot state; pair with ReleaseResolver.
+func (q *QuadTree) AcquireResolver() FarResolver {
+	return q.scratches.Get().(*QuadScratch)
+}
+
+// ReleaseResolver returns a scratch borrowed with AcquireResolver.
+func (q *QuadTree) ReleaseResolver(sc FarResolver) {
+	q.scratches.Put(sc.(*QuadScratch))
+}
+
+// extendTo reuses the plan for an instance grown by Extend: when every
+// appended point falls inside the root square, only the new points are
+// binned (O(new)); otherwise the grown instance rebuilds its plan lazily.
+func (q *QuadTree) extendTo(out *Instance) (*QuadTree, bool) {
+	n := len(q.in.pts)
+	m := len(out.pts)
+	side := q.cell * float64(q.leafDim)
+	for _, p := range out.pts[n:] {
+		if p.X < q.ox || p.Y < q.oy || p.X > q.ox+side || p.Y > q.oy+side {
+			return nil, false
+		}
+	}
+	nq := *q
+	nq.in = out
+	nq.leafOf = make([]int32, m)
+	copy(nq.leafOf, q.leafOf)
+	for i := n; i < m; i++ {
+		nq.leafOf[i] = nq.bin(out.pts[i])
+	}
+	nq.scratches = &sync.Pool{New: func() any { return nq.NewScratch() }}
+	return &nq, true
+}
+
+// QuadTree returns the hierarchical plan for the given error bound,
+// building and caching it on first use (one plan per distinct ε, read-only
+// after build — safe to share across concurrent runs, exactly like the
+// flat-grid cache).
+func (in *Instance) QuadTree(maxRelErr float64) (*QuadTree, error) {
+	in.ffMu.Lock()
+	defer in.ffMu.Unlock()
+	if q, ok := in.qt[maxRelErr]; ok {
+		return q, nil
+	}
+	q, err := newQuadTree(in, maxRelErr)
+	if err != nil {
+		return nil, err
+	}
+	if in.qt == nil {
+		in.qt = make(map[float64]*QuadTree)
+	}
+	if len(in.qt) >= maxFarPlans {
+		for eps := range in.qt {
+			delete(in.qt, eps)
+			break
+		}
+	}
+	in.qt[maxRelErr] = q
+	return q, nil
+}
+
+// QuadScratch is the per-slot mutable state of a quadtree plan: the
+// epoch-stamped pyramid accumulators, per-level active lists, and the leaf
+// bucketing for exact scans. One scratch belongs to one concurrent user;
+// all buffers are allocated once at NewScratch so the per-slot
+// Accumulate/Resolve cycle allocates nothing. Resolve and LinkSINR keep
+// their DFS stacks on the goroutine stack, so concurrent listeners may
+// share one scratch read-only.
+type QuadScratch struct {
+	q     *QuadTree
+	epoch uint32
+	// Per-node accumulators (global pyramid ids), valid where stamp ==
+	// epoch. cenX/cenY hold raw Σ P·coord sums during the bottom-up pass
+	// and normalized centroids after it.
+	stamp []uint32
+	mass  []float64
+	cenX  []float64
+	cenY  []float64
+	pmax  []float64
+	// active lists each level's occupied nodes (local row-major ids) in
+	// first-touch order.
+	active [][]int32
+	// Leaf bucketing for exact scans (leaf-local ids), as in FarScratch.
+	start []int32
+	fill  []int32
+	order []int32
+	// senderMark/markEpoch implement the zero-alloc duplicate-sender check
+	// shared with the flat grid's scratch.
+	senderMark []uint32
+	markEpoch  uint32
+}
+
+// NewScratch allocates per-slot state for the plan.
+func (q *QuadTree) NewScratch() *QuadScratch {
+	n := len(q.in.pts)
+	leaves := q.Leaves()
+	active := make([][]int32, q.levels+1)
+	for lvl := range active {
+		capL := 1 << (2 * lvl)
+		if n < capL {
+			capL = n
+		}
+		active[lvl] = make([]int32, 0, capL)
+	}
+	return &QuadScratch{
+		q:          q,
+		stamp:      make([]uint32, q.nodes),
+		mass:       make([]float64, q.nodes),
+		cenX:       make([]float64, q.nodes),
+		cenY:       make([]float64, q.nodes),
+		pmax:       make([]float64, q.nodes),
+		active:     active,
+		start:      make([]int32, leaves),
+		fill:       make([]int32, leaves),
+		order:      make([]int32, n),
+		senderMark: make([]uint32, n),
+	}
+}
+
+// Accumulate implements FarResolver: one bottom-up pass folds the slot's
+// sender set into the pyramid — leaf aggregates and bucketing in tx order,
+// then each level into its parents in first-touch order, then one centroid
+// normalization sweep over the active nodes. O(len(txs) + occupied nodes),
+// allocation-free.
+func (sc *QuadScratch) Accumulate(txs []Tx) {
+	q := sc.q
+	sc.epoch++
+	if sc.epoch == 0 { // uint32 wrap: invalidate all stamps once
+		for i := range sc.stamp {
+			sc.stamp[i] = 0
+		}
+		sc.epoch = 1
+	}
+	ep := sc.epoch
+	l := q.levels
+	for lvl := range sc.active {
+		sc.active[lvl] = sc.active[lvl][:0]
+	}
+	leafOff := q.levelOff[l]
+	leaves := sc.active[l]
+	for i := range txs {
+		t := q.leafOf[txs[i].Sender]
+		g := leafOff + t
+		if sc.stamp[g] != ep {
+			sc.stamp[g] = ep
+			sc.mass[g], sc.cenX[g], sc.cenY[g], sc.pmax[g] = 0, 0, 0, 0
+			sc.fill[t] = 0
+			leaves = append(leaves, t)
+		}
+		p := txs[i].Power
+		pt := q.in.pts[txs[i].Sender]
+		sc.mass[g] += p
+		sc.cenX[g] += p * pt.X
+		sc.cenY[g] += p * pt.Y
+		if p > sc.pmax[g] {
+			sc.pmax[g] = p
+		}
+		sc.fill[t]++
+	}
+	sc.active[l] = leaves
+	ofs := int32(0)
+	for _, t := range leaves {
+		sc.start[t] = ofs
+		ofs += sc.fill[t]
+		sc.fill[t] = 0
+	}
+	for i := range txs {
+		t := q.leafOf[txs[i].Sender]
+		sc.order[sc.start[t]+sc.fill[t]] = int32(i)
+		sc.fill[t]++
+	}
+	// Bottom-up fold: raw sums propagate so a parent's centroid is the
+	// exact power-weighted centroid of every sender below it.
+	for lvl := l; lvl > 0; lvl-- {
+		dim := int32(1) << lvl
+		childOff := q.levelOff[lvl]
+		parentOff := q.levelOff[lvl-1]
+		plist := sc.active[lvl-1]
+		for _, t := range sc.active[lvl] {
+			x, y := t%dim, t/dim
+			pl := (y>>1)*(dim>>1) + x>>1
+			pg := parentOff + pl
+			g := childOff + t
+			if sc.stamp[pg] != ep {
+				sc.stamp[pg] = ep
+				sc.mass[pg], sc.cenX[pg], sc.cenY[pg], sc.pmax[pg] = 0, 0, 0, 0
+				plist = append(plist, pl)
+			}
+			sc.mass[pg] += sc.mass[g]
+			sc.cenX[pg] += sc.cenX[g]
+			sc.cenY[pg] += sc.cenY[g]
+			if sc.pmax[g] > sc.pmax[pg] {
+				sc.pmax[pg] = sc.pmax[g]
+			}
+		}
+		sc.active[lvl-1] = plist
+	}
+	for lvl := 0; lvl <= l; lvl++ {
+		off := q.levelOff[lvl]
+		for _, t := range sc.active[lvl] {
+			g := off + t
+			if m := sc.mass[g]; m > 0 {
+				sc.cenX[g] /= m
+				sc.cenY[g] /= m
+			}
+		}
+	}
+}
+
+// quadStackCap bounds the DFS stack: a walk holds at most 3 pending
+// siblings per level plus the 4 children just pushed.
+const quadStackCap = 4*maxQuadLevels + 4
+
+// Resolve implements FarResolver: channel reception at listener v with the
+// strongest sender exact (see the refinement note in the package comment)
+// and far nodes aggregated within the certified ε. The DFS stack lives on
+// the goroutine stack, so concurrent listeners share the scratch safely.
+//
+// Unlike LinkSINR's fixed child order, Resolve descends proximity-first:
+// at each opened node, the child quadrant containing the listener is
+// visited first, then its lateral neighbors, then the diagonal. The walk
+// therefore beelines to the listener's own leaf and seeds bestRP with the
+// likely winner before touching the rest of the pyramid — without it, the
+// "could this node hide the winner" refinement compares against a
+// near-zero bestRP across the early quadrants and opens nearly everything,
+// degenerating the walk toward an exact scan. The order depends only on
+// the listener's coordinates and the static node geometry, so runs stay
+// deterministic and worker-count independent.
+func (sc *QuadScratch) Resolve(v int, txs []Tx) (best int, bestRP, total float64, saturated bool) {
+	q := sc.q
+	in := q.in
+	alpha := in.params.Alpha
+	pv := in.pts[v]
+	best = -1
+	ep := sc.epoch
+	l := q.levels
+	var stack [quadStackCap]int64
+	if sc.stamp[0] != ep {
+		return best, 0, 0, false // no senders accumulated
+	}
+	stack[0] = 0 // root: level 0, local id 0
+	top := 1
+	for top > 0 {
+		top--
+		e := stack[top]
+		lvl := int(e >> 32)
+		t := int32(e)
+		g := q.levelOff[lvl] + t
+		dx := pv.X - sc.cenX[g]
+		dy := pv.Y - sc.cenY[g]
+		d2 := dx*dx + dy*dy
+		if d2 >= q.openRad2[lvl] {
+			gc := 1 / PowAlphaSq(d2, alpha)
+			if sc.pmax[g]*gc*q.refineFac <= bestRP {
+				total += sc.mass[g] * gc
+				continue
+			}
+			// The node could hide a sender outreceiving the best exact
+			// candidate so far: open it (the bound only shrinks as best
+			// grows, so nodes already accepted stay safe).
+		}
+		if lvl == l {
+			for _, oi := range sc.order[sc.start[t] : sc.start[t]+sc.fill[t]] {
+				tr := &txs[oi]
+				sd2 := pv.DistSq(in.pts[tr.Sender])
+				if sd2 == 0 {
+					return -1, 0, 0, true
+				}
+				rp := tr.Power / PowAlphaSq(sd2, alpha)
+				total += rp
+				if rp > bestRP {
+					bestRP = rp
+					best = int(oi)
+				}
+			}
+			continue
+		}
+		dim := int32(1) << lvl
+		x := t % dim
+		y := t / dim
+		cdim := dim << 1
+		clvl := int64(lvl+1) << 32
+		coff := q.levelOff[lvl+1]
+		// Nearest child: which side of the node's midlines the listener
+		// falls on (clamped outside the node by the comparison itself).
+		cside := q.side[lvl+1]
+		var nx, ny int32
+		if pv.X >= q.ox+float64(2*x+1)*cside {
+			nx = 1
+		}
+		if pv.Y >= q.oy+float64(2*y+1)*cside {
+			ny = 1
+		}
+		cx := 2*x + nx
+		cy := 2*y + ny
+		// Occupied children pushed in reverse: popped order is nearest,
+		// x-neighbor, y-neighbor, diagonal (empty quadrants are filtered
+		// here, before they cost a stack round-trip).
+		for _, c := range [4]int32{(cy^1)*cdim + (cx ^ 1), (cy^1)*cdim + cx, cy*cdim + (cx ^ 1), cy*cdim + cx} {
+			if sc.stamp[coff+c] == ep && sc.mass[coff+c] != 0 {
+				stack[top] = clvl | int64(c)
+				top++
+			}
+		}
+	}
+	return best, bestRP, total, false
+}
+
+// LinkSINR implements FarResolver: the approximate SINR of link l whose
+// sender transmits with power pu among the accumulated set — exact signal,
+// leaf-exact interference inside the opening horizon, aggregated nodes
+// beyond it (never refined — no winner is sought). The link's own sender is
+// excluded exactly in opened leaves and by mass subtraction in the
+// aggregated ancestor that absorbs it; txs must contain at most one entry
+// per sender (the per-slot schedule invariant). The exact SINR lies within
+// [·(1−ε), ·(1+ε)] of the returned value for ε = CertifiedMaxRelError.
+func (sc *QuadScratch) LinkSINR(txs []Tx, l Link, pu float64) float64 {
+	q := sc.q
+	in := q.in
+	alpha := in.params.Alpha
+	u, v := l.From, l.To
+	pv := in.pts[v]
+	signal := pu / PowAlphaSq(pv.DistSq(in.pts[u]), alpha)
+	if signal == 0 {
+		return 0
+	}
+	ep := sc.epoch
+	lv := q.levels
+	ul := q.leafOf[u]
+	ux, uy := ul%q.leafDim, ul/q.leafDim
+	interference := 0.0
+	if sc.stamp[0] != ep {
+		return signal / in.params.Noise
+	}
+	var stack [quadStackCap]int64
+	stack[0] = 0
+	top := 1
+	for top > 0 {
+		top--
+		e := stack[top]
+		lvl := int(e >> 32)
+		t := int32(e)
+		g := q.levelOff[lvl] + t
+		dx := pv.X - sc.cenX[g]
+		dy := pv.Y - sc.cenY[g]
+		d2 := dx*dx + dy*dy
+		if d2 >= q.openRad2[lvl] {
+			m := sc.mass[g]
+			shift := uint(lv - lvl)
+			dim := int32(1) << lvl
+			if t%dim == ux>>shift && t/dim == uy>>shift {
+				// The link's own sender sits under this aggregated node:
+				// remove its share of the mass (the centroid stays inside
+				// the square, so the error bound is unaffected).
+				m -= pu
+			}
+			if m <= 0 {
+				continue
+			}
+			interference += m / PowAlphaSq(d2, alpha)
+			continue
+		}
+		if lvl == lv {
+			for _, oi := range sc.order[sc.start[t] : sc.start[t]+sc.fill[t]] {
+				tr := &txs[oi]
+				if tr.Sender == u {
+					continue
+				}
+				interference += tr.Power / PowAlphaSq(pv.DistSq(in.pts[tr.Sender]), alpha)
+			}
+			continue
+		}
+		dim := int32(1) << lvl
+		cx := t % dim * 2
+		cy := t / dim * 2
+		cdim := dim << 1
+		clvl := int64(lvl+1) << 32
+		coff := q.levelOff[lvl+1]
+		// Occupied children pushed in reverse so they pop in index order —
+		// the fixed walk order the oracle lockstep transcribes (its
+		// recursion skips empty nodes at entry; filtering before the push
+		// visits the same nodes in the same order).
+		for _, c := range [4]int32{(cy+1)*cdim + cx + 1, (cy+1)*cdim + cx, cy*cdim + cx + 1, cy*cdim + cx} {
+			if sc.stamp[coff+c] == ep && sc.mass[coff+c] != 0 {
+				stack[top] = clvl | int64(c)
+				top++
+			}
+		}
+	}
+	return signal / (in.params.Noise + interference)
+}
+
+// distinctSenders implements FarResolver via the shared mark-array check
+// (checkDistinctSenders, farfield.go).
+func (sc *QuadScratch) distinctSenders(links []Link) error {
+	return checkDistinctSenders(sc.senderMark, &sc.markEpoch, links)
+}

@@ -253,17 +253,17 @@ func (t *BiTree) ValidatePerSlotFeasible(in *sinr.Instance) error {
 }
 
 // ValidatePerSlotFeasibleFar is ValidatePerSlotFeasible under the far-field
-// approximation plan f: each slot group is checked with
-// sinr.Instance.SINRFeasibleFarBuf, which accepts a (1±ε) guard band at the
-// β cut (ε = f.CertifiedMaxRelError). The check never rejects a schedule
+// approximation plan f (flat grid or quadtree): each slot group is checked
+// with sinr.Instance.SINRFeasibleFarBuf, which accepts a (1±ε) guard band at
+// the β cut (ε = f.CertifiedMaxRelError). The check never rejects a schedule
 // the exact validator accepts; a schedule it rejects is exactly infeasible.
 // A nil f is the exact check.
-func (t *BiTree) ValidatePerSlotFeasibleFar(in *sinr.Instance, f *sinr.FarField) error {
+func (t *BiTree) ValidatePerSlotFeasibleFar(in *sinr.Instance, f sinr.Far) error {
 	if f == nil {
 		return t.ValidatePerSlotFeasible(in)
 	}
-	sc := f.AcquireScratch()
-	defer f.ReleaseScratch(sc)
+	sc := f.AcquireResolver()
+	defer f.ReleaseResolver(sc)
 	scratch := feasScratch{}
 	return t.validateSlots(func(links []sinr.Link, powers []float64) (bool, error) {
 		return in.SINRFeasibleFarBuf(links, powers, f, scratch.txs(len(links)), sc)

@@ -74,6 +74,40 @@ func (p Pipeline) String() string {
 // ordering property (PipelineRescheduleMean does not, per the paper).
 func (p Pipeline) Ordered() bool { return p != PipelineRescheduleMean }
 
+// FarMode selects the far-field engine WithMaxRelError drives (it is
+// meaningless at ε = 0, which is always the exact path).
+type FarMode uint8
+
+const (
+	// FarAuto — the default — resolves approximate slots through the
+	// hierarchical quadtree with adaptive per-slot mode selection: each
+	// slot picks exact or quadtree resolution from its live sender count
+	// (sparse slots are cheaper exact; see sim.Config.Adaptive).
+	FarAuto FarMode = iota
+	// FarQuadtree forces the hierarchical quadtree on every non-empty slot.
+	FarQuadtree
+	// FarFlat forces the flat tile grid of DESIGN.md §7 on every non-empty
+	// slot — retained for oracle lockstep and regression comparison. When
+	// the requested ε makes the flat plan near-dominated (its global near
+	// ring covers most of the grid, the tight-ε regime where it does
+	// strictly more work than exact resolution), the session falls back to
+	// the exact path instead.
+	FarFlat
+)
+
+// String implements fmt.Stringer.
+func (m FarMode) String() string {
+	switch m {
+	case FarAuto:
+		return "far-auto"
+	case FarQuadtree:
+		return "far-quadtree"
+	case FarFlat:
+		return "far-flat"
+	}
+	return fmt.Sprintf("farmode(%d)", uint8(m))
+}
+
 // settings is the resolved configuration of a Network or a single run.
 // Functional options edit it; the zero-ambiguity of the old Options struct
 // (0 meaning "default") is gone because every With* records the value it
@@ -87,11 +121,13 @@ type settings struct {
 	broadcastProb float64
 	rho           int
 	maxRelErr     float64
+	farMode       FarMode
 
-	physSet   bool  // WithPhys applied in the current scope
-	relErrSet bool  // WithMaxRelError applied in the current scope
-	runScope  bool  // applying options to a single run, not to Open
-	err       error // first option error, reported by Open/Run
+	physSet    bool  // WithPhys applied in the current scope
+	relErrSet  bool  // WithMaxRelError applied in the current scope
+	farModeSet bool  // WithFarMode applied in the current scope
+	runScope   bool  // applying options to a single run, not to Open
+	err        error // first option error, reported by Open/Run
 }
 
 func defaultSettings() settings {
@@ -236,6 +272,24 @@ func WithMaxRelError(eps float64) Option {
 	}
 }
 
+// WithFarMode selects the far-field engine behind WithMaxRelError: the
+// hierarchical quadtree with adaptive per-slot selection (FarAuto, the
+// default), the quadtree on every slot (FarQuadtree), or the flat tile
+// grid (FarFlat — the pre-quadtree engine, retained for oracle lockstep).
+// It has no effect at ε = 0. Legal at Open and at run scope; results for
+// distinct modes are memoized separately, and operations on an existing
+// result inherit the mode its tree was built under unless overridden.
+func WithFarMode(m FarMode) Option {
+	return func(s *settings) {
+		if m > FarFlat {
+			s.fail(fmt.Errorf("sinrconn: unknown far mode %v", m))
+			return
+		}
+		s.farMode = m
+		s.farModeSet = true
+	}
+}
+
 // runKey identifies a deterministic run for memoization: everything that
 // influences a pipeline's output. Worker counts are deliberately absent —
 // results are reproducible regardless of parallelism (pinned by the sim
@@ -248,6 +302,7 @@ type runKey struct {
 	bprob    float64
 	rho      int
 	relErr   float64
+	farMode  FarMode
 }
 
 // maxCachedResults bounds the per-Network result memo. Beyond it new
@@ -434,6 +489,7 @@ func (nw *Network) runSettings(opts []RunOption) (settings, error) {
 	s.runScope = true
 	s.physSet = false
 	s.relErrSet = false
+	s.farModeSet = false
 	for _, o := range opts {
 		o(&s)
 	}
@@ -441,6 +497,12 @@ func (nw *Network) runSettings(opts []RunOption) (settings, error) {
 }
 
 func (s *settings) key(p Pipeline) runKey {
+	mode := s.farMode
+	if s.maxRelErr == 0 {
+		// ε = 0 is the exact path whatever the mode — normalize so the
+		// memo never splits identical exact results across modes.
+		mode = FarAuto
+	}
 	return runKey{
 		pipeline: p,
 		phys:     s.phys,
@@ -449,6 +511,7 @@ func (s *settings) key(p Pipeline) runKey {
 		bprob:    s.broadcastProb,
 		rho:      s.rho,
 		relErr:   s.maxRelErr,
+		farMode:  mode,
 	}
 }
 
@@ -468,7 +531,7 @@ func (nw *Network) storeResult(k runKey, r *Result) {
 
 // initConfig derives the core construction config for a run on the
 // acquired pool.
-func initConfig(s settings, pool *sim.Pool, ff *sinr.FarField) core.InitConfig {
+func initConfig(s settings, pool *sim.Pool, ff sinr.Far, adaptive bool) core.InitConfig {
 	return core.InitConfig{
 		BroadcastProb: s.broadcastProb,
 		Seed:          s.seed,
@@ -476,31 +539,85 @@ func initConfig(s settings, pool *sim.Pool, ff *sinr.FarField) core.InitConfig {
 		DropProb:      s.drop,
 		Pool:          pool,
 		FarField:      ff,
+		Adaptive:      adaptive,
 	}
 }
 
-// farFieldFor resolves the far-field plan a settings' ε selects over in:
-// nil for ε = 0 (the exact path), the instance-cached plan otherwise.
-func farFieldFor(in *sinr.Instance, s settings) (*sinr.FarField, error) {
+// farFieldFor resolves the far-field engine a settings' (ε, mode) selects
+// over in — nil plan for the exact path — plus whether engines should pick
+// exact/far per slot adaptively. ε = 0 is always exact; FarAuto (the
+// default) is the quadtree with adaptive selection; FarFlat is the flat
+// grid, demoted to exact when its one-global-near-ring geometry is
+// near-dominated (the tight-ε regime where the flat plan does strictly
+// more work than exact resolution — see sinr.FarField.NearDominated).
+func farFieldFor(in *sinr.Instance, s settings) (ff sinr.Far, adaptive bool, err error) {
 	if s.maxRelErr == 0 {
-		return nil, nil
+		return nil, false, nil
 	}
-	return in.FarField(s.maxRelErr)
+	switch s.farMode {
+	case FarFlat:
+		f, err := in.FarField(s.maxRelErr)
+		if err != nil {
+			return nil, false, err
+		}
+		if f.NearDominated() {
+			return nil, false, nil
+		}
+		return f, false, nil
+	case FarQuadtree:
+		q, err := in.QuadTree(s.maxRelErr)
+		if err != nil {
+			return nil, false, err
+		}
+		return q, false, nil
+	default: // FarAuto
+		q, err := in.QuadTree(s.maxRelErr)
+		if err != nil {
+			return nil, false, err
+		}
+		if q.NearDominated() {
+			// The leaf-level opening horizon covers most of the instance
+			// (tight ε on a small box): most listeners would open most of
+			// the pyramid, an exact scan with overhead. Auto mode serves
+			// the ε contract with the exact path — zero error trivially
+			// satisfies the bound, faster. A forced FarQuadtree keeps the
+			// plan.
+			return nil, false, nil
+		}
+		return q, true, nil
+	}
 }
 
 // opFarField resolves the channel mode for an operation on an existing
-// result (join, repair, physical epoch): an explicit WithMaxRelError on
-// the operation wins; otherwise the operation inherits the mode the
-// result's tree was built under, so growing or re-driving an ε-built tree
-// never silently switches it to exact physics (and vice versa). in is the
-// operation's instance — the tree's own for repairs and epochs, the
-// extended one for joins.
-func opFarField(r *Result, in *sinr.Instance, s settings) (*sinr.FarField, error) {
-	if !s.relErrSet {
+// result (join, repair, physical epoch). An explicit WithMaxRelError on
+// the operation wins outright; an explicit WithFarMode alone switches the
+// engine but keeps the ε the result's tree was built under (a mode is not
+// an error bound — discarding the tree's ε would silently flip the
+// operation to exact physics); with neither, the operation inherits
+// engine, ε, and adaptivity from the tree — so growing or re-driving an
+// ε-built tree never silently switches it to exact physics (and vice
+// versa). in is the operation's instance — the tree's own for repairs and
+// epochs, the extended one for joins.
+func opFarField(r *Result, in *sinr.Instance, s settings) (sinr.Far, bool, error) {
+	if s.relErrSet {
+		return farFieldFor(in, s)
+	}
+	if s.farModeSet {
 		if r.Tree.ff == nil {
-			return nil, nil
+			return nil, false, nil // exact-built tree stays exact
 		}
-		return in.FarField(r.Tree.ff.MaxRelError())
+		s.maxRelErr = r.Tree.ff.MaxRelError()
+		return farFieldFor(in, s)
+	}
+	switch f := r.Tree.ff.(type) {
+	case nil:
+		return nil, false, nil
+	case *sinr.FarField:
+		nf, err := in.FarField(f.MaxRelError())
+		return nf, r.Tree.ffAdaptive, err
+	case *sinr.QuadTree:
+		nq, err := in.QuadTree(f.MaxRelError())
+		return nq, r.Tree.ffAdaptive, err
 	}
 	return farFieldFor(in, s)
 }
@@ -533,7 +650,7 @@ func (nw *Network) Run(ctx context.Context, p Pipeline, opts ...RunOption) (*Res
 	if err != nil {
 		return nil, err
 	}
-	ff, err := farFieldFor(in, s)
+	ff, adaptive, err := farFieldFor(in, s)
 	if err != nil {
 		return nil, err
 	}
@@ -542,13 +659,13 @@ func (nw *Network) Run(ctx context.Context, p Pipeline, opts ...RunOption) (*Res
 	var res *Result
 	switch p {
 	case PipelineInit:
-		res, err = nw.runInit(ctx, in, s, pool, ff)
+		res, err = nw.runInit(ctx, in, s, pool, ff, adaptive)
 	case PipelineRescheduleMean:
-		res, err = nw.runRescheduleMean(ctx, in, s, pool, ff)
+		res, err = nw.runRescheduleMean(ctx, in, s, pool, ff, adaptive)
 	case PipelineTVCMean:
-		res, err = nw.runTVC(ctx, in, s, pool, ff, core.VariantMean)
+		res, err = nw.runTVC(ctx, in, s, pool, ff, adaptive, core.VariantMean)
 	case PipelineTVCArbitrary:
-		res, err = nw.runTVC(ctx, in, s, pool, ff, core.VariantArbitrary)
+		res, err = nw.runTVC(ctx, in, s, pool, ff, adaptive, core.VariantArbitrary)
 	default:
 		return nil, fmt.Errorf("sinrconn: unknown pipeline %v", p)
 	}
@@ -561,14 +678,16 @@ func (nw *Network) Run(ctx context.Context, p Pipeline, opts ...RunOption) (*Res
 
 // newResult binds a constructed tree and its metrics to this handle. ff
 // (nil in exact mode) records the far-field plan the construction ran
-// under, so Verify applies the matching guard band.
-func (nw *Network) newResult(in *sinr.Instance, bt *tree.BiTree, m Metrics, ff *sinr.FarField) *Result {
-	return &Result{Tree: publicTree(in, bt, ff), Metrics: m, nw: nw}
+// under — flat grid or quadtree — so Verify applies the matching guard
+// band, and adaptive whether its engines picked modes per slot, so
+// operations on the result inherit the full channel mode.
+func (nw *Network) newResult(in *sinr.Instance, bt *tree.BiTree, m Metrics, ff sinr.Far, adaptive bool) *Result {
+	return &Result{Tree: publicTree(in, bt, ff, adaptive), Metrics: m, nw: nw}
 }
 
 // runInit is the Section 6 pipeline body (Theorem 2).
-func (nw *Network) runInit(ctx context.Context, in *sinr.Instance, s settings, pool *sim.Pool, ff *sinr.FarField) (*Result, error) {
-	res, err := core.Init(ctx, in, initConfig(s, pool, ff))
+func (nw *Network) runInit(ctx context.Context, in *sinr.Instance, s settings, pool *sim.Pool, ff sinr.Far, adaptive bool) (*Result, error) {
+	res, err := core.Init(ctx, in, initConfig(s, pool, ff, adaptive))
 	if err != nil {
 		return nil, err
 	}
@@ -585,12 +704,12 @@ func (nw *Network) runInit(ctx context.Context, in *sinr.Instance, s settings, p
 	if err := fillLatencies(&m, bt); err != nil {
 		return nil, err
 	}
-	return nw.newResult(in, bt, m, ff), nil
+	return nw.newResult(in, bt, m, ff, adaptive), nil
 }
 
 // runRescheduleMean is the Section 7 pipeline body (Theorem 3).
-func (nw *Network) runRescheduleMean(ctx context.Context, in *sinr.Instance, s settings, pool *sim.Pool, ff *sinr.FarField) (*Result, error) {
-	ires, err := core.Init(ctx, in, initConfig(s, pool, ff))
+func (nw *Network) runRescheduleMean(ctx context.Context, in *sinr.Instance, s settings, pool *sim.Pool, ff sinr.Far, adaptive bool) (*Result, error) {
+	ires, err := core.Init(ctx, in, initConfig(s, pool, ff, adaptive))
 	if err != nil {
 		return nil, err
 	}
@@ -600,6 +719,7 @@ func (nw *Network) runRescheduleMean(ctx context.Context, in *sinr.Instance, s s
 		Workers:  s.workers,
 		Pool:     pool,
 		FarField: ff,
+		Adaptive: adaptive,
 	})
 	if err != nil {
 		return nil, err
@@ -612,12 +732,12 @@ func (nw *Network) runRescheduleMean(ctx context.Context, in *sinr.Instance, s s
 		Delta:          in.Delta(),
 		Energy:         ires.Stats.Energy + rres.Stats.Energy,
 	}
-	return nw.newResult(in, rres.Tree, m, ff), nil
+	return nw.newResult(in, rres.Tree, m, ff, adaptive), nil
 }
 
 // runTVC is the Section 8 pipeline body (Theorem 4, both halves).
-func (nw *Network) runTVC(ctx context.Context, in *sinr.Instance, s settings, pool *sim.Pool, ff *sinr.FarField, v core.Variant) (*Result, error) {
-	icfg := initConfig(s, pool, ff)
+func (nw *Network) runTVC(ctx context.Context, in *sinr.Instance, s settings, pool *sim.Pool, ff sinr.Far, adaptive bool, v core.Variant) (*Result, error) {
+	icfg := initConfig(s, pool, ff, adaptive)
 	icfg.Seed = 0 // TreeViaCapacity derives per-iteration seeds from its own
 	res, err := core.TreeViaCapacity(ctx, in, core.TVCConfig{
 		Variant: v,
@@ -640,5 +760,5 @@ func (nw *Network) runTVC(ctx context.Context, in *sinr.Instance, s settings, po
 	if err := fillLatencies(&m, bt); err != nil {
 		return nil, err
 	}
-	return nw.newResult(in, bt, m, ff), nil
+	return nw.newResult(in, bt, m, ff, adaptive), nil
 }

@@ -143,7 +143,11 @@ type BiTree struct {
 
 	inner *tree.BiTree
 	inst  *sinr.Instance
-	ff    *sinr.FarField // far-field plan the construction ran under; nil = exact
+	// ff is the far-field plan the construction ran under (flat grid or
+	// quadtree; nil = exact); ffAdaptive whether its engines selected
+	// exact/far per slot. Operations on the result inherit both.
+	ff         sinr.Far
+	ffAdaptive bool
 }
 
 // Parent returns each non-root node's parent.
@@ -207,13 +211,14 @@ func (r *Result) Network() *Network { return r.nw }
 // renormalize). Test with errors.Is.
 var ErrNotNormalized = errors.New("sinrconn: minimum pairwise distance below 1 (set AutoNormalize)")
 
-func publicTree(in *sinr.Instance, bt *tree.BiTree, ff *sinr.FarField) *BiTree {
+func publicTree(in *sinr.Instance, bt *tree.BiTree, ff sinr.Far, ffAdaptive bool) *BiTree {
 	out := &BiTree{
-		Root:     bt.Root,
-		NumNodes: len(bt.Nodes),
-		inner:    bt,
-		inst:     in,
-		ff:       ff,
+		Root:       bt.Root,
+		NumNodes:   len(bt.Nodes),
+		inner:      bt,
+		inst:       in,
+		ff:         ff,
+		ffAdaptive: ffAdaptive,
 	}
 	for _, tl := range bt.Up {
 		out.Up = append(out.Up, ScheduledLink{
