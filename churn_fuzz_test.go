@@ -1,0 +1,73 @@
+package sinrconn
+
+// FuzzChurn: random traces against the rebuild oracle. The fuzzer mutates
+// the trace's seed, length, rate mix, and mobility model; every run
+// executes with the per-event invariant audit ON, and every successful
+// run must admit a clean from-scratch rebuild over its final survivors.
+// Errors are only acceptable when they are the engine's own typed,
+// deliberate refusals — an audit failure (invariant violation) or an
+// untyped error is a finding.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sanitizeRate(r float64) float64 {
+	if math.IsNaN(r) || math.IsInf(r, 0) {
+		return 0
+	}
+	return math.Min(math.Abs(r), 8)
+}
+
+func FuzzChurn(f *testing.F) {
+	f.Add(int64(7), 20, 1.0, 1.2, 0.25, 0.5, 1.0, uint8(1))
+	f.Add(int64(42), 30, 0.0, 2.0, 0.5, 0.0, 0.0, uint8(0))
+	f.Add(int64(3), 15, 2.0, 0.3, 0.0, 0.3, 2.0, uint8(2))
+	f.Add(int64(99), 25, 1.5, 1.5, 1.0, 1.0, 0.5, uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, events int, joinR, failR, burstR, showerR, moveR float64, mobility uint8) {
+		if events < 1 || events > 40 {
+			t.Skip("event count out of fuzz range")
+		}
+		trace := TraceSpec{
+			Seed:       seed,
+			Events:     events,
+			JoinRate:   sanitizeRate(joinR),
+			FailRate:   sanitizeRate(failR),
+			BurstRate:  sanitizeRate(burstR),
+			ShowerRate: sanitizeRate(showerR),
+			MoveRate:   sanitizeRate(moveR),
+			Mobility:   MobilityModel(mobility % 3),
+		}
+		if err := trace.Validate(); err != nil {
+			t.Skip("unusable trace")
+		}
+		nw, err := Open(uniformPoints(81, 32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nw.Close()
+		rep, err := nw.Churn(context.Background(), trace, WithChurnAudit(true))
+		if err != nil {
+			// The generator may legitimately refuse a trace whose only
+			// enabled kinds become impossible (e.g. fail-only traces once
+			// one node is left); the ladder may legitimately exhaust its
+			// typed retries. Anything else — in particular an audit
+			// failure — is a real finding.
+			if strings.Contains(err.Error(), "churn audit") {
+				t.Fatalf("invariant violated: %v", err)
+			}
+			if errors.Is(err, ErrRetryExhausted) || strings.Contains(err.Error(), "churn trace") {
+				t.Skip("typed refusal")
+			}
+			t.Fatalf("untyped churn failure: %v", err)
+		}
+		checkChurnReport(t, trace, rep)
+		if rep.Final.Tree.NumNodes > 1 {
+			churnRebuildOracle(t, rep)
+		}
+	})
+}

@@ -1,0 +1,77 @@
+package sinrconn
+
+// Churn soak: a long event stream pushed through a CHAIN of derived
+// Networks — each round's final result seeds the next round's Network —
+// while concurrent Run readers hammer the same handles. Run with -race
+// this doubles as the engine's data-race gate. The full soak streams
+// ≥500 events; short mode runs a reduced chain (still real work, so the
+// CI short lane exercises the concurrency paths every push).
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestChurnSoakDerivedChain(t *testing.T) {
+	rounds, events, n := 5, 110, 96
+	if testing.Short() {
+		rounds, events, n = 2, 30, 48
+	}
+	base, err := Open(uniformPoints(70, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	ctx := context.Background()
+
+	nw := base
+	total := 0
+	for round := 0; round < rounds; round++ {
+		// Concurrent readers on the SAME handle the churn engine uses.
+		// Distinct seeds defeat the memo, forcing real concurrent builds.
+		var wg sync.WaitGroup
+		for r := 0; r < 2; r++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				res, err := nw.Run(ctx, PipelineInit, WithSeed(seed))
+				if err != nil {
+					// Readers share the engine's Las Vegas failure mode;
+					// only unexpected errors fail the soak.
+					if !errors.Is(err, ErrNotConverged) {
+						t.Errorf("reader round %d: %v", round, err)
+					}
+					return
+				}
+				if err := res.Tree.Verify(); err != nil {
+					t.Errorf("reader round %d: %v", round, err)
+				}
+			}(int64(1000*round + r))
+		}
+
+		trace := mixedTrace(int64(37+round*13), events)
+		rep, err := nw.Churn(ctx, trace)
+		wg.Wait()
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		checkChurnReport(t, trace, rep)
+		total += rep.Stats.Events
+
+		next := rep.Final.Network()
+		if next == nw {
+			t.Fatalf("round %d returned the same handle, want a derived Network", round)
+		}
+		nw = next
+		if nw.Len() < 2 {
+			t.Logf("round %d: membership collapsed to %d, stopping chain early", round, nw.Len())
+			break
+		}
+	}
+	if !testing.Short() && total < 500 {
+		t.Fatalf("soak streamed only %d events, want ≥ 500", total)
+	}
+	t.Logf("soak: %d events across %d-round derived chain, final n=%d", total, rounds, nw.Len())
+}

@@ -7,6 +7,8 @@
 //	connect -n 64 -sweep 8                  # all pipelines × 8 seeds, one Network
 //	connect -n 256 -timeout 2s              # bound the construction time
 //	connect -n 4096 -maxrelerr 0.5          # far-field approximate physics
+//	connect -n 128 -churn events=200,join=1,fail=1.5,burst=0.3,shower=0.5
+//	connect -n 128 -churn events=100,fail=1,move=2 -mobility citygrid
 //
 // Pipelines: init (Section 6), reschedule (Section 7), mean (Section 8,
 // mean power), arbitrary (Section 8, power control).
@@ -26,6 +28,8 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"sinrconn"
@@ -50,6 +54,8 @@ func run(args []string, out io.Writer) error {
 	maxRelErr := fs.Float64("maxrelerr", 0, "far-field approximation error bound ε (0 = exact physics)")
 	farMode := fs.String("farmode", "auto", "far-field engine at ε > 0: auto|quadtree|flat")
 	sweep := fs.Int("sweep", 0, "run all pipelines × this many seeds as one batch")
+	churnSpec := fs.String("churn", "", "stream a churn trace instead of a single build: events=N[,join=R][,fail=R][,burst=R][,shower=R][,move=R][,burstradius=R][,showermax=N][,speed=R]")
+	mobility := fs.String("mobility", "", "mobility model for churn move events: waypoint|citygrid")
 	timeout := fs.Duration("timeout", 0, "abort constructions that exceed this duration (0 = none)")
 	verbose := fs.Bool("v", false, "print every scheduled link")
 	if err := fs.Parse(args); err != nil {
@@ -93,6 +99,29 @@ func run(args []string, out io.Writer) error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *churnSpec != "" {
+		if *sweep > 0 {
+			return fmt.Errorf("-churn and -sweep are mutually exclusive")
+		}
+		conflict := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "pipeline" {
+				conflict = true
+			}
+		})
+		if conflict {
+			return fmt.Errorf("-churn builds its own tree; drop the -pipeline flag")
+		}
+		trace, err := parseTrace(*churnSpec, *mobility, *seed)
+		if err != nil {
+			return err
+		}
+		return runChurn(ctx, out, nw, *wl, *n, trace)
+	}
+	if *mobility != "" {
+		return fmt.Errorf("-mobility only applies to -churn traces")
 	}
 
 	if *sweep > 0 {
@@ -177,6 +206,84 @@ func runSweep(ctx context.Context, out io.Writer, nw *sinrconn.Network, wl strin
 		}
 		k := float64(len(seeds))
 		fmt.Fprintf(out, "%-16s %10.1f %14.1f %10.3g\n", p, sched/k, slots/k, energy/k)
+	}
+	return nil
+}
+
+// parseTrace turns the -churn comma list into a TraceSpec. Unset rates
+// default to zero; an all-zero mix is rejected by TraceSpec.Validate.
+func parseTrace(spec, mobility string, seed int64) (sinrconn.TraceSpec, error) {
+	trace := sinrconn.TraceSpec{Seed: seed}
+	for _, kv := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return trace, fmt.Errorf("churn spec entry %q is not key=value", kv)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return trace, fmt.Errorf("churn spec %s: %v", key, err)
+		}
+		switch key {
+		case "events":
+			trace.Events = int(f)
+		case "join":
+			trace.JoinRate = f
+		case "fail":
+			trace.FailRate = f
+		case "burst":
+			trace.BurstRate = f
+		case "shower":
+			trace.ShowerRate = f
+		case "move":
+			trace.MoveRate = f
+		case "burstradius":
+			trace.BurstRadius = f
+		case "showermax":
+			trace.ShowerMax = int(f)
+		case "speed":
+			trace.MobilitySpeed = f
+		default:
+			return trace, fmt.Errorf("unknown churn spec key %q", key)
+		}
+	}
+	switch mobility {
+	case "":
+	case "waypoint":
+		trace.Mobility = sinrconn.MobilityWaypoint
+	case "citygrid":
+		trace.Mobility = sinrconn.MobilityCityGrid
+	default:
+		return trace, fmt.Errorf("unknown mobility model %q (waypoint|citygrid)", mobility)
+	}
+	return trace, nil
+}
+
+// runChurn streams the trace and prints the engine's report.
+func runChurn(ctx context.Context, out io.Writer, nw *sinrconn.Network, wl string, n int, trace sinrconn.TraceSpec) error {
+	start := time.Now()
+	rep, err := nw.Churn(ctx, trace)
+	if err != nil {
+		return err
+	}
+	st := rep.Stats
+	fmt.Fprintf(out, "workload=%s n=%d churn: %d events in %v (%.0f events/sec)\n",
+		wl, n, st.Events, time.Since(start).Round(time.Millisecond),
+		float64(st.Events)/time.Since(start).Seconds())
+	fmt.Fprintf(out, "joins=%d (damped %d)  fails=%d  bursts=%d  showers=%d  moves=%d  nodes failed=%d moved=%d\n",
+		st.Joins, st.DampedJoins, st.Fails, st.Bursts, st.Showers, st.Moves,
+		st.NodesFailed, st.NodesMoved)
+	fmt.Fprintf(out, "incremental=%d  restamps=%d  rebuilds=%d  retries=%d  compactions=%d  muted peak=%d\n",
+		st.IncrementalRepairs, st.Restamps, st.Rebuilds, st.Retries, st.Compactions, st.MutedPeak)
+	fmt.Fprintf(out, "slots used=%d  peak schedule=%d  soft errors=%d\n",
+		st.SlotsUsed, st.PeakScheduleLength, len(rep.Soft))
+	fmt.Fprintf(out, "final: root=%d  nodes=%d  links=%d  schedule=%d slots\n",
+		rep.Final.Tree.Root, rep.Final.Tree.NumNodes, len(rep.Final.Tree.Up),
+		rep.Final.Metrics.ScheduleLength)
+	if rep.Final.Tree.NumNodes > 1 {
+		if err := rep.Final.Tree.Verify(); err != nil {
+			return fmt.Errorf("final tree verification failed: %w", err)
+		}
+		fmt.Fprintln(out, "verification: tree + ordering + per-slot feasibility OK")
 	}
 	return nil
 }

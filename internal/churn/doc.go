@@ -1,0 +1,31 @@
+// Package churn generates and regulates streaming membership traffic for
+// the continuous-churn engine: node joins, independent failures, correlated
+// spatial failure bursts (a disc dies together — the standard model for a
+// localized power or jamming event), link-failure showers, and mobility
+// ticks.
+//
+// The package has two halves:
+//
+//   - Generator: a deterministic, seeded event source. Event kinds arrive
+//     as a superposition of Poisson processes (one rate per kind);
+//     inter-arrival times are exponential in the total rate and the kind is
+//     drawn by rate weights, so any sub-mix is itself Poisson. The
+//     generator is ONLINE: each Next call receives the live membership
+//     state, because events depend on it — failures strike alive nodes,
+//     joins must land ≥ 1 away from every existing point (the instance
+//     normalization), bursts are centered on the current deployment.
+//
+//   - Damper: flap damping in the style of BGP route-flap damping — a
+//     spatial region that keeps failing (k failures within a sliding
+//     window) is quarantined for a cooldown period. The churn driver
+//     excludes damped regions from attachment targets (no new node or
+//     orphan attaches through a member there) and refuses joins into them,
+//     so a flapping disc cannot pull the rest of the tree into repeated
+//     repair churn. Regions are radius-sized grid cells: membership is
+//     quantized, which errs on the side of damping slightly more area than
+//     the literal disc around the failures.
+//
+// Both halves are pure state machines over explicit inputs (no wall clock,
+// no global randomness), which is what makes churn runs replayable: a
+// (seed, trace-spec) pair fully determines the event stream.
+package churn

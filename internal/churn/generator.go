@@ -1,0 +1,269 @@
+package churn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"sinrconn/internal/geom"
+	"sinrconn/internal/sinr"
+)
+
+// Kind labels a churn event.
+type Kind uint8
+
+const (
+	// KindJoin introduces one new node at Event.Point.
+	KindJoin Kind = iota + 1
+	// KindFail kills the single node Event.Nodes[0].
+	KindFail
+	// KindBurst kills every alive node within the burst radius of a random
+	// epicenter (Event.Nodes, at least one).
+	KindBurst
+	// KindShower permanently fails the tree links in Event.Links.
+	KindShower
+	// KindMove is a mobility tick: the driver advances its mobility stepper
+	// by Event.Dt and repairs around the nodes that moved.
+	KindMove
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindJoin:
+		return "join"
+	case KindFail:
+		return "fail"
+	case KindBurst:
+		return "burst"
+	case KindShower:
+		return "shower"
+	case KindMove:
+		return "move"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one unit of churn traffic.
+type Event struct {
+	Kind Kind
+	// Time is the absolute event time (exponential inter-arrivals).
+	Time float64
+	// Dt is the time elapsed since the previous event (mobility steps
+	// advance the stepper by exactly this much).
+	Dt float64
+	// Nodes holds the victims (fail: one; burst: the whole disc).
+	Nodes []int
+	// Point is the new node's position (join only).
+	Point geom.Point
+	// Links holds the failed links (shower only).
+	Links []sinr.Link
+}
+
+// Rates are the Poisson arrival rates (events per time unit) of each kind.
+// A zero rate disables the kind. The total must be positive.
+type Rates struct {
+	Join   float64
+	Fail   float64
+	Burst  float64
+	Shower float64
+	Move   float64
+}
+
+func (r Rates) total() float64 { return r.Join + r.Fail + r.Burst + r.Shower + r.Move }
+
+// Validate rejects unusable rate mixes.
+func (r Rates) Validate() error {
+	for _, v := range []float64{r.Join, r.Fail, r.Burst, r.Shower, r.Move} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("churn: negative or non-finite rate")
+		}
+	}
+	if r.total() <= 0 {
+		return fmt.Errorf("churn: all rates are zero")
+	}
+	return nil
+}
+
+// State is the live membership snapshot a Next call samples against. All
+// slices are read-only for the generator.
+type State struct {
+	// Points holds the positions of EVERY instance node, alive or dead —
+	// join placement must respect the min-distance normalization against
+	// all of them (dead nodes still occupy their coordinates).
+	Points []geom.Point
+	// Alive lists the indices currently in the tree.
+	Alive []int
+	// Links lists the current tree links (shower targets).
+	Links []sinr.Link
+}
+
+// Generator is a deterministic online churn source. Not safe for concurrent
+// use; the driver owns it.
+type Generator struct {
+	rng         *rand.Rand
+	rates       Rates
+	burstRadius float64
+	showerMax   int
+	now         float64
+}
+
+// NewGenerator builds a generator. burstRadius is the kill-disc radius of
+// correlated failures; showerMax bounds the links per shower (≥ 1).
+func NewGenerator(seed int64, rates Rates, burstRadius float64, showerMax int) (*Generator, error) {
+	if err := rates.Validate(); err != nil {
+		return nil, err
+	}
+	if burstRadius <= 0 {
+		burstRadius = 4
+	}
+	if showerMax < 1 {
+		showerMax = 3
+	}
+	return &Generator{
+		rng:         rand.New(rand.NewSource(seed)),
+		rates:       rates,
+		burstRadius: burstRadius,
+		showerMax:   showerMax,
+	}, nil
+}
+
+// Now returns the generator's current clock (the time of the last event).
+func (g *Generator) Now() float64 { return g.now }
+
+// Next draws the next event against the live state. Kinds that cannot fire
+// in the current state (failures with ≤ 1 alive node, showers with no
+// links) are resampled as time passes — the clock still advances by the
+// drawn inter-arrival, preserving the Poisson superposition. Returns an
+// error only when nothing can ever fire (all rates point at impossible
+// kinds) or a join cannot be placed.
+func (g *Generator) Next(st State) (Event, error) {
+	for attempt := 0; attempt < 64; attempt++ {
+		dt := g.rng.ExpFloat64() / g.rates.total()
+		g.now += dt
+		ev := Event{Time: g.now, Dt: dt}
+		switch g.pickKind() {
+		case KindJoin:
+			p, ok := g.placeJoin(st)
+			if !ok {
+				return ev, fmt.Errorf("churn: no room for a join near the deployment")
+			}
+			ev.Kind = KindJoin
+			ev.Point = p
+			return ev, nil
+		case KindFail:
+			if len(st.Alive) <= 1 {
+				continue // cannot kill the last node; redraw
+			}
+			ev.Kind = KindFail
+			ev.Nodes = []int{st.Alive[g.rng.Intn(len(st.Alive))]}
+			return ev, nil
+		case KindBurst:
+			if len(st.Alive) <= 1 {
+				continue
+			}
+			victims := g.burst(st)
+			if len(victims) == 0 || len(victims) >= len(st.Alive) {
+				continue // must leave at least one survivor
+			}
+			ev.Kind = KindBurst
+			ev.Nodes = victims
+			return ev, nil
+		case KindShower:
+			if len(st.Links) == 0 {
+				continue
+			}
+			ev.Kind = KindShower
+			ev.Links = g.shower(st)
+			return ev, nil
+		case KindMove:
+			ev.Kind = KindMove
+			return ev, nil
+		}
+	}
+	return Event{}, fmt.Errorf("churn: no feasible event in 64 draws (state too small for the rate mix)")
+}
+
+func (g *Generator) pickKind() Kind {
+	x := g.rng.Float64() * g.rates.total()
+	for _, kr := range []struct {
+		k Kind
+		r float64
+	}{
+		{KindJoin, g.rates.Join},
+		{KindFail, g.rates.Fail},
+		{KindBurst, g.rates.Burst},
+		{KindShower, g.rates.Shower},
+		{KindMove, g.rates.Move},
+	} {
+		if x < kr.r {
+			return kr.k
+		}
+		x -= kr.r
+	}
+	return KindMove
+}
+
+// placeJoin rejection-samples a position ≥ 1 away from every instance point
+// inside the deployment bounding box padded by one burst radius (so the
+// network can grow at its edges).
+func (g *Generator) placeJoin(st State) (geom.Point, bool) {
+	if len(st.Points) == 0 {
+		return geom.Point{X: g.rng.Float64() * 10, Y: g.rng.Float64() * 10}, true
+	}
+	lo, hi := geom.BoundingBox(st.Points)
+	pad := g.burstRadius
+	lo.X -= pad
+	lo.Y -= pad
+	hi.X += pad
+	hi.Y += pad
+	for tries := 0; tries < 256; tries++ {
+		p := geom.Point{
+			X: lo.X + g.rng.Float64()*(hi.X-lo.X),
+			Y: lo.Y + g.rng.Float64()*(hi.Y-lo.Y),
+		}
+		ok := true
+		for _, q := range st.Points {
+			if q.Dist(p) < 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return p, true
+		}
+	}
+	return geom.Point{}, false
+}
+
+// burst kills the alive disc around a random alive epicenter, capped so at
+// least one node survives.
+func (g *Generator) burst(st State) []int {
+	center := st.Points[st.Alive[g.rng.Intn(len(st.Alive))]]
+	var victims []int
+	for _, v := range st.Alive {
+		if st.Points[v].Dist(center) <= g.burstRadius {
+			victims = append(victims, v)
+		}
+	}
+	if len(victims) >= len(st.Alive) {
+		victims = victims[:len(st.Alive)-1]
+	}
+	sort.Ints(victims)
+	return victims
+}
+
+// shower picks 1..showerMax distinct live links.
+func (g *Generator) shower(st State) []sinr.Link {
+	k := 1 + g.rng.Intn(g.showerMax)
+	if k > len(st.Links) {
+		k = len(st.Links)
+	}
+	perm := g.rng.Perm(len(st.Links))[:k]
+	sort.Ints(perm)
+	links := make([]sinr.Link, 0, k)
+	for _, i := range perm {
+		links = append(links, st.Links[i])
+	}
+	return links
+}

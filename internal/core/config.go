@@ -83,6 +83,13 @@ type InitConfig struct {
 	// that would re-create a forbidden link, and members do not answer
 	// broadcasts across one.
 	Forbidden []sinr.Link
+	// Mute lists member nodes excluded as attachment targets (Join and the
+	// repair re-attachment paths): they participate in the tree but never
+	// acknowledge a joiner's broadcast, so no new link can form INTO them.
+	// The churn driver mutes flap-damped regions — mirroring the
+	// "ignore recently dropped paths" invariant of mesh routing — so a
+	// repeatedly failing neighborhood stops attracting re-attachments.
+	Mute []int
 }
 
 func (c *InitConfig) defaults() {

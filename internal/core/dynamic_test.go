@@ -244,13 +244,36 @@ func TestRepairValidation(t *testing.T) {
 	if _, err := Repair(context.Background(), in, res.Tree, []int{999}, InitConfig{}); err == nil {
 		t.Error("unknown failed node accepted")
 	}
-	if _, err := Repair(context.Background(), in, res.Tree, []int{3, 3}, InitConfig{}); err == nil {
-		t.Error("duplicate failed node accepted")
-	}
 	all := append([]int(nil), res.Tree.Nodes...)
 	if _, err := Repair(context.Background(), in, res.Tree, all, InitConfig{}); err == nil {
 		t.Error("total failure accepted")
 	}
+}
+
+func TestRepairDuplicateFailedTolerated(t *testing.T) {
+	// Churn traces compose bursts with single failures, so the same node is
+	// routinely reported dead twice; repair must treat {v, v} as {v}.
+	victim := -1
+	in, res, _ := splitInstance(t, 68, 16, 0)
+	for _, v := range res.Tree.Nodes {
+		if v != res.Tree.Root {
+			victim = v
+			break
+		}
+	}
+	dup, err := Repair(context.Background(), in, res.Tree, []int{victim, victim}, InitConfig{Seed: 9})
+	if err != nil {
+		t.Fatalf("duplicate failed node rejected: %v", err)
+	}
+	single, err := Repair(context.Background(), in, res.Tree, []int{victim}, InitConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dup.Tree.Nodes) != len(single.Tree.Nodes) || dup.OrphanRoots != single.OrphanRoots {
+		t.Fatalf("duplicate-failed repair diverged: %d nodes / %d orphans vs %d / %d",
+			len(dup.Tree.Nodes), dup.OrphanRoots, len(single.Tree.Nodes), single.OrphanRoots)
+	}
+	checkFullBiTree(t, in, dup.Tree)
 }
 
 func TestRestampProducesValidSchedule(t *testing.T) {
@@ -359,9 +382,11 @@ func TestRepairLinksValidation(t *testing.T) {
 	if _, err := RepairLinks(context.Background(), in, res.Tree, []sinr.Link{{From: 98, To: 99}}, InitConfig{}); err == nil {
 		t.Error("unknown link accepted")
 	}
+	// Duplicate failed links are tolerated ({l, l} ≡ {l}): link showers
+	// under churn routinely report the same link down twice.
 	l := res.Tree.Up[0].L
-	if _, err := RepairLinks(context.Background(), in, res.Tree, []sinr.Link{l, l}, InitConfig{}); err == nil {
-		t.Error("duplicate link accepted")
+	if _, err := RepairLinks(context.Background(), in, res.Tree, []sinr.Link{l, l}, InitConfig{Seed: 11}); err != nil {
+		t.Errorf("duplicate failed link rejected: %v", err)
 	}
 	// Empty failure set: pure restamp, no channel time.
 	rres, err := RepairLinks(context.Background(), in, res.Tree, nil, InitConfig{})

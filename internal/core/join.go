@@ -93,6 +93,10 @@ func Join(ctx context.Context, in *sinr.Instance, bt *tree.BiTree, joiners []int
 	for _, l := range cfg.Forbidden {
 		forbidden[l] = true
 	}
+	muted := make(map[int]bool, len(cfg.Mute))
+	for _, v := range cfg.Mute {
+		muted[v] = true
+	}
 	nodes := make([]*joinNode, in.Len())
 	procs := make([]sim.Protocol, in.Len())
 	for i := 0; i < in.Len(); i++ {
@@ -111,6 +115,7 @@ func Join(ctx context.Context, in *sinr.Instance, bt *tree.BiTree, joiners []int
 			broadcastPair: -1,
 			decayLevels:   decayLevels,
 			forbidden:     forbidden,
+			muted:         muted[i],
 		}
 		procs[i] = nodes[i]
 	}
@@ -236,6 +241,7 @@ type joinNode struct {
 	pendingPower  float64
 	decayLevels   int
 	forbidden     map[sinr.Link]bool
+	muted         bool
 	spec          roundSpec
 }
 
@@ -293,6 +299,11 @@ func (nd *joinNode) ackSlot(inbox []sim.Delivery) sim.Action {
 		}
 		return sim.Listen()
 	case joinMember:
+		if nd.muted {
+			// Flap-damped: stays in the tree and keeps relaying, but never
+			// invites a new attachment (no acknowledgment, ever).
+			return sim.Listen()
+		}
 		for _, d := range inbox {
 			if d.Msg.Kind != sim.KindBroadcast {
 				continue

@@ -26,9 +26,8 @@ func RepairLinks(ctx context.Context, in *sinr.Instance, bt *tree.BiTree, failed
 		if !present[l] {
 			return nil, fmt.Errorf("core: link %v not in tree", l)
 		}
-		if failedSet[l] {
-			return nil, fmt.Errorf("core: duplicate failed link %v", l)
-		}
+		// Duplicates are tolerated: churn traces compose link showers, and
+		// the same link is routinely reported down twice.
 		failedSet[l] = true
 	}
 
@@ -115,6 +114,15 @@ type RepairResult struct {
 	// Stats carries the engine counters of the re-attachment run (zero when
 	// no orphans had to re-attach).
 	Stats sim.Stats
+	// Incremental reports whether the schedule was spliced (RepairIncremental
+	// and friends) rather than rebuilt with Restamp.
+	Incremental bool
+	// SplicedLinks counts surviving links whose stamps were carried through
+	// verbatim (up to order-preserving shifts); PlacedLinks counts links
+	// that needed fresh slots — new attachments plus cascade bumps. Both are
+	// zero on the full-restamp path.
+	SplicedLinks int
+	PlacedLinks  int
 }
 
 // Repair implements the paper's "node failures" extension (Conclusions,
@@ -131,6 +139,64 @@ type RepairResult struct {
 // repaired tree's schedule is recomputed with Restamp, which restores
 // ordering and per-slot feasibility in one pass.
 func Repair(ctx context.Context, in *sinr.Instance, bt *tree.BiTree, failed []int, cfg InitConfig) (*RepairResult, error) {
+	part, err := partitionFailed(bt, failed)
+	if err != nil {
+		return nil, err
+	}
+	res := &RepairResult{NewRoot: part.mainRoot, OrphanRoots: len(part.orphans)}
+	repaired := &tree.BiTree{Root: part.mainRoot, Nodes: part.survivors, Up: part.keep}
+	if len(part.orphans) > 0 {
+		// The join tree during re-attachment is the main component only;
+		// orphan roots join it (and each other, transitively).
+		joinBase := &tree.BiTree{Root: part.mainRoot, Nodes: part.mainNodes}
+		jres, err := Join(ctx, in, joinBase, part.orphans, cfg)
+		if err != nil {
+			return res, fmt.Errorf("core: re-attachment: %w", err)
+		}
+		res.SlotsUsed = jres.SlotsUsed
+		res.Stats = jres.Stats
+		// Adopt the new out-links of the orphan roots.
+		newOut := make(map[int]tree.TimedLink, len(part.orphans))
+		for _, tl := range jres.Tree.Up {
+			newOut[tl.L.From] = tl
+		}
+		for _, o := range part.orphans {
+			tl, ok := newOut[o]
+			if !ok {
+				return res, fmt.Errorf("core: orphan %d did not re-attach", o)
+			}
+			repaired.Up = append(repaired.Up, tl)
+		}
+	}
+
+	// The merged stamps are stale; rebuild an ordered feasible schedule.
+	k, err := repaired.Restamp(in)
+	if err != nil {
+		return res, fmt.Errorf("core: restamp: %w", err)
+	}
+	res.ScheduleLength = k
+	res.Tree = repaired
+	return res, nil
+}
+
+// partition is the surgery plan a failure set induces on a bi-tree:
+// the survivors, the links both of whose endpoints survived, the main
+// component (the one the repaired tree keeps as root), and the orphan
+// subtree roots that must re-attach.
+type partition struct {
+	failedSet map[int]bool
+	survivors []int
+	keep      []tree.TimedLink
+	mainRoot  int
+	mainNodes []int
+	orphans   []int
+}
+
+// partitionFailed computes the surgery plan. Duplicate entries in failed
+// are tolerated (churn traces compose bursts with single failures, and the
+// same node is routinely reported dead twice); nodes outside the tree are
+// still errors — the caller owns membership bookkeeping.
+func partitionFailed(bt *tree.BiTree, failed []int) (*partition, error) {
 	failedSet := make(map[int]bool, len(failed))
 	inTree := make(map[int]bool, len(bt.Nodes))
 	for _, v := range bt.Nodes {
@@ -140,12 +206,12 @@ func Repair(ctx context.Context, in *sinr.Instance, bt *tree.BiTree, failed []in
 		if !inTree[f] {
 			return nil, fmt.Errorf("core: failed node %d not in tree", f)
 		}
-		if failedSet[f] {
-			return nil, fmt.Errorf("core: duplicate failed node %d", f)
-		}
 		failedSet[f] = true
 	}
-	survivors := make([]int, 0, len(bt.Nodes)-len(failed))
+	if len(failedSet) == 0 {
+		return nil, fmt.Errorf("core: no failed nodes given")
+	}
+	survivors := make([]int, 0, len(bt.Nodes)-len(failedSet))
 	for _, v := range bt.Nodes {
 		if !failedSet[v] {
 			survivors = append(survivors, v)
@@ -211,52 +277,25 @@ func Repair(ctx context.Context, in *sinr.Instance, bt *tree.BiTree, failed []in
 			orphans = append(orphans, r)
 		}
 	}
-
-	res := &RepairResult{NewRoot: mainRoot, OrphanRoots: len(orphans)}
-	repaired := &tree.BiTree{Root: mainRoot, Nodes: survivors, Up: keep}
-	if len(orphans) > 0 {
-		// The join tree during re-attachment is the main component only;
-		// orphan roots join it (and each other, transitively).
-		mainNodes := []int{}
-		seen := map[int]bool{}
-		stack := []int{mainRoot}
-		for len(stack) > 0 {
-			v := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			if seen[v] {
-				continue
-			}
-			seen[v] = true
-			mainNodes = append(mainNodes, v)
-			stack = append(stack, children[v]...)
+	var mainNodes []int
+	seen := map[int]bool{}
+	stack := []int{mainRoot}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[v] {
+			continue
 		}
-		joinBase := &tree.BiTree{Root: mainRoot, Nodes: mainNodes}
-		jres, err := Join(ctx, in, joinBase, orphans, cfg)
-		if err != nil {
-			return res, fmt.Errorf("core: re-attachment: %w", err)
-		}
-		res.SlotsUsed = jres.SlotsUsed
-		res.Stats = jres.Stats
-		// Adopt the new out-links of the orphan roots.
-		newOut := make(map[int]tree.TimedLink, len(orphans))
-		for _, tl := range jres.Tree.Up {
-			newOut[tl.L.From] = tl
-		}
-		for _, o := range orphans {
-			tl, ok := newOut[o]
-			if !ok {
-				return res, fmt.Errorf("core: orphan %d did not re-attach", o)
-			}
-			repaired.Up = append(repaired.Up, tl)
-		}
+		seen[v] = true
+		mainNodes = append(mainNodes, v)
+		stack = append(stack, children[v]...)
 	}
-
-	// The merged stamps are stale; rebuild an ordered feasible schedule.
-	k, err := repaired.Restamp(in)
-	if err != nil {
-		return res, fmt.Errorf("core: restamp: %w", err)
-	}
-	res.ScheduleLength = k
-	res.Tree = repaired
-	return res, nil
+	return &partition{
+		failedSet: failedSet,
+		survivors: survivors,
+		keep:      keep,
+		mainRoot:  mainRoot,
+		mainNodes: mainNodes,
+		orphans:   orphans,
+	}, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -37,6 +38,13 @@ func Reschedule(ctx context.Context, in *sinr.Instance, bt *tree.BiTree, pa sinr
 	links := bt.Links()
 	res, err := schedule.Distributed(ctx, in, links, pa, cfg)
 	if err != nil {
+		if errors.Is(err, schedule.ErrIncomplete) {
+			// Budget exhaustion in the randomized scheduler is the same
+			// Las Vegas failure class as a non-converged construction:
+			// re-running with a fresh seed succeeds w.h.p. Root it at
+			// ErrNotConverged so retry routing sees one class.
+			return nil, fmt.Errorf("core: reschedule: %w: %v", ErrNotConverged, err)
+		}
 		return nil, fmt.Errorf("core: reschedule: %w", err)
 	}
 	out := &tree.BiTree{

@@ -1,0 +1,7 @@
+package experiments
+
+import "testing"
+
+func TestE18Churn(t *testing.T) {
+	runAndCheck(t, E18Churn(Quick()), 4)
+}

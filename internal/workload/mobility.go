@@ -1,0 +1,359 @@
+package workload
+
+// Mobility steppers for the churn engine: deterministic models that advance
+// node positions in discrete time steps while preserving the instance
+// normalization (min pairwise distance ≥ 1). A proposed move that would
+// land within distance 1 of any other node is rejected for that step — the
+// node simply holds its position (and, for the waypoint model, re-rolls its
+// destination), so every intermediate position set is a valid instance.
+
+import (
+	"math"
+	"math/rand"
+
+	"sinrconn/internal/geom"
+)
+
+// Stepper is a mobility model over a fixed node population: Step advances
+// the model by dt time units and reports which nodes actually moved;
+// Positions exposes the current (always normalization-valid) point set.
+// Park freezes a node permanently (the churn driver parks dead nodes — the
+// position remains an obstacle but never changes again); AddObstacle
+// registers a static out-of-population point the spacing constraint must
+// respect (the churn driver adds one per joined node).
+type Stepper interface {
+	Step(dt float64) []int
+	Positions() []geom.Point
+	Park(v int)
+	AddObstacle(p geom.Point)
+}
+
+// spacingGrid is a cell hash over unit-radius neighborhoods used to check
+// the min-distance constraint in O(1) per probe.
+type spacingGrid struct {
+	cells map[[2]int][]int
+	pts   []geom.Point
+}
+
+func newSpacingGrid(pts []geom.Point) *spacingGrid {
+	g := &spacingGrid{cells: make(map[[2]int][]int, len(pts)), pts: pts}
+	for v := range pts {
+		g.cells[g.key(pts[v])] = append(g.cells[g.key(pts[v])], v)
+	}
+	return g
+}
+
+func (g *spacingGrid) key(p geom.Point) [2]int {
+	return [2]int{int(math.Floor(p.X)), int(math.Floor(p.Y))}
+}
+
+// ok reports whether placing node v at p keeps it ≥ 1 from every other node.
+func (g *spacingGrid) ok(v int, p geom.Point) bool {
+	k := g.key(p)
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			for _, u := range g.cells[[2]int{k[0] + dx, k[1] + dy}] {
+				if u != v && g.pts[u].Dist(p) < 1 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// add appends a static point (an obstacle) to the hash. Obstacle indices
+// sit beyond the mobile population and are never moved, but ok() sees them.
+func (g *spacingGrid) add(p geom.Point) {
+	g.pts = append(g.pts, p)
+	v := len(g.pts) - 1
+	g.cells[g.key(p)] = append(g.cells[g.key(p)], v)
+}
+
+// move relocates node v to p, updating the hash.
+func (g *spacingGrid) move(v int, p geom.Point) {
+	old := g.key(g.pts[v])
+	cell := g.cells[old]
+	for i, u := range cell {
+		if u == v {
+			cell[i] = cell[len(cell)-1]
+			g.cells[old] = cell[:len(cell)-1]
+			break
+		}
+	}
+	g.pts[v] = p
+	g.cells[g.key(p)] = append(g.cells[g.key(p)], v)
+}
+
+// RandomWaypoint is the classic mobility model: each node draws a uniform
+// destination inside the deployment bounding box, travels toward it at a
+// per-node speed drawn from [speedMin, speedMax], pauses for pause time
+// units on arrival, then re-draws. All randomness comes from the seeded rng,
+// so a (seed, dt sequence) pair replays exactly.
+type RandomWaypoint struct {
+	rng       *rand.Rand
+	grid      *spacingGrid
+	n         int // mobile population; grid.pts beyond it are obstacles
+	lo, hi    geom.Point
+	speedMin  float64
+	speedMax  float64
+	pause     float64
+	dest      []geom.Point
+	speed     []float64
+	pauseLeft []float64
+	parked    []bool
+	minStep   float64 // displacement below this is not reported as a move
+}
+
+// NewRandomWaypoint builds the model over pts (copied). Speeds are in
+// distance units per time unit; pause is the dwell time at each waypoint.
+func NewRandomWaypoint(rng *rand.Rand, pts []geom.Point, speedMin, speedMax, pause float64) *RandomWaypoint {
+	if speedMin <= 0 {
+		speedMin = 0.5
+	}
+	if speedMax < speedMin {
+		speedMax = speedMin
+	}
+	own := append([]geom.Point(nil), pts...)
+	lo, hi := geom.BoundingBox(own)
+	// Degenerate boxes (chains) still need area to roam in.
+	if hi.X-lo.X < 10 {
+		hi.X = lo.X + 10
+	}
+	if hi.Y-lo.Y < 10 {
+		hi.Y = lo.Y + 10
+	}
+	m := &RandomWaypoint{
+		rng:       rng,
+		grid:      newSpacingGrid(own),
+		n:         len(own),
+		lo:        lo,
+		hi:        hi,
+		speedMin:  speedMin,
+		speedMax:  speedMax,
+		pause:     pause,
+		dest:      make([]geom.Point, len(own)),
+		speed:     make([]float64, len(own)),
+		pauseLeft: make([]float64, len(own)),
+		parked:    make([]bool, len(own)),
+		minStep:   1e-9,
+	}
+	for v := range own {
+		m.redraw(v)
+	}
+	return m
+}
+
+// Park permanently freezes node v (its position stays a spacing obstacle).
+func (m *RandomWaypoint) Park(v int) {
+	if v >= 0 && v < m.n {
+		m.parked[v] = true
+	}
+}
+
+// AddObstacle registers a static out-of-population point.
+func (m *RandomWaypoint) AddObstacle(p geom.Point) { m.grid.add(p) }
+
+func (m *RandomWaypoint) redraw(v int) {
+	m.dest[v] = geom.Point{
+		X: m.lo.X + m.rng.Float64()*(m.hi.X-m.lo.X),
+		Y: m.lo.Y + m.rng.Float64()*(m.hi.Y-m.lo.Y),
+	}
+	m.speed[v] = m.speedMin + m.rng.Float64()*(m.speedMax-m.speedMin)
+}
+
+// Positions returns the live point set (population only, without
+// obstacles). Callers must not mutate it.
+func (m *RandomWaypoint) Positions() []geom.Point { return m.grid.pts[:m.n] }
+
+// Step advances every non-parked node by dt and returns the indices that
+// moved.
+func (m *RandomWaypoint) Step(dt float64) []int {
+	var moved []int
+	for v := 0; v < m.n; v++ {
+		if m.parked[v] {
+			continue
+		}
+		if m.pauseLeft[v] > 0 {
+			m.pauseLeft[v] -= dt
+			continue
+		}
+		p := m.grid.pts[v]
+		d := m.dest[v]
+		dist := p.Dist(d)
+		step := m.speed[v] * dt
+		var next geom.Point
+		if step >= dist {
+			next = d
+			m.pauseLeft[v] = m.pause
+			m.redraw(v)
+		} else {
+			next = geom.Point{X: p.X + (d.X-p.X)/dist*step, Y: p.Y + (d.Y-p.Y)/dist*step}
+		}
+		if next.Dist(p) < m.minStep {
+			continue
+		}
+		if !m.grid.ok(v, next) {
+			// Blocked: hold position and head somewhere else next step.
+			m.redraw(v)
+			continue
+		}
+		m.grid.move(v, next)
+		moved = append(moved, v)
+	}
+	return moved
+}
+
+// CityGrid is a Manhattan mobility model: nodes travel along the lines of a
+// street grid with the given block size, turning with probability turnProb
+// at each intersection they cross and reflecting at the deployment boundary.
+// Nodes whose initial street-snapped position would violate the min-distance
+// constraint stay parked at their original position for the whole run.
+type CityGrid struct {
+	rng      *rand.Rand
+	grid     *spacingGrid
+	n        int // mobile population; grid.pts beyond it are obstacles
+	lo, hi   geom.Point
+	origin   geom.Point // street lattice anchor: streets at origin + k·block
+	block    float64
+	speed    float64
+	turnProb float64
+	dir      [][2]float64 // unit axis direction per node; {0,0} = parked
+}
+
+// NewCityGrid builds the model over pts (copied), snapping each node to its
+// nearest street line of the lattice anchored at origin (streets are the
+// lines x = origin.X + k·block and y = origin.Y + k·block). Passing an
+// explicit origin keeps the lattice stable when the model is rebuilt over a
+// subset of the points: positions already on the lattice snap to themselves.
+func NewCityGrid(rng *rand.Rand, pts []geom.Point, origin geom.Point, block, speed, turnProb float64) *CityGrid {
+	if block < 2 {
+		block = 2
+	}
+	if speed <= 0 {
+		speed = 1
+	}
+	if turnProb < 0 || turnProb > 1 {
+		turnProb = 0.5
+	}
+	own := append([]geom.Point(nil), pts...)
+	lo, hi := geom.BoundingBox(own)
+	if hi.X-lo.X < 2*block {
+		hi.X = lo.X + 2*block
+	}
+	if hi.Y-lo.Y < 2*block {
+		hi.Y = lo.Y + 2*block
+	}
+	m := &CityGrid{
+		rng:      rng,
+		grid:     newSpacingGrid(own),
+		n:        len(own),
+		lo:       lo,
+		hi:       hi,
+		origin:   origin,
+		block:    block,
+		speed:    speed,
+		turnProb: turnProb,
+		dir:      make([][2]float64, len(own)),
+	}
+	snap := func(x, o float64) float64 {
+		return o + math.Round((x-o)/block)*block
+	}
+	for v := range own {
+		p := own[v]
+		onV := geom.Point{X: snap(p.X, origin.X), Y: p.Y} // vertical street
+		onH := geom.Point{X: p.X, Y: snap(p.Y, origin.Y)} // horizontal street
+		cand := onH
+		vert := false
+		if p.Dist(onV) < p.Dist(onH) {
+			cand = onV
+			vert = true
+		}
+		if !m.grid.ok(v, cand) {
+			m.dir[v] = [2]float64{0, 0} // parked
+			continue
+		}
+		m.grid.move(v, cand)
+		if vert {
+			m.dir[v] = [2]float64{0, 1}
+		} else {
+			m.dir[v] = [2]float64{1, 0}
+		}
+		if rng.Intn(2) == 0 {
+			m.dir[v][0], m.dir[v][1] = -m.dir[v][0], -m.dir[v][1]
+		}
+	}
+	return m
+}
+
+// Positions returns the live point set (population only, without
+// obstacles). Callers must not mutate it.
+func (m *CityGrid) Positions() []geom.Point { return m.grid.pts[:m.n] }
+
+// Park permanently freezes node v (its position stays a spacing obstacle).
+func (m *CityGrid) Park(v int) {
+	if v >= 0 && v < m.n {
+		m.dir[v] = [2]float64{0, 0}
+	}
+}
+
+// AddObstacle registers a static out-of-population point.
+func (m *CityGrid) AddObstacle(p geom.Point) { m.grid.add(p) }
+
+// Step advances every non-parked node by speed·dt along its street,
+// handling at most one intersection decision per step (dt is expected to be
+// small relative to block/speed).
+func (m *CityGrid) Step(dt float64) []int {
+	var moved []int
+	step := m.speed * dt
+	snap := func(x, o float64) float64 {
+		return o + math.Round((x-o)/m.block)*m.block
+	}
+	for v := 0; v < m.n; v++ {
+		d := m.dir[v]
+		if d[0] == 0 && d[1] == 0 {
+			continue
+		}
+		p := m.grid.pts[v]
+		next := geom.Point{X: p.X + d[0]*step, Y: p.Y + d[1]*step}
+		// Intersection crossing: the along-street coordinate passed a
+		// multiple of block since last step.
+		along, nextAlong, origin := p.Y, next.Y, m.origin.Y
+		if d[0] != 0 {
+			along, nextAlong, origin = p.X, next.X, m.origin.X
+		}
+		crossed := math.Floor((along-origin)/m.block) != math.Floor((nextAlong-origin)/m.block) ||
+			math.Mod(nextAlong-origin, m.block) == 0
+		if crossed && m.rng.Float64() < m.turnProb {
+			// Turn at the intersection: land exactly on it, rotate 90°
+			// (sign chosen by coin flip).
+			ix := snap(next.X, m.origin.X)
+			iy := snap(next.Y, m.origin.Y)
+			if d[0] != 0 {
+				next = geom.Point{X: ix, Y: p.Y}
+			} else {
+				next = geom.Point{X: p.X, Y: iy}
+			}
+			s := 1.0
+			if m.rng.Intn(2) == 0 {
+				s = -1
+			}
+			m.dir[v] = [2]float64{d[1] * s, d[0] * s}
+		}
+		// Reflect at the deployment boundary.
+		if next.X < m.lo.X || next.X > m.hi.X || next.Y < m.lo.Y || next.Y > m.hi.Y {
+			m.dir[v] = [2]float64{-d[0], -d[1]}
+			continue
+		}
+		if next.Dist(p) < 1e-9 {
+			continue
+		}
+		if !m.grid.ok(v, next) {
+			m.dir[v] = [2]float64{-d[0], -d[1]} // blocked: U-turn
+			continue
+		}
+		m.grid.move(v, next)
+		moved = append(moved, v)
+	}
+	return moved
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sinrconn/internal/geom"
+)
+
+func checkSpacing(t *testing.T, pts []geom.Point) {
+	t.Helper()
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if d := pts[i].Dist(pts[j]); d < 1 {
+				t.Fatalf("nodes %d and %d only %.3f apart", i, j, d)
+			}
+		}
+	}
+}
+
+func TestRandomWaypointPreservesSpacing(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := UniformDensity(rng, 60, 0.2)
+	m := NewRandomWaypoint(rand.New(rand.NewSource(2)), pts, 0.5, 2, 1)
+	totalMoves := 0
+	for s := 0; s < 50; s++ {
+		totalMoves += len(m.Step(0.5))
+		checkSpacing(t, m.Positions())
+	}
+	if totalMoves == 0 {
+		t.Fatal("nobody ever moved")
+	}
+	// The input slice is untouched — the stepper owns a copy.
+	fresh := UniformDensity(rand.New(rand.NewSource(1)), 60, 0.2)
+	for i := range pts {
+		if pts[i] != fresh[i] {
+			t.Fatal("stepper mutated the caller's points")
+		}
+	}
+}
+
+func TestRandomWaypointDeterministic(t *testing.T) {
+	base := UniformDensity(rand.New(rand.NewSource(3)), 40, 0.2)
+	run := func() []geom.Point {
+		m := NewRandomWaypoint(rand.New(rand.NewSource(4)), base, 0.5, 2, 0.5)
+		for s := 0; s < 30; s++ {
+			m.Step(0.5)
+		}
+		return append([]geom.Point(nil), m.Positions()...)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node %d diverged across identical runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCityGridPreservesSpacingAndStreets(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := UniformDensity(rng, 50, 0.1)
+	lo, _ := geom.BoundingBox(pts)
+	m := NewCityGrid(rand.New(rand.NewSource(6)), pts, lo, 8, 2, 0.4)
+	onStreet := func(p geom.Point) bool {
+		offX := math.Abs(math.Remainder(p.X-lo.X, 8))
+		offY := math.Abs(math.Remainder(p.Y-lo.Y, 8))
+		return offX < 1e-6 || offY < 1e-6
+	}
+	parked := make(map[int]bool)
+	for v, p := range m.Positions() {
+		if !onStreet(p) {
+			parked[v] = true // snap was blocked; must never move
+		}
+	}
+	totalMoves := 0
+	for s := 0; s < 60; s++ {
+		for _, v := range m.Step(0.5) {
+			totalMoves++
+			if parked[v] {
+				t.Fatalf("parked node %d moved", v)
+			}
+			if !onStreet(m.Positions()[v]) {
+				t.Fatalf("node %d left the street grid: %v", v, m.Positions()[v])
+			}
+		}
+		checkSpacing(t, m.Positions())
+	}
+	if totalMoves == 0 {
+		t.Fatal("nobody ever moved")
+	}
+}
+
+func TestCityGridDeterministic(t *testing.T) {
+	base := UniformDensity(rand.New(rand.NewSource(7)), 30, 0.1)
+	lo, _ := geom.BoundingBox(base)
+	run := func() []geom.Point {
+		m := NewCityGrid(rand.New(rand.NewSource(8)), base, lo, 6, 1.5, 0.5)
+		for s := 0; s < 40; s++ {
+			m.Step(0.5)
+		}
+		return append([]geom.Point(nil), m.Positions()...)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node %d diverged across identical runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -17,6 +17,7 @@ package sinrconn
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -106,20 +107,26 @@ func TestScenarioMatrix(t *testing.T) {
 				// One batch across all four pipelines. The construction
 				// protocols are randomized and may (rarely, legitimately)
 				// fail to converge within their round bounds on a given
-				// seed; that surfaces as a clean per-spec error, and the
-				// cell retries with a fresh protocol seed on the SAME point
+				// seed; that surfaces as ErrNotConverged, and the cell
+				// retries with a fresh protocol seed on the SAME point
 				// set — so an instance-specific deterministic pipeline bug
-				// fails every attempt. Validator failures are never retried.
+				// fails every attempt. Any other error class (validator,
+				// geometry, option) is deterministic and never retried;
+				// the errors.Is routing is the typed-error contract.
 				runSpecs := make([]RunSpec, len(pipes))
 				for pi, p := range pipes {
 					runSpecs[pi] = RunSpec{Pipeline: p, Opts: []RunOption{WithSeed(seed + int64(pi))}}
 				}
-				results, _ := nw.RunMatrix(ctx, runSpecs)
+				results, batchErr := nw.RunMatrix(ctx, runSpecs)
 				for pi, pipe := range pipes {
 					pi, pipe := pi, pipe
 					t.Run(pipe.String(), func(t *testing.T) {
 						res := results[pi]
+						err := batchErr
 						for attempt := int64(1); res == nil && attempt < 3; attempt++ {
+							if !errors.Is(err, ErrNotConverged) {
+								t.Fatalf("non-retryable pipeline error: %v", err)
+							}
 							res, err = nw.Run(ctx, pipe, WithSeed(seed+int64(pi)+100*attempt))
 						}
 						if res == nil {
