@@ -78,6 +78,7 @@ func (nw *Network) epochConfig(r *Result, opts []RunOption) (sim.Config, func(),
 		Pool:     pool,
 		FarField: ff,
 		Adaptive: adaptive,
+		Observer: s.observer,
 	}, func() { release(); done() }, nil
 }
 

@@ -29,7 +29,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "reduced sweep for smoke testing")
-	only := fs.String("only", "", "run a single experiment (E1..E18, A1..A5)")
+	only := fs.String("only", "", "run a single experiment (E1..E19, A1..A5)")
 	seeds := fs.Int("seeds", 0, "override trials per cell")
 	ablations := fs.Bool("ablations", false, "also run the A1..A5 design-choice sweeps")
 	if err := fs.Parse(args); err != nil {
@@ -67,6 +67,7 @@ func run(args []string, out io.Writer) error {
 		{"E16", experiments.E16FarField},
 		{"E17", experiments.E17Quadtree},
 		{"E18", experiments.E18Churn},
+		{"E19", experiments.E19Serve},
 	}
 	abl := []entry{
 		{"A1", experiments.A1BroadcastProb},

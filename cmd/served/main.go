@@ -1,0 +1,129 @@
+// Command served is the serving daemon: a long-running HTTP/JSON server
+// over the session API (Open/Run/RunMatrix/Join/Repair/Churn) with
+// per-session handles, slot-event streaming, a size/TTL-bounded result
+// cache with singleflight coalescing, /metrics and /healthz, and graceful
+// drain on SIGTERM.
+//
+// Usage:
+//
+//	served -addr :8080                       # serve until SIGTERM/SIGINT
+//	served -addr 127.0.0.1:0 -loadgen 10s    # self-drive a smoke load, then exit
+//
+// On SIGTERM the daemon stops accepting new sessions (503), lets in-flight
+// requests finish within -drain-timeout, then closes every deployment.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sinrconn/internal/churn"
+	"sinrconn/internal/serve"
+	"sinrconn/internal/serve/loadgen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "served:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("served", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	cacheSize := fs.Int("cache-size", 0, "result-cache entries per deployment (0 = library default, 128)")
+	cacheTTL := fs.Duration("cache-ttl", 0, "result-cache entry TTL (0 = never expire)")
+	defTimeout := fs.Duration("default-timeout", 0, "per-request timeout when the request sets none (0 = none)")
+	maxTimeout := fs.Duration("max-timeout", 5*time.Minute, "hard per-request timeout cap (0 = uncapped)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	workers := fs.Int("workers", 0, "simulator workers per deployment (0 = NumCPU)")
+	lg := fs.Duration("loadgen", 0, "self-drive a smoke load for this long, print a JSON report, and exit")
+	lgClients := fs.Int("loadgen-clients", 8, "loadgen concurrent clients")
+	lgN := fs.Int("loadgen-n", 64, "loadgen deployment size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := serve.New(serve.Config{
+		CacheSize:      *cacheSize,
+		CacheTTL:       *cacheTTL,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		Workers:        *workers,
+	})
+	hs := &http.Server{Handler: srv.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "served: listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	if *lg > 0 {
+		// Self-drive mode: run the load generator against our own listener,
+		// print the report, then drain exactly as SIGTERM would.
+		lgCtx, cancel := context.WithTimeout(ctx, *lg)
+		report, lgErr := loadgen.Run(lgCtx, loadgen.Config{
+			BaseURL:  "http://" + ln.Addr().String(),
+			Clients:  *lgClients,
+			N:        *lgN,
+			Requests: 1 << 20, // effectively until the deadline
+			Seed:     1,
+			Arrival:  churn.ArrivalSpec{Rate: 500, Mix: churn.MixPoisson},
+		})
+		cancel()
+		if lgErr != nil {
+			hs.Close()
+			srv.Close()
+			return lgErr
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		enc.Encode(report)
+		return shutdown(srv, hs, *drainTimeout, out)
+	}
+
+	select {
+	case err := <-serveErr:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+		stop() // restore default signal handling: second SIGTERM kills
+		fmt.Fprintln(out, "served: draining")
+		return shutdown(srv, hs, *drainTimeout, out)
+	}
+}
+
+// shutdown drains gracefully: refuse new sessions, wait for in-flight
+// requests up to the timeout, then close every deployment.
+func shutdown(srv *serve.Server, hs *http.Server, timeout time.Duration, out io.Writer) error {
+	srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := hs.Shutdown(ctx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(out, "served: drain timeout exceeded, closing")
+		hs.Close()
+		err = nil
+	}
+	srv.Close()
+	fmt.Fprintln(out, "served: stopped")
+	return err
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// lockedBuf is an io.Writer safe to read while run() writes from its own
+// goroutine.
+type lockedBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRe = regexp.MustCompile(`listening on (\S+)`)
+
+// waitListen polls the output for the bound address.
+func waitListen(t *testing.T, out *lockedBuf) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := listenRe.FindStringSubmatch(out.String()); m != nil {
+			return m[1]
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("server never reported its address; output:\n%s", out.String())
+	return ""
+}
+
+// TestServedSIGTERMDrain boots the daemon, verifies it serves, then sends
+// a real SIGTERM and requires a clean drain: run() returns nil and reports
+// draining + stopped.
+func TestServedSIGTERMDrain(t *testing.T) {
+	var out lockedBuf
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "5s"}, &out)
+	}()
+	addr := waitListen(t, &out)
+
+	// The daemon is live: open a session over HTTP.
+	resp, err := http.Post("http://"+addr+"/v1/sessions", "application/json",
+		strings.NewReader(`{"points":[[0,0],[1.5,0],[0,1.5],[3,3]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var open struct {
+		SessionID string `json:"session_id"`
+	}
+	json.NewDecoder(resp.Body).Decode(&open)
+	resp.Body.Close()
+	if open.SessionID == "" {
+		t.Fatal("open returned no session id")
+	}
+
+	// Real signal, real drain path (signal.NotifyContext intercepts it).
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not drain after SIGTERM; output:\n%s", out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"served: draining", "served: stopped"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestServedLoadgenSelfDrive exercises the -loadgen smoke mode end to end:
+// boot, self-drive a short load over real HTTP, print a report with a
+// non-zero hit rate, drain, exit clean.
+func TestServedLoadgenSelfDrive(t *testing.T) {
+	var out lockedBuf
+	err := run([]string{
+		"-addr", "127.0.0.1:0",
+		"-loadgen", "2s",
+		"-loadgen-clients", "4",
+		"-loadgen-n", "32",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	start := strings.Index(text, "{")
+	end := strings.LastIndex(text, "}")
+	if start < 0 || end < start {
+		t.Fatalf("no JSON report in output:\n%s", text)
+	}
+	var report struct {
+		Requests int     `json:"requests"`
+		Errors   int     `json:"errors"`
+		HitRate  float64 `json:"hit_rate"`
+		P50Ms    float64 `json:"p50_ms"`
+		P99Ms    float64 `json:"p99_ms"`
+	}
+	if err := json.Unmarshal([]byte(text[start:end+1]), &report); err != nil {
+		t.Fatalf("bad report JSON: %v\n%s", err, text)
+	}
+	if report.Requests < 10 {
+		t.Fatalf("smoke issued only %d requests", report.Requests)
+	}
+	if report.Errors > 0 {
+		t.Fatalf("smoke saw %d request errors", report.Errors)
+	}
+	if report.HitRate <= 0 {
+		t.Fatalf("smoke hit rate %v, want > 0 (repeat-heavy trace must hit the cache)", report.HitRate)
+	}
+	if !strings.Contains(text, "served: stopped") {
+		t.Fatalf("daemon did not report clean stop:\n%s", text)
+	}
+}

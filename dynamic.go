@@ -13,6 +13,7 @@ import (
 
 	"sinrconn/internal/core"
 	"sinrconn/internal/geom"
+	"sinrconn/internal/serve/cache"
 	"sinrconn/internal/sinr"
 )
 
@@ -111,6 +112,7 @@ func (nw *Network) join(ctx context.Context, r *Result, newPts []Point, s settin
 		Pool:          pool,
 		FarField:      ff,
 		Adaptive:      adaptive,
+		Observer:      s.observer,
 	})
 	if err != nil {
 		return nil, err
@@ -139,11 +141,11 @@ func (nw *Network) derive(in *sinr.Instance) *Network {
 		root = nw.parent
 	}
 	return &Network{
-		pts:     in.Points(),
-		base:    nw.base,
-		parent:  root,
-		insts:   map[sinr.Params]*sinr.Instance{in.Params(): in},
-		results: make(map[runKey]*Result),
+		pts:    in.Points(),
+		base:   nw.base,
+		parent: root,
+		insts:  map[sinr.Params]*sinr.Instance{in.Params(): in},
+		memo:   cache.New[runKey, *Result](nw.base.cacheSize, nw.base.cacheTTL),
 	}
 }
 
@@ -188,6 +190,7 @@ func (nw *Network) repair(ctx context.Context, r *Result, failed []int, s settin
 		Pool:          pool,
 		FarField:      ff,
 		Adaptive:      adaptive,
+		Observer:      s.observer,
 	})
 	if err != nil {
 		return nil, err
@@ -250,6 +253,7 @@ func (nw *Network) repairLinks(ctx context.Context, r *Result, links []Link, s s
 		Pool:          pool,
 		FarField:      ff,
 		Adaptive:      adaptive,
+		Observer:      s.observer,
 	})
 	if err != nil {
 		return nil, err

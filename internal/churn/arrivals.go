@@ -1,0 +1,119 @@
+package churn
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ArrivalMix selects the shape of a request-arrival trace.
+type ArrivalMix int
+
+const (
+	// MixPoisson draws memoryless exponential inter-arrival gaps.
+	MixPoisson ArrivalMix = iota
+	// MixBursty alternates geometric-length bursts of closely spaced
+	// arrivals with longer idle gaps, preserving the overall mean rate.
+	MixBursty
+)
+
+// String names the mix for reports.
+func (m ArrivalMix) String() string {
+	switch m {
+	case MixPoisson:
+		return "poisson"
+	case MixBursty:
+		return "bursty"
+	default:
+		return fmt.Sprintf("ArrivalMix(%d)", int(m))
+	}
+}
+
+// ArrivalSpec configures a deterministic arrival-time source. It reuses
+// the churn generator's trace discipline — one seeded rand.Rand, every
+// gap an explicit draw — so a (Seed, Rate, Mix) triple names the same
+// trace on every run.
+type ArrivalSpec struct {
+	// Seed derives the whole trace.
+	Seed int64
+	// Rate is the long-run mean arrival rate in events per second.
+	Rate float64
+	// Mix selects Poisson or bursty arrivals (default Poisson).
+	Mix ArrivalMix
+	// BurstLen is the mean burst size for MixBursty (default 8).
+	BurstLen float64
+	// BurstFactor multiplies the rate inside a burst for MixBursty
+	// (default 20): gaps within a burst are BurstFactor× shorter than the
+	// Poisson mean.
+	BurstFactor float64
+}
+
+// Arrivals emits deterministic inter-arrival gaps.
+type Arrivals struct {
+	spec ArrivalSpec
+	rng  *rand.Rand
+	// left counts arrivals remaining in the current burst (MixBursty).
+	left int
+}
+
+// NewArrivals validates the spec and builds the source.
+func NewArrivals(spec ArrivalSpec) (*Arrivals, error) {
+	if spec.Rate <= 0 {
+		return nil, fmt.Errorf("churn: arrival rate must be positive, got %g", spec.Rate)
+	}
+	if spec.BurstLen <= 1 {
+		spec.BurstLen = 8
+	}
+	if spec.BurstFactor <= 1 {
+		spec.BurstFactor = 20
+	}
+	return &Arrivals{spec: spec, rng: rand.New(rand.NewSource(spec.Seed))}, nil
+}
+
+// Next returns the gap before the next arrival.
+func (a *Arrivals) Next() time.Duration {
+	switch a.spec.Mix {
+	case MixBursty:
+		return a.nextBursty()
+	default:
+		return expDur(a.rng.ExpFloat64() / a.spec.Rate)
+	}
+}
+
+// nextBursty alternates bursts and idles. Burst sizes are geometric with
+// mean BurstLen; within-burst gaps run at BurstFactor× the base rate;
+// the idle gap preceding each burst is sized so the long-run mean rate
+// stays Rate:
+//
+//	E[time per burst] = idle + (L-1)/(Rate·F)  must equal  L/Rate
+func (a *Arrivals) nextBursty() time.Duration {
+	L := a.spec.BurstLen
+	F := a.spec.BurstFactor
+	if a.left > 0 {
+		a.left--
+		return expDur(a.rng.ExpFloat64() / (a.spec.Rate * F))
+	}
+	// Geometric burst size with mean L (support ≥ 1).
+	size := 1
+	for float64(size) < 64*L && a.rng.Float64() >= 1/L {
+		size++
+	}
+	a.left = size - 1
+	idleMean := L/a.spec.Rate - (L-1)/(a.spec.Rate*F)
+	if idleMean <= 0 {
+		idleMean = 1 / a.spec.Rate
+	}
+	return expDur(a.rng.ExpFloat64() * idleMean)
+}
+
+// expDur converts seconds to a duration, clamping pathological draws.
+func expDur(sec float64) time.Duration {
+	if sec < 0 {
+		sec = 0
+	}
+	const maxGap = 60
+	if sec > maxGap {
+		sec = maxGap
+	}
+	return time.Duration(sec * float64(time.Second))
+}

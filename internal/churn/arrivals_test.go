@@ -1,0 +1,109 @@
+package churn
+
+import (
+	"testing"
+	"time"
+)
+
+// TestArrivalsDeterministic pins the trace discipline: a (Seed, Rate, Mix)
+// triple names one gap sequence, bit for bit.
+func TestArrivalsDeterministic(t *testing.T) {
+	for _, mix := range []ArrivalMix{MixPoisson, MixBursty} {
+		a1, err := NewArrivals(ArrivalSpec{Seed: 42, Rate: 100, Mix: mix})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, _ := NewArrivals(ArrivalSpec{Seed: 42, Rate: 100, Mix: mix})
+		for i := 0; i < 1000; i++ {
+			if g1, g2 := a1.Next(), a2.Next(); g1 != g2 {
+				t.Fatalf("%v: gap %d diverges: %v vs %v", mix, i, g1, g2)
+			}
+		}
+		b, _ := NewArrivals(ArrivalSpec{Seed: 43, Rate: 100, Mix: mix})
+		same := true
+		a3, _ := NewArrivals(ArrivalSpec{Seed: 42, Rate: 100, Mix: mix})
+		for i := 0; i < 32; i++ {
+			if a3.Next() != b.Next() {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%v: different seeds produced identical traces", mix)
+		}
+	}
+}
+
+// TestArrivalsMeanRate checks both mixes deliver the configured long-run
+// rate within sampling tolerance — the bursty idle-gap compensation must
+// not distort throughput.
+func TestArrivalsMeanRate(t *testing.T) {
+	const rate, draws = 50.0, 20000
+	for _, mix := range []ArrivalMix{MixPoisson, MixBursty} {
+		a, err := NewArrivals(ArrivalSpec{Seed: 7, Rate: rate, Mix: mix})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total time.Duration
+		for i := 0; i < draws; i++ {
+			total += a.Next()
+		}
+		got := draws / total.Seconds()
+		if got < 0.85*rate || got > 1.15*rate {
+			t.Fatalf("%v: measured rate %.1f/s, want %.0f/s ±15%%", mix, got, rate)
+		}
+	}
+}
+
+// TestArrivalsBurstiness verifies MixBursty actually clusters: its gap
+// distribution must be far more dispersed than Poisson at the same rate
+// (coefficient of variation well above 1).
+func TestArrivalsBurstiness(t *testing.T) {
+	const rate, draws = 50.0, 20000
+	cv := func(mix ArrivalMix) float64 {
+		a, err := NewArrivals(ArrivalSpec{Seed: 9, Rate: rate, Mix: mix})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum, sumSq float64
+		for i := 0; i < draws; i++ {
+			g := a.Next().Seconds()
+			sum += g
+			sumSq += g * g
+		}
+		mean := sum / draws
+		variance := sumSq/draws - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		return sqrt(variance) / mean
+	}
+	pois, burst := cv(MixPoisson), cv(MixBursty)
+	if pois < 0.8 || pois > 1.2 {
+		t.Fatalf("poisson CV = %.2f, want ≈1", pois)
+	}
+	if burst < 1.5*pois {
+		t.Fatalf("bursty CV = %.2f, want ≥ 1.5× poisson (%.2f)", burst, pois)
+	}
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// TestArrivalsValidation rejects non-positive rates.
+func TestArrivalsValidation(t *testing.T) {
+	if _, err := NewArrivals(ArrivalSpec{Rate: 0}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := NewArrivals(ArrivalSpec{Rate: -3}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}

@@ -19,6 +19,7 @@ func (c *InitConfig) engineConfig(seed int64) sim.Config {
 		Pool:     c.Pool,
 		FarField: c.FarField,
 		Adaptive: c.Adaptive,
+		Observer: c.Observer,
 	}
 }
 
@@ -90,6 +91,10 @@ type InitConfig struct {
 	// "ignore recently dropped paths" invariant of mesh routing — so a
 	// repeatedly failing neighborhood stops attracting re-attachments.
 	Mute []int
+	// Observer, if non-nil, receives a sim.SlotEvent after every engine
+	// slot of the construction (the serving layer's streaming hook).
+	// Observers are diagnostic only: they never influence the result.
+	Observer sim.Observer
 }
 
 func (c *InitConfig) defaults() {

@@ -1,0 +1,7 @@
+package experiments
+
+import "testing"
+
+func TestE19Serve(t *testing.T) {
+	runAndCheck(t, E19Serve(Quick()), 5)
+}

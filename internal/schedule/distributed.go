@@ -37,6 +37,9 @@ type DistConfig struct {
 	// resolution per slot from the live sender count (see
 	// sim.Config.Adaptive).
 	Adaptive bool
+	// Observer, if non-nil, receives a sim.SlotEvent after every scheduler
+	// engine slot (the serving layer's streaming hook). Diagnostic only.
+	Observer sim.Observer
 }
 
 func (c *DistConfig) defaults(nLinks int) {
@@ -115,7 +118,7 @@ func Distributed(ctx context.Context, in *sinr.Instance, links []sinr.Link, pa s
 	for i := range nodes {
 		procs[i] = nodes[i]
 	}
-	eng, err := sim.NewEngine(in, procs, sim.Config{Workers: cfg.Workers, Seed: cfg.Seed, Pool: cfg.Pool, FarField: cfg.FarField, Adaptive: cfg.Adaptive})
+	eng, err := sim.NewEngine(in, procs, sim.Config{Workers: cfg.Workers, Seed: cfg.Seed, Pool: cfg.Pool, FarField: cfg.FarField, Adaptive: cfg.Adaptive, Observer: cfg.Observer})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,295 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http"
+	"testing"
+
+	"sinrconn"
+
+	"sinrconn/internal/workload"
+)
+
+// TestServeDifferentialGate pins the daemon as a pure transport: for every
+// generator in the scenario matrix, the daemon's run response must be
+// BIT-IDENTICAL to encoding the result of the equivalent in-process
+// Network.Run — same JSON bytes through the shared EncodeResult path. When
+// the in-process run fails (e.g. legitimate ErrNotConverged on a seed),
+// the daemon must fail the same way.
+func TestServeDifferentialGate(t *testing.T) {
+	specs := workload.Matrix()
+	n := 36
+	if testing.Short() {
+		specs = specs[:3]
+		n = 22
+	}
+	ctx := context.Background()
+	_, ts := testDaemon(t, Config{})
+
+	for si, spec := range specs {
+		t.Run(spec.Name, func(t *testing.T) {
+			seed := int64(501 + 100*si)
+			rng := rand.New(rand.NewSource(seed))
+			g := spec.Gen(rng, n)
+			pts := make([]sinrconn.Point, len(g))
+			wire := make([][2]float64, len(g))
+			for i, p := range g {
+				pts[i] = sinrconn.Point{X: p.X, Y: p.Y}
+				wire[i] = [2]float64{p.X, p.Y}
+			}
+
+			// In-process reference.
+			nw, err := sinrconn.Open(pts, sinrconn.WithSeed(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer nw.Close()
+
+			// Daemon session over the same deployment and options.
+			sess := openSession(t, ts.URL, OpenRequest{Points: wire, Options: OptionsJSON{Seed: seed}})
+			base := ts.URL + "/v1/sessions/" + sess.SessionID
+
+			for _, p := range sinrconn.Pipelines() {
+				runSeed := seed + int64(p)
+				want, wantErr := nw.Run(ctx, p, sinrconn.WithSeed(runSeed))
+
+				body, _ := json.Marshal(RunRequest{
+					Pipeline:    p.String(),
+					Options:     OptionsJSON{Seed: runSeed},
+					IncludeTree: true,
+				})
+				resp, err := http.Post(base+"/run", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				buf.ReadFrom(resp.Body)
+				resp.Body.Close()
+
+				if wantErr != nil {
+					// The daemon must refuse identically, not invent a result.
+					if resp.StatusCode == http.StatusOK {
+						t.Fatalf("%s: in-process failed (%v) but daemon returned 200", p, wantErr)
+					}
+					if errors.Is(wantErr, sinrconn.ErrNotConverged) && resp.StatusCode != http.StatusServiceUnavailable {
+						t.Fatalf("%s: non-convergence mapped to %d, want 503", p, resp.StatusCode)
+					}
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("%s: daemon status %d (%s), in-process succeeded", p, resp.StatusCode, buf.String())
+				}
+				var got struct {
+					Result json.RawMessage `json:"result"`
+				}
+				if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+					t.Fatal(err)
+				}
+				wantJSON, err := json.Marshal(EncodeResult(want, true))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(bytes.TrimSpace(got.Result), wantJSON) {
+					t.Fatalf("%s: daemon response diverges from in-process result\n daemon: %s\n inproc: %s",
+						p, got.Result, wantJSON)
+				}
+			}
+		})
+	}
+}
+
+// TestServeDifferentialRunMatrix extends the gate to the batch endpoint:
+// the daemon's runmatrix must encode exactly the results of the in-process
+// RunMatrix over the same specs.
+func TestServeDifferentialRunMatrix(t *testing.T) {
+	ctx := context.Background()
+	_, ts := testDaemon(t, Config{})
+
+	seed := int64(91)
+	g := workload.UniformSeeded(seed, 30)
+	pts := make([]sinrconn.Point, len(g))
+	wire := make([][2]float64, len(g))
+	for i, p := range g {
+		pts[i] = sinrconn.Point{X: p.X, Y: p.Y}
+		wire[i] = [2]float64{p.X, p.Y}
+	}
+	nw, err := sinrconn.Open(pts, sinrconn.WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+
+	var specs []sinrconn.RunSpec
+	var req MatrixRequest
+	for _, p := range sinrconn.Pipelines() {
+		rs := seed + 10 + int64(p)
+		specs = append(specs, sinrconn.RunSpec{Pipeline: p, Opts: []sinrconn.RunOption{sinrconn.WithSeed(rs)}})
+		req.Specs = append(req.Specs, struct {
+			Pipeline string      `json:"pipeline"`
+			Options  OptionsJSON `json:"options,omitzero"`
+		}{Pipeline: p.String(), Options: OptionsJSON{Seed: rs}})
+	}
+	req.IncludeTree = true
+	want, wantErr := nw.RunMatrix(ctx, specs)
+
+	sess := openSession(t, ts.URL, OpenRequest{Points: wire, Options: OptionsJSON{Seed: seed}})
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/sessions/"+sess.SessionID+"/runmatrix", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	if len(got.Results) != len(want) {
+		t.Fatalf("daemon returned %d results, in-process %d", len(got.Results), len(want))
+	}
+	for i, res := range want {
+		if res == nil {
+			// This spec failed in-process (wantErr explains); the daemon
+			// must report null for the same slot.
+			if string(bytes.TrimSpace(got.Results[i])) != "null" {
+				t.Fatalf("spec %d: in-process failed (%v) but daemon returned %s", i, wantErr, got.Results[i])
+			}
+			continue
+		}
+		wantJSON, err := json.Marshal(EncodeResult(res, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bytes.TrimSpace(got.Results[i]), wantJSON) {
+			t.Fatalf("spec %d diverges\n daemon: %s\n inproc: %s", i, got.Results[i], wantJSON)
+		}
+	}
+}
+
+// TestServeDifferentialJoinRepair extends the gate to the dynamic
+// endpoints: daemon join and repair responses must match the in-process
+// Join/Repair on the same base result.
+func TestServeDifferentialJoinRepair(t *testing.T) {
+	ctx := context.Background()
+	_, ts := testDaemon(t, Config{})
+
+	seed := int64(17)
+	g := workload.UniformSeeded(seed, 26)
+	pts := make([]sinrconn.Point, len(g))
+	wire := make([][2]float64, len(g))
+	for i, p := range g {
+		pts[i] = sinrconn.Point{X: p.X, Y: p.Y}
+		wire[i] = [2]float64{p.X, p.Y}
+	}
+	joinPts := [][2]float64{{50, 50}, {51.5, 50.5}}
+	joinPoints := []sinrconn.Point{{X: 50, Y: 50}, {X: 51.5, Y: 50.5}}
+
+	nw, err := sinrconn.Open(pts, sinrconn.WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	base, err := nw.Run(ctx, sinrconn.PipelineInit, sinrconn.WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := nw.Join(ctx, base, joinPoints, sinrconn.WithSeed(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired, err := joined.Network().Repair(ctx, joined, []int{2}, sinrconn.WithSeed(seed+2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess := openSession(t, ts.URL, OpenRequest{Points: wire, Options: OptionsJSON{Seed: seed}})
+	sbase := ts.URL + "/v1/sessions/" + sess.SessionID
+	var run RunResponse
+	code, body := postJSON(t, sbase+"/run", RunRequest{Pipeline: "init-uniform", Options: OptionsJSON{Seed: seed}}, &run)
+	if code != http.StatusOK {
+		t.Fatalf("run: %d: %s", code, body)
+	}
+
+	check := func(name string, gotRaw []byte, want *sinrconn.Result) {
+		t.Helper()
+		var got struct {
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal(gotRaw, &got); err != nil {
+			t.Fatal(err)
+		}
+		wantJSON, err := json.Marshal(EncodeResult(want, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bytes.TrimSpace(got.Result), wantJSON) {
+			t.Fatalf("%s diverges\n daemon: %s\n inproc: %s", name, got.Result, wantJSON)
+		}
+	}
+
+	var dJoin RunResponse
+	code, body = postJSON(t, sbase+"/join", JoinRequest{
+		ResultID: run.ResultID, Points: joinPts,
+		Options: OptionsJSON{Seed: seed + 1}, IncludeTree: true,
+	}, &dJoin)
+	if code != http.StatusOK {
+		t.Fatalf("join: %d: %s", code, body)
+	}
+	check("join", body, joined)
+
+	_, body = postJSON(t, sbase+"/repair", RepairRequest{
+		ResultID: dJoin.ResultID, Failed: []int{2},
+		Options: OptionsJSON{Seed: seed + 2}, IncludeTree: true,
+	}, nil)
+	check("repair", body, repaired)
+}
+
+// TestServeDifferentialChurn pins the churn endpoint against the
+// in-process Network.Churn on the same deterministic trace.
+func TestServeDifferentialChurn(t *testing.T) {
+	ctx := context.Background()
+	_, ts := testDaemon(t, Config{})
+
+	seed := int64(29)
+	g := workload.UniformSeeded(seed, 24)
+	pts := make([]sinrconn.Point, len(g))
+	wire := make([][2]float64, len(g))
+	for i, p := range g {
+		pts[i] = sinrconn.Point{X: p.X, Y: p.Y}
+		wire[i] = [2]float64{p.X, p.Y}
+	}
+	spec := sinrconn.TraceSpec{Seed: 7, Events: 5, JoinRate: 1, FailRate: 1}
+
+	nw, err := sinrconn.Open(pts, sinrconn.WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	want, err := nw.Churn(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess := openSession(t, ts.URL, OpenRequest{Points: wire, Options: OptionsJSON{Seed: seed}})
+	var got ChurnResponse
+	code, body := postJSON(t, ts.URL+"/v1/sessions/"+sess.SessionID+"/churn", ChurnRequest{
+		Seed: 7, Events: 5, JoinRate: 1, FailRate: 1, IncludeTree: true,
+	}, &got)
+	if code != http.StatusOK {
+		t.Fatalf("churn: %d: %s", code, body)
+	}
+	if got.Stats != want.Stats {
+		t.Fatalf("churn stats diverge\n daemon: %+v\n inproc: %+v", got.Stats, want.Stats)
+	}
+	wantJSON, _ := json.Marshal(EncodeResult(want.Final, true))
+	gotJSON, _ := json.Marshal(got.Result)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatalf("churn final diverges\n daemon: %s\n inproc: %s", gotJSON, wantJSON)
+	}
+}

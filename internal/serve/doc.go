@@ -1,0 +1,36 @@
+// Package serve is the serving daemon behind cmd/served: a long-running
+// HTTP/JSON surface (stdlib net/http only) over the session API —
+// Open/Run/RunMatrix/Join/Repair/RepairLinks/Churn on per-session handles —
+// built for heavy traffic from many concurrent clients.
+//
+// The daemon is a TRANSPORT, never a semantics change: every response body
+// is produced by encoding the exact *sinrconn.Result an in-process call
+// returns, which the differential gate (diff_test.go) pins bit-identical
+// across the full scenario matrix.
+//
+// Architecture (DESIGN.md §10):
+//
+//   - Sessions & deployment dedup. POST /v1/sessions opens a session; the
+//     server content-addresses the (points, open-options) pair, so a
+//     thousand sessions over the same deployment share ONE *sinrconn.Network
+//     — one physics instance, one worker pool, one result cache. A session
+//     is a refcount plus a namespace of result handles; DELETE drops it and
+//     the last drop closes the Network.
+//
+//   - The result cache. Each Network's memo is the size/TTL-bounded LRU of
+//     internal/serve/cache with singleflight coalescing: concurrent
+//     identical queries run ONE construction. A memo hit is ~5×10⁴× cheaper
+//     than a rebuild (BENCH_api.json), so the exported hit rate — on
+//     /metrics and /healthz — is the daemon's capacity gauge.
+//
+//   - Streaming. A run request with "stream": true answers with chunked
+//     newline-delimited JSON: one event per simulator slot (via
+//     sinrconn.WithObserver) followed by a terminal result or error line.
+//
+//   - Deadlines & drain. Every request context is the HTTP request context
+//     (client disconnect cancels the run between slots) bounded by the
+//     request's timeout_ms and the server's MaxTimeout. On SIGTERM,
+//     cmd/served marks the server draining (new sessions are refused with
+//     503, /healthz reports "draining"), lets http.Server.Shutdown wait for
+//     in-flight requests, then closes every deployment.
+package serve

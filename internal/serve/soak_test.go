@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// soakTransport drives the handler in-process: no sockets, so goroutine
+// accounting sees only the daemon's own work.
+type soakTransport struct{ h http.Handler }
+
+func (t soakTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	t.h.ServeHTTP(rec, req)
+	return rec.Result(), nil
+}
+
+// TestServeSoak is the concurrency gate: ≥32 concurrent clients fire ≥500
+// requests mixing Run, Join, and Repair, with deliberate mid-flight
+// cancellations and a drain flipped mid-soak, all race-detector clean, and
+// the daemon leaks zero goroutines (before/after runtime.NumGoroutine
+// settle). Run it with -race (the CI daemon lane does).
+func TestServeSoak(t *testing.T) {
+	clients, perClient := 32, 16 // 512 requests
+	if testing.Short() {
+		clients, perClient = 8, 8
+	}
+
+	// Settle and record the baseline before the daemon exists.
+	runtime.GC()
+	time.Sleep(50 * time.Millisecond)
+	before := runtime.NumGoroutine()
+
+	srv := New(Config{})
+	hc := &http.Client{Transport: soakTransport{srv.Handler()}}
+	base := "http://soak.invalid"
+
+	post := func(ctx context.Context, path string, in, out any) (int, error) {
+		body, err := json.Marshal(in)
+		if err != nil {
+			return 0, err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if out != nil && resp.StatusCode < 400 {
+			if err := json.Unmarshal(raw, out); err != nil {
+				return resp.StatusCode, err
+			}
+		}
+		if resp.StatusCode >= 400 {
+			return resp.StatusCode, fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, raw)
+		}
+		return resp.StatusCode, nil
+	}
+
+	ctx := context.Background()
+	pts := testPoints(42, 28)
+	var (
+		wg        sync.WaitGroup
+		requests  atomic.Int64
+		canceled  atomic.Int64
+		failures  atomic.Int64
+		firstFail atomic.Value
+	)
+	fail := func(err error) {
+		failures.Add(1)
+		firstFail.CompareAndSwap(nil, err)
+	}
+
+	// Open every session before any client starts issuing requests: the
+	// mid-soak drain must land on already-open sessions (a fast client can
+	// otherwise flip the drain before slower goroutines have opened, and
+	// their 503s would be correct refusals, not failures).
+	sbases := make([]string, clients)
+	for c := range sbases {
+		var open OpenResponse
+		if _, err := post(ctx, "/v1/sessions", OpenRequest{Points: pts}, &open); err != nil {
+			t.Fatal(err)
+		}
+		sbases[c] = "/v1/sessions/" + open.SessionID
+	}
+
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + idx)))
+			sbase := sbases[idx]
+			var lastResult string
+			for i := 0; i < perClient; i++ {
+				requests.Add(1)
+				switch {
+				case i%5 == 4:
+					// Mid-flight cancellation: a microscopic deadline.
+					cctx, cancel := context.WithTimeout(ctx, 50*time.Microsecond)
+					_, err := post(cctx, sbase+"/run", RunRequest{
+						Pipeline: "init-uniform",
+						Options:  OptionsJSON{Seed: int64(rng.Intn(64) + 1)},
+					}, nil)
+					cancel()
+					if err != nil {
+						canceled.Add(1)
+					}
+				case i%5 == 2 && lastResult != "":
+					var resp RunResponse
+					x := 60 + float64(idx)*4 + float64(i)
+					if _, err := post(ctx, sbase+"/join", JoinRequest{
+						ResultID: lastResult,
+						Points:   [][2]float64{{x, 60}, {x + 1.5, 61}},
+					}, &resp); err != nil {
+						fail(err)
+					} else {
+						lastResult = resp.ResultID
+					}
+				case i%5 == 3 && lastResult != "":
+					var resp RunResponse
+					if _, err := post(ctx, sbase+"/repair", RepairRequest{
+						ResultID: lastResult,
+						Failed:   []int{rng.Intn(20)},
+					}, &resp); err != nil {
+						fail(err)
+					} else {
+						lastResult = resp.ResultID
+					}
+				default:
+					var resp RunResponse
+					if _, err := post(ctx, sbase+"/run", RunRequest{
+						Pipeline: "init-uniform",
+						Options:  OptionsJSON{Seed: int64(rng.Intn(8) + 1)},
+					}, &resp); err != nil {
+						fail(err)
+					} else {
+						lastResult = resp.ResultID
+					}
+				}
+				// Halfway through, one client flips the drain: existing
+				// sessions must ride it out untouched.
+				if idx == 0 && i == perClient/2 {
+					srv.Drain()
+				}
+			}
+			req, _ := http.NewRequest(http.MethodDelete, base+sbase, nil)
+			if resp, err := hc.Do(req); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if n := failures.Load(); n > 0 {
+		t.Fatalf("%d request failures, first: %v", n, firstFail.Load())
+	}
+	if got := requests.Load(); got < int64(clients*perClient) {
+		t.Fatalf("issued %d requests, want ≥ %d", got, clients*perClient)
+	}
+	if !srv.Draining() {
+		t.Fatal("drain flag lost mid-soak")
+	}
+	// New sessions must be refused post-drain.
+	if code, err := post(ctx, "/v1/sessions", OpenRequest{Points: pts}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("open after drain: status %d (%v), want 503", code, err)
+	}
+	t.Logf("soak: %d requests, %d canceled, cache %+v", requests.Load(), canceled.Load(), srv.cacheStats())
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Goroutine settle: everything the daemon spawned (worker pools,
+	// singleflight leaders, canceled runs) must be gone.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: before=%d after=%d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

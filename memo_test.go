@@ -1,0 +1,261 @@
+package sinrconn_test
+
+// Result-memo behavior gates (PR 7 satellites): LRU eviction order,
+// re-compute-on-miss, eviction safety under concurrent readers, and the
+// commit-only-on-success discipline for canceled runs. The cache
+// mechanism itself is unit-tested in internal/serve/cache; these tests
+// pin its integration behind Network.Run through the public API only.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+
+	"sinrconn"
+
+	"sinrconn/internal/workload"
+)
+
+func memoPoints(seed int64, n int) []sinrconn.Point {
+	g := workload.UniformSeeded(seed, n)
+	pts := make([]sinrconn.Point, len(g))
+	for i, p := range g {
+		pts[i] = sinrconn.Point{X: p.X, Y: p.Y}
+	}
+	return pts
+}
+
+// TestResultMemoEvictionOrder pins the memo's LRU discipline end to end:
+// least-recently-used specs fall out first, touched specs survive, and a
+// miss after eviction re-computes (identical bytes, fresh entry).
+func TestResultMemoEvictionOrder(t *testing.T) {
+	ctx := context.Background()
+	pts := memoPoints(1, 22)
+
+	run := func(nw *sinrconn.Network, seed int64) (*sinrconn.Result, bool) {
+		t.Helper()
+		r, cached, err := nw.RunCached(ctx, sinrconn.PipelineInit, sinrconn.WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, cached
+	}
+
+	for _, tc := range []struct {
+		name string
+		size int
+		// ops is the access sequence by seed; hit[i] is the expected
+		// cache outcome of ops[i].
+		ops []int64
+		hit []bool
+	}{
+		{
+			name: "capacity-2-evicts-oldest",
+			size: 2,
+			//                 1:miss 2:miss 3:miss(evict 1) 1:miss(evict 2) 3:hit
+			ops: []int64{1, 2, 3, 1, 3},
+			hit: []bool{false, false, false, false, true},
+		},
+		{
+			name: "touch-refreshes-recency",
+			size: 2,
+			//                 1:miss 2:miss 1:hit 3:miss(evicts 2, NOT 1) 1:hit 2:miss
+			ops: []int64{1, 2, 1, 3, 1, 2},
+			hit: []bool{false, false, true, false, true, false},
+		},
+		{
+			name: "capacity-1-thrashes",
+			size: 1,
+			ops:  []int64{1, 2, 1, 1},
+			hit:  []bool{false, false, false, true},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			nw, err := sinrconn.Open(pts, sinrconn.WithSeed(1), sinrconn.WithResultCache(tc.size, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer nw.Close()
+			bySeed := map[int64][]byte{}
+			for i, seed := range tc.ops {
+				r, cached := run(nw, seed)
+				if cached != tc.hit[i] {
+					t.Fatalf("op %d (seed %d): cached = %v, want %v", i, seed, cached, tc.hit[i])
+				}
+				// Re-computation after eviction must reproduce the exact
+				// result (constructions are deterministic).
+				raw, err := json.Marshal(r.Metrics)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if prev, ok := bySeed[seed]; ok && string(prev) != string(raw) {
+					t.Fatalf("op %d (seed %d): recomputed result diverges\n was: %s\n now: %s", i, seed, prev, raw)
+				}
+				bySeed[seed] = raw
+			}
+			st := nw.CacheStats()
+			wantMiss, wantHit := uint64(0), uint64(0)
+			for _, h := range tc.hit {
+				if h {
+					wantHit++
+				} else {
+					wantMiss++
+				}
+			}
+			if st.Hits != wantHit || st.Misses != wantMiss {
+				t.Fatalf("stats = %+v, want %d hits / %d misses", st, wantHit, wantMiss)
+			}
+			if st.Size > tc.size {
+				t.Fatalf("cache holds %d entries past capacity %d", st.Size, tc.size)
+			}
+			if wantEvict := wantMiss - uint64(min(int(wantMiss), tc.size)); st.Evictions != wantEvict {
+				t.Fatalf("evictions = %d, want %d", st.Evictions, wantEvict)
+			}
+		})
+	}
+}
+
+// TestResultMemoEvictionConcurrentReaders holds a *Result while its memo
+// entry is evicted and overwritten under churn from concurrent runners:
+// the held result must stay bit-stable (eviction drops the reference, it
+// never mutates or recycles the object). Run with -race.
+func TestResultMemoEvictionConcurrentReaders(t *testing.T) {
+	ctx := context.Background()
+	pts := memoPoints(2, 22)
+	nw, err := sinrconn.Open(pts, sinrconn.WithSeed(1), sinrconn.WithResultCache(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+
+	held, _, err := nw.RunCached(ctx, sinrconn.PipelineInit, sinrconn.WithSeed(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot, err := json.Marshal(held)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Churn the capacity-1 memo from several goroutines (every new seed
+	// evicts the previous entry) while re-reading the held result.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				seed := int64(200 + 10*g + i)
+				if _, _, err := nw.RunCached(ctx, sinrconn.PipelineInit, sinrconn.WithSeed(seed)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for i := 0; i < 64; i++ {
+			raw, err := json.Marshal(held)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if string(raw) != string(snapshot) {
+				t.Errorf("held result mutated during eviction churn\n was: %s\n now: %s", snapshot, raw)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-readerDone
+
+	if st := nw.CacheStats(); st.Evictions == 0 {
+		t.Fatalf("stats = %+v: churn produced no evictions, test exercised nothing", st)
+	}
+	// The held result still verifies after its entry died.
+	if raw, _ := json.Marshal(held); string(raw) != string(snapshot) {
+		t.Fatal("held result differs after churn")
+	}
+}
+
+// TestRunCanceledCommitsNothing pins the satellite-4 fix: a Run canceled
+// between slots must leave NO memo entry — a later identical query
+// re-computes from scratch rather than observing a half-populated result,
+// and a concurrent identical query gets a complete, valid result.
+func TestRunCanceledCommitsNothing(t *testing.T) {
+	ctx := context.Background()
+	pts := memoPoints(3, 26)
+	nw, err := sinrconn.Open(pts, sinrconn.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+
+	// Cancel from inside the run, after the first simulator slot: the
+	// engine observes the dead context at the next slot boundary.
+	cctx, cancel := context.WithCancel(ctx)
+	_, _, err = nw.RunCached(cctx, sinrconn.PipelineInit,
+		sinrconn.WithSeed(7),
+		sinrconn.WithObserver(func(sinrconn.SlotEvent) { cancel() }))
+	if err == nil {
+		t.Fatal("run canceled mid-flight returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in chain", err)
+	}
+	st := nw.CacheStats()
+	if st.Size != 0 {
+		t.Fatalf("canceled run committed a memo entry: %+v", st)
+	}
+
+	// The identical query now computes cleanly and reports a miss — it
+	// never sees the canceled run's partial state.
+	res, cached, err := nw.RunCached(ctx, sinrconn.PipelineInit, sinrconn.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("query after canceled run was served from cache")
+	}
+	if res.Metrics.SlotsUsed <= 0 || res.Tree.NumNodes != len(pts) {
+		t.Fatalf("recomputed result malformed: %+v", res.Metrics)
+	}
+
+	// Concurrent shape: one runner self-cancels mid-run while another
+	// issues the identical query with a live context. Whatever the
+	// interleaving, the live query must produce the full, correct result.
+	want, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		nw2, err := sinrconn.Open(pts, sinrconn.WithSeed(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, cancel2 := context.WithCancel(ctx)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			nw2.RunCached(c2, sinrconn.PipelineInit,
+				sinrconn.WithSeed(7),
+				sinrconn.WithObserver(func(sinrconn.SlotEvent) { cancel2() }))
+		}()
+		live, _, err := nw2.RunCached(ctx, sinrconn.PipelineInit, sinrconn.WithSeed(7))
+		wg.Wait()
+		cancel2()
+		if err != nil {
+			t.Fatalf("round %d: live query failed: %v", round, err)
+		}
+		got, _ := json.Marshal(live)
+		if string(got) != string(want) {
+			t.Fatalf("round %d: live query diverges from reference\n got: %s\nwant: %s", round, got, want)
+		}
+		nw2.Close()
+	}
+}

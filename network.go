@@ -19,10 +19,12 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"sinrconn/internal/core"
 	"sinrconn/internal/geom"
 	"sinrconn/internal/schedule"
+	"sinrconn/internal/serve/cache"
 	"sinrconn/internal/sim"
 	"sinrconn/internal/sinr"
 	"sinrconn/internal/tree"
@@ -122,6 +124,9 @@ type settings struct {
 	rho           int
 	maxRelErr     float64
 	farMode       FarMode
+	cacheSize     int
+	cacheTTL      time.Duration
+	observer      sim.Observer
 
 	physSet    bool  // WithPhys applied in the current scope
 	relErrSet  bool  // WithMaxRelError applied in the current scope
@@ -131,7 +136,7 @@ type settings struct {
 }
 
 func defaultSettings() settings {
-	return settings{phys: sinr.DefaultParams()}
+	return settings{phys: sinr.DefaultParams(), cacheSize: maxCachedResults}
 }
 
 func (s *settings) fail(err error) {
@@ -290,6 +295,68 @@ func WithFarMode(m FarMode) Option {
 	}
 }
 
+// SlotEvent summarizes one simulator slot for an observing caller: the
+// slot index within the current engine run, the number of concurrent
+// transmitters, the number of successful decodes, and whether the slot was
+// resolved through the far-field approximation (see WithMaxRelError).
+type SlotEvent struct {
+	Slot       int
+	Senders    int
+	Deliveries int
+	Far        bool
+}
+
+// SlotObserver receives a SlotEvent after every simulator slot of a run.
+// Observers are invoked synchronously on the engine's goroutine, so they
+// must be fast and must not call back into the Network.
+type SlotObserver func(SlotEvent)
+
+// WithObserver streams per-slot channel activity to fn during a run — the
+// hook the serving daemon uses for chunked result streaming. Observers are
+// diagnostic: they never influence the constructed result, so they are
+// excluded from the memo key. An observed run that hits the memo replays
+// NO events (the construction did not execute); an observed run that
+// misses computes privately — it never coalesces onto another caller's
+// in-flight construction, whose slot events it could not see — and still
+// commits its (deterministic) result for everyone else. fn = nil removes
+// an Open-scoped observer for this run.
+func WithObserver(fn SlotObserver) Option {
+	return func(s *settings) {
+		if fn == nil {
+			s.observer = nil
+			return
+		}
+		s.observer = func(e sim.SlotEvent) {
+			fn(SlotEvent{Slot: e.Slot, Senders: e.Senders, Deliveries: e.Deliveries, Far: e.Far})
+		}
+	}
+}
+
+// WithResultCache bounds the Network's result memo: at most size entries
+// (LRU-evicted beyond that), each expiring ttl after insertion (ttl = 0
+// means never — results are deterministic, so staleness is a memory
+// concern, not a correctness one). size = 0 selects the default
+// (maxCachedResults). Open-scoped: the memo is shared by every run on the
+// handle, so it is sized once. Serving deployments size it from traffic;
+// see internal/serve.
+func WithResultCache(size int, ttl time.Duration) Option {
+	return func(s *settings) {
+		if s.runScope {
+			s.fail(errors.New("sinrconn: WithResultCache is an Open option, not a run option"))
+			return
+		}
+		if size < 0 || ttl < 0 {
+			s.fail(fmt.Errorf("sinrconn: result cache size %d / ttl %v must be ≥ 0", size, ttl))
+			return
+		}
+		if size == 0 {
+			size = maxCachedResults
+		}
+		s.cacheSize = size
+		s.cacheTTL = ttl
+	}
+}
+
 // runKey identifies a deterministic run for memoization: everything that
 // influences a pipeline's output. Worker counts are deliberately absent —
 // results are reproducible regardless of parallelism (pinned by the sim
@@ -305,8 +372,12 @@ type runKey struct {
 	farMode  FarMode
 }
 
-// maxCachedResults bounds the per-Network result memo. Beyond it new
-// results are still returned, just not retained.
+// maxCachedResults is the default capacity of the per-Network result
+// memo, now a size- and TTL-bounded LRU (internal/serve/cache) with
+// singleflight coalescing: beyond the capacity the least recently used
+// result is evicted (still valid for callers holding it — eviction only
+// drops the cache's reference), and concurrent identical queries share one
+// construction. WithResultCache resizes it at Open.
 const maxCachedResults = 128
 
 // maxCachedInstances bounds the per-Network instance cache: each retained
@@ -336,11 +407,11 @@ type Network struct {
 	// networks to per-run pools instead of crashing them).
 	parent *Network
 
-	mu      sync.Mutex
-	pool    *sim.Pool
-	closed  bool
-	insts   map[sinr.Params]*sinr.Instance
-	results map[runKey]*Result
+	mu     sync.Mutex
+	pool   *sim.Pool
+	closed bool
+	insts  map[sinr.Params]*sinr.Instance
+	memo   *cache.Cache[runKey, *Result]
 
 	// running counts in-flight operations (beginOp) and pool borrows
 	// (acquirePool). Close waits for it before returning, so "new work is
@@ -393,10 +464,10 @@ func newNetwork(pts []Point, s settings) (*Network, error) {
 		}
 	}
 	nw := &Network{
-		pts:     g,
-		base:    s,
-		insts:   make(map[sinr.Params]*sinr.Instance),
-		results: make(map[runKey]*Result),
+		pts:   g,
+		base:  s,
+		insts: make(map[sinr.Params]*sinr.Instance),
+		memo:  cache.New[runKey, *Result](s.cacheSize, s.cacheTTL),
 	}
 	if _, err := nw.instanceFor(s.phys); err != nil {
 		return nil, err
@@ -515,19 +586,10 @@ func (s *settings) key(p Pipeline) runKey {
 	}
 }
 
-func (nw *Network) cachedResult(k runKey) *Result {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	return nw.results[k]
-}
-
-func (nw *Network) storeResult(k runKey, r *Result) {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	if len(nw.results) < maxCachedResults {
-		nw.results[k] = r
-	}
-}
+// CacheStats snapshots the handle's result-memo counters (hits, misses,
+// coalesced computes, evictions, expirations, compute latency). The
+// serving daemon aggregates these across sessions onto /metrics.
+func (nw *Network) CacheStats() cache.Stats { return nw.memo.Stats() }
 
 // initConfig derives the core construction config for a run on the
 // acquired pool.
@@ -540,6 +602,7 @@ func initConfig(s settings, pool *sim.Pool, ff sinr.Far, adaptive bool) core.Ini
 		Pool:          pool,
 		FarField:      ff,
 		Adaptive:      adaptive,
+		Observer:      s.observer,
 	}
 }
 
@@ -630,22 +693,63 @@ func opFarField(r *Result, in *sinr.Instance, s settings) (sinr.Far, bool, error
 //
 // Runs are deterministic for fixed settings, and the handle memoizes them:
 // repeating a (pipeline, phys, seed, …) query returns the same *Result
-// without re-running the construction. Results are shared and must be
-// treated as read-only, which every method on them honors.
+// without re-running the construction, and concurrent identical queries
+// coalesce onto ONE construction (the rest wait and share the committed
+// result). A result enters the memo only when its construction finishes
+// without error — a run canceled between slots commits nothing, and any
+// coalesced waiters retry with their own contexts. Results are shared and
+// must be treated as read-only, which every method on them honors.
 func (nw *Network) Run(ctx context.Context, p Pipeline, opts ...RunOption) (*Result, error) {
+	r, _, err := nw.RunCached(ctx, p, opts...)
+	return r, err
+}
+
+// RunCached is Run plus a report of whether the result was served from the
+// memo (a direct hit, or a wait on another caller's identical in-flight
+// construction) rather than computed by this call. The serving daemon uses
+// it to label responses; the result is identical to Run's either way.
+func (nw *Network) RunCached(ctx context.Context, p Pipeline, opts ...RunOption) (*Result, bool, error) {
 	done, err := nw.beginOp()
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	defer done()
 	s, err := nw.runSettings(opts)
 	if err != nil {
-		return nil, err
+		return nil, false, err
+	}
+	switch p {
+	case PipelineInit, PipelineRescheduleMean, PipelineTVCMean, PipelineTVCArbitrary:
+	default:
+		return nil, false, fmt.Errorf("sinrconn: unknown pipeline %v", p)
 	}
 	key := s.key(p)
-	if r := nw.cachedResult(key); r != nil {
-		return r, nil
+	if s.observer != nil {
+		// Observed runs never coalesce: a waiter sees none of the leader's
+		// slot events, which would silently violate the streaming contract.
+		// The memo still serves hits (no events — nothing executed) and the
+		// private compute still commits for everyone else.
+		if r, ok := nw.memo.Get(key); ok {
+			return r, true, nil
+		}
+		res, err := nw.compute(ctx, p, s)
+		if err != nil {
+			return nil, false, err
+		}
+		nw.memo.Add(key, res)
+		return res, false, nil
 	}
+	return nw.memo.Do(ctx, key, func() (*Result, error) {
+		return nw.compute(ctx, p, s)
+	})
+}
+
+// compute executes one pipeline uncached, on the session instance and
+// pool. It is the memo's compute function: an error return (including
+// cancellation between slots) must leave nothing observable behind, which
+// holds because every pipeline builds its result privately and returns it
+// only on success.
+func (nw *Network) compute(ctx context.Context, p Pipeline, s settings) (*Result, error) {
 	in, err := nw.instanceFor(s.phys)
 	if err != nil {
 		return nil, err
@@ -656,24 +760,17 @@ func (nw *Network) Run(ctx context.Context, p Pipeline, opts ...RunOption) (*Res
 	}
 	pool, release := nw.acquirePool()
 	defer release()
-	var res *Result
 	switch p {
 	case PipelineInit:
-		res, err = nw.runInit(ctx, in, s, pool, ff, adaptive)
+		return nw.runInit(ctx, in, s, pool, ff, adaptive)
 	case PipelineRescheduleMean:
-		res, err = nw.runRescheduleMean(ctx, in, s, pool, ff, adaptive)
+		return nw.runRescheduleMean(ctx, in, s, pool, ff, adaptive)
 	case PipelineTVCMean:
-		res, err = nw.runTVC(ctx, in, s, pool, ff, adaptive, core.VariantMean)
+		return nw.runTVC(ctx, in, s, pool, ff, adaptive, core.VariantMean)
 	case PipelineTVCArbitrary:
-		res, err = nw.runTVC(ctx, in, s, pool, ff, adaptive, core.VariantArbitrary)
-	default:
-		return nil, fmt.Errorf("sinrconn: unknown pipeline %v", p)
+		return nw.runTVC(ctx, in, s, pool, ff, adaptive, core.VariantArbitrary)
 	}
-	if err != nil {
-		return nil, err
-	}
-	nw.storeResult(key, res)
-	return res, nil
+	return nil, fmt.Errorf("sinrconn: unknown pipeline %v", p)
 }
 
 // newResult binds a constructed tree and its metrics to this handle. ff
@@ -720,6 +817,7 @@ func (nw *Network) runRescheduleMean(ctx context.Context, in *sinr.Instance, s s
 		Pool:     pool,
 		FarField: ff,
 		Adaptive: adaptive,
+		Observer: s.observer,
 	})
 	if err != nil {
 		return nil, err

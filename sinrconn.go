@@ -95,6 +95,7 @@ func (o Options) settings() settings {
 		autoNormalize: o.AutoNormalize,
 		broadcastProb: o.BroadcastProb,
 		rho:           o.Rho,
+		cacheSize:     maxCachedResults,
 	}
 }
 
