@@ -1,0 +1,28 @@
+# Developer entry points. CI runs the same commands — see
+# .github/workflows/ci.yml — so a green `make check` locally is a green
+# lint+test lane remotely.
+
+GO ?= go
+
+.PHONY: build vet lint test race check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# The repo's own invariant suite (DESIGN.md §11): oracle purity, hot-path
+# allocation sources, replay determinism, context/error discipline.
+# Offline and cached; a clean tree finishes in seconds.
+lint:
+	$(GO) run ./cmd/sinrlint ./...
+	$(GO) test -count=1 ./internal/lint/...
+
+test:
+	$(GO) test -short ./...
+
+race:
+	GORACE=halt_on_error=1 $(GO) test -race -short ./...
+
+check: build vet lint test

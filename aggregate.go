@@ -177,6 +177,7 @@ func (r *Result) Broadcast(value int64, opt Options) (*BroadcastOutcome, error) 
 	}
 	pool, release := nw.acquirePool()
 	defer release()
+	//lint:ignore ctxdiscipline deprecated pre-context wrapper; signature frozen, pinned by TestWrapperEquivalence
 	out, err := core.RunBroadcast(context.Background(), r.Tree.inst, r.Tree.inner, value,
 		sim.Config{Workers: opt.Workers, Pool: pool, FarField: r.Tree.ff, Adaptive: r.Tree.ffAdaptive})
 	if err != nil {
@@ -195,6 +196,7 @@ func (r *Result) Aggregate(values []int64, f AggFunc, opt Options) (*AggregateOu
 	}
 	pool, release := nw.acquirePool()
 	defer release()
+	//lint:ignore ctxdiscipline deprecated pre-context wrapper; signature frozen, pinned by TestWrapperEquivalence
 	out, err := core.RunAggregation(context.Background(), r.Tree.inst, r.Tree.inner, values, core.AggFunc(f),
 		sim.Config{Workers: opt.Workers, Pool: pool, FarField: r.Tree.ff, Adaptive: r.Tree.ffAdaptive})
 	if err != nil {
@@ -213,6 +215,7 @@ func (r *Result) SendMessage(src, dst int, payload int64, opt Options) (*PairOut
 	}
 	pool, release := nw.acquirePool()
 	defer release()
+	//lint:ignore ctxdiscipline deprecated pre-context wrapper; signature frozen, pinned by TestWrapperEquivalence
 	out, err := core.RunPairMessage(context.Background(), r.Tree.inst, r.Tree.inner, src, dst, payload,
 		sim.Config{Workers: opt.Workers, Pool: pool, FarField: r.Tree.ff, Adaptive: r.Tree.ffAdaptive})
 	if err != nil {

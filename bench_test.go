@@ -310,7 +310,7 @@ func BenchmarkE14PhysicalEpoch(b *testing.B) {
 // one-stop regression check that every table still passes its shape check.
 func BenchmarkQuickSuite(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		for _, rep := range experiments.All(experiments.Quick()) {
+		for _, rep := range experiments.All(context.Background(), experiments.Quick()) {
 			if !rep.Pass {
 				b.Fatalf("%s failed shape check", rep.ID)
 			}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -46,7 +47,7 @@ func run(args []string, out io.Writer) error {
 
 	type entry struct {
 		id  string
-		run func(experiments.Config) experiments.Report
+		run func(context.Context, experiments.Config) experiments.Report
 	}
 	all := []entry{
 		{"E1", experiments.E1InitSlots},
@@ -82,13 +83,14 @@ func run(args []string, out io.Writer) error {
 		all = abl
 	}
 
+	ctx := context.Background()
 	failed := 0
 	for _, e := range all {
 		if *only != "" && !strings.EqualFold(*only, e.id) {
 			continue
 		}
 		start := time.Now()
-		rep := e.run(cfg)
+		rep := e.run(ctx, cfg)
 		fmt.Fprintln(out, rep.Render())
 		fmt.Fprintf(out, "(%s completed in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
 		if !rep.Pass {

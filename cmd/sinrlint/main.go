@@ -1,0 +1,54 @@
+// Command sinrlint is the repo's invariant multichecker: it runs the five
+// custom analyzers in internal/lint (oraclepurity, hotpathalloc,
+// determinism, ctxdiscipline, errdiscipline) over the named package
+// patterns and exits non-zero when any invariant is violated.
+//
+// Usage:
+//
+//	go run ./cmd/sinrlint ./...
+//	go run ./cmd/sinrlint -list
+//	go run ./cmd/sinrlint ./internal/oracle/ ./internal/core/
+//
+// Findings print as file:line:col: message (analyzer). A site may be
+// exempted with an inline directive carrying a mandatory justification:
+//
+//	//lint:ignore <analyzer> <why this site is exempt>
+//
+// placed on the offending line or the line above. Unjustified or unused
+// directives are themselves findings. See DESIGN.md §11 for the invariants.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sinrconn/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and exit")
+	dir := flag.String("C", ".", "module directory to lint")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	res, err := lint.Run(*dir, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sinrlint:", err)
+		os.Exit(2)
+	}
+	if n := res.Print(os.Stdout); n > 0 {
+		fmt.Fprintf(os.Stderr, "sinrlint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}

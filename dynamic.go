@@ -280,6 +280,7 @@ func (r *Result) JoinPoints(newPts []Point, opt Options) (*Result, error) {
 	if r.nw == nil {
 		return nil, errors.New("sinrconn: result is not bound to a network")
 	}
+	//lint:ignore ctxdiscipline deprecated pre-context wrapper; signature frozen, pinned by TestWrapperEquivalenceDynamic
 	return r.nw.join(context.Background(), r, newPts, opt.settings())
 }
 
@@ -290,6 +291,7 @@ func (r *Result) RepairFailures(failed []int, opt Options) (*Result, error) {
 	if r.nw == nil {
 		return nil, errors.New("sinrconn: result is not bound to a network")
 	}
+	//lint:ignore ctxdiscipline deprecated pre-context wrapper; signature frozen, pinned by TestWrapperEquivalenceDynamic
 	return r.nw.repair(context.Background(), r, failed, opt.settings())
 }
 
@@ -300,5 +302,6 @@ func (r *Result) RepairLinkFailures(links []Link, opt Options) (*Result, error) 
 	if r.nw == nil {
 		return nil, errors.New("sinrconn: result is not bound to a network")
 	}
+	//lint:ignore ctxdiscipline deprecated pre-context wrapper; signature frozen, pinned by TestWrapperEquivalenceDynamic
 	return r.nw.repairLinks(context.Background(), r, links, opt.settings())
 }

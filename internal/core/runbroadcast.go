@@ -53,7 +53,7 @@ func RunBroadcast(ctx context.Context, in *sinr.Instance, bt *tree.BiTree, value
 	// process initiated by the root... we omit these details") by
 	// re-solving each dual group that is not feasible at the stamped
 	// powers.
-	groups := map[int][]int{}
+	groups := make([][]int, len(stamps))
 	for i, tl := range down {
 		groups[rank[tl.Slot]] = append(groups[rank[tl.Slot]], i)
 	}

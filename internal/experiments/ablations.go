@@ -15,20 +15,20 @@ import (
 // Ablations runs the design-choice sweeps A1–A5 (DESIGN.md §5: the paper's
 // constants optimize provability; these sweeps show how the practical
 // defaults were chosen and how sensitive the system is to them).
-func Ablations(cfg Config) []Report {
+func Ablations(ctx context.Context, cfg Config) []Report {
 	return []Report{
-		A1BroadcastProb(cfg),
-		A2SlotPairsPerRound(cfg),
-		A3DistrCapTau(cfg),
-		A4DegreeCap(cfg),
-		A5DropRobustness(cfg),
+		A1BroadcastProb(ctx, cfg),
+		A2SlotPairsPerRound(ctx, cfg),
+		A3DistrCapTau(ctx, cfg),
+		A4DegreeCap(ctx, cfg),
+		A5DropRobustness(ctx, cfg),
 	}
 }
 
 // A1BroadcastProb sweeps the Section 6 broadcast probability p. Too small
 // wastes slots (nobody talks); too large wastes slots (everybody collides).
 // The default 0.25 sits in the flat valley between the two failure modes.
-func A1BroadcastProb(cfg Config) Report {
+func A1BroadcastProb(ctx context.Context, cfg Config) Report {
 	cfg.defaults()
 	r := Report{
 		ID:    "A1",
@@ -48,7 +48,7 @@ func A1BroadcastProb(cfg Config) Report {
 		converged := 0
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(3100*n+s), n)
-			res, err := core.Init(context.Background(), in, core.InitConfig{
+			res, err := core.Init(ctx, in, core.InitConfig{
 				BroadcastProb: p, Seed: int64(s), Workers: cfg.Workers,
 			})
 			if err != nil {
@@ -81,7 +81,7 @@ func A1BroadcastProb(cfg Config) Report {
 // A2SlotPairsPerRound sweeps λ (slot-pairs per round = λ·log₂n). Small λ
 // under-provisions rounds and falls back on safety rounds; large λ wastes
 // slots linearly.
-func A2SlotPairsPerRound(cfg Config) Report {
+func A2SlotPairsPerRound(ctx context.Context, cfg Config) Report {
 	cfg.defaults()
 	r := Report{
 		ID:    "A2",
@@ -96,7 +96,7 @@ func A2SlotPairsPerRound(cfg Config) Report {
 		ladder := 0
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(3300*n+s), n)
-			res, err := core.Init(context.Background(), in, core.InitConfig{
+			res, err := core.Init(ctx, in, core.InitConfig{
 				Lambda: lambda, Seed: int64(s), Workers: cfg.Workers,
 			})
 			if err != nil {
@@ -119,7 +119,7 @@ func A2SlotPairsPerRound(cfg Config) Report {
 // A3DistrCapTau sweeps the Distr-Cap admission threshold τ: yield rises
 // with τ, but past the feasibility regime the Foschini–Miljanic solver
 // starts failing, which is exactly why DefaultDistrTau = 1.5.
-func A3DistrCapTau(cfg Config) Report {
+func A3DistrCapTau(ctx context.Context, cfg Config) Report {
 	cfg.defaults()
 	r := Report{
 		ID:    "A3",
@@ -135,7 +135,7 @@ func A3DistrCapTau(cfg Config) Report {
 		runs := 0
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(3500*n+s), n)
-			ires, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
+			ires, err := core.Init(ctx, in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
 			if err != nil {
 				continue
 			}
@@ -163,7 +163,7 @@ func A3DistrCapTau(cfg Config) Report {
 
 // A4DegreeCap sweeps the low-degree cap ρ of Theorem 13: tiny ρ strips
 // links (low retention), large ρ lets sparsity grow back toward ψ(T).
-func A4DegreeCap(cfg Config) Report {
+func A4DegreeCap(ctx context.Context, cfg Config) Report {
 	cfg.defaults()
 	r := Report{
 		ID:    "A4",
@@ -177,7 +177,7 @@ func A4DegreeCap(cfg Config) Report {
 		var ret, psi []float64
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(3700*n+s), n)
-			ires, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
+			ires, err := core.Init(ctx, in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
 			if err != nil {
 				continue
 			}
@@ -208,7 +208,7 @@ func A4DegreeCap(cfg Config) Report {
 // A5DropRobustness injects reception failures: the safety loop must keep
 // Init converging to a valid tree even at high drop rates, at a slot cost
 // that grows with the drop probability.
-func A5DropRobustness(cfg Config) Report {
+func A5DropRobustness(ctx context.Context, cfg Config) Report {
 	cfg.defaults()
 	r := Report{
 		ID:    "A5",
@@ -224,7 +224,7 @@ func A5DropRobustness(cfg Config) Report {
 		var slots []float64
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(3900*n+s), n)
-			res, err := core.Init(context.Background(), in, core.InitConfig{
+			res, err := core.Init(ctx, in, core.InitConfig{
 				Seed: int64(s), Workers: cfg.Workers, DropProb: drop,
 			})
 			if err != nil {

@@ -3,27 +3,27 @@ package experiments
 import "testing"
 
 func TestA1BroadcastProb(t *testing.T) {
-	runAndCheck(t, A1BroadcastProb(Quick()), 4)
+	runAndCheck(t, A1BroadcastProb(t.Context(), Quick()), 4)
 }
 
 func TestA2SlotPairsPerRound(t *testing.T) {
-	runAndCheck(t, A2SlotPairsPerRound(Quick()), 4)
+	runAndCheck(t, A2SlotPairsPerRound(t.Context(), Quick()), 4)
 }
 
 func TestA3DistrCapTau(t *testing.T) {
-	runAndCheck(t, A3DistrCapTau(Quick()), 4)
+	runAndCheck(t, A3DistrCapTau(t.Context(), Quick()), 4)
 }
 
 func TestA4DegreeCap(t *testing.T) {
-	runAndCheck(t, A4DegreeCap(Quick()), 4)
+	runAndCheck(t, A4DegreeCap(t.Context(), Quick()), 4)
 }
 
 func TestA5DropRobustness(t *testing.T) {
-	runAndCheck(t, A5DropRobustness(Quick()), 4)
+	runAndCheck(t, A5DropRobustness(t.Context(), Quick()), 4)
 }
 
 func TestAblationsSuite(t *testing.T) {
-	reps := Ablations(Quick())
+	reps := Ablations(t.Context(), Quick())
 	if len(reps) != 5 {
 		t.Fatalf("suite size = %d", len(reps))
 	}

@@ -23,7 +23,7 @@ import (
 )
 
 // E18Churn sweeps churn intensity and reports repair-path shares.
-func E18Churn(cfg Config) Report {
+func E18Churn(ctx context.Context, cfg Config) Report {
 	cfg.defaults()
 	r := Report{
 		ID:    "E18",
@@ -32,7 +32,6 @@ func E18Churn(cfg Config) Report {
 		Table: stats.NewTable("rate×", "events", "final n", "incremental", "rebuilds", "restamps", "retries", "damped", "verify"),
 	}
 	r.Pass = true
-	ctx := context.Background()
 	n := cfg.Sizes[len(cfg.Sizes)-1]
 	events := 8 * cfg.Seeds // per seed: enough churn to shrink and recover
 	for _, mult := range []float64{0.5, 1, 2, 4} {

@@ -3,5 +3,5 @@ package experiments
 import "testing"
 
 func TestE18Churn(t *testing.T) {
-	runAndCheck(t, E18Churn(Quick()), 4)
+	runAndCheck(t, E18Churn(t.Context(), Quick()), 4)
 }

@@ -16,7 +16,7 @@ import (
 // spends less per slot on short links than round-power broadcasts, and the
 // Section-8 trees amortize their (energy-hungry) construction over every
 // subsequent epoch.
-func E13Energy(cfg Config) Report {
+func E13Energy(ctx context.Context, cfg Config) Report {
 	cfg.defaults()
 	r := Report{
 		ID:    "E13",
@@ -29,13 +29,13 @@ func E13Energy(cfg Config) Report {
 		var initE, tvcE, epochE []float64
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(4100*n+s), n)
-			ires, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
+			ires, err := core.Init(ctx, in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
 			if err != nil {
 				pass = false
 				continue
 			}
 			initE = append(initE, ires.Stats.Energy)
-			tres, err := core.TreeViaCapacity(context.Background(), in, core.TVCConfig{
+			tres, err := core.TreeViaCapacity(ctx, in, core.TVCConfig{
 				Variant: core.VariantArbitrary, Seed: int64(s),
 				Init: core.InitConfig{Workers: cfg.Workers},
 			})
@@ -50,7 +50,7 @@ func E13Energy(cfg Config) Report {
 			for i := range values {
 				values[i] = 1
 			}
-			out, err := core.RunAggregation(context.Background(), in, tres.Tree, values, core.SumAgg, sim.Config{Workers: cfg.Workers})
+			out, err := core.RunAggregation(ctx, in, tres.Tree, values, core.SumAgg, sim.Config{Workers: cfg.Workers})
 			if err != nil {
 				pass = false
 				continue
@@ -83,7 +83,7 @@ func E13Energy(cfg Config) Report {
 // E14PhysicalEpoch executes a physical converge-cast epoch on every
 // pipeline's tree across the n sweep — the end-to-end check that the
 // schedules the theorems promise actually carry data over the channel.
-func E14PhysicalEpoch(cfg Config) Report {
+func E14PhysicalEpoch(ctx context.Context, cfg Config) Report {
 	cfg.defaults()
 	r := Report{
 		ID:    "E14",
@@ -100,24 +100,24 @@ func E14PhysicalEpoch(cfg Config) Report {
 			for i := range values {
 				values[i] = int64(i)
 			}
-			if ires, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers}); err == nil {
-				if _, err := core.RunAggregation(context.Background(), in, ires.Tree, values, core.SumAgg, sim.Config{Workers: cfg.Workers}); err == nil {
+			if ires, err := core.Init(ctx, in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers}); err == nil {
+				if _, err := core.RunAggregation(ctx, in, ires.Tree, values, core.SumAgg, sim.Config{Workers: cfg.Workers}); err == nil {
 					okInit++
 				}
 			}
-			if tres, err := core.TreeViaCapacity(context.Background(), in, core.TVCConfig{
+			if tres, err := core.TreeViaCapacity(ctx, in, core.TVCConfig{
 				Variant: core.VariantMean, Seed: int64(s),
 				Init: core.InitConfig{Workers: cfg.Workers},
 			}); err == nil {
-				if _, err := core.RunAggregation(context.Background(), in, tres.Tree, values, core.SumAgg, sim.Config{Workers: cfg.Workers}); err == nil {
+				if _, err := core.RunAggregation(ctx, in, tres.Tree, values, core.SumAgg, sim.Config{Workers: cfg.Workers}); err == nil {
 					okMean++
 				}
 			}
-			if tres, err := core.TreeViaCapacity(context.Background(), in, core.TVCConfig{
+			if tres, err := core.TreeViaCapacity(ctx, in, core.TVCConfig{
 				Variant: core.VariantArbitrary, Seed: int64(s),
 				Init: core.InitConfig{Workers: cfg.Workers},
 			}); err == nil {
-				if _, err := core.RunAggregation(context.Background(), in, tres.Tree, values, core.SumAgg, sim.Config{Workers: cfg.Workers}); err == nil {
+				if _, err := core.RunAggregation(ctx, in, tres.Tree, values, core.SumAgg, sim.Config{Workers: cfg.Workers}); err == nil {
 					okArb++
 				}
 			}

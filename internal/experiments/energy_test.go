@@ -3,9 +3,9 @@ package experiments
 import "testing"
 
 func TestE13Energy(t *testing.T) {
-	runAndCheck(t, E13Energy(Quick()), 2)
+	runAndCheck(t, E13Energy(t.Context(), Quick()), 2)
 }
 
 func TestE14PhysicalEpoch(t *testing.T) {
-	runAndCheck(t, E14PhysicalEpoch(Quick()), 2)
+	runAndCheck(t, E14PhysicalEpoch(t.Context(), Quick()), 2)
 }

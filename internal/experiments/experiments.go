@@ -81,24 +81,24 @@ func (r Report) Render() string {
 }
 
 // All runs every experiment.
-func All(cfg Config) []Report {
+func All(ctx context.Context, cfg Config) []Report {
 	return []Report{
-		E1InitSlots(cfg),
-		E2BiTreeValidity(cfg),
-		E3DegreeTail(cfg),
-		E4Sparsity(cfg),
-		E5LowDegreeFilter(cfg),
-		E6MeanReschedule(cfg),
-		E7Iterations(cfg),
-		E8ArbitraryPower(cfg),
-		E9MeanPower(cfg),
-		E10Crossover(cfg),
-		E11Latency(cfg),
-		E12CapacityRatio(cfg),
-		E13Energy(cfg),
-		E14PhysicalEpoch(cfg),
-		E15SessionMatrix(cfg),
-		E16FarField(cfg),
+		E1InitSlots(ctx, cfg),
+		E2BiTreeValidity(ctx, cfg),
+		E3DegreeTail(ctx, cfg),
+		E4Sparsity(ctx, cfg),
+		E5LowDegreeFilter(ctx, cfg),
+		E6MeanReschedule(ctx, cfg),
+		E7Iterations(ctx, cfg),
+		E8ArbitraryPower(ctx, cfg),
+		E9MeanPower(ctx, cfg),
+		E10Crossover(ctx, cfg),
+		E11Latency(ctx, cfg),
+		E12CapacityRatio(ctx, cfg),
+		E13Energy(ctx, cfg),
+		E14PhysicalEpoch(ctx, cfg),
+		E15SessionMatrix(ctx, cfg),
+		E16FarField(ctx, cfg),
 	}
 }
 
@@ -115,7 +115,7 @@ func chainInst(n int, delta float64) *sinr.Instance {
 // E1InitSlots measures Theorem 2: Init finishes in O(log Δ · log n) slots.
 // The table sweeps n on uniform instances and Δ on chains; the normalized
 // column slots/(log Δ·log n) must stay bounded while raw slots grow.
-func E1InitSlots(cfg Config) Report {
+func E1InitSlots(ctx context.Context, cfg Config) Report {
 	cfg.defaults()
 	r := Report{
 		ID:    "E1",
@@ -131,7 +131,7 @@ func E1InitSlots(cfg Config) Report {
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(100*n+s), n)
 			delta = in.Delta()
-			res, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
+			res, err := core.Init(ctx, in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
 			if err != nil {
 				r.Notes = append(r.Notes, "ERROR: "+err.Error())
 				return r
@@ -150,7 +150,7 @@ func E1InitSlots(cfg Config) Report {
 		in := chainInst(cfg.ChainN, delta)
 		var cell []float64
 		for s := 0; s < cfg.Seeds; s++ {
-			res, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
+			res, err := core.Init(ctx, in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
 			if err != nil {
 				r.Notes = append(r.Notes, "ERROR: "+err.Error())
 				return r
@@ -174,7 +174,7 @@ func E1InitSlots(cfg Config) Report {
 
 // E2BiTreeValidity verifies the correctness half of Theorem 2 on every
 // workload: spanning, strongly connected, ordered, per-slot feasible.
-func E2BiTreeValidity(cfg Config) Report {
+func E2BiTreeValidity(ctx context.Context, cfg Config) Report {
 	cfg.defaults()
 	r := Report{
 		ID:    "E2",
@@ -189,7 +189,7 @@ func E2BiTreeValidity(cfg Config) Report {
 		for s := 0; s < cfg.Seeds; s++ {
 			rng := rand.New(rand.NewSource(int64(300 + s)))
 			in := sinr.MustInstance(spec.Gen(rng, n), sinr.DefaultParams())
-			res, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
+			res, err := core.Init(ctx, in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
 			if err != nil {
 				continue
 			}
@@ -210,7 +210,7 @@ func E2BiTreeValidity(cfg Config) Report {
 
 // E3DegreeTail measures Theorem 7: P(deg ≥ d) ≤ e^(-p²d/8), so the max
 // degree is O(log n) and the empirical tail decays geometrically.
-func E3DegreeTail(cfg Config) Report {
+func E3DegreeTail(ctx context.Context, cfg Config) Report {
 	cfg.defaults()
 	r := Report{
 		ID:    "E3",
@@ -226,7 +226,7 @@ func E3DegreeTail(cfg Config) Report {
 		tail4, tail8, total := 0, 0, 0
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(500*n+s), n)
-			res, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
+			res, err := core.Init(ctx, in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
 			if err != nil {
 				continue
 			}
@@ -270,7 +270,7 @@ func E3DegreeTail(cfg Config) Report {
 }
 
 // E4Sparsity measures Theorem 11: the Init tree is O(log n)-sparse.
-func E4Sparsity(cfg Config) Report {
+func E4Sparsity(ctx context.Context, cfg Config) Report {
 	cfg.defaults()
 	r := Report{
 		ID:    "E4",
@@ -283,7 +283,7 @@ func E4Sparsity(cfg Config) Report {
 		var psis []float64
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(700*n+s), n)
-			res, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
+			res, err := core.Init(ctx, in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
 			if err != nil {
 				continue
 			}
@@ -303,7 +303,7 @@ func E4Sparsity(cfg Config) Report {
 
 // E5LowDegreeFilter measures Theorem 13: T(M) is O(1)-sparse and retains a
 // constant fraction of T.
-func E5LowDegreeFilter(cfg Config) Report {
+func E5LowDegreeFilter(ctx context.Context, cfg Config) Report {
 	cfg.defaults()
 	r := Report{
 		ID:    "E5",
@@ -316,7 +316,7 @@ func E5LowDegreeFilter(cfg Config) Report {
 		var cellPsi, cellFrac []float64
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(900*n+s), n)
-			res, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
+			res, err := core.Init(ctx, in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
 			if err != nil {
 				continue
 			}
@@ -345,7 +345,7 @@ func E5LowDegreeFilter(cfg Config) Report {
 
 // E6MeanReschedule measures Theorem 3: rescheduling T under mean power
 // removes the log Δ dependence that uniform power must pay.
-func E6MeanReschedule(cfg Config) Report {
+func E6MeanReschedule(ctx context.Context, cfg Config) Report {
 	cfg.defaults()
 	r := Report{
 		ID:    "E6",
@@ -360,14 +360,14 @@ func E6MeanReschedule(cfg Config) Report {
 		in := chainInst(cfg.ChainN, delta)
 		var uni, meanFF, meanDist []float64
 		for s := 0; s < cfg.Seeds; s++ {
-			res, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
+			res, err := core.Init(ctx, in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
 			if err != nil {
 				continue
 			}
 			uni = append(uni, float64(core.UniformScheduleLength(in, res.Tree)))
 			meanFF = append(meanFF, float64(core.MeanScheduleLength(in, res.Tree)))
 			pa := sinr.NoiseSafeMean(in.Params(), math.Max(1, in.Delta()))
-			rres, err := core.Reschedule(context.Background(), in, res.Tree, pa,
+			rres, err := core.Reschedule(ctx, in, res.Tree, pa,
 				schedule.DistConfig{Seed: int64(s), Workers: cfg.Workers})
 			if err == nil {
 				meanDist = append(meanDist, float64(rres.NumSlots))
@@ -396,7 +396,7 @@ func E6MeanReschedule(cfg Config) Report {
 
 // E7Iterations measures Theorem 12: TreeViaCapacity ends in O((1/δ)·log n)
 // iterations.
-func E7Iterations(cfg Config) Report {
+func E7Iterations(ctx context.Context, cfg Config) Report {
 	cfg.defaults()
 	r := Report{
 		ID:    "E7",
@@ -409,7 +409,7 @@ func E7Iterations(cfg Config) Report {
 		var cellIt, cellDelta []float64
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(1100*n+s), n)
-			res, err := core.TreeViaCapacity(context.Background(), in, core.TVCConfig{
+			res, err := core.TreeViaCapacity(ctx, in, core.TVCConfig{
 				Variant: core.VariantArbitrary,
 				Seed:    int64(s),
 				Init:    core.InitConfig{Workers: cfg.Workers},
@@ -436,7 +436,7 @@ func E7Iterations(cfg Config) Report {
 // E8ArbitraryPower measures Theorems 4a/20/21: the arbitrary-power bi-tree
 // schedules in O(log n) slots and the per-iteration selection keeps the
 // Eqn-3 invariant power-solvable.
-func E8ArbitraryPower(cfg Config) Report {
+func E8ArbitraryPower(ctx context.Context, cfg Config) Report {
 	cfg.defaults()
 	r := Report{
 		ID:    "E8",
@@ -450,7 +450,7 @@ func E8ArbitraryPower(cfg Config) Report {
 		var cellS, cellL, cellC []float64
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(1300*n+s), n)
-			res, err := core.TreeViaCapacity(context.Background(), in, core.TVCConfig{
+			res, err := core.TreeViaCapacity(ctx, in, core.TVCConfig{
 				Variant: core.VariantArbitrary,
 				Seed:    int64(s),
 				Init:    core.InitConfig{Workers: cfg.Workers},
@@ -485,7 +485,7 @@ func E8ArbitraryPower(cfg Config) Report {
 
 // E9MeanPower measures Theorem 4b/16: the mean-power bi-tree schedules in
 // O(Υ·log n) slots.
-func E9MeanPower(cfg Config) Report {
+func E9MeanPower(ctx context.Context, cfg Config) Report {
 	cfg.defaults()
 	r := Report{
 		ID:    "E9",
@@ -501,7 +501,7 @@ func E9MeanPower(cfg Config) Report {
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(1500*n+s), n)
 			ups = in.Upsilon()
-			res, err := core.TreeViaCapacity(context.Background(), in, core.TVCConfig{
+			res, err := core.TreeViaCapacity(ctx, in, core.TVCConfig{
 				Variant: core.VariantMean,
 				Seed:    int64(s),
 				Init:    core.InitConfig{Workers: cfg.Workers},
@@ -539,7 +539,7 @@ func E9MeanPower(cfg Config) Report {
 // grows — their lengths depend on n, not Δ; (c) the distributed
 // constructions are within a constant factor of the centralized MST
 // baseline.
-func E10Crossover(cfg Config) Report {
+func E10Crossover(ctx context.Context, cfg Config) Report {
 	cfg.defaults()
 	r := Report{
 		ID:    "E10",
@@ -553,18 +553,18 @@ func E10Crossover(cfg Config) Report {
 		in := chainInst(cfg.ChainN, delta)
 		var uni, meanFF, meanS, arbS, mst []float64
 		for s := 0; s < cfg.Seeds; s++ {
-			ires, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
+			ires, err := core.Init(ctx, in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
 			if err == nil {
 				uni = append(uni, float64(core.UniformScheduleLength(in, ires.Tree)))
 				meanFF = append(meanFF, float64(core.MeanScheduleLength(in, ires.Tree)))
 			}
-			if res, err := core.TreeViaCapacity(context.Background(), in, core.TVCConfig{
+			if res, err := core.TreeViaCapacity(ctx, in, core.TVCConfig{
 				Variant: core.VariantMean, Seed: int64(s),
 				Init: core.InitConfig{Workers: cfg.Workers},
 			}); err == nil {
 				meanS = append(meanS, float64(res.Tree.NumSlots()))
 			}
-			if res, err := core.TreeViaCapacity(context.Background(), in, core.TVCConfig{
+			if res, err := core.TreeViaCapacity(ctx, in, core.TVCConfig{
 				Variant: core.VariantArbitrary, Seed: int64(s),
 				Init: core.InitConfig{Workers: cfg.Workers},
 			}); err == nil {
@@ -604,7 +604,7 @@ func E10Crossover(cfg Config) Report {
 
 // E11Latency verifies the bi-tree latency claims: aggregation and broadcast
 // complete within the schedule length, and pairwise latency within twice it.
-func E11Latency(cfg Config) Report {
+func E11Latency(ctx context.Context, cfg Config) Report {
 	cfg.defaults()
 	r := Report{
 		ID:    "E11",
@@ -617,7 +617,7 @@ func E11Latency(cfg Config) Report {
 		var sch, agg, bc, pairMax []float64
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(1700*n+s), n)
-			res, err := core.TreeViaCapacity(context.Background(), in, core.TVCConfig{
+			res, err := core.TreeViaCapacity(ctx, in, core.TVCConfig{
 				Variant: core.VariantArbitrary,
 				Seed:    int64(s),
 				Init:    core.InitConfig{Workers: cfg.Workers},
@@ -670,7 +670,7 @@ func E11Latency(cfg Config) Report {
 
 // E12CapacityRatio compares Distr-Cap against the centralized Kesselheim
 // selection on identical candidate sets (Theorem 20's Ω(1) fraction).
-func E12CapacityRatio(cfg Config) Report {
+func E12CapacityRatio(ctx context.Context, cfg Config) Report {
 	cfg.defaults()
 	r := Report{
 		ID:    "E12",
@@ -683,7 +683,7 @@ func E12CapacityRatio(cfg Config) Report {
 		var cand, cent, dist []float64
 		for s := 0; s < cfg.Seeds; s++ {
 			in := uniformInst(int64(1900*n+s), n)
-			ires, err := core.Init(context.Background(), in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
+			ires, err := core.Init(ctx, in, core.InitConfig{Seed: int64(s), Workers: cfg.Workers})
 			if err != nil {
 				continue
 			}
@@ -721,8 +721,8 @@ func E12CapacityRatio(cfg Config) Report {
 
 // makeTree is a test hook: it builds a bi-tree via Init for callers outside
 // core (kept internal to the module).
-func makeTree(in *sinr.Instance, seed int64, workers int) (*tree.BiTree, error) {
-	res, err := core.Init(context.Background(), in, core.InitConfig{Seed: seed, Workers: workers})
+func makeTree(ctx context.Context, in *sinr.Instance, seed int64, workers int) (*tree.BiTree, error) {
+	res, err := core.Init(ctx, in, core.InitConfig{Seed: seed, Workers: workers})
 	if err != nil {
 		return nil, err
 	}

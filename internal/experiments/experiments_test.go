@@ -29,51 +29,51 @@ func runAndCheck(t *testing.T, rep Report, wantRows int) {
 }
 
 func TestE1InitSlots(t *testing.T) {
-	runAndCheck(t, E1InitSlots(Quick()), 3)
+	runAndCheck(t, E1InitSlots(t.Context(), Quick()), 3)
 }
 
 func TestE2BiTreeValidity(t *testing.T) {
-	runAndCheck(t, E2BiTreeValidity(Quick()), 3)
+	runAndCheck(t, E2BiTreeValidity(t.Context(), Quick()), 3)
 }
 
 func TestE3DegreeTail(t *testing.T) {
-	runAndCheck(t, E3DegreeTail(Quick()), 2)
+	runAndCheck(t, E3DegreeTail(t.Context(), Quick()), 2)
 }
 
 func TestE4Sparsity(t *testing.T) {
-	runAndCheck(t, E4Sparsity(Quick()), 2)
+	runAndCheck(t, E4Sparsity(t.Context(), Quick()), 2)
 }
 
 func TestE5LowDegreeFilter(t *testing.T) {
-	runAndCheck(t, E5LowDegreeFilter(Quick()), 2)
+	runAndCheck(t, E5LowDegreeFilter(t.Context(), Quick()), 2)
 }
 
 func TestE6MeanReschedule(t *testing.T) {
-	runAndCheck(t, E6MeanReschedule(Quick()), 2)
+	runAndCheck(t, E6MeanReschedule(t.Context(), Quick()), 2)
 }
 
 func TestE7Iterations(t *testing.T) {
-	runAndCheck(t, E7Iterations(Quick()), 2)
+	runAndCheck(t, E7Iterations(t.Context(), Quick()), 2)
 }
 
 func TestE8ArbitraryPower(t *testing.T) {
-	runAndCheck(t, E8ArbitraryPower(Quick()), 2)
+	runAndCheck(t, E8ArbitraryPower(t.Context(), Quick()), 2)
 }
 
 func TestE9MeanPower(t *testing.T) {
-	runAndCheck(t, E9MeanPower(Quick()), 2)
+	runAndCheck(t, E9MeanPower(t.Context(), Quick()), 2)
 }
 
 func TestE10Crossover(t *testing.T) {
-	runAndCheck(t, E10Crossover(Quick()), 2)
+	runAndCheck(t, E10Crossover(t.Context(), Quick()), 2)
 }
 
 func TestE11Latency(t *testing.T) {
-	runAndCheck(t, E11Latency(Quick()), 2)
+	runAndCheck(t, E11Latency(t.Context(), Quick()), 2)
 }
 
 func TestE12CapacityRatio(t *testing.T) {
-	runAndCheck(t, E12CapacityRatio(Quick()), 2)
+	runAndCheck(t, E12CapacityRatio(t.Context(), Quick()), 2)
 }
 
 func TestQuickConfig(t *testing.T) {
@@ -93,7 +93,7 @@ func TestConfigDefaults(t *testing.T) {
 
 func TestMakeTreeHelper(t *testing.T) {
 	in := uniformInst(1, 16)
-	bt, err := makeTree(in, 1, 0)
+	bt, err := makeTree(t.Context(), in, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

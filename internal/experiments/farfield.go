@@ -11,6 +11,7 @@ package experiments
 // (n ≈ 5792), far above the suite's default sweep sizes.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -42,7 +43,7 @@ func (p *farStepProto) Step(slot int, inbox []sim.Delivery) sim.Action {
 }
 
 // E16FarField measures the far-field accuracy/speed sweep.
-func E16FarField(cfg Config) Report {
+func E16FarField(ctx context.Context, cfg Config) Report {
 	cfg.defaults()
 	r := Report{
 		ID:    "E16",

@@ -14,6 +14,7 @@ package experiments
 // with n (BENCH_quadtree.json carries the headline sweep to n = 262144).
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -30,7 +31,7 @@ var quadtreeEps = []float64{0.1, 0.25, 0.5, 1.0}
 
 // E17Quadtree measures the hierarchical far-field accuracy/speed sweep
 // against the flat grid and the exact kernel.
-func E17Quadtree(cfg Config) Report {
+func E17Quadtree(ctx context.Context, cfg Config) Report {
 	cfg.defaults()
 	r := Report{
 		ID:    "E17",

@@ -20,7 +20,7 @@ import (
 )
 
 // E19Serve sweeps cache capacity and TTL under closed-loop load.
-func E19Serve(cfg Config) Report {
+func E19Serve(ctx context.Context, cfg Config) Report {
 	cfg.defaults()
 	r := Report{
 		ID:    "E19",
@@ -29,7 +29,6 @@ func E19Serve(cfg Config) Report {
 		Table: stats.NewTable("cache", "ttl", "requests", "hit rate", "evict/req", "req/s", "p50 ms", "p99 ms"),
 	}
 	r.Pass = true
-	ctx := context.Background()
 	n := cfg.Sizes[len(cfg.Sizes)-1]
 	const keyspace = 8
 	requests := 120 * cfg.Seeds

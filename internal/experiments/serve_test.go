@@ -3,5 +3,5 @@ package experiments
 import "testing"
 
 func TestE19Serve(t *testing.T) {
-	runAndCheck(t, E19Serve(Quick()), 5)
+	runAndCheck(t, E19Serve(t.Context(), Quick()), 5)
 }

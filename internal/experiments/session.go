@@ -22,7 +22,7 @@ import (
 )
 
 // E15SessionMatrix measures the session API's batch path.
-func E15SessionMatrix(cfg Config) Report {
+func E15SessionMatrix(ctx context.Context, cfg Config) Report {
 	cfg.defaults()
 	r := Report{
 		ID:    "E15",
@@ -31,7 +31,6 @@ func E15SessionMatrix(cfg Config) Report {
 		Table: stats.NewTable("n", "specs", "spanned", "batch ms", "rebuild ms", "reuse/call ms"),
 	}
 	r.Pass = true
-	ctx := context.Background()
 	seeds := make([]int64, cfg.Seeds)
 	for i := range seeds {
 		seeds[i] = int64(i + 1)

@@ -1,0 +1,64 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API surface the repo's analyzers need:
+// an Analyzer is a named Run function over a Pass, a Pass bundles one
+// type-checked package with a Report sink, and a Diagnostic is a positioned
+// message. The container bakes in no module proxy access, so the real
+// x/tools packages cannot be fetched; the analyzers in internal/lint are
+// written against this shim and would port to the real API by changing an
+// import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker: a name (used in diagnostics and
+// in //lint:ignore directives), a one-line Doc, and the Run function.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass holds everything an Analyzer may look at for one package: the file
+// set, the parsed files, and the (possibly incomplete) type information.
+// Analyzers must tolerate TypesInfo entries being absent — fixture packages
+// and exotic build configurations type-check loosely — and fall back to
+// syntactic checks when they are.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	// Pkg is the type-checked package, or nil when type checking failed
+	// outright. PkgPath is always set.
+	Pkg     *types.Package
+	PkgPath string
+	// TypesInfo carries Uses/Defs/Types/Selections for the files. Never nil,
+	// but possibly sparsely populated.
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// NewPass assembles a Pass delivering diagnostics to report.
+func NewPass(fset *token.FileSet, files []*ast.File, pkg *types.Package, pkgPath string, info *types.Info, report func(Diagnostic)) *Pass {
+	return &Pass{Fset: fset, Files: files, Pkg: pkg, PkgPath: pkgPath, TypesInfo: info, report: report}
+}
+
+// Diagnostic is one finding: a position and a message. Analyzer is filled in
+// by the driver.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Report delivers a diagnostic to the driver.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,126 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata/src tree and checks its diagnostics against // want comments,
+// mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	x := rand.Intn(4) // want `process-global source`
+//
+// Each want payload is a regexp (backquoted or double-quoted) that must
+// match a diagnostic reported on that line; diagnostics with no matching
+// want, and wants with no matching diagnostic, fail the test. Fixture
+// packages live at testdata/src/<importpath> so analyzers that key on
+// import paths (oraclepurity) see the real package identity.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sinrconn/internal/lint"
+	"sinrconn/internal/lint/analysis"
+	"sinrconn/internal/lint/loader"
+)
+
+// Run loads each fixture package (an import path under testdata/src) and
+// reports every mismatch between the analyzer's diagnostics and the
+// fixture's // want comments. testdata is the absolute path of the
+// testdata directory.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	root := filepath.Join(testdata, "src")
+	for _, fixture := range fixtures {
+		t.Run(strings.ReplaceAll(fixture, "/", "_"), func(t *testing.T) {
+			t.Helper()
+			ld := loader.New(testdata) // go list runs are only for stdlib deps
+			pkg, err := ld.LoadDir(filepath.Join(root, filepath.FromSlash(fixture)), fixture, root)
+			if err != nil {
+				t.Fatalf("load fixture %s: %v", fixture, err)
+			}
+			diags, err := lint.RunPackage(ld.Fset, pkg, []*analysis.Analyzer{a})
+			if err != nil {
+				t.Fatalf("run %s on %s: %v", a.Name, fixture, err)
+			}
+			check(t, ld.Fset, pkg, diags)
+		})
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// wantRx pulls the payload out of a // want comment: one or more quoted
+// regexps.
+var wantRx = regexp.MustCompile("//[ \t]*want[ \t]+(.*)$")
+
+func check(t *testing.T, fset *token.FileSet, pkg *loader.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[string][]*want) // "file:line" → expectations
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, raw := range splitQuoted(m[1]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, raw, err)
+					}
+					wants[key] = append(wants[key], &want{re: re, raw: raw})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched, matched = true, true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", key, d.Message, d.Analyzer)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.raw)
+			}
+		}
+	}
+}
+
+// splitQuoted extracts backquoted or double-quoted segments from a want
+// payload: `a` "b" → [a b].
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if len(s) < 2 {
+			return out
+		}
+		quote := s[0]
+		if quote != '`' && quote != '"' {
+			return out
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[1:1+end])
+		s = s[end+2:]
+	}
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+
+	"sinrconn/internal/lint/analysis"
+)
+
+// CtxDiscipline enforces DESIGN.md §11.4: library packages must receive
+// their context from the caller — context.Background()/TODO() belong in
+// main functions, tests, and examples only — and exported entry points that
+// take a context must take it first, so cancellation composes uniformly
+// from the session API down to the slot loops.
+var CtxDiscipline = &analysis.Analyzer{
+	Name: "ctxdiscipline",
+	Doc:  "library packages take ctx from callers (no Background/TODO) and ctx params come first",
+	Run:  runCtxDiscipline,
+}
+
+// ctxExemptPkg reports packages where minting a root context is the job:
+// binaries, examples, and the experiment drivers' top-level main wiring.
+func ctxExemptPkg(pkgPath, pkgName string) bool {
+	return pkgName == "main" ||
+		strings.HasPrefix(pkgPath, "sinrconn/cmd/") ||
+		strings.Contains(pkgPath, "/examples/")
+}
+
+func runCtxDiscipline(pass *analysis.Pass) error {
+	if !strings.HasPrefix(pass.PkgPath, "sinrconn") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if ctxExemptPkg(pass.PkgPath, file.Name.Name) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				if name := pkgCall(pass, file, node, "context"); name == "Background" || name == "TODO" {
+					pass.Reportf(node.Pos(), "context.%s() in a library package; accept a context.Context from the caller", name)
+				}
+			case *ast.FuncDecl:
+				if !node.Name.IsExported() || node.Type.Params == nil {
+					return true
+				}
+				pos := 0
+				for _, field := range node.Type.Params.List {
+					names := len(field.Names)
+					if names == 0 {
+						names = 1
+					}
+					if isContextType(pass, file, field.Type) && pos != 0 {
+						pass.Reportf(field.Pos(), "%s: context.Context must be the first parameter", node.Name.Name)
+					}
+					pos += names
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sinrconn/internal/lint/analysis"
+)
+
+// determinismPkgs are the packages whose outputs must be bit-replayable:
+// churn traces, schedules, and workloads are compared run-to-run by the
+// metamorphic and differential gates, so nothing in them may read the wall
+// clock, draw from the process-global RNG, or let map iteration order leak
+// into results.
+var determinismPkgs = map[string]bool{
+	"sinrconn/internal/core":     true,
+	"sinrconn/internal/sinr":     true,
+	"sinrconn/internal/churn":    true,
+	"sinrconn/internal/workload": true,
+}
+
+// timeBanned are the wall-clock entry points of package time. Duration
+// arithmetic and constants stay legal; only reading the clock is not.
+var timeBanned = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Tick": true, "NewTicker": true, "NewTimer": true,
+	"After": true, "AfterFunc": true,
+}
+
+// randAllowed are the math/rand constructors that take an explicit source or
+// seed; every other package-level function draws from the unseeded global.
+var randAllowed = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// Determinism enforces DESIGN.md §11.3: replay-identical packages may not
+// call time.Now, use the global math/rand source, or range over maps.
+var Determinism = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "replayed packages may not read the clock, use unseeded rand, or iterate maps into results",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *analysis.Pass) error {
+	if !determinismPkgs[pass.PkgPath] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				if name := pkgCall(pass, file, node, "time"); timeBanned[name] {
+					pass.Reportf(node.Pos(), "wall-clock read time.%s in a replay-deterministic package; thread timestamps in from the caller", name)
+				}
+				for _, randPkg := range []string{"math/rand", "math/rand/v2"} {
+					if name := pkgCall(pass, file, node, randPkg); name != "" && !randAllowed[name] {
+						pass.Reportf(node.Pos(), "rand.%s draws from the process-global source; use rand.New(rand.NewSource(seed))", name)
+					}
+				}
+			case *ast.BlockStmt:
+				checkMapRanges(pass, file, node.List)
+			case *ast.CaseClause:
+				checkMapRanges(pass, file, node.Body)
+			case *ast.CommClause:
+				checkMapRanges(pass, file, node.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRanges flags range-over-map statements, allowing the one idiom
+// whose output provably cannot depend on iteration order: collecting the
+// keys into a slice that the next statement sorts.
+func checkMapRanges(pass *analysis.Pass, file *ast.File, stmts []ast.Stmt) {
+	for i, stmt := range stmts {
+		if lbl, ok := stmt.(*ast.LabeledStmt); ok {
+			stmt = lbl.Stmt
+		}
+		rs, ok := stmt.(*ast.RangeStmt)
+		if !ok {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			continue
+		}
+		if isKeyCollectThenSort(pass, file, rs, stmts[i+1:]) {
+			continue
+		}
+		pass.Reportf(rs.Pos(), "map iteration order is random and feeds package output; collect keys and sort, or use a slice")
+	}
+}
+
+// isKeyCollectThenSort matches
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Xxx(keys) / slices.Sort(keys)
+//
+// where the set of appended keys — and after sorting, the slice itself — is
+// independent of iteration order.
+func isKeyCollectThenSort(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt, rest []ast.Stmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || rs.Value != nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	target, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	arg0, ok0 := call.Args[0].(*ast.Ident)
+	arg1, ok1 := call.Args[1].(*ast.Ident)
+	if !ok0 || !ok1 || arg0.Name != target.Name || arg1.Name != key.Name {
+		return false
+	}
+	if len(rest) == 0 {
+		return false
+	}
+	next, ok := rest[0].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	sortCall, ok := next.X.(*ast.CallExpr)
+	if !ok || len(sortCall.Args) == 0 {
+		return false
+	}
+	sorted, ok := sortCall.Args[0].(*ast.Ident)
+	if !ok || sorted.Name != target.Name {
+		return false
+	}
+	return pkgCall(pass, file, sortCall, "sort") != "" || pkgCall(pass, file, sortCall, "slices") != ""
+}

@@ -1,0 +1,79 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sinrconn/internal/lint"
+	"sinrconn/internal/lint/analysis"
+	"sinrconn/internal/lint/loader"
+)
+
+// TestSuppression pins the //lint:ignore contract end to end: a justified
+// directive suppresses its finding, an unjustified one suppresses nothing
+// and is flagged itself, an unused justified one is flagged as dead, and
+// directives addressed to foreign tools (staticcheck) are left alone.
+func TestSuppression(t *testing.T) {
+	td := testdata(t)
+	ld := loader.New(td)
+	root := filepath.Join(td, "src")
+	pkg, err := ld.LoadDir(filepath.Join(root, "suppress"), "suppress", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunPackage(ld.Fset, pkg, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAnalyzer := map[string][]string{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], d.Message)
+	}
+	// One errdiscipline finding survives: the one under the unjustified
+	// directive. The justified one is suppressed.
+	if got := byAnalyzer["errdiscipline"]; len(got) != 1 || !strings.Contains(got[0], "ErrBoom") {
+		t.Errorf("errdiscipline findings = %q, want exactly the unjustified-site comparison", got)
+	}
+	// Two directive findings: the missing justification and the dead
+	// directive. The foreign SA4006 directive draws none.
+	want := map[string]bool{"requires a justification": false, "suppresses nothing": false}
+	for _, msg := range byAnalyzer["lintdirective"] {
+		for frag := range want {
+			if strings.Contains(msg, frag) {
+				want[frag] = true
+			}
+		}
+	}
+	if len(byAnalyzer["lintdirective"]) != 2 {
+		t.Errorf("lintdirective findings = %q, want exactly 2", byAnalyzer["lintdirective"])
+	}
+	for frag, seen := range want {
+		if !seen {
+			t.Errorf("no lintdirective finding containing %q", frag)
+		}
+	}
+}
+
+// TestAnalyzerScope asserts the path-scoped analyzers stay silent outside
+// their packages: the suppress fixture trips errdiscipline but lives
+// outside the oracle, replay-deterministic, and library-context scopes.
+func TestAnalyzerScope(t *testing.T) {
+	td := testdata(t)
+	ld := loader.New(td)
+	root := filepath.Join(td, "src")
+	pkg, err := ld.LoadDir(filepath.Join(root, "suppress"), "suppress", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scoped := []*analysis.Analyzer{lint.OraclePurity, lint.Determinism, lint.CtxDiscipline}
+	diags, err := lint.RunPackage(ld.Fset, pkg, scoped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With errdiscipline absent from the run, even the fixture's
+	// //lint:ignore errdiscipline directives count as foreign — silence.
+	for _, d := range diags {
+		t.Errorf("unexpected finding from %s: %s", d.Analyzer, d.Message)
+	}
+}

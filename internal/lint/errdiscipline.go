@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"sinrconn/internal/lint/analysis"
+)
+
+// ErrDiscipline enforces DESIGN.md §11.5: the root typed errors
+// (ErrNotConverged, ErrDamped, ErrRetryExhausted, schedule.ErrIncomplete, …)
+// form wrap chains — core.Reschedule wraps schedule.ErrIncomplete under
+// ErrNotConverged, ErrRetryExhausted wraps ErrNotConverged — so identity
+// comparison with == silently misses wrapped values. Sentinels must be
+// tested with errors.Is and wrapped with %w.
+var ErrDiscipline = &analysis.Analyzer{
+	Name: "errdiscipline",
+	Doc:  "sentinel errors are compared with errors.Is and wrapped with %w",
+	Run:  runErrDiscipline,
+}
+
+func runErrDiscipline(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.BinaryExpr:
+				if node.Op != token.EQL && node.Op != token.NEQ {
+					return true
+				}
+				for _, pair := range [2][2]ast.Expr{{node.X, node.Y}, {node.Y, node.X}} {
+					if isNil(pair[1]) {
+						continue
+					}
+					if name, ok := isSentinelErr(pass, pair[0]); ok {
+						pass.Reportf(node.Pos(), "%s on sentinel %s misses wrapped errors; use errors.Is", node.Op, name)
+						break
+					}
+				}
+			case *ast.CallExpr:
+				if pkgCall(pass, file, node, "fmt") != "Errorf" || len(node.Args) < 2 {
+					return true
+				}
+				format, ok := stringLit(node.Args[0])
+				if ok && strings.Contains(format, "%w") {
+					return true
+				}
+				for _, arg := range node.Args[1:] {
+					if name, sentinel := isSentinelErr(pass, arg); sentinel {
+						pass.Reportf(node.Pos(), "fmt.Errorf hides sentinel %s from errors.Is; wrap it with %%w", name)
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	return lit.Value, true
+}

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sinrconn/internal/lint/analysis"
+)
+
+// HotPathAnnotation is the magic doc comment marking a function as part of
+// the per-slot fast path. Every annotated function must also be covered by
+// a runtime AllocsPerRun gate — the meta-test in hotpath_cover_test.go
+// keeps the two in lockstep.
+const HotPathAnnotation = "sinr:hotpath"
+
+// allocPkgs are packages whose call surface allocates essentially always
+// (formatting buffers, boxed operands, error values).
+var allocPkgs = []string{"fmt", "log", "errors"}
+
+// HotPathAlloc enforces DESIGN.md §11.2: functions annotated //sinr:hotpath
+// (the slot loops, the quadtree Accumulate/DFS, SINRFeasibleBuf, …) run
+// millions of times per schedule and are pinned to 0 allocs/op by runtime
+// tests; this analyzer rejects the allocation *sources* statically — heap
+// composite literals, make/new, growing appends, closures, interface
+// boxing, fmt — so a regression is caught at lint time, not bench time.
+var HotPathAlloc = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "//sinr:hotpath functions must not contain allocation sources",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !funcHasAnnotation(fn, HotPathAnnotation) {
+				continue
+			}
+			checkHotFunc(pass, file, fn)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *analysis.Pass, file *ast.File, fn *ast.FuncDecl) {
+	params := paramObjs(pass, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.UnaryExpr:
+			if node.Op == token.AND {
+				if _, ok := node.X.(*ast.CompositeLit); ok {
+					pass.Reportf(node.Pos(), "hot path: &composite literal escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			if isSliceOrMapLit(pass, node) {
+				pass.Reportf(node.Pos(), "hot path: slice/map literal allocates; hoist it to a scratch structure")
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, file, node, params)
+		case *ast.FuncLit:
+			pass.Reportf(node.Pos(), "hot path: closure allocates its captures; use a method or pass state explicitly")
+		case *ast.GoStmt:
+			pass.Reportf(node.Pos(), "hot path: go statement allocates a goroutine; dispatch outside the slot loop")
+		case *ast.DeferStmt:
+			pass.Reportf(node.Pos(), "hot path: defer has per-call overhead; unwind explicitly")
+		case *ast.BinaryExpr:
+			if node.Op == token.ADD && isStringExpr(pass, node.X) {
+				pass.Reportf(node.Pos(), "hot path: string concatenation allocates")
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *analysis.Pass, file *ast.File, call *ast.CallExpr, params map[types.Object]bool) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "make", "new":
+			if isBuiltin(pass, id) {
+				pass.Reportf(call.Pos(), "hot path: %s allocates; reuse preallocated scratch", id.Name)
+			}
+			return
+		case "append":
+			if len(call.Args) > 0 && appendTargetGrows(pass, call.Args[0], params) {
+				pass.Reportf(call.Pos(), "hot path: append to a local slice may grow; append into caller scratch (buf[:0]) or a field")
+			}
+			return
+		}
+	}
+	for _, pkg := range allocPkgs {
+		if name := pkgCall(pass, file, call, pkg); name != "" {
+			pass.Reportf(call.Pos(), "hot path: %s.%s allocates", pkg, name)
+			return
+		}
+	}
+	// Explicit conversion to an interface type boxes its operand.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if _, isIface := tv.Type.Underlying().(*types.Interface); isIface {
+			if atv, ok := pass.TypesInfo.Types[call.Args[0]]; ok && atv.Type != nil {
+				if _, argIface := atv.Type.Underlying().(*types.Interface); !argIface {
+					pass.Reportf(call.Pos(), "hot path: conversion to interface boxes the value")
+				}
+			}
+		}
+	}
+}
+
+// appendTargetGrows reports whether the first append argument is a bare
+// local variable (growth reallocates). Re-slicing expressions (buf[:0]),
+// struct fields, indexed scratch, and caller-provided parameters are the
+// sanctioned zero-alloc idioms and stay legal.
+func appendTargetGrows(pass *analysis.Pass, target ast.Expr, params map[types.Object]bool) bool {
+	id, ok := target.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if obj, ok := pass.TypesInfo.Uses[id]; ok && params[obj] {
+		return false
+	}
+	return true
+}
+
+func paramObjs(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if fn.Type.Params == nil {
+		return out
+	}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			if obj, ok := pass.TypesInfo.Defs[name]; ok {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+func isSliceOrMapLit(pass *analysis.Pass, lit *ast.CompositeLit) bool {
+	if tv, ok := pass.TypesInfo.Types[lit]; ok && tv.Type != nil {
+		switch tv.Type.Underlying().(type) {
+		case *types.Slice, *types.Map:
+			return true
+		}
+		return false
+	}
+	switch t := lit.Type.(type) {
+	case *ast.ArrayType:
+		return t.Len == nil
+	case *ast.MapType:
+		return true
+	}
+	return false
+}
+
+func isBuiltin(pass *analysis.Pass, id *ast.Ident) bool {
+	if obj, ok := pass.TypesInfo.Uses[id]; ok {
+		_, b := obj.(*types.Builtin)
+		return b
+	}
+	return true // no type info: assume the spelling means the builtin
+}
+
+func isStringExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}

@@ -1,0 +1,200 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+
+	"sinrconn/internal/lint/analysis"
+	"sinrconn/internal/lint/loader"
+)
+
+// Analyzers returns the repo's invariant suite in a stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		OraclePurity,
+		HotPathAlloc,
+		Determinism,
+		CtxDiscipline,
+		ErrDiscipline,
+	}
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	analyzers     []string
+	justification string
+	pos           token.Pos
+	used          bool
+}
+
+func (d *ignoreDirective) covers(name string) bool {
+	for _, a := range d.analyzers {
+		if a == name || a == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// parseIgnores maps file → line → directive. A directive suppresses
+// matching diagnostics on its own line, or — when it stands on a line of
+// its own — on the line below, mirroring staticcheck's convention.
+func parseIgnores(fset *token.FileSet, files []*ast.File) map[string]map[int]*ignoreDirective {
+	out := make(map[string]map[int]*ignoreDirective)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				d := &ignoreDirective{pos: c.Pos()}
+				if len(fields) > 0 {
+					d.analyzers = strings.Split(fields[0], ",")
+				}
+				if len(fields) > 1 {
+					d.justification = strings.Join(fields[1:], " ")
+				}
+				p := fset.Position(c.Pos())
+				m := out[p.Filename]
+				if m == nil {
+					m = make(map[int]*ignoreDirective)
+					out[p.Filename] = m
+				}
+				m[p.Line] = d
+			}
+		}
+	}
+	return out
+}
+
+// RunResult is the outcome of one lint run.
+type RunResult struct {
+	Diagnostics []analysis.Diagnostic // unsuppressed findings, position-sorted
+	Fset        *token.FileSet
+}
+
+// Run loads the packages matched by patterns relative to moduleDir and runs
+// every analyzer, applying //lint:ignore suppressions. Diagnostics about the
+// directives themselves (missing justification, unused directive) are
+// reported under the pseudo-analyzer name "lintdirective" and cannot be
+// suppressed.
+func Run(moduleDir string, patterns []string, analyzers []*analysis.Analyzer) (*RunResult, error) {
+	ld := loader.New(moduleDir)
+	pkgs, err := ld.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	res := &RunResult{Fset: ld.Fset}
+	for _, pkg := range pkgs {
+		if !strings.HasPrefix(pkg.Path, "sinrconn") {
+			continue
+		}
+		for _, e := range pkg.TypeErrors {
+			return nil, fmt.Errorf("lint: type checking %s: %v", pkg.Path, e)
+		}
+		diags, err := RunPackage(ld.Fset, pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		res.Diagnostics = append(res.Diagnostics, diags...)
+	}
+	sort.SliceStable(res.Diagnostics, func(i, j int) bool {
+		pi, pj := ld.Fset.Position(res.Diagnostics[i].Pos), ld.Fset.Position(res.Diagnostics[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return res, nil
+}
+
+// RunPackage runs the analyzers over one loaded package and applies the
+// package's //lint:ignore directives.
+func RunPackage(fset *token.FileSet, pkg *loader.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var raw []analysis.Diagnostic
+	for _, a := range analyzers {
+		name := a.Name
+		pass := analysis.NewPass(fset, pkg.Files, pkg.Types, pkg.Path, pkg.Info, func(d analysis.Diagnostic) {
+			d.Analyzer = name
+			raw = append(raw, d)
+		})
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	ignores := parseIgnores(fset, pkg.Files)
+	var out []analysis.Diagnostic
+	for _, d := range raw {
+		p := fset.Position(d.Pos)
+		if dir := lookupIgnore(ignores, p); dir != nil && dir.covers(d.Analyzer) {
+			if dir.justification != "" {
+				dir.used = true
+				continue
+			}
+			// fall through: an unjustified directive suppresses nothing
+		}
+		out = append(out, d)
+	}
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for _, byLine := range ignores {
+		for _, dir := range byLine {
+			// Directives addressed (even partly) to other tools — e.g.
+			// staticcheck's SA… checks — are not ours to police.
+			foreign := false
+			for _, name := range dir.analyzers {
+				if !known[name] && name != "all" {
+					foreign = true
+				}
+			}
+			if foreign {
+				continue
+			}
+			if dir.justification == "" {
+				out = append(out, analysis.Diagnostic{
+					Pos:      dir.pos,
+					Analyzer: "lintdirective",
+					Message:  "//lint:ignore requires a justification: //lint:ignore <analyzer> <why this site is exempt>",
+				})
+			} else if !dir.used {
+				out = append(out, analysis.Diagnostic{
+					Pos:      dir.pos,
+					Analyzer: "lintdirective",
+					Message:  fmt.Sprintf("//lint:ignore %s suppresses nothing; delete it", strings.Join(dir.analyzers, ",")),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+func lookupIgnore(ignores map[string]map[int]*ignoreDirective, p token.Position) *ignoreDirective {
+	byLine := ignores[p.Filename]
+	if byLine == nil {
+		return nil
+	}
+	if d := byLine[p.Line]; d != nil {
+		return d
+	}
+	return byLine[p.Line-1]
+}
+
+// Print writes the findings in the conventional file:line:col form and
+// returns the number written.
+func (r *RunResult) Print(w io.Writer) int {
+	for _, d := range r.Diagnostics {
+		fmt.Fprintf(w, "%s: %s (%s)\n", r.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return len(r.Diagnostics)
+}

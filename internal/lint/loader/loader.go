@@ -1,0 +1,270 @@
+// Package loader type-checks Go packages for the lint analyzers without any
+// dependency outside the standard library: it shells out to `go list -deps
+// -json` for build-constraint-aware file selection and dependency order,
+// parses every file with go/parser, and type-checks bottom-up with go/types.
+// The standard library is checked from GOROOT source (CGO_ENABLED=0 so the
+// pure-Go file sets are selected), which keeps the whole pipeline working in
+// offline containers where golang.org/x/tools cannot be fetched.
+//
+// Fixture packages for analysistest live under testdata (invisible to the go
+// tool) and are loaded by LoadDir with a tolerant importer: imports resolve
+// against sibling fixture directories first, then real packages, and finally
+// fall back to an empty placeholder package so that purity analyzers can
+// still see the import graph even when a fixture deliberately imports a
+// forbidden package without using it.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects go/types errors. Standard-library packages may
+	// carry a few (exotic build shapes); module packages should have none
+	// when `go build ./...` is clean.
+	TypeErrors []error
+}
+
+// Loader owns the shared FileSet and the cache of type-checked packages.
+type Loader struct {
+	Fset *token.FileSet
+
+	dir      string // module root to run `go list` in
+	pkgs     map[string]*types.Package
+	infos    map[string]*Package
+	fixRoot  string // analysistest fixture root ("" outside tests)
+	listMeta map[string]*listPkg
+}
+
+// New returns a Loader that resolves packages relative to moduleDir.
+func New(moduleDir string) *Loader {
+	return &Loader{
+		Fset:     token.NewFileSet(),
+		dir:      moduleDir,
+		pkgs:     make(map[string]*types.Package),
+		infos:    make(map[string]*Package),
+		listMeta: make(map[string]*listPkg),
+	}
+}
+
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path string }
+}
+
+// goList runs `go list -deps -json` on the patterns and caches the metadata
+// of every package in the dependency closure, returning the import paths
+// matched by the patterns themselves (dependency-ordered).
+func (ld *Loader) goList(patterns ...string) ([]string, error) {
+	args := append([]string{"list", "-deps", "-json=ImportPath,Dir,GoFiles,Standard,Module,DepOnly"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = ld.dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	var order []string
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var p struct {
+			listPkg
+			DepOnly bool
+		}
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("go list decode: %v", err)
+		}
+		meta := p.listPkg
+		if _, ok := ld.listMeta[meta.ImportPath]; !ok {
+			ld.listMeta[meta.ImportPath] = &meta
+		}
+		if !p.DepOnly {
+			order = append(order, meta.ImportPath)
+		}
+	}
+	return order, nil
+}
+
+// Load type-checks every package matched by the patterns (plus the full
+// dependency closure) and returns the matched ones in dependency order.
+func (ld *Loader) Load(patterns ...string) ([]*Package, error) {
+	matched, err := ld.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, path := range matched {
+		pkg, err := ld.ensure(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// ensure type-checks the package at the given import path (loading metadata
+// on demand) and caches the result. Returns (nil, nil) for "unsafe".
+func (ld *Loader) ensure(path string) (*Package, error) {
+	if path == "unsafe" {
+		ld.pkgs[path] = types.Unsafe
+		return nil, nil
+	}
+	if p, ok := ld.infos[path]; ok {
+		return p, nil
+	}
+	meta, ok := ld.listMeta[path]
+	if !ok {
+		if _, err := ld.goList(path); err != nil {
+			return nil, err
+		}
+		if meta, ok = ld.listMeta[path]; !ok {
+			return nil, fmt.Errorf("loader: go list did not return %s", path)
+		}
+	}
+	var files []*ast.File
+	for _, name := range meta.GoFiles {
+		f, err := parser.ParseFile(ld.Fset, filepath.Join(meta.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("loader: parse %s: %v", filepath.Join(meta.Dir, name), err)
+		}
+		files = append(files, f)
+	}
+	pkg := ld.check(path, meta.Dir, files, false)
+	return pkg, nil
+}
+
+// check runs go/types over the files, resolving imports through the loader.
+// tolerant selects the fixture importer (placeholder packages for anything
+// unresolvable).
+func (ld *Loader) check(path, dir string, files []*ast.File, tolerant bool) *Package {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	out := &Package{Path: path, Dir: dir, Files: files, Info: info}
+	conf := types.Config{
+		Importer:                 importerFunc(func(p string) (*types.Package, error) { return ld.importPkg(p, tolerant) }),
+		FakeImportC:              true,
+		IgnoreFuncBodies:         false,
+		DisableUnusedImportCheck: true,
+		Error:                    func(err error) { out.TypeErrors = append(out.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(path, ld.Fset, files, info)
+	out.Types = tpkg
+	ld.pkgs[path] = tpkg
+	ld.infos[path] = out
+	return out
+}
+
+// importPkg resolves one import during type checking.
+func (ld *Loader) importPkg(path string, tolerant bool) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := ld.pkgs[path]; ok && p != nil {
+		return p, nil
+	}
+	// Fixture siblings shadow real packages so fixtures can redeclare
+	// sinrconn/... packages with tiny stubs.
+	if ld.fixRoot != "" {
+		if dir := filepath.Join(ld.fixRoot, filepath.FromSlash(path)); isDir(dir) {
+			p, err := ld.loadDirAs(dir, path, true)
+			if err == nil && p.Types != nil {
+				return p.Types, nil
+			}
+		}
+	}
+	pkg, err := ld.ensure(path)
+	if err == nil && pkg != nil && pkg.Types != nil {
+		return pkg.Types, nil
+	}
+	if tolerant {
+		// Deliberately-forbidden or unavailable import: hand back an empty
+		// placeholder so the import edge is still visible to analyzers.
+		name := path[strings.LastIndex(path, "/")+1:]
+		p := types.NewPackage(path, name)
+		p.MarkComplete()
+		ld.pkgs[path] = p
+		return p, nil
+	}
+	if err == nil {
+		err = fmt.Errorf("loader: cannot import %s", path)
+	}
+	return nil, err
+}
+
+// LoadDir parses and type-checks a fixture directory as importPath, with
+// imports resolved against fixtureRoot first (see package doc). Used by the
+// analysistest harness.
+func (ld *Loader) LoadDir(dir, importPath, fixtureRoot string) (*Package, error) {
+	ld.fixRoot = fixtureRoot
+	defer func() { ld.fixRoot = "" }()
+	return ld.loadDirAs(dir, importPath, true)
+}
+
+func (ld *Loader) loadDirAs(dir, importPath string, tolerant bool) (*Package, error) {
+	if p, ok := ld.infos[importPath]; ok {
+		return p, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if n := e.Name(); !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("loader: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return ld.check(importPath, dir, files, tolerant), nil
+}
+
+func isDir(p string) bool {
+	st, err := os.Stat(p)
+	return err == nil && st.IsDir()
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,36 @@
+// Package errdemo is the errdiscipline fixture: package-scope Err…
+// sentinels must be compared with errors.Is and wrapped with %w.
+package errdemo
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotConverged and ErrDamped mirror the repo's solver sentinels.
+var (
+	ErrNotConverged = errors.New("not converged")
+	ErrDamped       = errors.New("damped")
+)
+
+// Bad compares and wraps the wrong way.
+func Bad(err error) error {
+	if err == ErrNotConverged { // want `== on sentinel ErrNotConverged misses wrapped errors`
+		return nil
+	}
+	if ErrDamped != err { // want `!= on sentinel ErrDamped misses wrapped errors`
+		return nil
+	}
+	return fmt.Errorf("solve failed: %v", ErrDamped) // want `fmt.Errorf hides sentinel ErrDamped`
+}
+
+// Good uses the sanctioned forms; nil comparisons stay legal.
+func Good(err error) error {
+	if errors.Is(err, ErrNotConverged) {
+		return nil
+	}
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("solve failed: %w", ErrDamped)
+}

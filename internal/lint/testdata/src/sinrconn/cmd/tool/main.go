@@ -1,0 +1,16 @@
+// Command tool is the ctxdiscipline negative fixture: binaries own the
+// context root, so context.Background and free parameter order are fine.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = run(1, ctx)
+}
+
+func run(cfg int, ctx context.Context) error {
+	_ = cfg
+	_ = ctx
+	return nil
+}

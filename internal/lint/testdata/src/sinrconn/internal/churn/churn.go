@@ -1,0 +1,34 @@
+// Package churn is the determinism fixture: its import path places it in
+// the replay-deterministic set, so clock reads, the global rand source, and
+// result-feeding map iteration are all violations.
+package churn
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Bad commits all three sins.
+func Bad(m map[int]int) (int64, int) {
+	stamp := time.Now().UnixNano() // want `wall-clock read time.Now`
+	jitter := rand.Intn(4)         // want `rand.Intn draws from the process-global source`
+	sum := 0
+	for k, v := range m { // want `map iteration order is random`
+		sum += k * v
+	}
+	return stamp, jitter + sum
+}
+
+// Good shows the sanctioned forms: an explicitly seeded source, duration
+// constants (no clock read), and the collect-then-sort idiom for maps.
+func Good(seed int64, m map[int]int) ([]int, time.Duration) {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	_ = rng.Intn(4)
+	return keys, 5 * time.Millisecond
+}

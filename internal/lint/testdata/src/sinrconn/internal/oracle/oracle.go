@@ -1,0 +1,22 @@
+// Package oracle is the oraclepurity fixture: the reference implementation
+// may import only leaf data packages and must use naive math, never the
+// fast-path kernels it exists to cross-check.
+package oracle
+
+import (
+	"math"
+
+	"sinrconn/internal/phys"
+	"sinrconn/internal/sinr" // want `oracle may not import "sinrconn/internal/sinr"`
+)
+
+// BadGain leans on the fast kernel — both the import above and the call
+// here are violations.
+func BadGain(d, alpha float64) float64 {
+	return 1 / sinr.PowAlpha(d, alpha) // want `oracle must not call fast-path PowAlpha`
+}
+
+// GoodGain is the sanctioned shape: naive math.Pow over plain parameters.
+func GoodGain(d float64, p phys.Params) float64 {
+	return 1 / math.Pow(d, p.Alpha)
+}

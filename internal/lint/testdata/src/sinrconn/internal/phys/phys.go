@@ -1,0 +1,8 @@
+// Package phys is a fixture stub of the real leaf data package: just
+// enough surface for the oracle fixture to typecheck.
+package phys
+
+// Params mirrors the real physical-model parameters.
+type Params struct {
+	Alpha, Beta, Noise float64
+}

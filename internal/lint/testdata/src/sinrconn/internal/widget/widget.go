@@ -1,0 +1,31 @@
+// Package widget is the ctxdiscipline fixture: a library package, so
+// exported entry points take a context first and never mint their own.
+package widget
+
+import "context"
+
+// Run buries the context behind the config — flagged.
+func Run(cfg int, ctx context.Context) error { // want `Run: context.Context must be the first parameter`
+	_ = cfg
+	_ = ctx
+	return nil
+}
+
+// Detached conjures a root context inside the library — flagged.
+func Detached() {
+	ctx := context.Background() // want `context.Background\(\) in a library package`
+	_ = ctx
+}
+
+// Good is the sanctioned signature: context first, everything else after.
+func Good(ctx context.Context, cfg int) error {
+	_ = ctx
+	_ = cfg
+	return nil
+}
+
+// helper is unexported, so parameter order is the author's business.
+func helper(cfg int, ctx context.Context) {
+	_ = cfg
+	_ = ctx
+}

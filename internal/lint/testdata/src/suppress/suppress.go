@@ -1,0 +1,34 @@
+// Package suppress is the driver fixture for //lint:ignore handling: a
+// justified directive suppresses, an unjustified one does not (and is
+// itself reported), an unused one is reported, and directives addressed to
+// foreign tools are left alone.
+package suppress
+
+import "errors"
+
+// ErrBoom is the sentinel the errdiscipline findings hang off.
+var ErrBoom = errors.New("boom")
+
+// Justified: suppressed cleanly.
+func Justified(err error) bool {
+	//lint:ignore errdiscipline fixture: identity comparison is the point here
+	return err == ErrBoom
+}
+
+// Unjustified: the directive suppresses nothing and is flagged itself.
+func Unjustified(err error) bool {
+	//lint:ignore errdiscipline
+	return err == ErrBoom
+}
+
+// Unused: a justified directive with no finding under it is dead weight.
+func Unused(err error) bool {
+	//lint:ignore errdiscipline fixture: nothing to suppress here
+	return err == nil
+}
+
+// Foreign: directives naming another tool's checks are not ours to police.
+func Foreign(err error) bool {
+	//lint:ignore SA4006 fixture: staticcheck's business, not sinrlint's
+	return err == nil
+}

@@ -1,0 +1,129 @@
+// Package lint holds the repo's custom static analyzers — one per invariant
+// stated in DESIGN.md §11 — plus the driver that runs them and applies
+// //lint:ignore suppressions. See the sibling analysis, loader, and
+// analysistest packages for the x/tools-free plumbing.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sinrconn/internal/lint/analysis"
+)
+
+// importsOf returns the import path → local name mapping of one file
+// (the zero name means "default package name").
+func importsOf(f *ast.File) map[string]string {
+	m := make(map[string]string, len(f.Imports))
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := ""
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		m[path] = name
+	}
+	return m
+}
+
+// isPkgIdent reports whether the identifier resolves to the package named by
+// pkgPath, using type info when present and the file's import table as the
+// syntactic fallback.
+func isPkgIdent(pass *analysis.Pass, file *ast.File, id *ast.Ident, pkgPath string) bool {
+	if obj, ok := pass.TypesInfo.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path() == pkgPath
+		}
+		return false
+	}
+	// No type info: accept when the file imports pkgPath under this name.
+	local, ok := importsOf(file)[pkgPath]
+	if !ok {
+		return false
+	}
+	if local == "" {
+		local = pkgPath[strings.LastIndex(pkgPath, "/")+1:]
+	}
+	return id.Name == local
+}
+
+// pkgCall matches a call of the form <pkg>.<name>(...) against pkgPath and
+// returns the selected name ("" when the call does not target that package).
+func pkgCall(pass *analysis.Pass, file *ast.File, call *ast.CallExpr, pkgPath string) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || !isPkgIdent(pass, file, id, pkgPath) {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// funcHasAnnotation reports whether the function's doc comment carries the
+// given magic comment (e.g. "sinr:hotpath"), with optional trailing text.
+func funcHasAnnotation(fn *ast.FuncDecl, annotation string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		text = strings.TrimSpace(text)
+		if text == annotation || strings.HasPrefix(text, annotation+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether the expression denotes context.Context,
+// syntactically (selector "context.Context") or via type info.
+func isContextType(pass *analysis.Pass, file *ast.File, expr ast.Expr) bool {
+	if tv, ok := pass.TypesInfo.Types[expr]; ok && tv.Type != nil {
+		if named, ok := tv.Type.(*types.Named); ok {
+			obj := named.Obj()
+			return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+		}
+	}
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && isPkgIdent(pass, file, id, "context")
+}
+
+// isSentinelErr reports whether the expression references a package-level
+// error sentinel: an identifier or selector matching Err[A-Z]… that (when
+// type info is available) resolves to a package-scope variable.
+func isSentinelErr(pass *analysis.Pass, expr ast.Expr) (string, bool) {
+	var id *ast.Ident
+	name := ""
+	switch e := expr.(type) {
+	case *ast.Ident:
+		id, name = e, e.Name
+	case *ast.SelectorExpr:
+		id, name = e.Sel, e.Sel.Name
+		if x, ok := e.X.(*ast.Ident); ok {
+			name = x.Name + "." + e.Sel.Name
+		}
+	default:
+		return "", false
+	}
+	base := id.Name
+	if len(base) < 4 || !strings.HasPrefix(base, "Err") || base[3] < 'A' || base[3] > 'Z' {
+		return "", false
+	}
+	if obj, ok := pass.TypesInfo.Uses[id]; ok {
+		v, isVar := obj.(*types.Var)
+		if !isVar {
+			return "", false
+		}
+		if v.Pkg() != nil && v.Parent() != nil && v.Parent() != v.Pkg().Scope() {
+			return "", false // shadowing local, not a sentinel
+		}
+	}
+	return name, true
+}

@@ -9,9 +9,12 @@
 // any kernel/pool/caching code forever, so that when an optimization PR
 // breaks the physics, the disagreement with this package is the proof.
 //
-// The package imports internal/sinr and internal/tree for their plain data
-// types only (Params, Link, Tx, TimedLink) — it never calls a method on
-// sinr.Instance or tree.BiTree. All computations take raw point slices.
+// The package imports internal/phys and internal/tree for their plain data
+// types only (Params, Link, Tx, TimedLink) — it never imports internal/sinr
+// at all, and it never calls a method on tree.BiTree or the fast path-loss
+// helpers phys.PowAlpha/PowAlphaSq (naive math.Pow only). All computations
+// take raw point slices. The oraclepurity analyzer (internal/lint) enforces
+// both rules mechanically.
 //
 // For the far-field engines (farfield.go, quadtree.go) the same rule holds
 // with one refinement: expressions that *partition* the computation — tile

@@ -19,7 +19,7 @@ import (
 	"math"
 
 	"sinrconn/internal/geom"
-	"sinrconn/internal/sinr"
+	"sinrconn/internal/phys"
 )
 
 // farMinRing and farMaxTiles mirror the kernel's clamps.
@@ -135,7 +135,7 @@ type farAgg struct {
 
 // farAccumulate folds txs into per-tile aggregates in tx order (the same
 // fold order the kernel uses, so mass and centroid sums are bit-identical).
-func farAccumulate(fp FarPlan, pts []geom.Point, txs []sinr.Tx) (map[int]*farAgg, []int) {
+func farAccumulate(fp FarPlan, pts []geom.Point, txs []phys.Tx) (map[int]*farAgg, []int) {
 	tiles := make(map[int]*farAgg)
 	var order []int
 	for _, t := range txs {
@@ -161,7 +161,7 @@ func farAccumulate(fp FarPlan, pts []geom.Point, txs []sinr.Tx) (map[int]*farAgg
 // exactly in the near ring and by mass subtraction in its far tile. txs
 // must contain at most one entry per sender — the same contract as the
 // kernel's LinkSINR.
-func FarLinkSINR(pts []geom.Point, p sinr.Params, maxRelErr float64, txs []sinr.Tx, l sinr.Link, pu float64) float64 {
+func FarLinkSINR(pts []geom.Point, p phys.Params, maxRelErr float64, txs []phys.Tx, l phys.Link, pu float64) float64 {
 	fp := FarPlanFor(pts, p.Alpha, maxRelErr)
 	tiles, order := farAccumulate(fp, pts, txs)
 
@@ -211,13 +211,13 @@ func FarLinkSINR(pts []geom.Point, p sinr.Params, maxRelErr float64, txs []sinr.
 // FarSINRFeasible is the naive transcription of the far-field feasibility
 // check with its (1±ε) guard band at the β cut: a link passes when its
 // approximate SINR times (1 + ε_certified) clears β − FeasibilitySlack.
-func FarSINRFeasible(pts []geom.Point, p sinr.Params, maxRelErr float64, links []sinr.Link, powers []float64) (bool, error) {
+func FarSINRFeasible(pts []geom.Point, p phys.Params, maxRelErr float64, links []phys.Link, powers []float64) (bool, error) {
 	if len(links) != len(powers) {
-		return false, sinr.ErrMismatchedLengths
+		return false, phys.ErrMismatchedLengths
 	}
-	txs := make([]sinr.Tx, len(links))
+	txs := make([]phys.Tx, len(links))
 	for i, l := range links {
-		txs[i] = sinr.Tx{Sender: l.From, Power: powers[i]}
+		txs[i] = phys.Tx{Sender: l.From, Power: powers[i]}
 	}
 	k := FarK(p.Alpha, maxRelErr)
 	band := 1 + FarCertifiedErr(k, p.Alpha)

@@ -4,7 +4,7 @@ import (
 	"math"
 
 	"sinrconn/internal/geom"
-	"sinrconn/internal/sinr"
+	"sinrconn/internal/phys"
 )
 
 // Dist returns the Euclidean distance between nodes u and v of pts, via
@@ -32,7 +32,7 @@ func Gain(pts []geom.Point, alpha float64, u, v int) float64 {
 // C returns the paper's noise-derating constant c(u,v) = β/(1 − βN·ℓ^α/P_u)
 // for a link of the given length whose sender uses power pu, +Inf when the
 // link cannot meet SINR β against noise alone.
-func C(p sinr.Params, length, pu float64) float64 {
+func C(p phys.Params, length, pu float64) float64 {
 	denom := 1 - p.Beta*p.Noise*PathLoss(length, p.Alpha)/pu
 	if denom <= 0 {
 		return math.Inf(1)
@@ -48,7 +48,7 @@ func C(p sinr.Params, length, pu float64) float64 {
 // with the kernel's conventions: the link's own sender contributes 0, a
 // sender co-located with the receiver contributes the cap, and a link that
 // cannot overcome noise (c = +Inf) receives the cap from every interferer.
-func Affectance(pts []geom.Point, p sinr.Params, w int, pw float64, l sinr.Link, pu float64) float64 {
+func Affectance(pts []geom.Point, p phys.Params, w int, pw float64, l phys.Link, pu float64) float64 {
 	if w == l.From {
 		return 0
 	}
@@ -70,7 +70,7 @@ func Affectance(pts []geom.Point, p sinr.Params, w int, pw float64, l sinr.Link,
 }
 
 // SetAffectance returns a_S(ℓ) = Σ_{w∈S} a_w(ℓ), term by term.
-func SetAffectance(pts []geom.Point, p sinr.Params, txs []sinr.Tx, l sinr.Link, pu float64) float64 {
+func SetAffectance(pts []geom.Point, p phys.Params, txs []phys.Tx, l phys.Link, pu float64) float64 {
 	sum := 0.0
 	for _, t := range txs {
 		sum += Affectance(pts, p, t.Sender, t.Power, l, pu)
@@ -82,7 +82,7 @@ func SetAffectance(pts []geom.Point, p sinr.Params, txs []sinr.Tx, l sinr.Link, 
 // of link l when txs transmit concurrently (Eqn 1's left-hand side divided
 // by its interference-plus-noise term). The link's own sender must appear
 // in txs; it returns 0 if absent.
-func SINR(pts []geom.Point, p sinr.Params, txs []sinr.Tx, l sinr.Link) float64 {
+func SINR(pts []geom.Point, p phys.Params, txs []phys.Tx, l phys.Link) float64 {
 	signal, interference := 0.0, 0.0
 	for _, t := range txs {
 		rp := t.Power / PathLoss(Dist(pts, t.Sender, l.To), p.Alpha)
@@ -100,7 +100,7 @@ func SINR(pts []geom.Point, p sinr.Params, txs []sinr.Tx, l sinr.Link) float64 {
 
 // MeasuredAffectance returns the uncapped aggregate affectance a receiver
 // can measure during a reception: c(u,v)·I/S.
-func MeasuredAffectance(pts []geom.Point, p sinr.Params, txs []sinr.Tx, l sinr.Link, pu float64) float64 {
+func MeasuredAffectance(pts []geom.Point, p phys.Params, txs []phys.Tx, l phys.Link, pu float64) float64 {
 	c := C(p, Dist(pts, l.From, l.To), pu)
 	if math.IsInf(c, 1) {
 		return math.Inf(1)
@@ -128,13 +128,13 @@ const FeasibilitySlack = 1e-9
 // SINRFeasible reports whether every link in links, transmitting
 // concurrently with the given powers, meets SINR β — the O(n²) brute-force
 // resolution of Eqn 1 (every link's SINR computed from scratch).
-func SINRFeasible(pts []geom.Point, p sinr.Params, links []sinr.Link, powers []float64) (bool, error) {
+func SINRFeasible(pts []geom.Point, p phys.Params, links []phys.Link, powers []float64) (bool, error) {
 	if len(links) != len(powers) {
-		return false, sinr.ErrMismatchedLengths
+		return false, phys.ErrMismatchedLengths
 	}
-	txs := make([]sinr.Tx, len(links))
+	txs := make([]phys.Tx, len(links))
 	for i, l := range links {
-		txs[i] = sinr.Tx{Sender: l.From, Power: powers[i]}
+		txs[i] = phys.Tx{Sender: l.From, Power: powers[i]}
 	}
 	for _, l := range links {
 		if SINR(pts, p, txs, l) < p.Beta-FeasibilitySlack {
@@ -147,13 +147,13 @@ func SINRFeasible(pts []geom.Point, p sinr.Params, links []sinr.Link, powers []f
 // Feasible reports feasibility in the affectance formulation of Section 5:
 // a_L(ℓ) ≤ 1 for every ℓ ∈ L, each link additionally overcoming noise on
 // its own (finite c). Mirrors sinr.Instance.Feasible with explicit powers.
-func Feasible(pts []geom.Point, p sinr.Params, links []sinr.Link, powers []float64) (bool, error) {
+func Feasible(pts []geom.Point, p phys.Params, links []phys.Link, powers []float64) (bool, error) {
 	if len(links) != len(powers) {
-		return false, sinr.ErrMismatchedLengths
+		return false, phys.ErrMismatchedLengths
 	}
-	txs := make([]sinr.Tx, len(links))
+	txs := make([]phys.Tx, len(links))
 	for i, l := range links {
-		txs[i] = sinr.Tx{Sender: l.From, Power: powers[i]}
+		txs[i] = phys.Tx{Sender: l.From, Power: powers[i]}
 	}
 	for i, l := range links {
 		if math.IsInf(C(p, Dist(pts, l.From, l.To), powers[i]), 1) {
@@ -175,7 +175,7 @@ func Feasible(pts []geom.Point, p sinr.Params, links []sinr.Link, powers []float
 //
 // This is the oracle for sim.Engine's decode stage, recomputing every
 // received power with naive physics.
-func ResolveSlot(pts []geom.Point, p sinr.Params, txs []sinr.Tx, listener int) (int, float64) {
+func ResolveSlot(pts []geom.Point, p phys.Params, txs []phys.Tx, listener int) (int, float64) {
 	best, bestRP, total := -1, 0.0, 0.0
 	for k, t := range txs {
 		d := Dist(pts, t.Sender, listener)

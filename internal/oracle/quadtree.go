@@ -29,7 +29,7 @@ import (
 	"math"
 
 	"sinrconn/internal/geom"
-	"sinrconn/internal/sinr"
+	"sinrconn/internal/phys"
 )
 
 // maxQuadLevels mirrors the kernel's depth cap (4^9 leaves = farMaxTiles).
@@ -155,7 +155,7 @@ type quadAgg struct {
 // then each level into its parents in first-touch order, then one centroid
 // normalization sweep — the kernel's fold orders, transcribed, so every sum
 // is bit-identical to the scratch's.
-func quadAccumulate(qp QuadPlan, pts []geom.Point, txs []sinr.Tx) []map[int]*quadAgg {
+func quadAccumulate(qp QuadPlan, pts []geom.Point, txs []phys.Tx) []map[int]*quadAgg {
 	l := qp.Levels
 	levels := make([]map[int]*quadAgg, l+1)
 	orders := make([][]int, l+1)
@@ -219,7 +219,7 @@ func quadAccumulate(qp QuadPlan, pts []geom.Point, txs []sinr.Tx) []map[int]*qua
 // excluded exactly in opened leaves and by mass subtraction in the
 // aggregated ancestor that absorbs it. txs must contain at most one entry
 // per sender — the same contract as the kernel's LinkSINR.
-func QuadLinkSINR(pts []geom.Point, p sinr.Params, maxRelErr float64, txs []sinr.Tx, l sinr.Link, pu float64) float64 {
+func QuadLinkSINR(pts []geom.Point, p phys.Params, maxRelErr float64, txs []phys.Tx, l phys.Link, pu float64) float64 {
 	qp := QuadPlanFor(pts, p.Alpha, maxRelErr)
 	levels := quadAccumulate(qp, pts, txs)
 
@@ -279,13 +279,13 @@ func QuadLinkSINR(pts []geom.Point, p sinr.Params, maxRelErr float64, txs []sinr
 // feasibility check with its (1±ε) guard band at the β cut: a link passes
 // when its approximate SINR times (1 + ε_certified) clears
 // β − FeasibilitySlack.
-func QuadSINRFeasible(pts []geom.Point, p sinr.Params, maxRelErr float64, links []sinr.Link, powers []float64) (bool, error) {
+func QuadSINRFeasible(pts []geom.Point, p phys.Params, maxRelErr float64, links []phys.Link, powers []float64) (bool, error) {
 	if len(links) != len(powers) {
-		return false, sinr.ErrMismatchedLengths
+		return false, phys.ErrMismatchedLengths
 	}
-	txs := make([]sinr.Tx, len(links))
+	txs := make([]phys.Tx, len(links))
 	for i, l := range links {
-		txs[i] = sinr.Tx{Sender: l.From, Power: powers[i]}
+		txs[i] = phys.Tx{Sender: l.From, Power: powers[i]}
 	}
 	theta := QuadTheta(p.Alpha, maxRelErr)
 	band := 1 + QuadCertifiedErr(theta, p.Alpha, maxRelErr)

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"sinrconn/internal/geom"
-	"sinrconn/internal/sinr"
+	"sinrconn/internal/phys"
 	"sinrconn/internal/tree"
 )
 
@@ -108,13 +108,13 @@ func ValidateOrdering(root int, up []tree.TimedLink) error {
 // ValidateSchedule checks per-slot SINR feasibility of the stamped schedule
 // by brute force: links grouped by slot through a map, each group resolved
 // with the naive O(n²) physics.
-func ValidateSchedule(pts []geom.Point, p sinr.Params, up []tree.TimedLink) error {
+func ValidateSchedule(pts []geom.Point, p phys.Params, up []tree.TimedLink) error {
 	bySlot := make(map[int][]tree.TimedLink)
 	for _, tl := range up {
 		bySlot[tl.Slot] = append(bySlot[tl.Slot], tl)
 	}
 	for s, group := range bySlot {
-		links := make([]sinr.Link, len(group))
+		links := make([]phys.Link, len(group))
 		powers := make([]float64, len(group))
 		for i, tl := range group {
 			links[i] = tl.L
@@ -167,7 +167,7 @@ func StronglyConnected(nodes []int, up []tree.TimedLink) bool {
 
 // ValidateBiTree runs the full brute-force battery: structure, global
 // ordering, strong connectivity, and per-slot feasibility.
-func ValidateBiTree(pts []geom.Point, p sinr.Params, root int, nodes []int, up []tree.TimedLink) error {
+func ValidateBiTree(pts []geom.Point, p phys.Params, root int, nodes []int, up []tree.TimedLink) error {
 	if err := ValidateTree(root, nodes, up); err != nil {
 		return err
 	}

@@ -1,0 +1,17 @@
+// Package phys holds the plain physical-layer data types of the SINR model
+// — Params, Link, Tx, their pure value methods, the shared sentinel errors,
+// and the scalar path-loss helpers PowAlpha/PowAlphaSq.
+//
+// It is a leaf package: it imports nothing but the standard library, holds
+// no state, no caches, no pools, and no goroutines. That makes it the one
+// physics package both the fast kernel (internal/sinr) and the naive
+// reference oracle (internal/oracle) may import: the oracle needs the data
+// types to describe transmissions and links, but must never touch the
+// kernel's gain tables or scratch structures. The oraclepurity analyzer
+// (internal/lint) enforces exactly that split — internal/oracle may import
+// internal/phys but not internal/sinr, and may not call PowAlpha/PowAlphaSq
+// or the derived power helpers even from here (naive math.Pow only).
+//
+// internal/sinr aliases every name in this package, so kernel-side code and
+// all callers continue to say sinr.Params, sinr.Link, sinr.Tx.
+package phys

@@ -1,0 +1,59 @@
+package phys
+
+import "math"
+
+// maxIntAlpha is the largest exponent handled by the unrolled integer-power
+// path; beyond it math.Pow wins anyway.
+const maxIntAlpha = 8
+
+// ipow returns x^k for small non-negative k by repeated multiplication.
+func ipow(x float64, k int) float64 {
+	switch k {
+	case 0:
+		return 1
+	case 1:
+		return x
+	case 2:
+		return x * x
+	case 3:
+		return x * x * x
+	case 4:
+		x2 := x * x
+		return x2 * x2
+	}
+	r := x * x * x * x
+	for ; k > 4; k-- {
+		r *= x
+	}
+	return r
+}
+
+// PowAlpha returns d^alpha, avoiding math.Pow when alpha or 2·alpha is a
+// small integer (covering the model's α and the mean-power exponent α/2).
+func PowAlpha(d, alpha float64) float64 {
+	if k := int(alpha); float64(k) == alpha && k >= 0 && k <= maxIntAlpha {
+		return ipow(d, k)
+	}
+	if k := int(2 * alpha); float64(k) == 2*alpha && k >= 0 && k <= 2*maxIntAlpha {
+		return ipow(math.Sqrt(d), k)
+	}
+	return math.Pow(d, alpha)
+}
+
+// PowAlphaSq returns d^alpha given the *squared* distance d² — the form the
+// kernel prefers because geom.Point.DistSq needs no square root. For integer
+// α the cost is at most one sqrt (odd α) or none at all (even α).
+func PowAlphaSq(d2, alpha float64) float64 {
+	if k := int(alpha); float64(k) == alpha && k >= 0 && k <= maxIntAlpha {
+		if k%2 == 0 {
+			return ipow(d2, k/2)
+		}
+		return ipow(d2, k/2) * math.Sqrt(d2)
+	}
+	if k := int(2 * alpha); float64(k) == 2*alpha && k >= 0 && k <= 2*maxIntAlpha {
+		// alpha = k/2 with k odd: d^alpha = d^((k-1)/2) · √d.
+		d := math.Sqrt(d2)
+		return ipow(d, k/2) * math.Sqrt(d)
+	}
+	return math.Pow(d2, 0.5*alpha)
+}

@@ -328,6 +328,7 @@ func (e *Engine) Stats() Stats { return e.stats }
 func (e *Engine) Instance() *sinr.Instance { return e.inst }
 
 // Step executes one slot: gather actions, resolve the channel, deliver.
+//sinr:hotpath
 func (e *Engine) Step() {
 	n := len(e.procs)
 
@@ -402,6 +403,7 @@ func (e *Engine) Step() {
 }
 
 // stepRange runs stage 1 for nodes [lo, hi).
+//sinr:hotpath
 func (e *Engine) stepRange(lo, hi int) {
 	slot := e.slot
 	for i := lo; i < hi; i++ {
@@ -412,6 +414,7 @@ func (e *Engine) stepRange(lo, hi int) {
 
 // decodeRange runs stage 3 for listeners [lo, hi), accumulating counters
 // into sh.
+//sinr:hotpath
 func (e *Engine) decodeRange(lo, hi int, sh *shard) {
 	for i := lo; i < hi; i++ {
 		if e.actions[i].Kind == ActionListen {
@@ -425,6 +428,7 @@ func (e *Engine) decodeRange(lo, hi int, sh *shard) {
 // sender via the cached gain table; the strongest sender is decoded iff its
 // SINR ≥ β. The sender's distance (for Delivery.Dist) is computed once,
 // only for an actual delivery.
+//sinr:hotpath
 func (e *Engine) decodeListener(i int, sh *shard) {
 	if e.farSlot {
 		e.decodeListenerFar(i, sh)
@@ -474,6 +478,7 @@ func (e *Engine) decodeListener(i int, sh *shard) {
 // is approximate within the plan's certified ε, and everything downstream —
 // the β cut, drop injection, delivery bookkeeping — is the shared exact
 // tail.
+//sinr:hotpath
 func (e *Engine) decodeListenerFar(i int, sh *shard) {
 	best, bestRP, total, saturated := e.farScr.Resolve(i, e.txs)
 	if saturated {
@@ -491,6 +496,7 @@ func (e *Engine) decodeListenerFar(i int, sh *shard) {
 // the β cut on the winner's SINR, drop injection, and delivery bookkeeping.
 // best indexes e.txs; total is the full received power including the
 // winner's.
+//sinr:hotpath
 func (e *Engine) finishDecode(i, best int, bestRP, total float64, sh *shard) {
 	sinrVal := bestRP / (e.noise + (total - bestRP))
 	if sinrVal < e.beta {

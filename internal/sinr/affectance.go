@@ -2,13 +2,6 @@ package sinr
 
 import "math"
 
-// Tx is one concurrent transmission: node Sender transmitting with the given
-// power. Slices of Tx describe the sender set S of Eqn 1.
-type Tx struct {
-	Sender int
-	Power  float64
-}
-
 // C returns the paper's c(u,v) = β/(1 − βN·d(u,v)^α/P_u), the noise-derating
 // constant of a link of the given length whose sender uses power pu. It
 // returns +Inf when the link cannot meet SINR β even without interference
@@ -213,15 +206,18 @@ func (in *Instance) SINRFeasible(links []Link, powers []float64) (bool, error) {
 
 // SINRFeasibleBuf is SINRFeasible with a caller-provided Tx scratch buffer,
 // reused when its capacity suffices, so hot validators allocate nothing.
+//sinr:hotpath
 func (in *Instance) SINRFeasibleBuf(links []Link, powers []float64, scratch []Tx) (bool, error) {
 	if len(links) != len(powers) {
 		return false, ErrMismatchedLengths
 	}
 	txs := scratch[:0]
 	if cap(txs) < len(links) {
+		//lint:ignore hotpathalloc cold capacity-miss fallback only; a right-sized caller scratch never reaches this make
 		txs = make([]Tx, 0, len(links))
 	}
 	for i, l := range links {
+		//lint:ignore hotpathalloc cannot grow: capacity reserved by the check above; steady state pinned by TestSINRFeasibleBufZeroAlloc
 		txs = append(txs, Tx{Sender: l.From, Power: powers[i]})
 	}
 	for _, l := range links {

@@ -113,7 +113,7 @@ func TestFeasibilityEquivalence(t *testing.T) {
 	for trial := 0; trial < 200; trial++ {
 		in := randomInstance(t, rng, 8, 15+rng.Float64()*60)
 		// Four node-disjoint links: 0->1, 2->3, 4->5, 6->7.
-		links := []Link{{0, 1}, {2, 3}, {4, 5}, {6, 7}}
+		links := []Link{{From: 0, To: 1}, {From: 2, To: 3}, {From: 4, To: 5}, {From: 6, To: 7}}
 		pa := NoiseSafeLinear(in.Params())
 		powers := make([]float64, len(links))
 		for i, l := range links {
@@ -136,7 +136,7 @@ func TestFeasibleSubsetClosed(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	for trial := 0; trial < 100; trial++ {
 		in := randomInstance(t, rng, 8, 200)
-		links := []Link{{0, 1}, {2, 3}, {4, 5}, {6, 7}}
+		links := []Link{{From: 0, To: 1}, {From: 2, To: 3}, {From: 4, To: 5}, {From: 6, To: 7}}
 		pa := NoiseSafeLinear(in.Params())
 		if !in.Feasible(links, pa) {
 			continue
@@ -157,7 +157,7 @@ func TestFeasibleSubsetClosed(t *testing.T) {
 
 func TestSINRFeasibleLengthMismatch(t *testing.T) {
 	in := randomInstance(t, rand.New(rand.NewSource(10)), 4, 20)
-	if _, err := in.SINRFeasible([]Link{{0, 1}}, nil); err == nil {
+	if _, err := in.SINRFeasible([]Link{{From: 0, To: 1}}, nil); err == nil {
 		t.Fatal("expected ErrMismatchedLengths")
 	}
 }
@@ -229,7 +229,7 @@ func TestOutAffectanceMatchesManualSum(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	in := randomInstance(t, rng, 8, 40)
 	l := Link{From: 0, To: 1}
-	set := []Link{{2, 3}, {4, 5}, {6, 7}}
+	set := []Link{{From: 2, To: 3}, {From: 4, To: 5}, {From: 6, To: 7}}
 	pa := NoiseSafeLinear(in.Params())
 	want := 0.0
 	for _, o := range set {

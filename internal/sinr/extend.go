@@ -30,6 +30,7 @@ func (in *Instance) Extend(extra []geom.Point) (*Instance, error) {
 	// quadtrees) still covers the grown point set bins only the new points
 	// (O(k)); plans the growth escapes are rebuilt lazily on first use.
 	in.ffMu.Lock()
+	//lint:ignore determinism per-ε plan carry-over writes into a map keyed by ε; iteration order cannot reach results
 	for eps, f := range in.ff {
 		if nf, ok := f.extendTo(out); ok {
 			if out.ff == nil {
@@ -38,6 +39,7 @@ func (in *Instance) Extend(extra []geom.Point) (*Instance, error) {
 			out.ff[eps] = nf
 		}
 	}
+	//lint:ignore determinism per-ε plan carry-over writes into a map keyed by ε; iteration order cannot reach results
 	for eps, q := range in.qt {
 		if nq, ok := q.extendTo(out); ok {
 			if out.qt == nil {

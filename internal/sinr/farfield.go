@@ -352,6 +352,7 @@ func (in *Instance) FarField(maxRelErr float64) (*FarField, error) {
 	if len(in.ff) >= maxFarPlans {
 		// Evict an arbitrary plan so a wide ε sweep keeps hitting the
 		// cache instead of rebuilding the newest ε on every use.
+		//lint:ignore determinism eviction picks which plan is rebuilt, never its values; plans are pure functions of (instance, ε)
 		for eps := range in.ff {
 			delete(in.ff, eps)
 			break
@@ -491,6 +492,7 @@ func (f *FarField) nearWindow(v int) (tx0, tx1, ty0, ty1 int) {
 // centroid, strongest power, and the tile-bucketed tx order. Must be called
 // before Resolve/LinkSINR for the same txs; runs in O(len(txs) + occupied
 // tiles) and allocates nothing.
+//sinr:hotpath
 func (f *FarField) Accumulate(txs []Tx, sc *FarScratch) {
 	sc.epoch++
 	if sc.epoch == 0 { // uint32 wrap: invalidate all stamps once
@@ -556,6 +558,7 @@ func (f *FarField) Accumulate(txs []Tx, sc *FarScratch) {
 // with far tiles approximated within the certified ε. saturated reports a
 // sender co-located with the listener (zero distance), which drowns the
 // channel. best is -1 when no sender is audible.
+//sinr:hotpath
 func (f *FarField) Resolve(v int, txs []Tx, sc *FarScratch) (best int, bestRP, total float64, saturated bool) {
 	in := f.in
 	alpha := in.params.Alpha
@@ -632,6 +635,7 @@ func (f *FarField) Resolve(v int, txs []Tx, sc *FarScratch) (best int, bestRP, t
 // at most one entry per sender (the per-slot schedule invariant). The
 // exact SINR lies within [·(1−ε), ·(1+ε)] of the returned value for
 // ε = CertifiedMaxRelError.
+//sinr:hotpath
 func (f *FarField) LinkSINR(txs []Tx, l Link, pu float64, sc *FarScratch) float64 {
 	in := f.in
 	alpha := in.params.Alpha
@@ -702,6 +706,7 @@ func (f *FarField) LinkSINR(txs []Tx, l Link, pu float64, sc *FarScratch) float6
 // by f.CertifiedMaxRelError and ε = 0 (f == nil) is the exact check. The
 // check works identically for both far-field engines — f and sc may be a
 // flat-grid or a quadtree plan/resolver pair (sc must come from f).
+//sinr:hotpath
 func (in *Instance) SINRFeasibleFarBuf(links []Link, powers []float64, f Far, scratch []Tx, sc FarResolver) (bool, error) {
 	if f == nil {
 		return in.SINRFeasibleBuf(links, powers, scratch)
@@ -714,9 +719,11 @@ func (in *Instance) SINRFeasibleFarBuf(links []Link, powers []float64, f Far, sc
 	}
 	txs := scratch[:0]
 	if cap(txs) < len(links) {
+		//lint:ignore hotpathalloc cold capacity-miss fallback only; a right-sized caller scratch never reaches this make
 		txs = make([]Tx, 0, len(links))
 	}
 	for i, l := range links {
+		//lint:ignore hotpathalloc cannot grow: capacity reserved by the check above; steady state pinned by TestSINRFeasibleFarBufZeroAlloc
 		txs = append(txs, Tx{Sender: l.From, Power: powers[i]})
 	}
 	sc.Accumulate(txs)

@@ -21,10 +21,10 @@ func pointsOnLine(xs ...float64) []geom.Point {
 func TestUniformPower(t *testing.T) {
 	in := MustInstance(pointsOnLine(0, 1, 5), DefaultParams())
 	u := Uniform{P: 42}
-	if got := u.Power(in, Link{0, 1}); got != 42 {
+	if got := u.Power(in, Link{From: 0, To: 1}); got != 42 {
 		t.Errorf("Power = %v", got)
 	}
-	if got := u.Power(in, Link{0, 2}); got != 42 {
+	if got := u.Power(in, Link{From: 0, To: 2}); got != 42 {
 		t.Errorf("Power = %v (must not depend on link)", got)
 	}
 	if !strings.HasPrefix(u.Name(), "uniform") {
@@ -36,7 +36,7 @@ func TestUniformForOvercomesNoise(t *testing.T) {
 	p := DefaultParams()
 	in := MustInstance(pointsOnLine(0, 7), p)
 	u := UniformFor(p, 7)
-	l := Link{0, 1}
+	l := Link{From: 0, To: 1}
 	c := in.C(in.Length(l), u.Power(in, l))
 	if c > 2*p.Beta+1e-9 {
 		t.Errorf("c(u,v) = %v under UniformFor, want ≤ %v", c, 2*p.Beta)
@@ -48,11 +48,11 @@ func TestLinearPowerScaling(t *testing.T) {
 	in := MustInstance(pointsOnLine(0, 2, 6), p)
 	lin := Linear{Scale: 3}
 	// P = 3·ℓ^α; ℓ = 2 → 3·8 = 24 for α = 3.
-	if got := lin.Power(in, Link{0, 1}); math.Abs(got-3*math.Pow(2, p.Alpha)) > 1e-9 {
+	if got := lin.Power(in, Link{From: 0, To: 1}); math.Abs(got-3*math.Pow(2, p.Alpha)) > 1e-9 {
 		t.Errorf("linear power = %v", got)
 	}
 	// Received power at the link's own receiver is Scale, length-free.
-	for _, l := range []Link{{0, 1}, {0, 2}, {1, 2}} {
+	for _, l := range []Link{{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 2}} {
 		rp := lin.Power(in, l) / math.Pow(in.Length(l), p.Alpha)
 		if math.Abs(rp-lin.Scale) > 1e-9 {
 			t.Errorf("received power %v for link %v, want %v", rp, l, lin.Scale)
@@ -67,7 +67,7 @@ func TestNoiseSafeLinearC(t *testing.T) {
 	p := DefaultParams()
 	in := MustInstance(pointsOnLine(0, 1, 4, 20), p)
 	lin := NoiseSafeLinear(p)
-	for _, l := range []Link{{0, 1}, {0, 2}, {0, 3}} {
+	for _, l := range []Link{{From: 0, To: 1}, {From: 0, To: 2}, {From: 0, To: 3}} {
 		c := in.C(in.Length(l), lin.Power(in, l))
 		if math.Abs(c-2*p.Beta) > 1e-9 {
 			t.Errorf("c = %v for link %v, want exactly 2β", c, l)
@@ -80,7 +80,7 @@ func TestMeanPowerScaling(t *testing.T) {
 	in := MustInstance(pointsOnLine(0, 4), p)
 	m := Mean{Scale: 5}
 	want := 5 * math.Pow(4, p.Alpha/2)
-	if got := m.Power(in, Link{0, 1}); math.Abs(got-want) > 1e-9 {
+	if got := m.Power(in, Link{From: 0, To: 1}); math.Abs(got-want) > 1e-9 {
 		t.Errorf("mean power = %v, want %v", got, want)
 	}
 	if m.Name() != "mean" {
@@ -93,7 +93,7 @@ func TestNoiseSafeMeanOvercomesNoiseAtAllLengths(t *testing.T) {
 	maxLen := 64.0
 	in := MustInstance(pointsOnLine(0, 1, 8, 64), p)
 	m := NoiseSafeMean(p, maxLen)
-	for _, l := range []Link{{0, 1}, {0, 2}, {0, 3}} {
+	for _, l := range []Link{{From: 0, To: 1}, {From: 0, To: 2}, {From: 0, To: 3}} {
 		c := in.C(in.Length(l), m.Power(in, l))
 		if c > 2*p.Beta+1e-9 {
 			t.Errorf("c = %v for link %v under noise-safe mean, want ≤ 2β", c, l)
@@ -114,15 +114,15 @@ func TestPerLinkTableAndFallback(t *testing.T) {
 	p := DefaultParams()
 	in := MustInstance(pointsOnLine(0, 1, 3), p)
 	pl := NewPerLink(Uniform{P: 7})
-	pl.Table[Link{0, 1}] = 99
-	if got := pl.Power(in, Link{0, 1}); got != 99 {
+	pl.Table[Link{From: 0, To: 1}] = 99
+	if got := pl.Power(in, Link{From: 0, To: 1}); got != 99 {
 		t.Errorf("table power = %v", got)
 	}
-	if got := pl.Power(in, Link{0, 2}); got != 7 {
+	if got := pl.Power(in, Link{From: 0, To: 2}); got != 7 {
 		t.Errorf("fallback power = %v", got)
 	}
 	bare := PerLink{Table: map[Link]float64{}}
-	if got := bare.Power(in, Link{0, 2}); got != 0 {
+	if got := bare.Power(in, Link{From: 0, To: 2}); got != 0 {
 		t.Errorf("no-fallback power = %v, want 0", got)
 	}
 	if pl.Name() != "arbitrary" {
@@ -138,8 +138,8 @@ func TestMeanPowerRelativeAffectanceScaleInvariant(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	in := randomInstance(t, rng, 6, 50)
 	p := in.Params()
-	l := Link{0, 1}
-	other := Link{2, 3}
+	l := Link{From: 0, To: 1}
+	other := Link{From: 2, To: 3}
 	big := NoiseSafeMean(p, 1024)
 	bigger := Mean{Scale: big.Scale * 8}
 	aBig := in.LinkAffectance(other, l, big)

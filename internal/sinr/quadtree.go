@@ -345,6 +345,7 @@ func (in *Instance) QuadTree(maxRelErr float64) (*QuadTree, error) {
 		in.qt = make(map[float64]*QuadTree)
 	}
 	if len(in.qt) >= maxFarPlans {
+		//lint:ignore determinism eviction picks which plan is rebuilt, never its values; plans are pure functions of (instance, ε)
 		for eps := range in.qt {
 			delete(in.qt, eps)
 			break
@@ -417,6 +418,7 @@ func (q *QuadTree) NewScratch() *QuadScratch {
 // then each level into its parents in first-touch order, then one centroid
 // normalization sweep over the active nodes. O(len(txs) + occupied nodes),
 // allocation-free.
+//sinr:hotpath
 func (sc *QuadScratch) Accumulate(txs []Tx) {
 	q := sc.q
 	sc.epoch++
@@ -440,6 +442,7 @@ func (sc *QuadScratch) Accumulate(txs []Tx) {
 			sc.stamp[g] = ep
 			sc.mass[g], sc.cenX[g], sc.cenY[g], sc.pmax[g] = 0, 0, 0, 0
 			sc.fill[t] = 0
+			//lint:ignore hotpathalloc leaves aliases preallocated sc.active[l]; occupied leaves never exceed its capacity
 			leaves = append(leaves, t)
 		}
 		p := txs[i].Power
@@ -479,6 +482,7 @@ func (sc *QuadScratch) Accumulate(txs []Tx) {
 			if sc.stamp[pg] != ep {
 				sc.stamp[pg] = ep
 				sc.mass[pg], sc.cenX[pg], sc.cenY[pg], sc.pmax[pg] = 0, 0, 0, 0
+				//lint:ignore hotpathalloc plist aliases preallocated sc.active[lvl-1]; occupied parents never exceed its capacity
 				plist = append(plist, pl)
 			}
 			sc.mass[pg] += sc.mass[g]
@@ -521,6 +525,7 @@ const quadStackCap = 4*maxQuadLevels + 4
 // degenerating the walk toward an exact scan. The order depends only on
 // the listener's coordinates and the static node geometry, so runs stay
 // deterministic and worker-count independent.
+//sinr:hotpath
 func (sc *QuadScratch) Resolve(v int, txs []Tx) (best int, bestRP, total float64, saturated bool) {
 	q := sc.q
 	in := q.in
@@ -609,6 +614,7 @@ func (sc *QuadScratch) Resolve(v int, txs []Tx) (best int, bestRP, total float64
 // aggregated ancestor that absorbs it; txs must contain at most one entry
 // per sender (the per-slot schedule invariant). The exact SINR lies within
 // [·(1−ε), ·(1+ε)] of the returned value for ε = CertifiedMaxRelError.
+//sinr:hotpath
 func (sc *QuadScratch) LinkSINR(txs []Tx, l Link, pu float64) float64 {
 	q := sc.q
 	in := q.in

@@ -251,6 +251,7 @@ func buildPipeline(pts []Point, opt Options, p Pipeline) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore ctxdiscipline deprecated pre-context wrapper; signature frozen, pinned by TestWrapperEquivalence
 	return nw.Run(context.Background(), p)
 }
 
