@@ -35,6 +35,28 @@ import (
 // maxQuadLevels mirrors the kernel's depth cap (4^9 leaves = farMaxTiles).
 const maxQuadLevels = 9
 
+// Morton is the naive per-bit transcription of the kernel's Z-order node
+// index (sinr.MortonEncode does it with byte tables): bit i of x lands at
+// bit 2i, bit i of y at bit 2i+1. The lockstep suite cross-checks the two
+// implementations exhaustively.
+func Morton(x, y int) int {
+	id := 0
+	for i := 0; i < 16; i++ {
+		id |= (x >> i & 1) << (2 * i)
+		id |= (y >> i & 1) << (2*i + 1)
+	}
+	return id
+}
+
+// MortonXY inverts Morton, naively per bit.
+func MortonXY(id int) (x, y int) {
+	for i := 0; i < 16; i++ {
+		x |= (id >> (2 * i) & 1) << i
+		y |= (id >> (2*i + 1) & 1) << i
+	}
+	return x, y
+}
+
 // QuadLevels is the naive transcription of sinr.QuadLevels: ≈ log₄(n/4),
 // lowered until the leaf side span/2^L is at least 1 and capped at
 // maxQuadLevels.
@@ -154,7 +176,8 @@ type quadAgg struct {
 // quadAccumulate folds txs into per-node aggregates: leaves in tx order,
 // then each level into its parents in first-touch order, then one centroid
 // normalization sweep — the kernel's fold orders, transcribed, so every sum
-// is bit-identical to the scratch's.
+// is bit-identical to the scratch's. Nodes are keyed by Morton index,
+// mirroring the kernel's Z-order layout: a node's parent is id>>2.
 func quadAccumulate(qp QuadPlan, pts []geom.Point, txs []phys.Tx) []map[int]*quadAgg {
 	l := qp.Levels
 	levels := make([]map[int]*quadAgg, l+1)
@@ -162,10 +185,9 @@ func quadAccumulate(qp QuadPlan, pts []geom.Point, txs []phys.Tx) []map[int]*qua
 	for lvl := 0; lvl <= l; lvl++ {
 		levels[lvl] = make(map[int]*quadAgg)
 	}
-	dim := 1 << l
 	for _, t := range txs {
 		x, y := qp.Leaf(pts[t.Sender])
-		id := y*dim + x
+		id := Morton(x, y)
 		a := levels[l][id]
 		if a == nil {
 			a = &quadAgg{}
@@ -180,10 +202,8 @@ func quadAccumulate(qp QuadPlan, pts []geom.Point, txs []phys.Tx) []map[int]*qua
 		}
 	}
 	for lvl := l; lvl > 0; lvl-- {
-		d := 1 << lvl
 		for _, id := range orders[lvl] {
-			x, y := id%d, id/d
-			pid := (y>>1)*(d>>1) + x>>1
+			pid := id >> 2
 			pa := levels[lvl-1][pid]
 			if pa == nil {
 				pa = &quadAgg{}
@@ -233,8 +253,7 @@ func QuadLinkSINR(pts []geom.Point, p phys.Params, maxRelErr float64, txs []phys
 	interference := 0.0
 	var walk func(lvl, x, y int)
 	walk = func(lvl, x, y int) {
-		d := 1 << lvl
-		a := levels[lvl][y*d+x]
+		a := levels[lvl][Morton(x, y)]
 		if a == nil || a.mass == 0 {
 			return
 		}
@@ -266,6 +285,66 @@ func QuadLinkSINR(pts []geom.Point, p phys.Params, maxRelErr float64, txs []phys
 			return
 		}
 		// The kernel's DFS pops children in index order.
+		walk(lvl+1, 2*x, 2*y)
+		walk(lvl+1, 2*x+1, 2*y)
+		walk(lvl+1, 2*x, 2*y+1)
+		walk(lvl+1, 2*x+1, 2*y+1)
+	}
+	walk(0, 0, 0)
+	return signal / (p.Noise + interference)
+}
+
+// QuadLinkSINR32 is the naive transcription of the kernel's float32
+// aggregate walk (sinr.QuadTreeF32): the same pyramid accumulated in
+// float64, each node's mass/centroid rounded once through float32, and the
+// walk's decision expressions reading float64(float32(agg)) — so kernel
+// and oracle take identical open/accept decisions. Leaf scans stay exact
+// float64, like the kernel's.
+func QuadLinkSINR32(pts []geom.Point, p phys.Params, maxRelErr float64, txs []phys.Tx, l phys.Link, pu float64) float64 {
+	qp := QuadPlanFor(pts, p.Alpha, maxRelErr)
+	levels := quadAccumulate(qp, pts, txs)
+
+	signal := pu * Gain(pts, p.Alpha, l.From, l.To)
+	if signal == 0 {
+		return 0
+	}
+	ux, uy := qp.Leaf(pts[l.From])
+	pv := pts[l.To]
+	lq := qp.Levels
+	interference := 0.0
+	var walk func(lvl, x, y int)
+	walk = func(lvl, x, y int) {
+		a := levels[lvl][Morton(x, y)]
+		if a == nil || a.mass == 0 {
+			return
+		}
+		dx := pv.X - float64(float32(a.cx))
+		dy := pv.Y - float64(float32(a.cy))
+		d2 := dx*dx + dy*dy // decision expression: transcribed, f32-rounded centroid
+		if d2 >= qp.OpenRad2[lvl] {
+			m := float64(float32(a.mass))
+			shift := uint(lq - lvl)
+			if x == ux>>shift && y == uy>>shift {
+				m -= pu
+			}
+			if m <= 0 {
+				return
+			}
+			interference += m / PathLoss(math.Hypot(dx, dy), p.Alpha)
+			return
+		}
+		if lvl == lq {
+			for _, t := range txs {
+				if t.Sender == l.From {
+					continue
+				}
+				tx, ty := qp.Leaf(pts[t.Sender])
+				if tx == x && ty == y {
+					interference += t.Power / PathLoss(Dist(pts, t.Sender, l.To), p.Alpha)
+				}
+			}
+			return
+		}
 		walk(lvl+1, 2*x, 2*y)
 		walk(lvl+1, 2*x+1, 2*y)
 		walk(lvl+1, 2*x, 2*y+1)

@@ -113,8 +113,15 @@ func TestAdaptiveModeSelection(t *testing.T) {
 // TestAdaptiveDriftGate is the bit-identity gate of the satellite spec: a
 // run with adaptive selection enabled must be bit-identical — stats,
 // deliveries, and every Delivery field — to a run forcing the chosen mode
-// per slot through the replay hook.
+// per slot through the replay hook. The sharded-accumulate threshold is
+// forced to 1 so the adaptive far slots run the full PR-9 machinery
+// (64-shard parallel accumulate + run-sliced batched decode) against a
+// replay doing the same — the calibration re-measured after the Morton
+// relayout left DefaultAdaptiveCrossover at 768 (see engine.go), and this
+// gate pins that the selection layer stays a pure re-schedule above it.
 func TestAdaptiveDriftGate(t *testing.T) {
+	defer func(old int) { shardedAccumMinTxs = old }(shardedAccumMinTxs)
+	shardedAccumMinTxs = 1
 	const n, slots = 256, 14
 	var modes []bool
 	a, arecs := adaptiveEngine(t, n, true, Config{

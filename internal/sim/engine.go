@@ -141,6 +141,12 @@ type Config struct {
 	// (DefaultAdaptiveCrossover) above which an adaptive slot resolves
 	// far-field. Zero selects the default.
 	AdaptiveCrossover int
+	// NoFarBatch disables the shared-frontier batched decode on far-field
+	// plans that support it (the quadtree), forcing the per-listener Resolve
+	// walk instead. The two paths are bit-identical
+	// (TestListenerBatchDriftGate); the knob exists for that gate's replay
+	// and for the E20 ablation, not for production tuning.
+	NoFarBatch bool
 
 	// forceFar, when set (tests only), overrides per-slot mode selection:
 	// the slot resolves far-field iff it returns true (and FarField is set
@@ -158,12 +164,14 @@ type Config struct {
 // higher per-visit cost than a gain multiply), so aggregation only pays
 // once nodes hold many senders each. Measured on the jittered-grid bench
 // geometry with uniformly spread senders (BenchmarkAdaptiveCrossover,
-// BENCH_quadtree.json): at n = 65536 the exact and quadtree per-slot
-// curves cross between 512 and 1024 senders at ε = 0.5 and ε = 2.5 alike,
-// and the crossing count is only weakly n-dependent (both sides scale
-// with the listener count; the walk adds one pyramid level per 4× n).
-// 768 sits between the two measured crossings, deliberately toward the
-// exact side — exact slots are also error-free.
+// BENCH_quadtree.json), and re-measured after the Morton relayout and
+// batched decode: at n = 65536 the exact and quadtree per-slot curves
+// still cross between 512 and 1024 senders at ε = 0.5 and ε = 2.5 alike
+// (ε = 0.5: 268 ms exact vs 282 ms quad at S = 512, 456 vs 345 at
+// S = 1024), and the crossing count is only weakly n-dependent (both
+// sides scale with the listener count; the walk adds one pyramid level
+// per 4× n). 768 sits between the two measured crossings, deliberately
+// toward the exact side — exact slots are also error-free.
 const DefaultAdaptiveCrossover = 768
 
 // Stats counts engine activity for experiment reporting.
@@ -193,6 +201,43 @@ type SlotEvent struct {
 // Observer receives a SlotEvent after every slot. Observers run on the
 // engine goroutine; they must not call back into the engine.
 type Observer func(SlotEvent)
+
+// shardedAccumMinTxs is the sender count above which a slot's pyramid
+// accumulation is dispatched across the pool as shards instead of running
+// serially. Below it the per-dispatch synchronization (two channel rounds
+// plus a WaitGroup) costs more than the fold it parallelizes. The sharded
+// result is bit-identical to the serial one
+// (TestShardedAccumulateDeterminism), so the threshold only moves time,
+// never output. A var only so the engine drift test can force the sharded
+// path at test scale.
+var shardedAccumMinTxs = 2048
+
+// farSharder is the optional sharded-accumulation face of a far-field
+// resolver (implemented by the quadtree scratch): AccumBegin/AccumShard×k/
+// AccumFinish replaces Accumulate with a pool-parallel fold whose result is
+// bit-identical.
+type farSharder interface {
+	AccumShards() int
+	AccumBegin([]sinr.Tx)
+	AccumShard(int, []sinr.Tx)
+	AccumFinish()
+}
+
+// farBatchPlanner is the optional listener-batching face of a far-field
+// plan (implemented by *sinr.QuadTree): BatchSpec orders the nodes by
+// shared-frontier predicate class, NewBatchState allocates walk state for
+// one concurrent ResolveBatch user.
+type farBatchPlanner interface {
+	BatchSpec() (order, class []int32)
+	NewBatchState() *sinr.BatchState
+}
+
+// farBatchResolver is the resolver half of listener batching: ResolveBatch
+// resolves a same-class run of listeners through one shared frontier,
+// bit-identical to per-listener Resolve.
+type farBatchResolver interface {
+	ResolveBatch(*sinr.BatchState, []int32, sinr.BatchSink)
+}
 
 // shard holds one worker's slot counters, padded to a cache line so
 // concurrent workers never contend on the same line. The shards are summed
@@ -233,6 +278,24 @@ type Engine struct {
 	crossover int
 	farSlot   bool // current slot resolves far-field (set serially in Step)
 
+	// Sharded accumulation (nil unless farScr supports it and a pool
+	// exists): dense slots fold the pyramid across the pool.
+	farShard farSharder
+	// Listener batching (nil unless the plan supports it and Config.
+	// NoFarBatch is unset): far slots decode through shared frontiers.
+	// farOrder/farClass are the plan's static batch spec; farVs/farB are
+	// the slot's listening nodes in batch order and the class-run starts
+	// into farVs (with a trailing sentinel), rebuilt serially each far
+	// slot; farBS/farSinks hold one walk state and counter sink per
+	// worker.
+	farBatch farBatchResolver
+	farOrder []int32
+	farClass []int32
+	farVs    []int32
+	farB     []int32
+	farBS    []*sinr.BatchState
+	farSinks []farSink
+
 	shards  []shard
 	pool    *Pool // nil when the engine runs serially
 	ownPool bool  // the engine spawned pool itself and must close it
@@ -270,12 +333,22 @@ func NewEngine(inst *sinr.Instance, procs []Protocol, cfg Config) (*Engine, erro
 		noise:   p.Noise,
 		alpha:   p.Alpha,
 	}
+	var batchPlan farBatchPlanner
 	if cfg.FarField != nil {
 		if cfg.FarField.Instance() != inst {
 			return nil, fmt.Errorf("sim: far-field plan built from a different instance")
 		}
 		e.far = cfg.FarField
 		e.farScr = cfg.FarField.NewResolver()
+		if fs, ok := e.farScr.(farSharder); ok && fs.AccumShards() > 1 {
+			e.farShard = fs
+		}
+		if bp, ok := cfg.FarField.(farBatchPlanner); ok && !cfg.NoFarBatch {
+			if br, ok := e.farScr.(farBatchResolver); ok {
+				batchPlan = bp
+				e.farBatch = br
+			}
+		}
 		if cfg.Adaptive {
 			e.adaptive = true
 			e.crossover = cfg.AdaptiveCrossover
@@ -302,6 +375,17 @@ func NewEngine(inst *sinr.Instance, procs []Protocol, cfg Config) (*Engine, erro
 		e.shards = make([]shard, cfg.Workers)
 	default:
 		e.shards = make([]shard, 1)
+	}
+	if e.farBatch != nil {
+		e.farOrder, e.farClass = batchPlan.BatchSpec()
+		e.farVs = make([]int32, 0, n)
+		e.farB = make([]int32, 0, n+1)
+		e.farBS = make([]*sinr.BatchState, len(e.shards))
+		e.farSinks = make([]farSink, len(e.shards))
+		for k := range e.farBS {
+			e.farBS[k] = batchPlan.NewBatchState()
+			e.farSinks[k] = farSink{e: e, sh: &e.shards[k]}
+		}
 	}
 	return e, nil
 }
@@ -364,16 +448,36 @@ func (e *Engine) Step() {
 		e.farSlot = e.cfg.forceFar(e.slot, len(e.txs)) && len(e.txs) > 0
 	}
 	if e.farSlot {
-		e.farScr.Accumulate(e.txs)
+		if e.farShard != nil && e.pool != nil && len(e.txs) >= shardedAccumMinTxs {
+			// Sharded fold across the pool, bit-identical to the serial
+			// Accumulate: a serial counting sort by shard, a parallel fold
+			// of each shard's subtree, a serial cross-shard merge.
+			e.farShard.AccumBegin(e.txs)
+			e.pool.dispatch(e, stageFarAccum)
+			e.farShard.AccumFinish()
+		} else {
+			e.farScr.Accumulate(e.txs)
+		}
 	}
 
 	// Stage 3: decode at every listener (parallel). Each listener decodes
 	// the strongest sender if its SINR clears β. Counters land in per-worker
-	// shards; no lock is taken.
+	// shards; no lock is taken. Far slots on a batching plan group the
+	// listeners by predicate class (serially, from the plan's static spec)
+	// and walk each class run through one shared frontier — bit-identical
+	// to the per-listener walks.
 	if len(e.txs) > 0 {
-		if e.pool != nil {
+		switch {
+		case e.farSlot && e.farBatch != nil:
+			e.buildFarRuns()
+			if e.pool != nil {
+				e.pool.dispatch(e, stageDecodeFarBatch)
+			} else {
+				e.decodeFarBatchRange(0, len(e.farVs), 0)
+			}
+		case e.pool != nil:
 			e.pool.dispatch(e, stageDecode)
-		} else {
+		default:
 			e.decodeRange(0, n, &e.shards[0])
 		}
 	}
@@ -490,6 +594,82 @@ func (e *Engine) decodeListenerFar(i int, sh *shard) {
 		return
 	}
 	e.finishDecode(i, best, bestRP, total, sh)
+}
+
+// farSink adapts one worker's decode tail to sinr.BatchSink: ResolveBatch
+// hands it per-listener results in batch order and it applies the same
+// saturation/no-signal/β-cut handling as decodeListenerFar. The sinks live
+// in Engine.farSinks so passing one through the interface never allocates.
+type farSink struct {
+	e  *Engine
+	sh *shard
+}
+
+// DeliverFar implements sinr.BatchSink.
+//sinr:hotpath
+func (s *farSink) DeliverFar(v, best int, bestRP, total float64, saturated bool) {
+	if saturated {
+		s.sh.collided++
+		return
+	}
+	if best < 0 {
+		return
+	}
+	s.e.finishDecode(v, best, bestRP, total, s.sh)
+}
+
+// buildFarRuns collects the slot's listening nodes in the plan's batch
+// order into farVs and records each predicate-class run's start in farB
+// (trailing sentinel = len(farVs)). Serial, O(n), allocation-free (both
+// slices were sized for the whole node set at construction).
+//sinr:hotpath
+func (e *Engine) buildFarRuns() {
+	e.farVs = e.farVs[:0]
+	e.farB = e.farB[:0]
+	prev := int32(-1)
+	for pos, node := range e.farOrder {
+		if e.actions[node].Kind != ActionListen {
+			continue
+		}
+		if c := e.farClass[pos]; c != prev {
+			e.farB = append(e.farB, int32(len(e.farVs)))
+			prev = c
+		}
+		e.farVs = append(e.farVs, node)
+	}
+	e.farB = append(e.farB, int32(len(e.farVs)))
+}
+
+// decodeFarBatchRange decodes the listeners farVs[lo:hi) as worker k,
+// splitting the range at class-run boundaries so every ResolveBatch call
+// honors the one-class contract. Each listener's result is independent of
+// how runs are split across workers (batched ≡ solo per listener), so any
+// partition of farVs decodes identically.
+//sinr:hotpath
+func (e *Engine) decodeFarBatchRange(lo, hi, k int) {
+	if lo >= hi {
+		return
+	}
+	sink := &e.farSinks[k]
+	bs := e.farBS[k]
+	// The last run containing lo: greatest r with farB[r] ≤ lo.
+	l, h := 0, len(e.farB)-2
+	for l < h {
+		m := (l + h + 1) >> 1
+		if int(e.farB[m]) <= lo {
+			l = m
+		} else {
+			h = m - 1
+		}
+	}
+	for r := l; lo < hi; r++ {
+		end := int(e.farB[r+1])
+		if end > hi {
+			end = hi
+		}
+		e.farBatch.ResolveBatch(bs, e.farVs[lo:end], sink)
+		lo = end
+	}
 }
 
 // finishDecode is the decode tail shared by the exact and far-field paths:

@@ -8,6 +8,13 @@ type stage uint8
 const (
 	stageStep stage = iota + 1
 	stageDecode
+	// stageFarAccum folds the slot's pyramid shards: worker k takes shards
+	// k, k+w, k+2w, … — every shard runs exactly once, on some worker, and
+	// shard writes are disjoint, so any assignment yields the same pyramid.
+	stageFarAccum
+	// stageDecodeFarBatch decodes the slot's listeners (farVs, in batch
+	// order) through shared frontiers, chunked contiguously per worker.
+	stageDecodeFarBatch
 )
 
 // job is one unit of pool work: run a stage of engine e over this worker's
@@ -53,24 +60,39 @@ func (p *Pool) work(k int) {
 	w := len(p.cmd)
 	for j := range p.cmd[k] {
 		e := j.e
-		n := len(e.procs)
-		chunk := (n + w - 1) / w
-		lo := k * chunk
-		hi := lo + chunk
-		if lo > n {
-			lo = n
-		}
-		if hi > n {
-			hi = n
-		}
 		switch j.st {
 		case stageStep:
+			lo, hi := chunkRange(len(e.procs), w, k)
 			e.stepRange(lo, hi)
 		case stageDecode:
+			lo, hi := chunkRange(len(e.procs), w, k)
 			e.decodeRange(lo, hi, &e.shards[k])
+		case stageFarAccum:
+			nsh := e.farShard.AccumShards()
+			for s := k; s < nsh; s += w {
+				e.farShard.AccumShard(s, e.txs)
+			}
+		case stageDecodeFarBatch:
+			lo, hi := chunkRange(len(e.farVs), w, k)
+			e.decodeFarBatchRange(lo, hi, k)
 		}
 		e.stageWG.Done()
 	}
+}
+
+// chunkRange is worker k's static contiguous share of n items split across
+// w workers.
+func chunkRange(n, w, k int) (lo, hi int) {
+	chunk := (n + w - 1) / w
+	lo = k * chunk
+	hi = lo + chunk
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
 }
 
 // dispatch runs one stage of engine e across all workers and waits for

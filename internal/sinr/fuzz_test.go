@@ -41,6 +41,53 @@ func clampFuzz(v, lo, hi int64) int {
 	return int(lo + ((v%span)+span)%span)
 }
 
+// fuzzQuadPoints generates FuzzQuadtree's geometry family. The shape
+// selector rides the seed's bits above the low byte, so the low-seed
+// corpus entries (and the original f.Add seeds) keep regenerating the
+// jittered grid bit for bit; higher seeds buy the quadtree's two
+// degenerate regimes. All shapes keep pairwise distance ≥ 1 (the
+// instance contract) with O(n) construction and no rejection loops.
+func fuzzQuadPoints(seed int64, n int) []geom.Point {
+	shape := (uint64(seed) >> 8) % 4
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	switch shape {
+	case 2:
+		// Collinear: zero-height bounding box. The pyramid's cells
+		// collapse along one axis — the aspect-ratio corner of the plan
+		// derivation (bbox squaring, midline classes on a flat strip).
+		for i := range pts {
+			pts[i] = geom.Point{X: float64(i)*1.5 + 0.4*rng.Float64(), Y: 5}
+		}
+	case 3:
+		// Corner clusters plus sparse mid-field outposts: extreme density
+		// contrast. Deep occupied subtrees at the corners with a nearly
+		// empty interior stresses frontier opening and centroid brackets.
+		const span = 600.0
+		for i := range pts {
+			if i%16 == 15 {
+				pts[i] = geom.Point{X: span/2 + float64(i)*1.5, Y: span / 2}
+				continue
+			}
+			c := i % 4
+			cx, cy := float64(c%2)*span, float64(c/2)*span
+			k := i / 4
+			pts[i] = geom.Point{
+				X: cx + float64(k%8)*1.5 + 0.4*rng.Float64(),
+				Y: cy + float64(k/8)*1.5 + 0.4*rng.Float64(),
+			}
+		}
+	default: // shapes 0, 1: the original jittered grid (fuzzInstance's loop)
+		for i := range pts {
+			pts[i] = geom.Point{
+				X: float64(i%8)*3 + rng.Float64(),
+				Y: float64(i/8)*3 + rng.Float64(),
+			}
+		}
+	}
+	return pts
+}
+
 // FuzzKernelVsOracle fuzzes the kernel-vs-oracle differential: every
 // kernel-backed quantity must match the naive reference to 1e-12 relative
 // on arbitrary (seed, n, α) instances. Type 1: any disagreement is a bug.
@@ -166,22 +213,32 @@ func FuzzQuadtree(f *testing.F) {
 	f.Add(int64(123), int64(12), int64(0), int64(0))
 	f.Add(int64(456), int64(48), int64(3), int64(2))
 	f.Add(int64(7), int64(64), int64(1), int64(0))
+	// Shape seeds: 512>>8 = 2 (collinear, degenerate bbox), 768>>8 = 3
+	// (corner clusters + outposts) — see fuzzQuadPoints.
+	f.Add(int64(512), int64(40), int64(2), int64(1))
+	f.Add(int64(768), int64(56), int64(1), int64(2))
 	f.Fuzz(func(t *testing.T, seed, nRaw, alphaSel, epsSel int64) {
 		n := clampFuzz(nRaw, 4, 64)
 		alpha := diffAlphas[clampFuzz(alphaSel, 0, int64(len(diffAlphas)-1))]
 		eps := quadEpsSweep[clampFuzz(epsSel, 0, int64(len(quadEpsSweep)-1))]
-		pts, in := fuzzInstance(seed, n, alpha)
+		pts := fuzzQuadPoints(seed, n)
+		p0 := sinr.DefaultParams()
+		p0.Alpha = alpha
+		in := sinr.MustInstance(pts, p0)
 		p := in.Params()
 		q, err := in.QuadTree(eps)
 		if err != nil {
 			t.Fatal(err)
 		}
 		ce := q.CertifiedMaxRelError()
+		ce32 := q.Prec32().CertifiedMaxRelError()
 		sc := q.NewResolver()
+		sc32 := q.Prec32().NewResolver()
 		rng := rand.New(rand.NewSource(seed ^ 0x9afd7ee1))
 
 		txs := farTxSet(rng, in, 1+n/3)
 		sc.Accumulate(txs)
+		sc32.Accumulate(txs)
 		for trial := 0; trial < 6; trial++ {
 			tx := txs[rng.Intn(len(txs))]
 			l := sinr.Link{From: tx.Sender, To: rng.Intn(n)}
@@ -193,6 +250,11 @@ func FuzzQuadtree(f *testing.F) {
 			if !diffClose(got, want) {
 				t.Fatalf("LinkSINR(%v) eps %v: kernel %v oracle %v", l, eps, got, want)
 			}
+			got32 := sc32.LinkSINR(txs, l, tx.Power)
+			want32 := oracle.QuadLinkSINR32(pts, p, eps, txs, l, tx.Power)
+			if !diffClose(got32, want32) {
+				t.Fatalf("LinkSINR32(%v) eps %v: kernel %v oracle %v", l, eps, got32, want32)
+			}
 			signal := tx.Power / oracle.PathLoss(oracle.Dist(pts, l.From, l.To), p.Alpha)
 			interf := 0.0
 			for _, w := range txs {
@@ -200,15 +262,20 @@ func FuzzQuadtree(f *testing.F) {
 					interf += w.Power / oracle.PathLoss(oracle.Dist(pts, w.Sender, l.To), p.Alpha)
 				}
 			}
-			loI := (1 - ce) * interf
-			if loI < 0 {
-				loI = 0
+			bracket := func(label string, v, cert float64) {
+				t.Helper()
+				loI := (1 - cert) * interf
+				if loI < 0 {
+					loI = 0
+				}
+				lo := signal / (p.Noise + (1+cert)*interf) * (1 - 1e-9)
+				hi := signal / (p.Noise + loI) * (1 + 1e-9)
+				if v < lo || v > hi {
+					t.Fatalf("%s(%v) eps %v: %v outside certified [%v, %v]", label, l, eps, v, lo, hi)
+				}
 			}
-			lo := signal / (p.Noise + (1+ce)*interf) * (1 - 1e-9)
-			hi := signal / (p.Noise + loI) * (1 + 1e-9)
-			if got < lo || got > hi {
-				t.Fatalf("LinkSINR(%v) eps %v: %v outside certified [%v, %v]", l, eps, got, lo, hi)
-			}
+			bracket("LinkSINR", got, ce)
+			bracket("LinkSINR32", got32, ce32)
 		}
 
 		m := clampFuzz(nRaw^seed, 1, 6)

@@ -1,0 +1,36 @@
+package sinr_test
+
+// Black-box lockstep of the table-driven Morton codec against the
+// oracle's naive per-bit interleave: the kernel and the oracle must agree
+// on the layout itself before any aggregate comparison means anything.
+// (The white-box round-trip test in package sinr pins the codec against a
+// local per-bit reference; this one crosses package boundaries and the
+// two independent implementations.)
+
+import (
+	"testing"
+
+	"sinrconn/internal/oracle"
+	"sinrconn/internal/sinr"
+)
+
+func TestMortonOracleLockstep(t *testing.T) {
+	// Exhaustive over the deepest plan's coordinate range (9 levels →
+	// coordinates < 2^9) in both directions.
+	const dim = 1 << 9
+	for y := 0; y < dim; y++ {
+		for x := 0; x < dim; x++ {
+			want := oracle.Morton(x, y)
+			if got := int(sinr.MortonEncode(int32(x), int32(y))); got != want {
+				t.Fatalf("MortonEncode(%d,%d) = %d, oracle %d", x, y, got, want)
+			}
+		}
+	}
+	for id := 0; id < dim*dim; id++ {
+		wx, wy := oracle.MortonXY(id)
+		gx, gy := sinr.MortonDecode(int32(id))
+		if int(gx) != wx || int(gy) != wy {
+			t.Fatalf("MortonDecode(%d) = (%d,%d), oracle (%d,%d)", id, gx, gy, wx, wy)
+		}
+	}
+}

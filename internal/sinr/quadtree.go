@@ -21,8 +21,13 @@ package sinr
 // clamped so the leaf side never drops below 1 — the paper's min-distance
 // normalization, exactly the flat grid's floor — and the leaf count never
 // exceeds maxFarTiles. Nodes are stored as one linearized pyramid (level
-// offsets (4^ℓ−1)/3), so a node's parent, children, and square are index
-// arithmetic — no pointers, no per-node allocation.
+// offsets (4^ℓ−1)/3); within each level nodes sit in Morton (Z-curve)
+// order — a node's position is the bit-interleaving of its grid
+// coordinates (morton.go) — so a node's parent is t>>2, its children are
+// 4t..4t+3, and every subtree occupies one contiguous index range. The
+// proximity-first DFS therefore touches contiguous cache lines instead of
+// striding row-major rows apart (DESIGN.md §12); parent, children, and
+// square remain index arithmetic — no pointers, no per-node allocation.
 //
 // Per-slot accumulation. One bottom-up pass per slot (Accumulate): senders
 // fold into their leaf's aggregates — total transmit mass Σ P_w, raw
@@ -33,7 +38,8 @@ package sinr
 // normalized once at the end, so every level's centroid is the exact
 // power-weighted centroid of the senders below it — which lies in their
 // convex hull, hence inside the node's square: the only property the error
-// bound needs.
+// bound needs. Dense slots can split the pass across spatial shards
+// (quadtree_shard.go) with bit-identical results.
 //
 // Opening criterion. For a node of side s, every member lies within
 // R = s·√2 of the node's centroid (both are inside the square). With D the
@@ -64,7 +70,8 @@ package sinr
 // power are therefore always exact; only the interference total carries ε.
 //
 // Determinism and lockstep. LinkSINR walks a fixed-order DFS (children in
-// index order), accumulation folds in first-touch order, and acceptance
+// quadrant order — the same spatial sequence the pre-Morton row-major walk
+// popped), accumulation folds in first-touch order, and acceptance
 // compares the same float expressions the naive reference in
 // internal/oracle/quadtree.go transcribes — so kernel and oracle take
 // identical open/accept decisions and differ only by the physics kernel's
@@ -75,7 +82,8 @@ package sinr
 // geometry, so engine runs stay deterministic and worker-count
 // independent (Resolve has no oracle mirror — its tests pin the winner
 // against the exact argmax and the total against the certified band, both
-// traversal-order-free properties).
+// traversal-order-free properties; TestMortonLayoutDriftGate additionally
+// pins the whole engine bit-identical to the retired row-major layout).
 
 import (
 	"fmt"
@@ -154,8 +162,21 @@ type QuadTree struct {
 	// gain ≤ centroid gain · 1/(1−θ)^α. Resolve uses it to decide which
 	// accepted nodes could hide the strongest sender and must be opened.
 	refineFac float64
-	leafOf    []int32 // node(point) → leaf-local id (row-major at level L)
+	// powSpec selects an unrolled phys.PowAlphaSq arm for the model's
+	// common integer α (2, 3, 4); zero keeps the generic call. Each arm is
+	// bit-identical to the generic expression (powAlphaSqSpec).
+	powSpec uint8
+	leafOf  []int32 // node(point) → leaf-local id (Morton code at level L)
+	// Listener predicate classes for frontier-sharing batch resolution
+	// (quadtree_batch.go): batchOrder lists every instance node sorted by
+	// class key (stable by node id), batchClass the key at the same
+	// position. Two nodes with equal keys take identical nearest-child
+	// decisions at every pyramid node, so their proximity-first walks are
+	// the same tree and can share one opened frontier.
+	batchOrder []int32
+	batchClass []int32
 
+	f32       *QuadTreeF32
 	scratches *sync.Pool
 }
 
@@ -200,6 +221,9 @@ func newQuadTree(in *Instance, maxRelErr float64) (*QuadTree, error) {
 		side:      make([]float64, l+1),
 		refineFac: math.Pow(1/(1-theta), alpha),
 	}
+	if a := alpha; a == 2 || a == 3 || a == 4 {
+		q.powSpec = uint8(a)
+	}
 	off := int32(0)
 	for lvl := 0; lvl <= l; lvl++ {
 		q.levelOff[lvl] = off
@@ -214,11 +238,30 @@ func newQuadTree(in *Instance, maxRelErr float64) (*QuadTree, error) {
 	for i, p := range in.pts {
 		q.leafOf[i] = q.bin(p)
 	}
+	q.buildBatchSpec()
+	q.f32 = newQuadTreeF32(q)
 	q.scratches = &sync.Pool{New: func() any { return q.NewScratch() }}
 	return q, nil
 }
 
-// bin maps a point to its leaf-local id (row-major at level L), clamping
+// powAlphaSqSpec returns PowAlphaSq(d2, alpha) with the model's common
+// integer α unrolled so the hot walks skip the generic dispatch. Each arm
+// reproduces phys.PowAlphaSq's exact expression for that α — ipow(d2, 1),
+// ipow(d2, 1)·√d2, ipow(d2, 2) — so results are bit-identical to the
+// generic call (the drift gates and the differential suite pin this).
+func powAlphaSqSpec(d2, alpha float64, spec uint8) float64 {
+	switch spec {
+	case 2:
+		return d2
+	case 3:
+		return d2 * math.Sqrt(d2)
+	case 4:
+		return d2 * d2
+	}
+	return PowAlphaSq(d2, alpha)
+}
+
+// bin maps a point to its leaf-local Morton code at level L, clamping
 // boundary points into the grid.
 func (q *QuadTree) bin(p geom.Point) int32 {
 	tx := int32(math.Floor((p.X - q.ox) / q.cell))
@@ -233,7 +276,72 @@ func (q *QuadTree) bin(p geom.Point) int32 {
 	} else if ty >= q.leafDim {
 		ty = q.leafDim - 1
 	}
-	return ty*q.leafDim + tx
+	return MortonEncode(tx, ty)
+}
+
+// edgeClass returns the largest grid line index j ∈ [0, leafDim] whose
+// coordinate o + j·cell does not exceed v — computed with the exact float
+// expression the walks compare against. Every nearest-child midline at
+// every level equals o + j·cell for some j (the node side is cell scaled
+// by a power of two, so float64(2x+1)·side rounds identically to
+// float64(j)·cell for j = (2x+1)·2^m — same real product, same rounding),
+// so two points with equal edgeClass on both axes take identical
+// nearest-child decisions at every pyramid node. The floor seed can land
+// an ulp off the float comparison; the fixup loops repair it against the
+// comparison expression itself.
+func (q *QuadTree) edgeClass(v, o float64) int32 {
+	dim := q.leafDim
+	j := int32(math.Floor((v - o) / q.cell))
+	if j < 0 {
+		j = 0
+	} else if j > dim {
+		j = dim
+	}
+	for j < dim && o+float64(j+1)*q.cell <= v {
+		j++
+	}
+	for j > 0 && o+float64(j)*q.cell > v {
+		j--
+	}
+	return j
+}
+
+// buildBatchSpec sorts the instance's nodes by predicate class (counting
+// sort, stable by node id) — the static schedule ResolveBatch groups
+// listeners by.
+func (q *QuadTree) buildBatchSpec() {
+	n := len(q.in.pts)
+	kdim := int32(q.leafDim) + 1
+	nk := int(kdim) * int(kdim)
+	keys := make([]int32, n)
+	cnt := make([]int32, nk+1)
+	for i, p := range q.in.pts {
+		k := q.edgeClass(p.Y, q.oy)*kdim + q.edgeClass(p.X, q.ox)
+		keys[i] = k
+		cnt[k+1]++
+	}
+	for k := 1; k <= nk; k++ {
+		cnt[k] += cnt[k-1]
+	}
+	ord := make([]int32, n)
+	cls := make([]int32, n)
+	for i := 0; i < n; i++ {
+		k := keys[i]
+		pos := cnt[k]
+		cnt[k] = pos + 1
+		ord[pos] = int32(i)
+		cls[pos] = k
+	}
+	q.batchOrder, q.batchClass = ord, cls
+}
+
+// BatchSpec returns the plan's static listener batching schedule: every
+// instance node sorted by predicate class, plus the class key per
+// position. A maximal run of equal keys may be resolved through one shared
+// frontier (ResolveBatch); the engine slices runs out of this order each
+// slot instead of re-deriving them.
+func (q *QuadTree) BatchSpec() (order, class []int32) {
+	return q.batchOrder, q.batchClass
 }
 
 // Instance returns the instance the plan was built over.
@@ -270,10 +378,12 @@ func (q *QuadTree) OpenRadius2(lvl int) float64 { return q.openRad2[lvl] }
 // quarter of the root square's side: the opened-leaf disk then covers
 // ≥ π/16 ≈ 20% of the instance, and the walk's exact scans plus pyramid
 // overhead measurably undercut plain exact resolution — the quadtree
-// analog of the flat grid's NearDominated regime (measured boundary: at
-// ε = 0.1 the n = 65536 walk, horizon/side ≈ 0.34, runs 1.3× slower than
-// exact, while n = 262144, horizon/side ≈ 0.17, wins — see
-// BENCH_quadtree.json). It holds for tight ε at small instances (the
+// analog of the flat grid's NearDominated regime (measured boundary,
+// re-validated against the Morton layout and batched decode: at ε = 0.1
+// the n = 65536 walk, horizon/side ≈ 0.34, still runs 1.12× slower than
+// exact — down from 1.33× pre-Morton, same sign — while n = 262144,
+// horizon/side ≈ 0.17, wins 1.28× more than before; BENCH_quadtree.json).
+// It holds for tight ε at small instances (the
 // opening radius is ≥ cell·√2/θ ≥ √2/θ units, so a span below ~4√2/θ
 // cannot be resolved hierarchically); the session's FarAuto mode falls
 // back to exact resolution when it does, a forced FarQuadtree run keeps
@@ -287,8 +397,8 @@ func (q *QuadTree) NearDominated() bool {
 // LeafCoords returns node i's leaf coordinates at the deepest level
 // (exported for the oracle lockstep suite).
 func (q *QuadTree) LeafCoords(i int) (x, y int) {
-	t := q.leafOf[i]
-	return int(t % q.leafDim), int(t / q.leafDim)
+	mx, my := MortonDecode(q.leafOf[i])
+	return int(mx), int(my)
 }
 
 // NewResolver implements Far: fresh per-slot state for an engine.
@@ -306,7 +416,8 @@ func (q *QuadTree) ReleaseResolver(sc FarResolver) {
 
 // extendTo reuses the plan for an instance grown by Extend: when every
 // appended point falls inside the root square, only the new points are
-// binned (O(new)); otherwise the grown instance rebuilds its plan lazily.
+// binned and the batch schedule rebuilt (O(new + n)); otherwise the grown
+// instance rebuilds its plan lazily.
 func (q *QuadTree) extendTo(out *Instance) (*QuadTree, bool) {
 	n := len(q.in.pts)
 	m := len(out.pts)
@@ -323,6 +434,8 @@ func (q *QuadTree) extendTo(out *Instance) (*QuadTree, bool) {
 	for i := n; i < m; i++ {
 		nq.leafOf[i] = nq.bin(out.pts[i])
 	}
+	nq.buildBatchSpec()
+	nq.f32 = newQuadTreeF32(&nq)
 	nq.scratches = &sync.Pool{New: func() any { return nq.NewScratch() }}
 	return &nq, true
 }
@@ -359,9 +472,10 @@ func (in *Instance) QuadTree(maxRelErr float64) (*QuadTree, error) {
 // epoch-stamped pyramid accumulators, per-level active lists, and the leaf
 // bucketing for exact scans. One scratch belongs to one concurrent user;
 // all buffers are allocated once at NewScratch so the per-slot
-// Accumulate/Resolve cycle allocates nothing. Resolve and LinkSINR keep
-// their DFS stacks on the goroutine stack, so concurrent listeners may
-// share one scratch read-only.
+// Accumulate/Resolve cycle allocates nothing (the sharded-accumulate arena
+// is lazily allocated on first use and reused after). Resolve and LinkSINR
+// keep their DFS stacks on the goroutine stack, so concurrent listeners
+// may share one scratch read-only.
 type QuadScratch struct {
 	q     *QuadTree
 	epoch uint32
@@ -373,21 +487,53 @@ type QuadScratch struct {
 	cenX  []float64
 	cenY  []float64
 	pmax  []float64
-	// active lists each level's occupied nodes (local row-major ids) in
+	// active lists each level's occupied nodes (local Morton ids) in
 	// first-touch order.
 	active [][]int32
-	// Leaf bucketing for exact scans (leaf-local ids), as in FarScratch.
+	// Leaf bucketing for exact scans (leaf-local Morton ids), as in
+	// FarScratch, plus streaming copies of the bucketed senders'
+	// coordinates and powers (sx/sy/sp, bucket order): the leaf scans read
+	// these sequentially instead of gathering through order → txs → pts.
 	start []int32
 	fill  []int32
 	order []int32
+	sx    []float64
+	sy    []float64
+	sp    []float64
 	// senderMark/markEpoch implement the zero-alloc duplicate-sender check
 	// shared with the flat grid's scratch.
 	senderMark []uint32
 	markEpoch  uint32
+	// prec32 selects the float32 aggregate walks (quadtree_f32.go):
+	// Accumulate additionally rounds each occupied node's aggregates once
+	// into the f32 mirror, and Resolve/LinkSINR read the mirror.
+	prec32 bool
+	mass32 []float32
+	cenX32 []float32
+	cenY32 []float32
+	// Sharded-accumulate state (quadtree_shard.go), lazily allocated by
+	// the first AccumBegin.
+	shardS      int     // shard level s: shards are the level-s subtrees
+	shardTx     []int32 // tx indices counting-sorted by shard (stable)
+	shardArena  []int32 // per-level, per-shard active segments (Morton ids)
+	shardABase  []int32 // arena offset of each level s..L
+	shardCnt    [][]int32
+	shardSeg    [maxAccumShards + 1]int32
+	shardList   [maxAccumShards]int32
+	shardN      int
+	shardsReady bool
 }
+
+// maxAccumShards caps the sharded-accumulate fan-out: shards are the
+// subtrees rooted at level s = min(3, L), at most 4³ = 64 of them.
+const maxAccumShards = 64
 
 // NewScratch allocates per-slot state for the plan.
 func (q *QuadTree) NewScratch() *QuadScratch {
+	return q.newScratch(false)
+}
+
+func (q *QuadTree) newScratch(prec32 bool) *QuadScratch {
 	n := len(q.in.pts)
 	leaves := q.Leaves()
 	active := make([][]int32, q.levels+1)
@@ -398,7 +544,7 @@ func (q *QuadTree) NewScratch() *QuadScratch {
 		}
 		active[lvl] = make([]int32, 0, capL)
 	}
-	return &QuadScratch{
+	sc := &QuadScratch{
 		q:          q,
 		stamp:      make([]uint32, q.nodes),
 		mass:       make([]float64, q.nodes),
@@ -409,8 +555,30 @@ func (q *QuadTree) NewScratch() *QuadScratch {
 		start:      make([]int32, leaves),
 		fill:       make([]int32, leaves),
 		order:      make([]int32, n),
+		sx:         make([]float64, n),
+		sy:         make([]float64, n),
+		sp:         make([]float64, n),
 		senderMark: make([]uint32, n),
+		prec32:     prec32,
 	}
+	if prec32 {
+		sc.mass32 = make([]float32, q.nodes)
+		sc.cenX32 = make([]float32, q.nodes)
+		sc.cenY32 = make([]float32, q.nodes)
+	}
+	return sc
+}
+
+// beginEpoch advances the scratch epoch, invalidating all stamps on wrap.
+func (sc *QuadScratch) beginEpoch() uint32 {
+	sc.epoch++
+	if sc.epoch == 0 { // uint32 wrap: invalidate all stamps once
+		for i := range sc.stamp {
+			sc.stamp[i] = 0
+		}
+		sc.epoch = 1
+	}
+	return sc.epoch
 }
 
 // Accumulate implements FarResolver: one bottom-up pass folds the slot's
@@ -421,14 +589,7 @@ func (q *QuadTree) NewScratch() *QuadScratch {
 //sinr:hotpath
 func (sc *QuadScratch) Accumulate(txs []Tx) {
 	q := sc.q
-	sc.epoch++
-	if sc.epoch == 0 { // uint32 wrap: invalidate all stamps once
-		for i := range sc.stamp {
-			sc.stamp[i] = 0
-		}
-		sc.epoch = 1
-	}
-	ep := sc.epoch
+	ep := sc.beginEpoch()
 	l := q.levels
 	for lvl := range sc.active {
 		sc.active[lvl] = sc.active[lvl][:0]
@@ -464,19 +625,23 @@ func (sc *QuadScratch) Accumulate(txs []Tx) {
 	}
 	for i := range txs {
 		t := q.leafOf[txs[i].Sender]
-		sc.order[sc.start[t]+sc.fill[t]] = int32(i)
+		idx := sc.start[t] + sc.fill[t]
+		sc.order[idx] = int32(i)
+		pt := q.in.pts[txs[i].Sender]
+		sc.sx[idx] = pt.X
+		sc.sy[idx] = pt.Y
+		sc.sp[idx] = txs[i].Power
 		sc.fill[t]++
 	}
 	// Bottom-up fold: raw sums propagate so a parent's centroid is the
-	// exact power-weighted centroid of every sender below it.
+	// exact power-weighted centroid of every sender below it. Morton
+	// layout makes the parent one shift: local id t>>2.
 	for lvl := l; lvl > 0; lvl-- {
-		dim := int32(1) << lvl
 		childOff := q.levelOff[lvl]
 		parentOff := q.levelOff[lvl-1]
 		plist := sc.active[lvl-1]
 		for _, t := range sc.active[lvl] {
-			x, y := t%dim, t/dim
-			pl := (y>>1)*(dim>>1) + x>>1
+			pl := t >> 2
 			pg := parentOff + pl
 			g := childOff + t
 			if sc.stamp[pg] != ep {
@@ -504,6 +669,9 @@ func (sc *QuadScratch) Accumulate(txs []Tx) {
 			}
 		}
 	}
+	if sc.prec32 {
+		sc.round32Active()
+	}
 }
 
 // quadStackCap bounds the DFS stack: a walk holds at most 3 pending
@@ -527,9 +695,13 @@ const quadStackCap = 4*maxQuadLevels + 4
 // deterministic and worker-count independent.
 //sinr:hotpath
 func (sc *QuadScratch) Resolve(v int, txs []Tx) (best int, bestRP, total float64, saturated bool) {
+	if sc.prec32 {
+		return sc.resolve32(v)
+	}
 	q := sc.q
 	in := q.in
 	alpha := in.params.Alpha
+	spec := q.powSpec
 	pv := in.pts[v]
 	best = -1
 	ep := sc.epoch
@@ -538,7 +710,7 @@ func (sc *QuadScratch) Resolve(v int, txs []Tx) (best int, bestRP, total float64
 	if sc.stamp[0] != ep {
 		return best, 0, 0, false // no senders accumulated
 	}
-	stack[0] = 0 // root: level 0, local id 0
+	stack[0] = 0 // root: level 0, Morton id 0
 	top := 1
 	for top > 0 {
 		top--
@@ -550,7 +722,7 @@ func (sc *QuadScratch) Resolve(v int, txs []Tx) (best int, bestRP, total float64
 		dy := pv.Y - sc.cenY[g]
 		d2 := dx*dx + dy*dy
 		if d2 >= q.openRad2[lvl] {
-			gc := 1 / PowAlphaSq(d2, alpha)
+			gc := 1 / powAlphaSqSpec(d2, alpha, spec)
 			if sc.pmax[g]*gc*q.refineFac <= bestRP {
 				total += sc.mass[g] * gc
 				continue
@@ -560,25 +732,24 @@ func (sc *QuadScratch) Resolve(v int, txs []Tx) (best int, bestRP, total float64
 			// grows, so nodes already accepted stay safe).
 		}
 		if lvl == l {
-			for _, oi := range sc.order[sc.start[t] : sc.start[t]+sc.fill[t]] {
-				tr := &txs[oi]
-				sd2 := pv.DistSq(in.pts[tr.Sender])
+			for si := sc.start[t]; si < sc.start[t]+sc.fill[t]; si++ {
+				ddx := pv.X - sc.sx[si]
+				ddy := pv.Y - sc.sy[si]
+				sd2 := ddx*ddx + ddy*ddy
 				if sd2 == 0 {
 					return -1, 0, 0, true
 				}
-				rp := tr.Power / PowAlphaSq(sd2, alpha)
+				rp := sc.sp[si] / powAlphaSqSpec(sd2, alpha, spec)
 				total += rp
 				if rp > bestRP {
 					bestRP = rp
-					best = int(oi)
+					best = int(sc.order[si])
 				}
 			}
 			continue
 		}
-		dim := int32(1) << lvl
-		x := t % dim
-		y := t / dim
-		cdim := dim << 1
+		x, y := MortonDecode(t)
+		base := t << 2
 		clvl := int64(lvl+1) << 32
 		coff := q.levelOff[lvl+1]
 		// Nearest child: which side of the node's midlines the listener
@@ -591,12 +762,11 @@ func (sc *QuadScratch) Resolve(v int, txs []Tx) (best int, bestRP, total float64
 		if pv.Y >= q.oy+float64(2*y+1)*cside {
 			ny = 1
 		}
-		cx := 2*x + nx
-		cy := 2*y + ny
 		// Occupied children pushed in reverse: popped order is nearest,
 		// x-neighbor, y-neighbor, diagonal (empty quadrants are filtered
-		// here, before they cost a stack round-trip).
-		for _, c := range [4]int32{(cy^1)*cdim + (cx ^ 1), (cy^1)*cdim + cx, cy*cdim + (cx ^ 1), cy*cdim + cx} {
+		// here, before they cost a stack round-trip). Morton layout keeps
+		// all four in one cache line: children of t are base..base+3.
+		for _, c := range [4]int32{base | (ny^1)<<1 | (nx ^ 1), base | (ny^1)<<1 | nx, base | ny<<1 | (nx ^ 1), base | ny<<1 | nx} {
 			if sc.stamp[coff+c] == ep && sc.mass[coff+c] != 0 {
 				stack[top] = clvl | int64(c)
 				top++
@@ -616,9 +786,13 @@ func (sc *QuadScratch) Resolve(v int, txs []Tx) (best int, bestRP, total float64
 // [·(1−ε), ·(1+ε)] of the returned value for ε = CertifiedMaxRelError.
 //sinr:hotpath
 func (sc *QuadScratch) LinkSINR(txs []Tx, l Link, pu float64) float64 {
+	if sc.prec32 {
+		return sc.linkSINR32(txs, l, pu)
+	}
 	q := sc.q
 	in := q.in
 	alpha := in.params.Alpha
+	spec := q.powSpec
 	u, v := l.From, l.To
 	pv := in.pts[v]
 	signal := pu / PowAlphaSq(pv.DistSq(in.pts[u]), alpha)
@@ -628,7 +802,6 @@ func (sc *QuadScratch) LinkSINR(txs []Tx, l Link, pu float64) float64 {
 	ep := sc.epoch
 	lv := q.levels
 	ul := q.leafOf[u]
-	ux, uy := ul%q.leafDim, ul/q.leafDim
 	interference := 0.0
 	if sc.stamp[0] != ep {
 		return signal / in.params.Noise
@@ -647,9 +820,7 @@ func (sc *QuadScratch) LinkSINR(txs []Tx, l Link, pu float64) float64 {
 		d2 := dx*dx + dy*dy
 		if d2 >= q.openRad2[lvl] {
 			m := sc.mass[g]
-			shift := uint(lv - lvl)
-			dim := int32(1) << lvl
-			if t%dim == ux>>shift && t/dim == uy>>shift {
+			if t == ul>>(2*uint(lv-lvl)) {
 				// The link's own sender sits under this aggregated node:
 				// remove its share of the mass (the centroid stays inside
 				// the square, so the error bound is unaffected).
@@ -658,30 +829,30 @@ func (sc *QuadScratch) LinkSINR(txs []Tx, l Link, pu float64) float64 {
 			if m <= 0 {
 				continue
 			}
-			interference += m / PowAlphaSq(d2, alpha)
+			interference += m / powAlphaSqSpec(d2, alpha, spec)
 			continue
 		}
 		if lvl == lv {
-			for _, oi := range sc.order[sc.start[t] : sc.start[t]+sc.fill[t]] {
-				tr := &txs[oi]
-				if tr.Sender == u {
+			for si := sc.start[t]; si < sc.start[t]+sc.fill[t]; si++ {
+				if txs[sc.order[si]].Sender == u {
 					continue
 				}
-				interference += tr.Power / PowAlphaSq(pv.DistSq(in.pts[tr.Sender]), alpha)
+				ddx := pv.X - sc.sx[si]
+				ddy := pv.Y - sc.sy[si]
+				sd2 := ddx*ddx + ddy*ddy
+				interference += sc.sp[si] / powAlphaSqSpec(sd2, alpha, spec)
 			}
 			continue
 		}
-		dim := int32(1) << lvl
-		cx := t % dim * 2
-		cy := t / dim * 2
-		cdim := dim << 1
+		base := t << 2
 		clvl := int64(lvl+1) << 32
 		coff := q.levelOff[lvl+1]
-		// Occupied children pushed in reverse so they pop in index order —
-		// the fixed walk order the oracle lockstep transcribes (its
+		// Occupied children pushed in reverse so they pop in quadrant
+		// order (0,0), (1,0), (0,1), (1,1) — the same spatial sequence the
+		// row-major walk used and the oracle lockstep transcribes (its
 		// recursion skips empty nodes at entry; filtering before the push
 		// visits the same nodes in the same order).
-		for _, c := range [4]int32{(cy+1)*cdim + cx + 1, (cy+1)*cdim + cx, cy*cdim + cx + 1, cy*cdim + cx} {
+		for c := base + 3; c >= base; c-- {
 			if sc.stamp[coff+c] == ep && sc.mass[coff+c] != 0 {
 				stack[top] = clvl | int64(c)
 				top++

@@ -1,0 +1,222 @@
+package sinr_test
+
+// The float32 far-field battery. The f32 view (QuadTree.Prec32, behind
+// sinrconn.WithFarPrecision(Far32)) accumulates in float64, rounds the
+// pyramid aggregates once to float32, and walks against the inflated
+// certificate certErr32 = (1+certErr)(1+u)/(1−r)^α − 1. The gates here
+// pin three claims: the walk is in lockstep with the oracle's independent
+// f32 transcription, the certified band really brackets exact physics,
+// and the certificate inflation over the f64 plan is the tiny rounding
+// allowance the derivation promises (DESIGN.md §12) — not a silent
+// accuracy cliff.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sinrconn/internal/oracle"
+	"sinrconn/internal/sinr"
+	"sinrconn/internal/workload"
+)
+
+// TestDifferentialQuadtree32VsOracle pins the f32 walk against
+// oracle.QuadLinkSINR32 — the naive recursion reading float32-rounded
+// aggregates — across the generator matrix × α × ε.
+func TestDifferentialQuadtree32VsOracle(t *testing.T) {
+	for _, spec := range workload.Matrix() {
+		for _, alpha := range diffAlphas {
+			spec, alpha := spec, alpha
+			t.Run(spec.Name+"/"+floatName(alpha), func(t *testing.T) {
+				for seed := int64(1); seed <= 3; seed++ {
+					n := 40 + int(seed)*8
+					pts, in := diffInstance(t, spec, alpha, seed, n)
+					p := in.Params()
+					rng := rand.New(rand.NewSource(seed * 947))
+					for _, eps := range quadEpsSweep {
+						q, err := in.QuadTree(eps)
+						if err != nil {
+							t.Fatal(err)
+						}
+						sc := q.Prec32().NewResolver()
+						txs := farTxSet(rng, in, n/2)
+						sc.Accumulate(txs)
+						for trial := 0; trial < 12; trial++ {
+							tx := txs[rng.Intn(len(txs))]
+							l := sinr.Link{From: tx.Sender, To: rng.Intn(n)}
+							if l.From == l.To {
+								continue
+							}
+							got := sc.LinkSINR(txs, l, tx.Power)
+							want := oracle.QuadLinkSINR32(pts, p, eps, txs, l, tx.Power)
+							if !diffClose(got, want) {
+								t.Fatalf("seed %d eps %v LinkSINR32(%v): kernel %v oracle %v",
+									seed, eps, l, got, want)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFloat32ErrorBracket is the accuracy gate of the satellite spec:
+// for every link, the f32 SINR must bracket exact physics within the
+// plan's certified certErr32 band; the winner returned by the f32
+// Resolve must be the exact argmax (identical to the f64 plan's, with
+// bit-identical exact received power); and the certificate inflation
+// over the f64 plan must stay within the derivation's rounding allowance
+// — orders of magnitude below ε itself.
+func TestFloat32ErrorBracket(t *testing.T) {
+	const slack = 1e-9
+	for _, spec := range workload.Matrix() {
+		for _, alpha := range diffAlphas {
+			spec, alpha := spec, alpha
+			t.Run(spec.Name+"/"+floatName(alpha), func(t *testing.T) {
+				for seed := int64(1); seed <= 2; seed++ {
+					n := 64
+					pts, in := diffInstance(t, spec, alpha, seed, n)
+					p := in.Params()
+					rng := rand.New(rand.NewSource(seed * 389))
+					for _, eps := range quadEpsSweep {
+						q, err := in.QuadTree(eps)
+						if err != nil {
+							t.Fatal(err)
+						}
+						f32 := q.Prec32()
+						ce64 := q.CertifiedMaxRelError()
+						ce32 := f32.CertifiedMaxRelError()
+						// Certificate sanity: the f32 certificate covers
+						// the f64 one plus the one-rounding allowance, and
+						// the allowance is negligible next to ε. (The
+						// degenerate 1−r ≤ 0 escape hatch would return
+						// +Inf; these instances are far from it.)
+						if ce32 < ce64 {
+							t.Fatalf("eps %v: certErr32 %v < certErr %v", eps, ce32, ce64)
+						}
+						if math.IsInf(ce32, 1) {
+							t.Fatalf("eps %v: certErr32 degenerated to +Inf on a benign instance", eps)
+						}
+						if gap := ce32 - ce64; gap > 1e-4*(1+ce64) {
+							t.Fatalf("eps %v: f32 certificate inflation %v exceeds the rounding allowance", eps, gap)
+						}
+						sc32 := f32.NewResolver()
+						sc64 := q.NewResolver()
+						txs := farTxSet(rng, in, n/2)
+						sc32.Accumulate(txs)
+						sc64.Accumulate(txs)
+						// Winner exactness: decode decisions come from
+						// exact refinement, so the f32 plan must agree
+						// with the f64 plan bit for bit on (best, bestRP,
+						// saturated) — only total may drift, and only
+						// within the certificates.
+						for v := 0; v < n; v += 3 {
+							b32, rp32, tot32, sat32 := sc32.Resolve(v, txs)
+							b64, rp64, tot64, sat64 := sc64.Resolve(v, txs)
+							if b32 != b64 || rp32 != rp64 || sat32 != sat64 {
+								t.Fatalf("eps %v listener %d: f32 Resolve (%d,%v,%v) f64 (%d,%v,%v)",
+									eps, v, b32, rp32, sat32, b64, rp64, sat64)
+							}
+							if sat32 || b32 < 0 {
+								continue
+							}
+							lo := tot64 * (1 - ce64) / (1 + ce32) * (1 - slack)
+							hi := tot64 * (1 + ce64) / (1 - ce32) * (1 + slack)
+							if ce32 < 1 && (tot32 < lo || tot32 > hi) {
+								t.Fatalf("eps %v listener %d: f32 total %v outside joint band [%v, %v] of f64 total %v",
+									eps, v, tot32, lo, hi, tot64)
+							}
+						}
+						// SINR bracket against exact physics, the f32
+						// analog of TestQuadtreeErrorBound.
+						for _, tx := range txs {
+							for trial := 0; trial < 3; trial++ {
+								l := sinr.Link{From: tx.Sender, To: rng.Intn(n)}
+								if l.From == l.To {
+									continue
+								}
+								far := sc32.LinkSINR(txs, l, tx.Power)
+								signal := tx.Power / oracle.PathLoss(oracle.Dist(pts, l.From, l.To), p.Alpha)
+								interf := 0.0
+								for _, w := range txs {
+									if w.Sender == l.From {
+										continue
+									}
+									interf += w.Power / oracle.PathLoss(oracle.Dist(pts, w.Sender, l.To), p.Alpha)
+								}
+								if math.IsInf(signal, 1) || math.IsInf(interf, 1) {
+									continue
+								}
+								loI := (1 - ce32) * interf
+								if loI < 0 {
+									loI = 0
+								}
+								lo := signal / (p.Noise + (1+ce32)*interf) * (1 - slack)
+								hi := signal / (p.Noise + loI) * (1 + slack)
+								if far < lo || far > hi {
+									t.Fatalf("seed %d eps %v (cert32 %v) SINR(%v): f32 quadtree %v outside [%v, %v]",
+										seed, eps, ce32, l, far, lo, hi)
+								}
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFloat32ResolverZeroAlloc is the alloc gate for the //sinr:hotpath
+// annotations on the f32 walk: round32Active (Accumulate's rounding
+// tail), resolve32, and linkSINR32 must keep the f64 paths'
+// zero-allocation steady state.
+func TestFloat32ResolverZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const n = 512
+	pts := workload.JitteredGrid(rng, n, 3, 0.8)
+	in := sinr.MustInstance(pts, sinr.DefaultParams())
+	q, err := in.QuadTree(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := q.Prec32().NewResolver()
+	txs := farTxSet(rng, in, n/2)
+	l := sinr.Link{From: txs[0].Sender, To: (txs[0].Sender + 7) % n}
+	sc.Accumulate(txs)
+	if allocs := testing.AllocsPerRun(20, func() {
+		sc.Accumulate(txs)
+		for v := 0; v < n; v += 16 {
+			sc.Resolve(v, txs)
+		}
+		sc.LinkSINR(txs, l, txs[0].Power)
+	}); allocs != 0 {
+		t.Fatalf("f32 resolver loop allocates %.1f times/op, want 0", allocs)
+	}
+}
+
+// TestFloat32MaxRelError pins the advertised MaxRelError of the f32 view:
+// it must report the inflated certificate (never less than the f64
+// plan's), which is what WithFarPrecision surfaces through
+// Network.MaxRelError and what feasibility guard-banding consumes.
+func TestFloat32MaxRelError(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := workload.JitteredGrid(rng, 256, 3, 0.8)
+	in := sinr.MustInstance(pts, sinr.DefaultParams())
+	for _, eps := range quadEpsSweep {
+		q, err := in.QuadTree(eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f32 := q.Prec32()
+		if got, min := f32.MaxRelError(), q.MaxRelError(); got < min {
+			t.Fatalf("eps %v: f32 MaxRelError %v below f64 plan's %v", eps, got, min)
+		}
+		if f32.CertifiedMaxRelError() < q.CertifiedMaxRelError() {
+			t.Fatalf("eps %v: f32 certificate below f64 certificate", eps)
+		}
+		if f32.NearDominated() != q.NearDominated() {
+			t.Fatalf("eps %v: NearDominated disagrees between precisions", eps)
+		}
+	}
+}

@@ -110,6 +110,33 @@ func (m FarMode) String() string {
 	return fmt.Sprintf("farmode(%d)", uint8(m))
 }
 
+// FarPrecision selects the aggregate precision of the quadtree far-field
+// walks (it is meaningless at ε = 0, and the flat grid keeps no float32
+// mirror).
+type FarPrecision uint8
+
+const (
+	// Far64 — the default — walks float64 aggregates.
+	Far64 FarPrecision = iota
+	// Far32 walks a float32 mirror of the aggregates (accumulated in
+	// float64, rounded once per node): half the aggregate bytes through the
+	// cache on million-node pyramids, under a certificate widened by
+	// O(2⁻²⁴) — negligible against every supported ε (DESIGN.md §12).
+	// Winners and their received powers stay exact.
+	Far32
+)
+
+// String implements fmt.Stringer.
+func (p FarPrecision) String() string {
+	switch p {
+	case Far64:
+		return "far-f64"
+	case Far32:
+		return "far-f32"
+	}
+	return fmt.Sprintf("farprec(%d)", uint8(p))
+}
+
 // settings is the resolved configuration of a Network or a single run.
 // Functional options edit it; the zero-ambiguity of the old Options struct
 // (0 meaning "default") is gone because every With* records the value it
@@ -124,6 +151,7 @@ type settings struct {
 	rho           int
 	maxRelErr     float64
 	farMode       FarMode
+	farPrec       FarPrecision
 	cacheSize     int
 	cacheTTL      time.Duration
 	observer      sim.Observer
@@ -131,6 +159,7 @@ type settings struct {
 	physSet    bool  // WithPhys applied in the current scope
 	relErrSet  bool  // WithMaxRelError applied in the current scope
 	farModeSet bool  // WithFarMode applied in the current scope
+	farPrecSet bool  // WithFarPrecision applied in the current scope
 	runScope   bool  // applying options to a single run, not to Open
 	err        error // first option error, reported by Open/Run
 }
@@ -295,6 +324,24 @@ func WithFarMode(m FarMode) Option {
 	}
 }
 
+// WithFarPrecision selects the aggregate precision of the quadtree
+// far-field walks behind WithMaxRelError: float64 (Far64, the default) or
+// the float32 mirror (Far32). It has no effect at ε = 0, and combining
+// Far32 with FarFlat is an error (the flat grid keeps no float32 mirror).
+// Legal at Open and at run scope; results for distinct precisions are
+// memoized separately, and operations on an existing result inherit the
+// precision its tree was built under unless overridden.
+func WithFarPrecision(p FarPrecision) Option {
+	return func(s *settings) {
+		if p > Far32 {
+			s.fail(fmt.Errorf("sinrconn: unknown far precision %v", p))
+			return
+		}
+		s.farPrec = p
+		s.farPrecSet = true
+	}
+}
+
 // SlotEvent summarizes one simulator slot for an observing caller: the
 // slot index within the current engine run, the number of concurrent
 // transmitters, the number of successful decodes, and whether the slot was
@@ -370,6 +417,7 @@ type runKey struct {
 	rho      int
 	relErr   float64
 	farMode  FarMode
+	farPrec  FarPrecision
 }
 
 // maxCachedResults is the default capacity of the per-Network result
@@ -561,6 +609,7 @@ func (nw *Network) runSettings(opts []RunOption) (settings, error) {
 	s.physSet = false
 	s.relErrSet = false
 	s.farModeSet = false
+	s.farPrecSet = false
 	for _, o := range opts {
 		o(&s)
 	}
@@ -569,10 +618,12 @@ func (nw *Network) runSettings(opts []RunOption) (settings, error) {
 
 func (s *settings) key(p Pipeline) runKey {
 	mode := s.farMode
+	prec := s.farPrec
 	if s.maxRelErr == 0 {
-		// ε = 0 is the exact path whatever the mode — normalize so the
-		// memo never splits identical exact results across modes.
+		// ε = 0 is the exact path whatever the mode or precision —
+		// normalize so the memo never splits identical exact results.
 		mode = FarAuto
+		prec = Far64
 	}
 	return runKey{
 		pipeline: p,
@@ -583,6 +634,7 @@ func (s *settings) key(p Pipeline) runKey {
 		rho:      s.rho,
 		relErr:   s.maxRelErr,
 		farMode:  mode,
+		farPrec:  prec,
 	}
 }
 
@@ -619,6 +671,9 @@ func farFieldFor(in *sinr.Instance, s settings) (ff sinr.Far, adaptive bool, err
 	}
 	switch s.farMode {
 	case FarFlat:
+		if s.farPrec == Far32 {
+			return nil, false, errors.New("sinrconn: WithFarPrecision(Far32) requires the quadtree engine (FarFlat keeps no float32 mirror)")
+		}
 		f, err := in.FarField(s.maxRelErr)
 		if err != nil {
 			return nil, false, err
@@ -631,6 +686,9 @@ func farFieldFor(in *sinr.Instance, s settings) (ff sinr.Far, adaptive bool, err
 		q, err := in.QuadTree(s.maxRelErr)
 		if err != nil {
 			return nil, false, err
+		}
+		if s.farPrec == Far32 {
+			return q.Prec32(), false, nil
 		}
 		return q, false, nil
 	default: // FarAuto
@@ -647,29 +705,52 @@ func farFieldFor(in *sinr.Instance, s settings) (ff sinr.Far, adaptive bool, err
 			// plan.
 			return nil, false, nil
 		}
+		if s.farPrec == Far32 {
+			return q.Prec32(), true, nil
+		}
 		return q, true, nil
 	}
 }
 
 // opFarField resolves the channel mode for an operation on an existing
 // result (join, repair, physical epoch). An explicit WithMaxRelError on
-// the operation wins outright; an explicit WithFarMode alone switches the
-// engine but keeps the ε the result's tree was built under (a mode is not
-// an error bound — discarding the tree's ε would silently flip the
-// operation to exact physics); with neither, the operation inherits
-// engine, ε, and adaptivity from the tree — so growing or re-driving an
-// ε-built tree never silently switches it to exact physics (and vice
-// versa). in is the operation's instance — the tree's own for repairs and
-// epochs, the extended one for joins.
+// the operation wins outright; an explicit WithFarMode or WithFarPrecision
+// alone switches the engine (inheriting whichever of mode/precision was
+// not overridden) but keeps the ε the result's tree was built under (a
+// mode is not an error bound — discarding the tree's ε would silently flip
+// the operation to exact physics); with none of the three, the operation
+// inherits engine, ε, precision, and adaptivity from the tree — so growing
+// or re-driving an ε-built tree never silently switches it to exact
+// physics (and vice versa). in is the operation's instance — the tree's
+// own for repairs and epochs, the extended one for joins.
 func opFarField(r *Result, in *sinr.Instance, s settings) (sinr.Far, bool, error) {
 	if s.relErrSet {
 		return farFieldFor(in, s)
 	}
-	if s.farModeSet {
+	if s.farModeSet || s.farPrecSet {
 		if r.Tree.ff == nil {
 			return nil, false, nil // exact-built tree stays exact
 		}
-		s.maxRelErr = r.Tree.ff.MaxRelError()
+		f32, wasF32 := r.Tree.ff.(*sinr.QuadTreeF32)
+		if !s.farPrecSet && wasF32 {
+			s.farPrec = Far32
+		}
+		if !s.farModeSet {
+			// WithFarPrecision alone keeps the engine and adaptivity the
+			// tree was built under.
+			if _, flat := r.Tree.ff.(*sinr.FarField); flat {
+				s.farMode = FarFlat
+			} else if r.Tree.ffAdaptive {
+				s.farMode = FarAuto
+			} else {
+				s.farMode = FarQuadtree
+			}
+		}
+		if wasF32 {
+			s.maxRelErr = f32.Base().MaxRelError()
+		} else {
+			s.maxRelErr = r.Tree.ff.MaxRelError()
+		}
 		return farFieldFor(in, s)
 	}
 	switch f := r.Tree.ff.(type) {
@@ -681,6 +762,12 @@ func opFarField(r *Result, in *sinr.Instance, s settings) (sinr.Far, bool, error
 	case *sinr.QuadTree:
 		nq, err := in.QuadTree(f.MaxRelError())
 		return nq, r.Tree.ffAdaptive, err
+	case *sinr.QuadTreeF32:
+		nq, err := in.QuadTree(f.Base().MaxRelError())
+		if err != nil {
+			return nil, false, err
+		}
+		return nq.Prec32(), r.Tree.ffAdaptive, nil
 	}
 	return farFieldFor(in, s)
 }
