@@ -38,6 +38,7 @@ import (
 
 	"sinrconn/internal/churn"
 	"sinrconn/internal/core"
+	"sinrconn/internal/faults"
 	"sinrconn/internal/geom"
 	"sinrconn/internal/sim"
 	"sinrconn/internal/sinr"
@@ -462,6 +463,23 @@ func (d *churnDriver) cfg(extraRounds int) core.InitConfig {
 	return c
 }
 
+// injectRepairFail consults the handle's fault injector at the
+// churn.repair.fail site. A firing returns a synthetic non-convergence
+// (wrapping core.ErrNotConverged) so the degradation ladder treats it
+// exactly like a real Las Vegas failure: it consumes a retry rung,
+// lands in the soft-error log, and — at rate 1.0 — drives the ladder
+// through rebuild into ErrRetryExhausted.
+func (d *churnDriver) injectRepairFail() error {
+	if d.s.injector == nil {
+		return nil
+	}
+	act, ok := d.s.injector.Fire(faults.ChurnRepairFail)
+	if !ok {
+		return nil
+	}
+	return fmt.Errorf("sinrconn: injected fault %s #%d: %w", act.Site, act.Seq, core.ErrNotConverged)
+}
+
 // muted lists the alive members currently inside quarantined regions.
 func (d *churnDriver) muted() []int {
 	if d.cs.dampK <= 0 || d.bt == nil {
@@ -485,7 +503,17 @@ func (d *churnDriver) muted() []int {
 func (d *churnDriver) ladder(ctx context.Context, op func(cfg core.InitConfig) (*tree.BiTree, int, error), target []int) error {
 	var lastErr error
 	for attempt := 0; attempt < d.cs.retries; attempt++ {
-		bt, slots, err := op(d.cfg(attempt * 64))
+		var (
+			bt    *tree.BiTree
+			slots int
+			err   error
+		)
+		// Fault site churn.repair.fail: an injected attempt fails as a
+		// non-convergence before the repair runs, consuming one retry rung
+		// exactly like a real Las Vegas failure.
+		if err = d.injectRepairFail(); err == nil {
+			bt, slots, err = op(d.cfg(attempt * 64))
+		}
 		if err == nil {
 			d.bt = bt
 			d.stats.SlotsUsed += slots
@@ -508,6 +536,12 @@ func (d *churnDriver) ladder(ctx context.Context, op func(cfg core.InitConfig) (
 // over the target membership, with the same bounded reseeded retries.
 func (d *churnDriver) rebuild(ctx context.Context, target []int, lastErr error) error {
 	for attempt := 0; attempt < d.cs.retries; attempt++ {
+		if err := d.injectRepairFail(); err != nil {
+			d.stats.Retries++
+			d.soft = append(d.soft, err)
+			lastErr = err
+			continue
+		}
 		cfg := d.cfg(attempt * 64)
 		cfg.Participants = target
 		cfg.Mute = nil // a rebuild must be able to use every survivor

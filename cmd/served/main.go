@@ -8,9 +8,16 @@
 //
 //	served -addr :8080                       # serve until SIGTERM/SIGINT
 //	served -addr 127.0.0.1:0 -loadgen 10s    # self-drive a smoke load, then exit
+//	served -journal s.journal                # journal session opens/closes
+//	served -journal s.journal -recover       # rebuild the session table after a crash
+//	served -chaos "seed=1,serve.conn.reset=0.01"  # seeded fault injection (testing)
 //
 // On SIGTERM the daemon stops accepting new sessions (503), lets in-flight
 // requests finish within -drain-timeout, then closes every deployment.
+// Hardening (DESIGN.md §13): handler panics become JSON 500s, -max-concurrent
+// bounds executing requests with deadline-aware shedding, sessions carry
+// per-session circuit breakers, and -journal/-recover replay the session
+// table bit-identically after a crash.
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"time"
 
 	"sinrconn/internal/churn"
+	"sinrconn/internal/faults"
 	"sinrconn/internal/serve"
 	"sinrconn/internal/serve/loadgen"
 )
@@ -48,6 +56,11 @@ func run(args []string, out io.Writer) error {
 	maxTimeout := fs.Duration("max-timeout", 5*time.Minute, "hard per-request timeout cap (0 = uncapped)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	workers := fs.Int("workers", 0, "simulator workers per deployment (0 = NumCPU)")
+	maxConcurrent := fs.Int("max-concurrent", 0, "bound concurrently executing operation requests; excess queues or sheds 503 (0 = unlimited)")
+	breaker := fs.Int("breaker", 0, "consecutive failures that open a session's circuit breaker (0 = default 8, negative = disabled)")
+	chaos := fs.String("chaos", "", `fault-injection spec, e.g. "seed=42,delay=2ms,serve.handler.delay=0.05,serve.conn.reset=0.01" (testing only)`)
+	journalPath := fs.String("journal", "", "append-only session journal path (fsync'd per open/close; enables -recover)")
+	recoverFlag := fs.Bool("recover", false, "replay the -journal session table before serving (crash recovery)")
 	lg := fs.Duration("loadgen", 0, "self-drive a smoke load for this long, print a JSON report, and exit")
 	lgClients := fs.Int("loadgen-clients", 8, "loadgen concurrent clients")
 	lgN := fs.Int("loadgen-n", 64, "loadgen deployment size")
@@ -55,13 +68,59 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		CacheSize:      *cacheSize,
 		CacheTTL:       *cacheTTL,
 		DefaultTimeout: *defTimeout,
 		MaxTimeout:     *maxTimeout,
 		Workers:        *workers,
-	})
+		MaxConcurrent:  *maxConcurrent,
+	}
+	if *breaker != 0 {
+		cfg.BreakerThreshold = *breaker
+	}
+	if *chaos != "" {
+		spec, err := faults.ParseSpec(*chaos)
+		if err != nil {
+			return err
+		}
+		plan, err := faults.NewPlan(spec)
+		if err != nil {
+			return err
+		}
+		cfg.Injector = plan
+		fmt.Fprintf(out, "served: chaos injection armed (%s)\n", spec.String())
+	}
+	var replay []serve.JournalRecord
+	if *recoverFlag && *journalPath == "" {
+		return errors.New("-recover requires -journal")
+	}
+	if *journalPath != "" {
+		if *recoverFlag {
+			// Read the surviving session table BEFORE reopening the
+			// journal for append.
+			var err error
+			if replay, err = serve.ReadJournal(*journalPath); err != nil {
+				return err
+			}
+		}
+		j, err := serve.OpenJournal(*journalPath)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		cfg.Journal = j
+	}
+
+	srv := serve.New(cfg)
+	if *recoverFlag {
+		n, err := srv.Restore(replay)
+		if err != nil {
+			srv.Close()
+			return fmt.Errorf("recover: %w", err)
+		}
+		fmt.Fprintf(out, "served: recovered %d sessions\n", n)
+	}
 	hs := &http.Server{Handler: srv.Handler()}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -93,6 +93,80 @@ func TestServedSIGTERMDrain(t *testing.T) {
 	}
 }
 
+// TestServedJournalRecover is the kill-restart smoke: daemon one
+// journals two session opens and dies on SIGTERM without closing them
+// (a drain writes no close records — exactly like a crash for journal
+// purposes); daemon two boots with -recover on the same journal and
+// must serve runs on the ORIGINAL session ids.
+func TestServedJournalRecover(t *testing.T) {
+	journal := t.TempDir() + "/sessions.journal"
+	boot := func(args ...string) (*lockedBuf, chan error, string) {
+		var out lockedBuf
+		done := make(chan error, 1)
+		go func() {
+			done <- run(append([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "5s", "-journal", journal}, args...), &out)
+		}()
+		return &out, done, waitListen(t, &out)
+	}
+	stop := func(t *testing.T, done chan error) {
+		t.Helper()
+		if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run returned %v after SIGTERM, want nil", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("daemon did not drain after SIGTERM")
+		}
+	}
+	openSession := func(t *testing.T, addr, points string) string {
+		t.Helper()
+		resp, err := http.Post("http://"+addr+"/v1/sessions", "application/json",
+			strings.NewReader(`{"points":`+points+`}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var open struct {
+			SessionID string `json:"session_id"`
+		}
+		json.NewDecoder(resp.Body).Decode(&open)
+		resp.Body.Close()
+		if open.SessionID == "" {
+			t.Fatal("open returned no session id")
+		}
+		return open.SessionID
+	}
+
+	_, done1, addr1 := boot()
+	id1 := openSession(t, addr1, `[[0,0],[1.5,0],[0,1.5],[3,3]]`)
+	id2 := openSession(t, addr1, `[[0,0],[2,0],[0,2]]`)
+	stop(t, done1)
+
+	out2, done2, addr2 := boot("-recover")
+	if !strings.Contains(out2.String(), "recovered 2 sessions") {
+		t.Fatalf("restart did not report recovery:\n%s", out2.String())
+	}
+	for _, id := range []string{id1, id2} {
+		resp, err := http.Post("http://"+addr2+"/v1/sessions/"+id+"/run", "application/json",
+			strings.NewReader(`{"pipeline":"init-uniform","options":{"seed":1}}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var run struct {
+			ResultID string `json:"result_id"`
+		}
+		json.NewDecoder(resp.Body).Decode(&run)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || run.ResultID == "" {
+			t.Fatalf("run on recovered session %s: status %d, result %q", id, resp.StatusCode, run.ResultID)
+		}
+	}
+	stop(t, done2)
+}
+
 // TestServedLoadgenSelfDrive exercises the -loadgen smoke mode end to end:
 // boot, self-drive a short load over real HTTP, print a report with a
 // non-zero hit rate, drain, exit clean.

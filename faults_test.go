@@ -1,0 +1,131 @@
+package sinrconn
+
+// Integration tests for the fault-injection seams threaded through the
+// public API (WithFaultInjector): injected faults may stall or fail an
+// operation, but must NEVER change what a successful operation
+// computes — the invariant the serving layer's bit-identical crash
+// recovery and fault-free replay rest on.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sinrconn/internal/faults"
+)
+
+// TestFaultInjectorResultsUnchanged runs the same construction with and
+// without delay-class faults (slow slots, stalled workers) lit at high
+// rates and requires identical trees: injection sites on the compute
+// path are observational only.
+func TestFaultInjectorResultsUnchanged(t *testing.T) {
+	pts := uniformPoints(61, 40)
+	run := func(inj faults.Injector) *Result {
+		t.Helper()
+		opts := []Option{}
+		if inj != nil {
+			opts = append(opts, WithFaultInjector(inj))
+		}
+		nw, err := Open(pts, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nw.Close()
+		res, err := nw.Run(context.Background(), PipelineInit, WithSeed(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plan := faults.MustPlan(faults.Spec{
+		Seed:  11,
+		Delay: 100 * time.Microsecond,
+		Rates: map[faults.Site]float64{
+			faults.SimSlotSlow:     0.3,
+			faults.PoolWorkerStall: 0.3,
+		},
+	})
+	clean, faulted := run(nil), run(plan)
+	if clean.Tree.Root != faulted.Tree.Root || len(clean.Tree.Up) != len(faulted.Tree.Up) {
+		t.Fatalf("tree shape diverged under delay faults: root %d/%d, %d/%d links",
+			clean.Tree.Root, faulted.Tree.Root, len(clean.Tree.Up), len(faulted.Tree.Up))
+	}
+	for i := range clean.Tree.Up {
+		if clean.Tree.Up[i] != faulted.Tree.Up[i] {
+			t.Fatalf("link %d diverged under delay faults", i)
+		}
+	}
+	counts := map[faults.Site]uint64{}
+	for _, c := range plan.Counts() {
+		counts[c.Site] = c.Fired
+	}
+	if counts[faults.SimSlotSlow] == 0 && counts[faults.PoolWorkerStall] == 0 {
+		t.Fatal("neither delay site fired — the run tested nothing")
+	}
+}
+
+// TestFaultInjectorChurnRepairFail drives the churn engine's repair
+// failure site at rate 1: every repair attempt — the whole degradation
+// ladder, then the rebuild — fails as non-convergence, so the driver
+// must surface ErrRetryExhausted rather than loop or lie.
+func TestFaultInjectorChurnRepairFail(t *testing.T) {
+	plan := faults.MustPlan(faults.Spec{Seed: 5, Rates: map[faults.Site]float64{
+		faults.ChurnRepairFail: 1,
+	}})
+	nw, err := Open(uniformPoints(62, 32), WithFaultInjector(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	_, err = nw.Churn(context.Background(), TraceSpec{Seed: 2, Events: 4, JoinRate: 1, FailRate: 1})
+	if !errors.Is(err, ErrRetryExhausted) {
+		t.Fatalf("churn under total repair failure: %v, want ErrRetryExhausted", err)
+	}
+
+	// At rate 0 the same trace completes: the site is inert when closed.
+	nw2, err := Open(uniformPoints(62, 32), WithFaultInjector(faults.MustPlan(faults.Spec{Seed: 5})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw2.Close()
+	if _, err := nw2.Churn(context.Background(), TraceSpec{Seed: 2, Events: 4, JoinRate: 1, FailRate: 1}); err != nil {
+		t.Fatalf("churn with inert injector: %v", err)
+	}
+}
+
+// TestFaultInjectorPartialRepairFail lets half the repair attempts fail:
+// the degradation ladder must absorb the misses (counting retries) and
+// still deliver a correct trace.
+func TestFaultInjectorPartialRepairFail(t *testing.T) {
+	plan := faults.MustPlan(faults.Spec{Seed: 17, Rates: map[faults.Site]float64{
+		faults.ChurnRepairFail: 0.5,
+	}})
+	nw, err := Open(uniformPoints(63, 36), WithFaultInjector(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	rep, err := nw.Churn(context.Background(), TraceSpec{Seed: 4, Events: 12, JoinRate: 1, FailRate: 1}, WithChurnAudit(true))
+	if err != nil {
+		t.Fatalf("churn under half repair failure: %v", err)
+	}
+	if rep.Stats.Retries == 0 {
+		t.Fatal("rate-½ repair failures produced zero retries — the site is not wired into the ladder")
+	}
+}
+
+// TestWithFaultInjectorIsOpenOption pins the option's scope: injection
+// is a property of the Network (it must be identical for every run to
+// keep replay deterministic), not of a single run.
+func TestWithFaultInjectorIsOpenOption(t *testing.T) {
+	nw, err := Open(uniformPoints(64, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	_, err = nw.Run(context.Background(), PipelineInit, WithFaultInjector(faults.Disabled))
+	if err == nil {
+		t.Fatal("WithFaultInjector accepted as a run option")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"sinrconn/internal/faults"
 	"sinrconn/internal/sim"
 	"sinrconn/internal/sinr"
 )
@@ -20,6 +21,7 @@ func (c *InitConfig) engineConfig(seed int64) sim.Config {
 		FarField: c.FarField,
 		Adaptive: c.Adaptive,
 		Observer: c.Observer,
+		Injector: c.Injector,
 	}
 }
 
@@ -95,6 +97,10 @@ type InitConfig struct {
 	// slot of the construction (the serving layer's streaming hook).
 	// Observers are diagnostic only: they never influence the result.
 	Observer sim.Observer
+	// Injector, if non-nil, is handed to every engine of the construction
+	// as its fault-injection hook (see internal/faults). Injected faults
+	// only stall — results stay bit-identical to an injector-free run.
+	Injector faults.Injector
 }
 
 func (c *InitConfig) defaults() {

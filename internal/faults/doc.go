@@ -1,0 +1,16 @@
+// Package faults is a seeded, replay-identical fault-injection
+// framework for the serving stack and churn engine (DESIGN.md §13).
+//
+// A Plan is a deterministic schedule over named injection Sites: the
+// k-th visit to a site fires if and only if a splitmix64 hash of
+// (seed, site, k) falls under the site's configured rate. The decision
+// is a pure function of the plan's Spec and the per-site visit ordinal,
+// so two runs that visit each site in the same order observe exactly
+// the same fault sequence — no clock reads, no global rand. The
+// package passes the repo's own determinism and ctxdiscipline
+// analyzers (DESIGN.md §11).
+//
+// Production code paths hold the no-op Disabled injector (or a nil
+// interface, which every site treats as Disabled); tests and the
+// `served -chaos` flag install a *Plan per Server / per Network.
+package faults

@@ -1,0 +1,244 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPlanReplayIdentity: two plans built from the same spec fire on
+// exactly the same visit ordinals at every site — the whole point of
+// the framework.
+func TestPlanReplayIdentity(t *testing.T) {
+	spec := Spec{
+		Seed:  42,
+		Delay: 2 * time.Millisecond,
+		Rates: map[Site]float64{
+			ServeHandlerDelay: 0.1,
+			ServeConnReset:    0.03,
+			CacheLeaderPanic:  0.5,
+			ChurnRepairFail:   1.0,
+		},
+	}
+	trace := func() map[Site][]uint64 {
+		p := MustPlan(spec)
+		out := map[Site][]uint64{}
+		for _, site := range Sites() {
+			for i := 0; i < 2000; i++ {
+				if act, ok := p.Fire(site); ok {
+					out[site] = append(out[site], uint64(i))
+					if act.Site != site {
+						t.Fatalf("action site %q from Fire(%q)", act.Site, site)
+					}
+					if act.Delay != spec.Delay {
+						t.Fatalf("action delay %v, want %v", act.Delay, spec.Delay)
+					}
+				}
+			}
+		}
+		return out
+	}
+	a, b := trace(), trace()
+	for _, site := range Sites() {
+		av, bv := a[site], b[site]
+		if len(av) != len(bv) {
+			t.Fatalf("site %s: %d vs %d firings across replays", site, len(av), len(bv))
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("site %s: firing %d at visit %d vs %d", site, i, av[i], bv[i])
+			}
+		}
+	}
+	if len(a[ChurnRepairFail]) != 2000 {
+		t.Fatalf("rate-1.0 site fired %d/2000", len(a[ChurnRepairFail]))
+	}
+	if len(a[PoolWorkerStall]) != 0 {
+		t.Fatalf("unconfigured site fired %d times", len(a[PoolWorkerStall]))
+	}
+}
+
+// TestPlanSeedsDiverge: different seeds give different schedules (with
+// overwhelming probability at these sample sizes).
+func TestPlanSeedsDiverge(t *testing.T) {
+	fire := func(seed int64) []bool {
+		p := MustPlan(Spec{Seed: seed, Rates: map[Site]float64{ServeConnReset: 0.2}})
+		out := make([]bool, 512)
+		for i := range out {
+			_, out[i] = p.Fire(ServeConnReset)
+		}
+		return out
+	}
+	a, b := fire(1), fire(2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical 512-visit schedules")
+	}
+}
+
+// TestPlanRateAccuracy: empirical fire rate tracks the configured rate
+// within a loose statistical bound.
+func TestPlanRateAccuracy(t *testing.T) {
+	for _, rate := range []float64{0.01, 0.1, 0.5, 0.9} {
+		p := MustPlan(Spec{Seed: 7, Rates: map[Site]float64{SimSlotSlow: rate}})
+		const n = 200000
+		fired := 0
+		for i := 0; i < n; i++ {
+			if _, ok := p.Fire(SimSlotSlow); ok {
+				fired++
+			}
+		}
+		got := float64(fired) / n
+		// ~6 sigma for a Bernoulli(rate) sample of size n.
+		tol := 6 * math.Sqrt(rate*(1-rate)/n)
+		if math.Abs(got-rate) > tol {
+			t.Errorf("rate %v: observed %v (tolerance %v)", rate, got, tol)
+		}
+	}
+}
+
+// TestPlanCounts: visit and fired counters are exact, including for
+// sites that never fire.
+func TestPlanCounts(t *testing.T) {
+	p := MustPlan(Spec{Seed: 3, Rates: map[Site]float64{CacheLeaderPanic: 1}})
+	for i := 0; i < 10; i++ {
+		p.Fire(CacheLeaderPanic)
+	}
+	for i := 0; i < 5; i++ {
+		p.Fire(PoolWorkerStall)
+	}
+	counts := map[Site]SiteCount{}
+	for _, c := range p.Counts() {
+		counts[c.Site] = c
+	}
+	if c := counts[CacheLeaderPanic]; c.Visits != 10 || c.Fired != 10 {
+		t.Fatalf("leader panic counts = %+v", c)
+	}
+	if c := counts[PoolWorkerStall]; c.Visits != 5 || c.Fired != 0 {
+		t.Fatalf("worker stall counts = %+v", c)
+	}
+	if len(p.Counts()) != len(Sites()) {
+		t.Fatalf("Counts rows = %d, want %d", len(p.Counts()), len(Sites()))
+	}
+}
+
+// TestPlanConcurrentFire: concurrent visits keep exact counters and
+// race-free state (meaningful under -race).
+func TestPlanConcurrentFire(t *testing.T) {
+	p := MustPlan(Spec{Seed: 11, Rates: map[Site]float64{ServeHandlerDelay: 0.25}})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				p.Fire(ServeHandlerDelay)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, c := range p.Counts() {
+		if c.Site == ServeHandlerDelay {
+			if c.Visits != workers*per {
+				t.Fatalf("visits = %d, want %d", c.Visits, workers*per)
+			}
+			if c.Fired == 0 || c.Fired >= c.Visits {
+				t.Fatalf("fired = %d of %d visits at rate 0.25", c.Fired, c.Visits)
+			}
+		}
+	}
+}
+
+// TestDisabledInjector: the production singleton never fires and a
+// Plan with no rates behaves identically.
+func TestDisabledInjector(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		if _, ok := Disabled.Fire(ServeConnReset); ok {
+			t.Fatal("Disabled fired")
+		}
+	}
+	p := MustPlan(Spec{Seed: 99})
+	for _, site := range Sites() {
+		for i := 0; i < 100; i++ {
+			if _, ok := p.Fire(site); ok {
+				t.Fatalf("empty-rate plan fired at %s", site)
+			}
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Spec
+		wantErr bool
+	}{
+		{
+			in: "seed=42,delay=2ms,serve.handler.delay=0.05,cache.leader.panic=0.01",
+			want: Spec{Seed: 42, Delay: 2 * time.Millisecond, Rates: map[Site]float64{
+				ServeHandlerDelay: 0.05, CacheLeaderPanic: 0.01,
+			}},
+		},
+		{
+			in:   "seed=-7, churn.repair.fail=1",
+			want: Spec{Seed: -7, Rates: map[Site]float64{ChurnRepairFail: 1}},
+		},
+		{in: "", wantErr: true},
+		{in: "seed=abc", wantErr: true},
+		{in: "delay=xyz", wantErr: true},
+		{in: "serve.handler.delay", wantErr: true},
+		{in: "no.such.site=0.1", wantErr: true},
+		{in: "serve.conn.reset=1.5", wantErr: true},
+		{in: "serve.conn.reset=-0.1", wantErr: true},
+		{in: "delay=-1ms", wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.in, func(t *testing.T) {
+			got, err := ParseSpec(tc.in)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("ParseSpec(%q) = %+v, want error", tc.in, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseSpec(%q): %v", tc.in, err)
+			}
+			if got.Seed != tc.want.Seed || got.Delay != tc.want.Delay {
+				t.Fatalf("got %+v, want %+v", got, tc.want)
+			}
+			if len(got.Rates) != len(tc.want.Rates) {
+				t.Fatalf("rates %+v, want %+v", got.Rates, tc.want.Rates)
+			}
+			for k, v := range tc.want.Rates {
+				if got.Rates[k] != v {
+					t.Fatalf("rate[%s] = %v, want %v", k, got.Rates[k], v)
+				}
+			}
+		})
+	}
+}
+
+// TestSpecStringRoundTrip: String output reparses to an equivalent
+// spec (so the effective chaos schedule can be logged and replayed).
+func TestSpecStringRoundTrip(t *testing.T) {
+	orig := Spec{Seed: 17, Delay: 500 * time.Microsecond, Rates: map[Site]float64{
+		ServeConnReset: 0.02, SimSlotSlow: 0.125,
+	}}
+	back, err := ParseSpec(orig.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", orig.String(), err)
+	}
+	if fmt.Sprint(back) != fmt.Sprint(orig.String()) && back.String() != orig.String() {
+		t.Fatalf("round trip: %q -> %q", orig.String(), back.String())
+	}
+}

@@ -30,6 +30,16 @@ import (
 // testdata directory.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, fixtures ...string) {
 	t.Helper()
+	RunAll(t, testdata, []*analysis.Analyzer{a}, fixtures...)
+}
+
+// RunAll is Run over several analyzers at once: each fixture package is
+// loaded once and every analyzer's diagnostics are pooled before matching
+// against the // want comments, so a single fixture can pin findings from
+// more than one analyzer (e.g. determinism + ctxdiscipline on the same
+// file).
+func RunAll(t *testing.T, testdata string, as []*analysis.Analyzer, fixtures ...string) {
+	t.Helper()
 	root := filepath.Join(testdata, "src")
 	for _, fixture := range fixtures {
 		t.Run(strings.ReplaceAll(fixture, "/", "_"), func(t *testing.T) {
@@ -39,9 +49,9 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, fixtures ...string
 			if err != nil {
 				t.Fatalf("load fixture %s: %v", fixture, err)
 			}
-			diags, err := lint.RunPackage(ld.Fset, pkg, []*analysis.Analyzer{a})
+			diags, err := lint.RunPackage(ld.Fset, pkg, as)
 			if err != nil {
-				t.Fatalf("run %s on %s: %v", a.Name, fixture, err)
+				t.Fatalf("run on %s: %v", fixture, err)
 			}
 			check(t, ld.Fset, pkg, diags)
 		})

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"sinrconn/internal/lint"
+	"sinrconn/internal/lint/analysis"
 	"sinrconn/internal/lint/analysistest"
 )
 
@@ -38,5 +39,16 @@ func TestCtxDiscipline(t *testing.T) {
 
 func TestErrDiscipline(t *testing.T) {
 	analysistest.Run(t, testdata(t), lint.ErrDiscipline, "errdemo")
+}
+
+// TestFaultsFixture runs determinism and ctxdiscipline together over the
+// faults fixture: the injection framework lives in the replay-deterministic
+// set AND is an ordinary library under the context rules, and the fixture
+// pins findings from both on one file.
+func TestFaultsFixture(t *testing.T) {
+	analysistest.RunAll(t, testdata(t),
+		[]*analysis.Analyzer{lint.Determinism, lint.CtxDiscipline},
+		"sinrconn/internal/faults",
+	)
 }
 

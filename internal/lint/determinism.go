@@ -17,6 +17,7 @@ var determinismPkgs = map[string]bool{
 	"sinrconn/internal/sinr":     true,
 	"sinrconn/internal/churn":    true,
 	"sinrconn/internal/workload": true,
+	"sinrconn/internal/faults":   true,
 }
 
 // timeBanned are the wall-clock entry points of package time. Duration

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"sinrconn/internal/faults"
 	"sinrconn/internal/sim"
 	"sinrconn/internal/sinr"
 )
@@ -40,6 +41,10 @@ type DistConfig struct {
 	// Observer, if non-nil, receives a sim.SlotEvent after every scheduler
 	// engine slot (the serving layer's streaming hook). Diagnostic only.
 	Observer sim.Observer
+	// Injector, if non-nil, is the scheduler engine's fault-injection
+	// hook (see internal/faults). Injected faults only stall; schedules
+	// stay bit-identical to an injector-free run.
+	Injector faults.Injector
 }
 
 func (c *DistConfig) defaults(nLinks int) {
@@ -118,7 +123,7 @@ func Distributed(ctx context.Context, in *sinr.Instance, links []sinr.Link, pa s
 	for i := range nodes {
 		procs[i] = nodes[i]
 	}
-	eng, err := sim.NewEngine(in, procs, sim.Config{Workers: cfg.Workers, Seed: cfg.Seed, Pool: cfg.Pool, FarField: cfg.FarField, Adaptive: cfg.Adaptive, Observer: cfg.Observer})
+	eng, err := sim.NewEngine(in, procs, sim.Config{Workers: cfg.Workers, Seed: cfg.Seed, Pool: cfg.Pool, FarField: cfg.FarField, Adaptive: cfg.Adaptive, Observer: cfg.Observer, Injector: cfg.Injector})
 	if err != nil {
 		return nil, err
 	}

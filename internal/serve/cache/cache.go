@@ -21,6 +21,8 @@ package cache
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"time"
 )
@@ -47,6 +49,11 @@ type Stats struct {
 	ComputeNanos uint64
 	// Errors counts computes that returned an error (nothing committed).
 	Errors uint64
+	// Panics counts computes that panicked. The panic is re-raised in the
+	// leader after coalesced waiters are released with a leaderPanicError
+	// (nothing committed), so a panicking compute can never wedge its
+	// followers.
+	Panics uint64
 	// Size and Capacity describe the entry table at snapshot time.
 	Size     int
 	Capacity int
@@ -76,6 +83,22 @@ type flight[V any] struct {
 	done chan struct{} // closed when the compute finishes
 	val  V
 	err  error
+}
+
+// PanicError is the error coalesced waiters receive when their leader's
+// compute function panicked. The panic value itself is re-raised only in
+// the leader's goroutine (after the waiters are released); waiters get
+// this error instead of a retry because a panic — unlike a compute error
+// such as a canceled context or a non-converged run — signals a bug or an
+// injected crash, and silently re-running the same function from every
+// waiter would turn one crash into a herd of them.
+type PanicError struct {
+	// Value is the value the compute function panicked with.
+	Value any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("cache: compute panicked: %v", e.Value)
 }
 
 // Cache is a size- and TTL-bounded LRU with singleflight coalescing.
@@ -194,6 +217,14 @@ func (c *Cache[K, V]) Do(ctx context.Context, key K, fn func() (V, error)) (val 
 			if f.err == nil {
 				return f.val, true, nil
 			}
+			// The leader panicked: the panic value was re-raised in the
+			// leader's goroutine and waiters receive it as a PanicError —
+			// returned, not retried (see PanicError).
+			var pe *PanicError
+			if errors.As(f.err, &pe) {
+				var zero V
+				return zero, false, f.err
+			}
 			// The leader failed (canceled, non-converged, …): nothing was
 			// committed. Loop to retry — this caller may become the new
 			// leader. Its own ctx bounds the loop.
@@ -208,20 +239,45 @@ func (c *Cache[K, V]) Do(ctx context.Context, key K, fn func() (V, error)) (val 
 		c.mu.Unlock()
 
 		start := c.now()
-		f.val, f.err = fn()
+		var panicVal any
+		panicked := false
+		func() {
+			// A panicking fn must not wedge the flight: without this
+			// recover, the flight entry would stay in c.flights with done
+			// never closed, blocking every coalesced waiter forever and
+			// poisoning the key for all future callers.
+			defer func() {
+				if r := recover(); r != nil {
+					panicked, panicVal = true, r
+					f.err = &PanicError{Value: r}
+				}
+			}()
+			f.val, f.err = fn()
+		}()
 		elapsed := c.now().Sub(start)
 
 		c.mu.Lock()
 		c.stats.Computes++
 		c.stats.ComputeNanos += uint64(elapsed)
-		if f.err == nil {
+		switch {
+		case panicked:
+			c.stats.Panics++
+			c.stats.Errors++
+		case f.err == nil:
 			c.commit(key, f.val)
-		} else {
+		default:
 			c.stats.Errors++
 		}
 		delete(c.flights, key)
 		c.mu.Unlock()
 		close(f.done)
+		if panicked {
+			// Waiters are released; the leader's own stack still owns the
+			// crash. Re-raise so the bug (or injected fault) surfaces where
+			// it happened — the daemon's recovery middleware turns it into
+			// a 500 instead of a dead process.
+			panic(panicVal)
+		}
 		return f.val, false, f.err
 	}
 }

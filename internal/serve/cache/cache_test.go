@@ -209,3 +209,84 @@ func TestConcurrentChurn(t *testing.T) {
 		t.Errorf("len = %d exceeds capacity 8", n)
 	}
 }
+
+// TestLeaderPanicReleasesFollowers pins the singleflight panic contract:
+// a panicking leader must release every coalesced waiter with a
+// *PanicError (previously they blocked forever on the never-closed done
+// channel), re-raise the panic value in its own goroutine, commit
+// nothing, and leave the key usable by later callers.
+func TestLeaderPanicReleasesFollowers(t *testing.T) {
+	c := New[string, int](8, 0)
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			r := recover()
+			if r != "boom" {
+				t.Errorf("leader recovered %v, want the original panic value", r)
+			}
+		}()
+		c.Do(context.Background(), "k", func() (int, error) {
+			close(leaderIn)
+			<-release
+			panic("boom")
+		})
+		t.Error("leader Do returned instead of panicking")
+	}()
+
+	<-leaderIn // leader is mid-compute; these Do calls must coalesce
+	const followers = 8
+	errs := make([]error, followers)
+	var fwg sync.WaitGroup
+	for i := 0; i < followers; i++ {
+		fwg.Add(1)
+		go func(i int) {
+			defer fwg.Done()
+			_, _, errs[i] = c.Do(context.Background(), "k", func() (int, error) {
+				t.Error("follower compute ran; panic must propagate, not retry")
+				return 0, nil
+			})
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	settle := time.After(5 * time.Second)
+	done := make(chan struct{})
+	go func() { fwg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-settle:
+		t.Fatal("followers still blocked 5s after the leader panicked (the wedge)")
+	}
+
+	for i, err := range errs {
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("follower %d err = %v, want *PanicError", i, err)
+		}
+		if pe.Value != "boom" {
+			t.Fatalf("follower %d panic value = %v, want boom", i, pe.Value)
+		}
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Error("panicking compute committed an entry")
+	}
+	// The key must not be poisoned: a fresh caller computes normally.
+	v, hit, err := c.Do(context.Background(), "k", func() (int, error) { return 42, nil })
+	if err != nil || hit || v != 42 {
+		t.Fatalf("post-panic Do = %v %v %v, want fresh 42", v, hit, err)
+	}
+	st := c.Stats()
+	if st.Panics != 1 {
+		t.Errorf("stats.Panics = %d, want 1", st.Panics)
+	}
+	if st.Errors != 1 {
+		t.Errorf("stats.Errors = %d, want 1 (the panicked compute)", st.Errors)
+	}
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"sinrconn/internal/faults"
+)
+
+// chaosSpec is the chaos suite's fault schedule: every injection site
+// lit up at once — handler stalls, connection resets, singleflight-
+// leader panics, worker stalls, slow slots — from one seed, so a rerun
+// replays the identical fault pattern. The loadgen-driven soak
+// (internal/serve/loadgen's TestServeChaosSoak) uses the same spec.
+func chaosSpec() faults.Spec {
+	return faults.Spec{
+		Seed:  1973,
+		Delay: time.Millisecond,
+		Rates: map[faults.Site]float64{
+			faults.ServeHandlerDelay: 0.05,
+			faults.ServeConnReset:    0.04,
+			faults.CacheLeaderPanic:  0.40,
+			faults.PoolWorkerStall:   0.05,
+			faults.SimSlotSlow:       0.02,
+		},
+	}
+}
+
+// TestServeChaosFaultFreeReplay pins the injection framework's core
+// invariant end to end: faults stall or kill requests but NEVER change
+// computed results, so a chaotic daemon's (eventually successful)
+// answer is bit-identical to a clean daemon's.
+func TestServeChaosFaultFreeReplay(t *testing.T) {
+	settleGoroutines(t)
+	chaotic, chaoticTS := testDaemon(t, Config{Injector: faults.MustPlan(chaosSpec())})
+	_, cleanTS := testDaemon(t, Config{})
+	_ = chaotic
+
+	pts := testPoints(51, 32)
+	runReq := RunRequest{Pipeline: "init-uniform", Options: OptionsJSON{Seed: 4}, IncludeTree: true}
+
+	// The chaotic fetch retries through injected resets and panics; over
+	// a real socket an injected abort surfaces as a client-side EOF,
+	// which tryPost reports as code 0.
+	fetchChaotic := func() []byte {
+		hc := http.DefaultClient
+		var sessID string
+		for attempt := 0; attempt < 50; attempt++ {
+			if sessID == "" {
+				var open OpenResponse
+				if code := tryPost(t, hc, chaoticTS.URL+"/v1/sessions", OpenRequest{Points: pts}, &open); code != http.StatusOK {
+					continue
+				}
+				sessID = open.SessionID
+			}
+			var run RunResponse
+			if code := tryPost(t, hc, chaoticTS.URL+"/v1/sessions/"+sessID+"/run", runReq, &run); code == http.StatusOK {
+				w, _ := json.Marshal(run.Result)
+				return w
+			}
+		}
+		t.Fatal("chaotic daemon never produced a successful run in 50 attempts")
+		return nil
+	}
+	chaoticBytes := fetchChaotic()
+
+	clean := openSession(t, cleanTS.URL, OpenRequest{Points: pts})
+	var runClean RunResponse
+	if code, body := postJSON(t, cleanTS.URL+"/v1/sessions/"+clean.SessionID+"/run", runReq, &runClean); code != http.StatusOK {
+		t.Fatalf("clean run: %d: %s", code, body)
+	}
+	cleanBytes, _ := json.Marshal(runClean.Result)
+	if !bytes.Equal(chaoticBytes, cleanBytes) {
+		t.Fatalf("fault-injected result diverges from fault-free replay:\n%s\n%s", chaoticBytes, cleanBytes)
+	}
+}
+
+// tryPost posts JSON and decodes on 200; transport errors (injected
+// resets) report code 0.
+func tryPost(t *testing.T, hc *http.Client, url string, in, out any) int {
+	t.Helper()
+	body, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := hc.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("malformed 200 body from %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}

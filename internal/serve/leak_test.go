@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settleGoroutines is the shared goroutine-leak gate: call it FIRST in a
+// test (before the daemon exists) and it records the baseline goroutine
+// count, then — via t.Cleanup, so it runs after the test's own cleanups
+// have torn the daemon down — requires the count to settle back to that
+// baseline within 10s. Everything the daemon spawns (worker pools,
+// singleflight leaders, canceled runs, injected stalls) must be gone by
+// then; on timeout it fails with a full stack dump of the stragglers.
+//
+// Every test in this package calls it (diff_test.go excepted: that file
+// is the frozen differential gate and must not change).
+func settleGoroutines(t *testing.T) {
+	t.Helper()
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		// Keep-alive client connections hold readLoop goroutines that
+		// would read as daemon leaks.
+		http.DefaultClient.CloseIdleConnections()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			runtime.GC()
+			if g := runtime.NumGoroutine(); g <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutines leaked: before=%d after=%d\n%s", before, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	})
+}

@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,6 +75,15 @@ type Config struct {
 	// report captures the repeat-heavy steady state instead of the cold
 	// startup transient. Warmup requests are excluded from every counter.
 	Warmup bool
+	// Retries is how many times a client re-issues a request that was
+	// shed (503), crashed server-side (500), or lost its connection
+	// mid-flight, with exponential backoff and seeded jitter, honoring
+	// the server's Retry-After when it is longer. 0 disables retries
+	// (the pre-chaos behavior: every failure counts as an error).
+	Retries int
+	// RetryBase is the first backoff step (default 5ms); step k waits
+	// max(RetryBase<<k, server Retry-After) plus jitter in [0, RetryBase).
+	RetryBase time.Duration
 }
 
 func (c *Config) defaults() error {
@@ -100,6 +110,9 @@ func (c *Config) defaults() error {
 	}
 	if c.Arrival.Rate <= 0 {
 		c.Arrival.Rate = 200
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 5 * time.Millisecond
 	}
 	return nil
 }
@@ -132,14 +145,46 @@ type Report struct {
 	// SharedSessions counts opens the server content-addressed onto an
 	// existing deployment.
 	SharedSessions int `json:"shared_sessions"`
+	// Retries counts re-issued requests; Shed counts 503 admission
+	// rejections observed (queue_full/deadline/wait_canceled);
+	// BreakerOpen counts 503s from an open session circuit breaker;
+	// Aborted counts connections the server reset mid-flight. A request
+	// that ultimately succeeds after retries is NOT an error.
+	Retries     int `json:"retries,omitempty"`
+	Shed        int `json:"shed,omitempty"`
+	BreakerOpen int `json:"breaker_open,omitempty"`
+	Aborted     int `json:"aborted,omitempty"`
 }
 
-// handlerTransport drives an http.Handler without sockets.
+// errConnReset is what the in-process transport reports when the
+// handler aborts the connection (http.ErrAbortHandler — the
+// serve.conn.reset fault); a socket client would see ECONNRESET/EOF.
+var errConnReset = errors.New("loadgen: connection reset by server")
+
+// handlerTransport drives an http.Handler without sockets. It absorbs
+// http.ErrAbortHandler the way net/http's server goroutine would, so a
+// fault-injected connection reset surfaces as a transport error, not a
+// client crash.
 type handlerTransport struct{ h http.Handler }
 
-func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+func (t handlerTransport) RoundTrip(req *http.Request) (resp *http.Response, err error) {
 	rec := httptest.NewRecorder()
-	t.h.ServeHTTP(rec, req)
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				//lint:ignore errdiscipline ErrAbortHandler is a panic value compared by identity, never wrapped (net/http's own idiom)
+				if v == http.ErrAbortHandler {
+					err = errConnReset
+					return
+				}
+				panic(v)
+			}
+		}()
+		t.h.ServeHTTP(rec, req)
+	}()
+	if err != nil {
+		return nil, err
+	}
 	return rec.Result(), nil
 }
 
@@ -159,32 +204,40 @@ func newClient(cfg *Config) *client {
 
 // post sends a JSON body and decodes a JSON response into out.
 func (c *client) post(ctx context.Context, path string, in, out any) (int, error) {
+	code, _, err := c.do(ctx, path, in, out)
+	return code, err
+}
+
+// do is post plus the response headers — the retry loop reads the
+// server's Retry-After hints off them. A transport-level failure (the
+// server reset the connection mid-flight) reports code 0.
+func (c *client) do(ctx context.Context, path string, in, out any) (int, http.Header, error) {
 	body, err := json.Marshal(in)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
 		var e serve.ErrorJSON
 		json.NewDecoder(resp.Body).Decode(&e)
-		return resp.StatusCode, fmt.Errorf("%s: %s (%s)", path, resp.Status, e.Error)
+		return resp.StatusCode, resp.Header, fmt.Errorf("%s: %s (%s)", path, resp.Status, e.Error)
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return resp.StatusCode, err
+			return resp.StatusCode, resp.Header, err
 		}
 	}
 	io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, nil
+	return resp.StatusCode, resp.Header, nil
 }
 
 // postStream sends a streaming run request and consumes the ndjson body,
@@ -288,12 +341,75 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	cl := newClient(&cfg)
 	pts := points(cfg.Seed, cfg.N)
 
+	var (
+		retriesN atomic.Int64
+		shedN    atomic.Int64
+		breakerN atomic.Int64
+		abortedN atomic.Int64
+	)
+	// doRetry issues one request under the seeded retry policy: sheds
+	// (503), server-side crashes (500), and mid-flight connection resets
+	// are re-issued up to cfg.Retries times, waiting the larger of the
+	// exponential backoff step and the server's Retry-After hint, plus
+	// jitter drawn from the caller's seeded rng — so a replayed trace
+	// retries at identical offsets.
+	doRetry := func(ctx context.Context, rng *rand.Rand, path string, in, out any) (int, error) {
+		for attempt := 0; ; attempt++ {
+			code, hdr, err := cl.do(ctx, path, in, out)
+			if err == nil || ctx.Err() != nil {
+				return code, err
+			}
+			switch code {
+			case http.StatusServiceUnavailable:
+				switch hdr.Get(serve.ShedHeader) {
+				case "breaker":
+					breakerN.Add(1)
+				case "":
+					// Retryable without being an admission shed: a
+					// draining server or Las Vegas non-convergence.
+				default:
+					shedN.Add(1)
+				}
+			case http.StatusInternalServerError:
+				// A recovered server-side panic: the process survived,
+				// the request is safe to re-issue.
+			case 0:
+				abortedN.Add(1)
+			default:
+				return code, err
+			}
+			if attempt >= cfg.Retries {
+				return code, err
+			}
+			retriesN.Add(1)
+			wait := cfg.RetryBase << uint(attempt)
+			if ms, perr := strconv.ParseInt(hdr.Get(serve.RetryAfterMsHeader), 10, 64); perr == nil {
+				if ra := time.Duration(ms) * time.Millisecond; ra > wait {
+					wait = ra
+				}
+			} else if secs, perr := strconv.ParseInt(hdr.Get("Retry-After"), 10, 64); perr == nil {
+				if ra := time.Duration(secs) * time.Second; ra > wait {
+					wait = ra
+				}
+			}
+			wait += time.Duration(rng.Int63n(int64(cfg.RetryBase)))
+			select {
+			case <-ctx.Done():
+				return code, err
+			case <-time.After(wait):
+			}
+		}
+	}
+	// The open/warmup phase runs sequentially on this goroutine with its
+	// own seeded jitter stream.
+	setupRng := rand.New(rand.NewSource(cfg.Seed + 13))
+
 	// Open the sessions up-front. They all share one deployment.
 	sessions := make([]string, cfg.Sessions)
 	shared := 0
 	for i := range sessions {
 		var resp serve.OpenResponse
-		if _, err := cl.post(ctx, "/v1/sessions", serve.OpenRequest{
+		if _, err := doRetry(ctx, setupRng, "/v1/sessions", serve.OpenRequest{
 			Points:     pts,
 			CacheSize:  cfg.CacheSize,
 			CacheTTLMs: cfg.CacheTTLMs,
@@ -324,7 +440,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				Pipeline: cfg.Pipelines[key%len(cfg.Pipelines)],
 				Options:  serve.OptionsJSON{Seed: int64(1 + key/len(cfg.Pipelines))},
 			}
-			if _, err := cl.post(ctx, "/v1/sessions/"+sessions[key%len(sessions)]+"/run", req, nil); err != nil {
+			if _, err := doRetry(ctx, setupRng, "/v1/sessions/"+sessions[key%len(sessions)]+"/run", req, nil); err != nil {
 				return nil, fmt.Errorf("loadgen: warmup key %d: %w", key, err)
 			}
 		}
@@ -407,7 +523,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 					}
 				} else {
 					var resp serve.RunResponse
-					if _, err := cl.post(ctx, path, runReq, &resp); err != nil {
+					if _, err := doRetry(ctx, rng, path, runReq, &resp); err != nil {
 						if ctx.Err() == nil {
 							errorsN.Add(1)
 						}
@@ -472,5 +588,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		Coalesced:      after.Cache.Coalesced - before.Cache.Coalesced,
 		Evictions:      after.Cache.Evictions - before.Cache.Evictions,
 		SharedSessions: shared,
+		Retries:        int(retriesN.Load()),
+		Shed:           int(shedN.Load()),
+		BreakerOpen:    int(breakerN.Load()),
+		Aborted:        int(abortedN.Load()),
 	}, nil
 }

@@ -1,0 +1,99 @@
+package serve
+
+// Hardening middleware (DESIGN.md §13): panic recovery (outermost) and
+// the HTTP-layer fault-injection sites. Both wrap the whole route
+// table; admission control (limiter.go) and the per-session circuit
+// breaker (breaker.go) sit inside, per endpoint.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"sinrconn/internal/faults"
+)
+
+// recoverPanics converts handler panics into JSON 500s and a
+// serve_panics_total tick instead of letting net/http kill the
+// connection (or, on a shared mux goroutine bug, the process).
+// http.ErrAbortHandler is re-raised: it is the sanctioned "abort this
+// connection" signal (the serve.conn.reset fault injects it), and
+// net/http suppresses its stack trace.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		pw := &panicWriter{ResponseWriter: w}
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			//lint:ignore errdiscipline ErrAbortHandler is a panic value compared by identity, never wrapped (net/http's own idiom)
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			s.metrics.panics.Add(1)
+			if !pw.wrote {
+				pw.Header().Set("Content-Type", "application/json")
+				pw.WriteHeader(http.StatusInternalServerError)
+				json.NewEncoder(pw).Encode(ErrorJSON{Error: fmt.Sprintf("internal error: panic: %v", v)})
+				return
+			}
+			// Headers already went out: a 500 can no longer be written.
+			// Abort the connection so the client sees a broken transfer
+			// instead of a silently truncated 200.
+			panic(http.ErrAbortHandler)
+		}()
+		next.ServeHTTP(pw, r)
+	})
+}
+
+// panicWriter records whether the response was started, so the
+// recovery middleware knows whether a 500 can still be written.
+type panicWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *panicWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *panicWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards streaming flushes.
+func (w *panicWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// injectFaults is the HTTP-layer fault middleware: on operation
+// endpoints (/v1/…) it consults the configured injector at the
+// serve.handler.delay site (stall the request) and the
+// serve.conn.reset site (abort the connection via http.ErrAbortHandler,
+// which the client observes as a reset/EOF mid-request). /healthz and
+// /metrics are exempt so operators keep a clean view of a chaotic
+// server. With no injector configured the middleware vanishes.
+func (s *Server) injectFaults(next http.Handler) http.Handler {
+	inj := s.cfg.Injector
+	if inj == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			if act, ok := inj.Fire(faults.ServeHandlerDelay); ok {
+				time.Sleep(act.Delay)
+			}
+			if _, ok := inj.Fire(faults.ServeConnReset); ok {
+				panic(http.ErrAbortHandler)
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}

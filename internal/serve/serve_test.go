@@ -68,6 +68,7 @@ func openSession(t *testing.T, base string, req OpenRequest) OpenResponse {
 }
 
 func TestServeOpenRunClose(t *testing.T) {
+	settleGoroutines(t)
 	_, ts := testDaemon(t, Config{})
 	sess := openSession(t, ts.URL, OpenRequest{Points: testPoints(1, 24)})
 	if sess.Nodes != 24 {
@@ -136,6 +137,7 @@ func TestServeOpenRunClose(t *testing.T) {
 }
 
 func TestServeDeploymentDedup(t *testing.T) {
+	settleGoroutines(t)
 	srv, ts := testDaemon(t, Config{})
 	pts := testPoints(2, 20)
 	a := openSession(t, ts.URL, OpenRequest{Points: pts})
@@ -186,6 +188,7 @@ func TestServeDeploymentDedup(t *testing.T) {
 }
 
 func TestServeStreaming(t *testing.T) {
+	settleGoroutines(t)
 	_, ts := testDaemon(t, Config{})
 	sess := openSession(t, ts.URL, OpenRequest{Points: testPoints(3, 24)})
 	runURL := ts.URL + "/v1/sessions/" + sess.SessionID + "/run"
@@ -252,6 +255,7 @@ func TestServeStreaming(t *testing.T) {
 }
 
 func TestServeJoinRepairChurn(t *testing.T) {
+	settleGoroutines(t)
 	_, ts := testDaemon(t, Config{})
 	sess := openSession(t, ts.URL, OpenRequest{Points: testPoints(5, 24)})
 	base := ts.URL + "/v1/sessions/" + sess.SessionID
@@ -313,6 +317,7 @@ func TestServeJoinRepairChurn(t *testing.T) {
 }
 
 func TestServeRunMatrix(t *testing.T) {
+	settleGoroutines(t)
 	_, ts := testDaemon(t, Config{})
 	sess := openSession(t, ts.URL, OpenRequest{Points: testPoints(6, 24)})
 
@@ -337,6 +342,7 @@ func TestServeRunMatrix(t *testing.T) {
 }
 
 func TestServeDrain(t *testing.T) {
+	settleGoroutines(t)
 	srv, ts := testDaemon(t, Config{})
 	sess := openSession(t, ts.URL, OpenRequest{Points: testPoints(7, 20)})
 
@@ -366,6 +372,7 @@ func TestServeDrain(t *testing.T) {
 }
 
 func TestServeDeadline(t *testing.T) {
+	settleGoroutines(t)
 	_, ts := testDaemon(t, Config{})
 	sess := openSession(t, ts.URL, OpenRequest{Points: testPoints(8, 256)})
 	code, body := postJSON(t, ts.URL+"/v1/sessions/"+sess.SessionID+"/run",
@@ -387,6 +394,7 @@ func TestServeDeadline(t *testing.T) {
 }
 
 func TestServeMetrics(t *testing.T) {
+	settleGoroutines(t)
 	_, ts := testDaemon(t, Config{})
 	sess := openSession(t, ts.URL, OpenRequest{Points: testPoints(9, 20)})
 	runReq := RunRequest{Pipeline: "init-uniform", Options: OptionsJSON{Seed: 1}}
@@ -421,6 +429,7 @@ func TestServeMetrics(t *testing.T) {
 // TestServeSessionResultCap pins the per-session result namespace bound:
 // old handles fall off, new ones stay addressable.
 func TestServeSessionResultCap(t *testing.T) {
+	settleGoroutines(t)
 	_, ts := testDaemon(t, Config{MaxResultsPerSession: 2})
 	sess := openSession(t, ts.URL, OpenRequest{Points: testPoints(10, 20)})
 	base := ts.URL + "/v1/sessions/" + sess.SessionID
@@ -446,6 +455,7 @@ func TestServeSessionResultCap(t *testing.T) {
 // TestServeConcurrentIdenticalRuns pins coalescing end to end: many
 // concurrent identical cold queries produce exactly one construction.
 func TestServeConcurrentIdenticalRuns(t *testing.T) {
+	settleGoroutines(t)
 	srv, ts := testDaemon(t, Config{})
 	sess := openSession(t, ts.URL, OpenRequest{Points: testPoints(11, 48)})
 	runURL := ts.URL + "/v1/sessions/" + sess.SessionID + "/run"

@@ -9,11 +9,14 @@ import (
 	"math"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sinrconn"
+	"sinrconn/internal/faults"
 	"sinrconn/internal/serve/cache"
 )
 
@@ -35,7 +38,42 @@ type Config struct {
 	MaxResultsPerSession int
 	// Workers bounds each deployment's simulator worker pool (0 = NumCPU).
 	Workers int
+	// Injector, if non-nil, is the fault-injection hook (normally a
+	// *faults.Plan, installed by tests and `served -chaos`): the HTTP
+	// middleware consults it for handler delays and connection resets,
+	// and every deployment Network inherits it for the engine/cache/churn
+	// sites. Nil (production) means no injection anywhere.
+	Injector faults.Injector
+	// MaxConcurrent bounds operation requests (open/run/runmatrix/join/
+	// repair/churn) executing at once. Excess requests queue; a request
+	// whose projected queue wait exceeds its deadline — or that finds the
+	// queue full — is shed with 503 + Retry-After. 0 disables admission
+	// control (every request executes immediately, the pre-PR-10
+	// behavior).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for an execution slot (default
+	// 4×MaxConcurrent; meaningful only with MaxConcurrent > 0).
+	MaxQueue int
+	// BreakerThreshold is the number k of CONSECUTIVE retryable failures
+	// (ErrRetryExhausted, deadline timeouts) after which a session's
+	// circuit breaker opens and requests on that session are rejected
+	// with 503 until a seeded half-open probe succeeds. 0 selects the
+	// default (8); negative disables the breaker.
+	BreakerThreshold int
+	// BreakerSeed keys the breakers' deterministic half-open probe
+	// schedule (rejection counts, not wall time — replay-identical).
+	BreakerSeed int64
+	// Journal, if non-nil, records session opens and closes (fsync'd per
+	// record) so a crashed daemon can rebuild its session table with
+	// `served -recover` (Server.Restore). Results are NOT journaled:
+	// deployments are content-addressed and runs deterministic, so a
+	// recovered daemon recomputes (or re-caches) bit-identical answers.
+	Journal *Journal
 }
+
+// DefaultBreakerThreshold is the consecutive-failure count that opens a
+// session's circuit breaker when Config.BreakerThreshold is zero.
+const DefaultBreakerThreshold = 8
 
 func (c *Config) defaults() {
 	if c.MaxBodyBytes <= 0 {
@@ -43,6 +81,12 @@ func (c *Config) defaults() {
 	}
 	if c.MaxResultsPerSession <= 0 {
 		c.MaxResultsPerSession = 256
+	}
+	if c.MaxConcurrent > 0 && c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxConcurrent
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = DefaultBreakerThreshold
 	}
 }
 
@@ -57,10 +101,11 @@ type deployment struct {
 }
 
 // session is a refcount on a deployment plus a namespace of result
-// handles for follow-up operations.
+// handles for follow-up operations and a per-session circuit breaker.
 type session struct {
 	id  string
 	dep *deployment
+	brk *breaker // nil when the breaker is disabled
 
 	mu      sync.Mutex
 	results map[string]*sinrconn.Result
@@ -75,11 +120,13 @@ type session struct {
 type Server struct {
 	cfg      Config
 	draining atomic.Bool
+	limiter  *limiter // nil when admission control is off
 
 	mu          sync.Mutex
 	deployments map[uint64][]*deployment
 	sessions    map[string]*session
 	nextSession uint64
+	recovered   int         // sessions rebuilt by Restore
 	retired     cache.Stats // accumulated counters of closed deployments
 
 	metrics metrics
@@ -88,11 +135,15 @@ type Server struct {
 // New builds a Server.
 func New(cfg Config) *Server {
 	cfg.defaults()
-	return &Server{
+	s := &Server{
 		cfg:         cfg,
 		deployments: make(map[uint64][]*deployment),
 		sessions:    make(map[string]*session),
 	}
+	if cfg.MaxConcurrent > 0 {
+		s.limiter = newLimiter(cfg.MaxConcurrent, cfg.MaxQueue)
+	}
+	return s
 }
 
 // Drain marks the server draining: new sessions are refused with 503 and
@@ -126,19 +177,30 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// Handler returns the daemon's route table.
+// Handler returns the daemon's route table wrapped in the hardening
+// middleware: operation endpoints pass admission control (s.admit);
+// the whole mux sits behind fault injection (delay/conn-reset sites)
+// and, outermost, panic recovery — so no handler crash, injected or
+// real, ever kills the process. Close is deliberately NOT admitted:
+// it only releases resources, and shedding it would leak sessions on
+// the very overloads admission exists to survive. /healthz and
+// /metrics bypass both admission and injection so operators can still
+// see a chaotic server.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sessions", s.instrument("open", s.handleOpen))
+	mux.HandleFunc("POST /v1/sessions", s.instrument("open", s.admit(s.handleOpen)))
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("close", s.handleClose))
-	mux.HandleFunc("POST /v1/sessions/{id}/run", s.instrument("run", s.handleRun))
-	mux.HandleFunc("POST /v1/sessions/{id}/runmatrix", s.instrument("runmatrix", s.handleRunMatrix))
-	mux.HandleFunc("POST /v1/sessions/{id}/join", s.instrument("join", s.handleJoin))
-	mux.HandleFunc("POST /v1/sessions/{id}/repair", s.instrument("repair", s.handleRepair))
-	mux.HandleFunc("POST /v1/sessions/{id}/churn", s.instrument("churn", s.handleChurn))
+	mux.HandleFunc("POST /v1/sessions/{id}/run", s.instrument("run", s.admit(s.handleRun)))
+	mux.HandleFunc("POST /v1/sessions/{id}/runmatrix", s.instrument("runmatrix", s.admit(s.handleRunMatrix)))
+	mux.HandleFunc("POST /v1/sessions/{id}/join", s.instrument("join", s.admit(s.handleJoin)))
+	mux.HandleFunc("POST /v1/sessions/{id}/repair", s.instrument("repair", s.admit(s.handleRepair)))
+	mux.HandleFunc("POST /v1/sessions/{id}/churn", s.instrument("churn", s.admit(s.handleChurn)))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	var h http.Handler = mux
+	h = s.injectFaults(h)
+	h = s.recoverPanics(h)
+	return h
 }
 
 // ---- session & deployment bookkeeping ----
@@ -391,14 +453,26 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	if len(req.Points) == 0 {
-		s.writeError(w, badRequest("no points"))
+	sess, shared, err := s.openSession(req, "", true)
+	if err != nil {
+		s.writeError(w, err)
 		return
+	}
+	s.writeJSON(w, OpenResponse{SessionID: sess.id, Nodes: sess.dep.nw.Len(), SharedDeployment: shared})
+}
+
+// openSession validates an open request, acquires (or shares) the
+// content-addressed deployment, and registers the session. forceID pins
+// the session id (journal recovery — Restore); "" allocates the next
+// one. journal controls whether the open is recorded in the configured
+// journal (recovery replays must not re-journal records already there).
+func (s *Server) openSession(req OpenRequest, forceID string, journal bool) (*session, bool, error) {
+	if len(req.Points) == 0 {
+		return nil, false, badRequest("no points")
 	}
 	opts, err := req.Options.runOptions(true)
 	if err != nil {
-		s.writeError(w, badRequest("%v", err))
-		return
+		return nil, false, badRequest("%v", err)
 	}
 	size := req.CacheSize
 	if size == 0 {
@@ -412,9 +486,13 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Workers > 0 {
 		opts = append(opts, sinrconn.WithWorkers(s.cfg.Workers))
 	}
+	if s.cfg.Injector != nil {
+		opts = append(opts, sinrconn.WithFaultInjector(s.cfg.Injector))
+	}
 
 	// The deployment signature covers everything that shapes the Network:
-	// the canonical JSON of the options plus the cache bounds.
+	// the canonical JSON of the options plus the cache bounds. The
+	// injector is deliberately excluded — it never changes results.
 	sig, _ := json.Marshal(req.Options)
 	optSig := fmt.Sprintf("%s|cache=%d,%s", sig, size, ttl)
 	pts := toPoints(req.Points)
@@ -422,27 +500,54 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 		return sinrconn.Open(pts, opts...)
 	})
 	if err != nil {
-		s.writeError(w, err)
-		return
+		return nil, false, err
 	}
 
 	s.mu.Lock()
-	s.nextSession++
-	id := fmt.Sprintf("s%d", s.nextSession)
+	id := forceID
+	if id == "" {
+		s.nextSession++
+		id = fmt.Sprintf("s%d", s.nextSession)
+	} else {
+		// Recovery: preserve the journaled id and keep the allocator
+		// ahead of it so post-recovery opens never collide.
+		if n, perr := strconv.ParseUint(strings.TrimPrefix(id, "s"), 10, 64); perr == nil && n > s.nextSession {
+			s.nextSession = n
+		}
+		if _, exists := s.sessions[id]; exists {
+			s.mu.Unlock()
+			s.releaseDeployment(dep)
+			return nil, false, fmt.Errorf("serve: session %q already live (duplicate journal open)", id)
+		}
+	}
 	sess := &session{
 		id:      id,
 		dep:     dep,
 		results: make(map[string]*sinrconn.Result),
 		seen:    make(map[*sinrconn.Result]struct{}),
 	}
+	if s.cfg.BreakerThreshold > 0 {
+		sess.brk = newBreaker(s.cfg.BreakerThreshold, breakerSeed(s.cfg.BreakerSeed, id))
+	}
 	s.sessions[id] = sess
 	s.mu.Unlock()
 
-	s.writeJSON(w, OpenResponse{SessionID: id, Nodes: dep.nw.Len(), SharedDeployment: shared})
+	if journal && s.cfg.Journal != nil {
+		rec := JournalRecord{Op: journalOpOpen, ID: id, Key: fmt.Sprintf("%016x", dep.key), Open: &req}
+		if jerr := s.cfg.Journal.appendRecord(rec); jerr != nil {
+			// A session whose open did not reach stable storage would
+			// silently vanish on crash: fail the open instead of lying
+			// about durability.
+			s.dropSession(id)
+			return nil, false, fmt.Errorf("serve: journal append: %w", jerr)
+		}
+	}
+	return sess, shared, nil
 }
 
-func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
+// dropSession unregisters a session and releases its deployment
+// reference, reporting whether it existed.
+func (s *Server) dropSession(id string) bool {
 	s.mu.Lock()
 	sess, ok := s.sessions[id]
 	if ok {
@@ -450,10 +555,24 @@ func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if !ok {
+		return false
+	}
+	s.releaseDeployment(sess.dep)
+	return true
+}
+
+func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.dropSession(id) {
 		s.writeError(w, &httpError{status: http.StatusNotFound, err: fmt.Errorf("unknown session %q", id)})
 		return
 	}
-	s.releaseDeployment(sess.dep)
+	if s.cfg.Journal != nil {
+		// Best effort: a lost close record only resurrects a closed
+		// session after a crash — a refcount, not a correctness problem.
+		// The failure still lands in the journal's error counter.
+		s.cfg.Journal.appendRecord(JournalRecord{Op: journalOpClose, ID: id}) //nolint:errcheck
+	}
 	s.writeJSON(w, map[string]string{"status": "closed"})
 }
 
@@ -461,6 +580,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.session(r.PathValue("id"))
 	if !ok {
 		s.writeError(w, &httpError{status: http.StatusNotFound, err: fmt.Errorf("unknown session %q", r.PathValue("id"))})
+		return
+	}
+	if !s.breakerAdmit(w, sess) {
 		return
 	}
 	var req RunRequest
@@ -486,6 +608,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, cached, err := sess.dep.nw.RunCached(ctx, p, opts...)
+	s.breakerRecord(sess, err)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -520,6 +643,7 @@ func (s *Server) streamRun(ctx context.Context, w http.ResponseWriter, sess *ses
 		}
 	}
 	res, cached, err := sess.dep.nw.RunCached(ctx, p, append(opts, sinrconn.WithObserver(obs))...)
+	s.breakerRecord(sess, err)
 	if err != nil {
 		enc.Encode(ErrorJSON{Type: "error", Error: err.Error()})
 		if flusher != nil {
@@ -538,6 +662,9 @@ func (s *Server) handleRunMatrix(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.session(r.PathValue("id"))
 	if !ok {
 		s.writeError(w, &httpError{status: http.StatusNotFound, err: fmt.Errorf("unknown session %q", r.PathValue("id"))})
+		return
+	}
+	if !s.breakerAdmit(w, sess) {
 		return
 	}
 	var req MatrixRequest
@@ -566,6 +693,7 @@ func (s *Server) handleRunMatrix(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.reqCtx(r, req.TimeoutMs)
 	defer cancel()
 	results, err := sess.dep.nw.RunMatrix(ctx, specs)
+	s.breakerRecord(sess, err)
 	resp := MatrixResponse{
 		Results:   make([]*ResultJSON, len(specs)),
 		ResultIDs: make([]string, len(specs)),
@@ -616,6 +744,9 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, &httpError{status: http.StatusNotFound, err: fmt.Errorf("unknown session %q", r.PathValue("id"))})
 		return
 	}
+	if !s.breakerAdmit(w, sess) {
+		return
+	}
 	var req JoinRequest
 	if err := s.decode(w, r, &req); err != nil {
 		s.writeError(w, err)
@@ -638,6 +769,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.reqCtx(r, req.TimeoutMs)
 	defer cancel()
 	grown, err := res.Network().Join(ctx, res, toPoints(req.Points), opts...)
+	s.breakerRecord(sess, err)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -650,6 +782,9 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.session(r.PathValue("id"))
 	if !ok {
 		s.writeError(w, &httpError{status: http.StatusNotFound, err: fmt.Errorf("unknown session %q", r.PathValue("id"))})
+		return
+	}
+	if !s.breakerAdmit(w, sess) {
 		return
 	}
 	var req RepairRequest
@@ -683,6 +818,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		}
 		repaired, err = res.Network().RepairLinks(ctx, res, links, opts...)
 	}
+	s.breakerRecord(sess, err)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -695,6 +831,9 @@ func (s *Server) handleChurn(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.session(r.PathValue("id"))
 	if !ok {
 		s.writeError(w, &httpError{status: http.StatusNotFound, err: fmt.Errorf("unknown session %q", r.PathValue("id"))})
+		return
+	}
+	if !s.breakerAdmit(w, sess) {
 		return
 	}
 	var req ChurnRequest
@@ -710,6 +849,7 @@ func (s *Server) handleChurn(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.reqCtx(r, req.TimeoutMs)
 	defer cancel()
 	report, err := sess.dep.nw.Churn(ctx, spec)
+	s.breakerRecord(sess, err)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -739,6 +879,15 @@ type endpointStats struct {
 type metrics struct {
 	mu        sync.Mutex
 	endpoints map[string]*endpointStats
+
+	// panics counts handler panics converted to 500s by the recovery
+	// middleware (the process survived each one).
+	panics atomic.Uint64
+	// breakerOpened / breakerRejected / breakerProbes count circuit
+	// breaker transitions and rejections across all sessions.
+	breakerOpened   atomic.Uint64
+	breakerRejected atomic.Uint64
+	breakerProbes   atomic.Uint64
 }
 
 // instrument wraps a handler with request counting and latency
@@ -798,17 +947,42 @@ type healthCache struct {
 	ComputeNanos uint64  `json:"compute_nanos"`
 }
 
+// healthAdmission is the admission-control block of a /healthz response
+// (present only when Config.MaxConcurrent > 0).
+type healthAdmission struct {
+	Running       int64  `json:"running"`
+	Queued        int64  `json:"queued"`
+	Admitted      uint64 `json:"admitted"`
+	ShedQueueFull uint64 `json:"shed_queue_full"`
+	ShedDeadline  uint64 `json:"shed_deadline"`
+	WaitCanceled  uint64 `json:"wait_canceled"`
+}
+
+// healthBreaker is the circuit-breaker block of a /healthz response
+// (present only when breakers are enabled).
+type healthBreaker struct {
+	Opened   uint64 `json:"opened"`
+	Rejected uint64 `json:"rejected"`
+	Probes   uint64 `json:"probes"`
+}
+
 // Health is the /healthz body.
 type Health struct {
 	Status      string      `json:"status"` // "ok" | "draining"
 	Sessions    int         `json:"sessions"`
 	Deployments int         `json:"deployments"`
+	Recovered   int         `json:"recovered,omitempty"` // sessions rebuilt by -recover
+	Panics      uint64      `json:"panics"`
 	Cache       healthCache `json:"cache"`
+
+	Admission *healthAdmission `json:"admission,omitempty"`
+	Breaker   *healthBreaker   `json:"breaker,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	sessions := len(s.sessions)
+	recovered := s.recovered
 	deployments := 0
 	for _, list := range s.deployments {
 		deployments += len(list)
@@ -819,10 +993,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		status = "draining"
 	}
-	s.writeJSON(w, Health{
+	h := Health{
 		Status:      status,
 		Sessions:    sessions,
 		Deployments: deployments,
+		Recovered:   recovered,
+		Panics:      s.metrics.panics.Load(),
 		Cache: healthCache{
 			Hits:         st.Hits,
 			Misses:       st.Misses,
@@ -835,7 +1011,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Computes:     st.Computes,
 			ComputeNanos: st.ComputeNanos,
 		},
-	})
+	}
+	if l := s.limiter; l != nil {
+		h.Admission = &healthAdmission{
+			Running:       l.running.Load(),
+			Queued:        l.queued.Load(),
+			Admitted:      l.admitted.Load(),
+			ShedQueueFull: l.shedQueueFull.Load(),
+			ShedDeadline:  l.shedDeadline.Load(),
+			WaitCanceled:  l.waitCanceled.Load(),
+		}
+	}
+	if s.cfg.BreakerThreshold > 0 {
+		h.Breaker = &healthBreaker{
+			Opened:   s.metrics.breakerOpened.Load(),
+			Rejected: s.metrics.breakerRejected.Load(),
+			Probes:   s.metrics.breakerProbes.Load(),
+		}
+	}
+	s.writeJSON(w, h)
 }
 
 // handleMetrics exports Prometheus-style text counters: result-cache
@@ -869,6 +1063,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		draining = 1
 	}
 	fmt.Fprintf(w, "# TYPE serve_draining gauge\nserve_draining %d\n", draining)
+	fmt.Fprintf(w, "# TYPE serve_panics_total counter\nserve_panics_total %d\n", s.metrics.panics.Load())
+	fmt.Fprintf(w, "# TYPE serve_recovered_sessions gauge\nserve_recovered_sessions %d\n", s.recoveredCount())
+	if l := s.limiter; l != nil {
+		fmt.Fprintf(w, "# TYPE serve_admission_running gauge\nserve_admission_running %d\n", l.running.Load())
+		fmt.Fprintf(w, "# TYPE serve_admission_queued gauge\nserve_admission_queued %d\n", l.queued.Load())
+		fmt.Fprintf(w, "# TYPE serve_admitted_total counter\nserve_admitted_total %d\n", l.admitted.Load())
+		fmt.Fprintf(w, "# TYPE serve_shed_total counter\n")
+		fmt.Fprintf(w, "serve_shed_total{reason=\"queue_full\"} %d\n", l.shedQueueFull.Load())
+		fmt.Fprintf(w, "serve_shed_total{reason=\"deadline\"} %d\n", l.shedDeadline.Load())
+		fmt.Fprintf(w, "serve_shed_total{reason=\"wait_canceled\"} %d\n", l.waitCanceled.Load())
+	}
+	if s.cfg.BreakerThreshold > 0 {
+		fmt.Fprintf(w, "# TYPE serve_breaker_opened_total counter\nserve_breaker_opened_total %d\n", s.metrics.breakerOpened.Load())
+		fmt.Fprintf(w, "# TYPE serve_breaker_rejected_total counter\nserve_breaker_rejected_total %d\n", s.metrics.breakerRejected.Load())
+		fmt.Fprintf(w, "# TYPE serve_breaker_probes_total counter\nserve_breaker_probes_total %d\n", s.metrics.breakerProbes.Load())
+	}
+	if j := s.cfg.Journal; j != nil {
+		fmt.Fprintf(w, "# TYPE serve_journal_records_total counter\nserve_journal_records_total %d\n", j.Records())
+		fmt.Fprintf(w, "# TYPE serve_journal_errors_total counter\nserve_journal_errors_total %d\n", j.Errors())
+	}
+	if plan, ok := s.cfg.Injector.(*faults.Plan); ok {
+		fmt.Fprintf(w, "# TYPE serve_fault_visits_total counter\n")
+		for _, c := range plan.Counts() {
+			fmt.Fprintf(w, "serve_fault_visits_total{site=%q} %d\n", c.Site, c.Visits)
+		}
+		fmt.Fprintf(w, "# TYPE serve_fault_injected_total counter\n")
+		for _, c := range plan.Counts() {
+			fmt.Fprintf(w, "serve_fault_injected_total{site=%q} %d\n", c.Site, c.Fired)
+		}
+	}
 
 	s.metrics.mu.Lock()
 	names := make([]string, 0, len(s.metrics.endpoints))

@@ -9,7 +9,6 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -37,10 +36,8 @@ func TestServeSoak(t *testing.T) {
 		clients, perClient = 8, 8
 	}
 
-	// Settle and record the baseline before the daemon exists.
-	runtime.GC()
-	time.Sleep(50 * time.Millisecond)
-	before := runtime.NumGoroutine()
+	// Record the baseline before the daemon exists.
+	settleGoroutines(t)
 
 	srv := New(Config{})
 	hc := &http.Client{Transport: soakTransport{srv.Handler()}}
@@ -185,20 +182,7 @@ func TestServeSoak(t *testing.T) {
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}
-
 	// Goroutine settle: everything the daemon spawned (worker pools,
-	// singleflight leaders, canceled runs) must be gone.
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		runtime.GC()
-		if g := runtime.NumGoroutine(); g <= before {
-			break
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<20)
-			n := runtime.Stack(buf, true)
-			t.Fatalf("goroutines leaked: before=%d after=%d\n%s", before, runtime.NumGoroutine(), buf[:n])
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	// singleflight leaders, canceled runs) must be gone — enforced by
+	// the settleGoroutines cleanup registered up top.
 }

@@ -327,6 +327,9 @@ func (c ChurnRequest) traceSpec() (sinrconn.TraceSpec, error) {
 }
 
 // timeout resolves a request's timeout_ms against the server bounds.
+// Non-positive values — zero (unset) and negative (malformed client) —
+// clamp to the server default rather than producing an
+// already-expired context; values over the max clamp to the max.
 func timeout(ms int64, def, max time.Duration) time.Duration {
 	d := def
 	if ms > 0 {

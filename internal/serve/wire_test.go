@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTimeoutClamp pins the request-timeout resolution: negative and
+// zero timeout_ms clamp to the server default (never an already-expired
+// deadline), over-max clamps to the cap, and the cap applies even when
+// no default is configured.
+func TestTimeoutClamp(t *testing.T) {
+	settleGoroutines(t)
+	const (
+		def = 2 * time.Second
+		max = 10 * time.Second
+	)
+	cases := []struct {
+		name string
+		ms   int64
+		def  time.Duration
+		max  time.Duration
+		want time.Duration
+	}{
+		{"negative clamps to default", -50, def, max, def},
+		{"zero clamps to default", 0, def, max, def},
+		{"negative with no default clamps to max", -1, 0, max, max},
+		{"in range passes through", 3000, def, max, 3 * time.Second},
+		{"over max clamps to max", 60_000, def, max, max},
+		{"default over max clamps to max", 0, 20 * time.Second, max, max},
+		{"no bounds at all means none", 0, 0, 0, 0},
+		{"negative with no bounds means none", -7, 0, 0, 0},
+		{"uncapped request honored", 60_000, def, 0, time.Minute},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := timeout(tc.ms, tc.def, tc.max); got != tc.want {
+				t.Fatalf("timeout(%d, %v, %v) = %v, want %v", tc.ms, tc.def, tc.max, got, tc.want)
+			}
+		})
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
+	"sinrconn/internal/faults"
 	"sinrconn/internal/sinr"
 )
 
@@ -111,6 +113,12 @@ type Config struct {
 	// Observer, if non-nil, is invoked after every slot with a summary of
 	// channel activity (for tracing and live experiment dashboards).
 	Observer Observer
+	// Injector, if non-nil, is consulted at the engine's fault-injection
+	// sites (sim.slot.slow before each slot, pool.worker.stall before
+	// each pool job — see internal/faults). Firing only stalls: injected
+	// delays never change schedules or stats, so a fault-free replay of
+	// the same seed is bit-identical to an engine without an injector.
+	Injector faults.Injector
 	// Pool, if non-nil, is a shared worker pool the engine dispatches its
 	// parallel stages on instead of spawning its own. The engine does not
 	// own a shared pool: Close leaves it running, so a session handle
@@ -415,6 +423,15 @@ func (e *Engine) Instance() *sinr.Instance { return e.inst }
 //sinr:hotpath
 func (e *Engine) Step() {
 	n := len(e.procs)
+
+	// Fault site sim.slot.slow: stall the whole slot. Timing only — the
+	// slot's schedule and stats are untouched, so replays stay
+	// bit-identical.
+	if e.cfg.Injector != nil {
+		if act, ok := e.cfg.Injector.Fire(faults.SimSlotSlow); ok {
+			time.Sleep(act.Delay)
+		}
+	}
 
 	// Stage 1: step every protocol with its inbox (parallel).
 	if e.pool != nil {

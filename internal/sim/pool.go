@@ -1,6 +1,11 @@
 package sim
 
-import "runtime"
+import (
+	"runtime"
+	"time"
+
+	"sinrconn/internal/faults"
+)
 
 // stage identifies the work a dispatched worker round performs.
 type stage uint8
@@ -60,6 +65,14 @@ func (p *Pool) work(k int) {
 	w := len(p.cmd)
 	for j := range p.cmd[k] {
 		e := j.e
+		// Fault site pool.worker.stall: delay this worker's share of the
+		// stage. The stage barrier (stageWG) still waits for every shard,
+		// so a stall reorders nothing — it only stretches the slot.
+		if e.cfg.Injector != nil {
+			if act, ok := e.cfg.Injector.Fire(faults.PoolWorkerStall); ok {
+				time.Sleep(act.Delay)
+			}
+		}
 		switch j.st {
 		case stageStep:
 			lo, hi := chunkRange(len(e.procs), w, k)

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"sinrconn/internal/core"
+	"sinrconn/internal/faults"
 	"sinrconn/internal/geom"
 	"sinrconn/internal/schedule"
 	"sinrconn/internal/serve/cache"
@@ -155,6 +156,7 @@ type settings struct {
 	cacheSize     int
 	cacheTTL      time.Duration
 	observer      sim.Observer
+	injector      faults.Injector
 
 	physSet    bool  // WithPhys applied in the current scope
 	relErrSet  bool  // WithMaxRelError applied in the current scope
@@ -376,6 +378,27 @@ func WithObserver(fn SlotObserver) Option {
 		s.observer = func(e sim.SlotEvent) {
 			fn(SlotEvent{Slot: e.Slot, Senders: e.Senders, Deliveries: e.Deliveries, Far: e.Far})
 		}
+	}
+}
+
+// WithFaultInjector installs a fault-injection hook (normally a
+// *faults.Plan; see internal/faults) consulted at the handle's
+// registered injection sites: cache.leader.panic before each uncached
+// pipeline compute, churn.repair.fail before each churn repair
+// attempt, and the engine sites (sim.slot.slow, pool.worker.stall) on
+// every engine the session creates. Injected faults stall or fail
+// operations but never alter computed results, so a fault-free replay
+// of the same seed stays bit-identical. Open-scoped: the serving
+// daemon installs one plan per server (`served -chaos`); production
+// handles omit the option and pay a nil check per site. inj = nil is
+// the default (no injection).
+func WithFaultInjector(inj faults.Injector) Option {
+	return func(s *settings) {
+		if s.runScope {
+			s.fail(errors.New("sinrconn: WithFaultInjector is an Open option, not a run option"))
+			return
+		}
+		s.injector = inj
 	}
 }
 
@@ -655,6 +678,7 @@ func initConfig(s settings, pool *sim.Pool, ff sinr.Far, adaptive bool) core.Ini
 		FarField:      ff,
 		Adaptive:      adaptive,
 		Observer:      s.observer,
+		Injector:      s.injector,
 	}
 }
 
@@ -837,6 +861,16 @@ func (nw *Network) RunCached(ctx context.Context, p Pipeline, opts ...RunOption)
 // holds because every pipeline builds its result privately and returns it
 // only on success.
 func (nw *Network) compute(ctx context.Context, p Pipeline, s settings) (*Result, error) {
+	// Fault site cache.leader.panic: compute runs as the result memo's
+	// singleflight leader (or as a private observed run), so a panic here
+	// exercises the cache's leader-failure path — followers must be
+	// released with an error, never wedged (TestLeaderPanicReleasesFollowers),
+	// and the serving daemon's recovery middleware must turn it into a 500.
+	if s.injector != nil {
+		if act, ok := s.injector.Fire(faults.CacheLeaderPanic); ok {
+			panic(fmt.Sprintf("sinrconn: injected fault %s #%d", act.Site, act.Seq))
+		}
+	}
 	in, err := nw.instanceFor(s.phys)
 	if err != nil {
 		return nil, err
@@ -905,6 +939,7 @@ func (nw *Network) runRescheduleMean(ctx context.Context, in *sinr.Instance, s s
 		FarField: ff,
 		Adaptive: adaptive,
 		Observer: s.observer,
+		Injector: s.injector,
 	})
 	if err != nil {
 		return nil, err
